@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces the Sec. VI-C hyper-parameter ablation: GCoD's speedup over
+ * AWB-GCN and off-chip bandwidth reduction across the number of classes
+ * C in {1,2,3,4} and subgraphs S in {8,12,16,20}, GCN on the citation
+ * graphs.
+ *
+ * Expected shape (paper): 1.8x-2.8x speedup over AWB-GCN and 26%-53%
+ * bandwidth reduction across the whole sweep — i.e. robust to C and S.
+ */
+#include "bench_common.hpp"
+
+using namespace gcod;
+using namespace gcod::bench;
+
+namespace {
+
+void
+printAblation(Config &cfg)
+{
+    std::vector<int> classes = {1, 2, 3, 4};
+    std::vector<int> subgraphs = {8, 12, 16, 20};
+    std::vector<std::string> datasets = citationDatasetNames();
+    if (cfg.has("dataset"))
+        datasets = {cfg.getString("dataset")};
+
+    double min_speedup = 1e30, max_speedup = 0.0;
+    double min_bw_red = 1.0, max_bw_red = 0.0;
+
+    for (const auto &d : datasets) {
+        Table t("Ablation | GCoD vs AWB-GCN across C and S, GCN on " + d);
+        std::vector<std::string> header = {"C \\ S"};
+        for (int s : subgraphs)
+            header.push_back("S=" + std::to_string(s));
+        t.header(header);
+
+        for (int c : classes) {
+            std::vector<std::string> row = {"C=" + std::to_string(c)};
+            for (int s : subgraphs) {
+                GcodOptions opts;
+                opts.reorder.numClasses = c;
+                opts.reorder.numSubgraphs = std::max(s, c);
+                Prepared p = prepare(d, 0.0, opts);
+                ModelSpec spec = specFor("GCN", p);
+
+                auto awb = makeAccelerator("AWB-GCN");
+                auto hygcn = makeAccelerator("HyGCN");
+                auto gcod = makeAccelerator("GCoD");
+                DetailedResult ra = awb->simulate(spec, p.rawInput());
+                DetailedResult rh = hygcn->simulate(spec, p.rawInput());
+                DetailedResult rg = gcod->simulate(spec, p.gcodInput());
+                double speedup = ra.latencySeconds / rg.latencySeconds;
+                // Bandwidth reduction vs the gathered baseline (HyGCN),
+                // consistent with Fig. 11(a)'s comparison.
+                double bw_red = 1.0 - rg.requiredBandwidthGBs /
+                                          rh.requiredBandwidthGBs;
+                min_speedup = std::min(min_speedup, speedup);
+                max_speedup = std::max(max_speedup, speedup);
+                min_bw_red = std::min(min_bw_red, bw_red);
+                max_bw_red = std::max(max_bw_red, bw_red);
+                row.push_back(formatSpeedup(speedup) + " / " +
+                              formatPercent(bw_red));
+            }
+            t.row(row);
+        }
+        t.print(std::cout);
+        std::cout << "(cell = speedup over AWB-GCN / bandwidth reduction)\n\n";
+    }
+    std::cout << "sweep range: " << formatSpeedup(min_speedup) << " - "
+              << formatSpeedup(max_speedup) << " speedup, "
+              << formatPercent(min_bw_red) << " - "
+              << formatPercent(max_bw_red)
+              << " bandwidth reduction (paper: 1.8x-2.8x, 26%-53%)\n";
+}
+
+void
+BM_ReorderCora(benchmark::State &state)
+{
+    Rng rng(3);
+    static SyntheticGraph synth =
+        synthesize(profileByName("Cora"), 1.0, rng);
+    ReorderOptions opts;
+    opts.numClasses = 4;
+    opts.numSubgraphs = 16;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(reorderGraph(synth.graph, opts));
+}
+BENCHMARK(BM_ReorderCora);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, printAblation);
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared scaffolding for the reproduction benches: dataset preparation
+ * (synthesize at a benchmark-friendly scale, run the structure-only GCoD
+ * pipeline, build simulator inputs with published-size extrapolation) and
+ * the common main() that prints the paper-style tables before running any
+ * registered google-benchmark microbenchmarks.
+ */
+#ifndef GCOD_BENCH_COMMON_HPP
+#define GCOD_BENCH_COMMON_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "gcod/pipeline.hpp"
+#include "sim/config.hpp"
+#include "sim/table.hpp"
+
+namespace gcod::bench {
+
+/** Everything a simulator-driven bench needs for one dataset. */
+struct Prepared
+{
+    DatasetProfile profile; ///< published statistics
+    SyntheticGraph synth;
+    GcodOutcome outcome;    ///< structure-only pipeline result
+    double scaleUsed = 1.0;
+
+    /** Simulator input for baseline platforms (raw adjacency). */
+    GraphInput
+    rawInput() const
+    {
+        GraphInput in = makeGraphInput(synth.graph.adjacency());
+        in.publishedNodes = profile.nodes;
+        in.featureDensity = profile.featureDensity;
+        return in;
+    }
+
+    /** Simulator input for the GCoD accelerator (processed adjacency). */
+    GraphInput
+    gcodInput() const
+    {
+        GraphInput in = makeGraphInput(outcome.finalGraph.adjacency(),
+                                       outcome.workload);
+        in.publishedNodes = profile.nodes;
+        in.featureDensity = profile.featureDensity;
+        return in;
+    }
+
+    /** GCoD input before Step 2/3 pruning (Tab. VI "w/o SP" row). */
+    GraphInput
+    gcodUnprunedInput(const Graph &reordered_holder) const
+    {
+        GraphInput in = makeGraphInput(reordered_holder.adjacency(),
+                                       outcome.workloadAfterReorder);
+        in.publishedNodes = profile.nodes;
+        in.featureDensity = profile.featureDensity;
+        return in;
+    }
+
+    bool large() const { return profile.nodes > 20000; }
+};
+
+/** Default benchmark scale per dataset (keeps every bench CI-fast). */
+inline double
+defaultScale(const std::string &dataset)
+{
+    static const std::map<std::string, double> scales = {
+        {"Cora", 1.0},       {"CiteSeer", 1.0}, {"Pubmed", 1.0},
+        {"NELL", 0.15},      {"Ogbn-ArXiv", 0.08}, {"Reddit", 0.02},
+    };
+    auto it = scales.find(dataset);
+    return it == scales.end() ? 1.0 : it->second;
+}
+
+/**
+ * Prepare a dataset: synthesize, run the structure-only GCoD pipeline.
+ * @param scale 0 = the per-dataset default.
+ */
+inline Prepared
+prepare(const std::string &dataset, double scale = 0.0,
+        GcodOptions opts = {}, uint64_t seed = 42)
+{
+    Prepared p;
+    p.profile = profileByName(dataset);
+    p.scaleUsed = scale > 0.0 ? scale : defaultScale(dataset);
+    Rng rng(seed);
+    p.synth = synthesize(p.profile, p.scaleUsed, rng);
+    p.outcome = runGcodStructureOnly(p.synth, opts);
+    return p;
+}
+
+/** Model spec at the dataset's *published* dimensions (Tab. IV). */
+inline ModelSpec
+specFor(const std::string &model, const Prepared &p)
+{
+    return makeModelSpec(model, p.profile.features, p.profile.classes,
+                         p.large());
+}
+
+/**
+ * Shared bench main body: parse key=value args, print the reproduction
+ * table(s) via @p body, then run registered google-benchmark timers.
+ */
+inline int
+benchMain(int argc, char **argv, const std::function<void(Config &)> &body)
+{
+    Config cfg;
+    // Split args: key=value pairs go to Config; the rest to benchmark.
+    std::vector<char *> bench_args{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        std::string tok = argv[i];
+        if (tok.find('=') != std::string::npos &&
+            tok.rfind("--", 0) == std::string::npos) {
+            cfg.set(tok.substr(0, tok.find('=')),
+                    tok.substr(tok.find('=') + 1));
+        } else {
+            bench_args.push_back(argv[i]);
+        }
+    }
+    body(cfg);
+    int bench_argc = int(bench_args.size());
+    benchmark::Initialize(&bench_argc, bench_args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace gcod::bench
+
+#endif // GCOD_BENCH_COMMON_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: normalized inference speedups (vs PyG-CPU) of
+ * nine baselines plus GCoD and GCoD (8-bit), for GCN / GIN / GAT /
+ * GraphSAGE on the three citation graphs (Cora, CiteSeer, Pubmed).
+ *
+ * Expected shape (paper): GCoD beats HyGCN by ~7.8x and AWB-GCN by ~2.5x
+ * on average; frameworks trail dedicated accelerators by orders of
+ * magnitude; GCoD (8-bit) adds ~2x on top of GCoD.
+ */
+#include "bench_common.hpp"
+
+using namespace gcod;
+using namespace gcod::bench;
+
+namespace {
+
+void
+printFigure9(Config &cfg)
+{
+    std::vector<std::string> models = {"GCN", "GIN", "GAT", "GraphSAGE"};
+    std::vector<std::string> datasets = citationDatasetNames();
+    double scale = cfg.getDouble("scale", 0.0);
+
+    std::map<std::string, Prepared> prep;
+    for (const auto &d : datasets)
+        prep.emplace(d, prepare(d, scale));
+
+    for (const auto &model : models) {
+        Table t("Fig. 9 | " + model +
+                " inference speedups over PyG-CPU (x)");
+        std::vector<std::string> header = {"Platform"};
+        for (const auto &d : datasets)
+            header.push_back(d);
+        t.header(header);
+
+        std::map<std::string, double> cpu_latency;
+        for (const auto &platform : allPlatformNames()) {
+            auto accel = makeAccelerator(platform);
+            bool is_gcod = platform.rfind("GCoD", 0) == 0;
+            std::vector<std::string> row = {platform};
+            for (const auto &d : datasets) {
+                const Prepared &p = prep.at(d);
+                GraphInput in = is_gcod ? p.gcodInput() : p.rawInput();
+                DetailedResult res = accel->simulate(specFor(model, p), in);
+                if (platform == "PyG-CPU") {
+                    cpu_latency[d] = res.latencySeconds;
+                    row.push_back("1.0 (" +
+                                  formatNumber(res.latencySeconds * 1e3) +
+                                  " ms)");
+                } else {
+                    row.push_back(formatSpeedup(cpu_latency[d] /
+                                                res.latencySeconds));
+                }
+            }
+            t.row(row);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+}
+
+/** Microbenchmark: one full-platform sweep simulation on Cora/GCN. */
+void
+BM_SimulateAllPlatformsCora(benchmark::State &state)
+{
+    static Prepared p = prepare("Cora");
+    ModelSpec spec = specFor("GCN", p);
+    GraphInput raw = p.rawInput();
+    GraphInput proc = p.gcodInput();
+    for (auto _ : state) {
+        for (const auto &name : allPlatformNames()) {
+            auto accel = makeAccelerator(name);
+            bool is_gcod = name.rfind("GCoD", 0) == 0;
+            benchmark::DoNotOptimize(
+                accel->simulate(spec, is_gcod ? proc : raw));
+        }
+    }
+}
+BENCHMARK(BM_SimulateAllPlatformsCora);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, printFigure9);
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: normalized speedups (vs PyG-CPU) on the large
+ * datasets — GCN/GIN/GAT/GraphSAGE on NELL and Reddit, plus ResGCN on
+ * Ogbn-ArXiv. Synthetic stand-ins run down-scaled (scale=... to override)
+ * and costs extrapolate to the published node counts.
+ *
+ * Expected shape (paper): the gap to the frameworks widens with graph
+ * size (GCoD hits ~4.5e4x on Reddit); AWB-GCN stays within ~2-3x of GCoD.
+ */
+#include "bench_common.hpp"
+
+using namespace gcod;
+using namespace gcod::bench;
+
+namespace {
+
+void
+printFigure10(Config &cfg)
+{
+    struct Row
+    {
+        std::string model;
+        std::vector<std::string> datasets;
+    };
+    std::vector<Row> rows = {
+        {"GCN", {"NELL", "Reddit"}},
+        {"GIN", {"NELL", "Reddit"}},
+        {"GAT", {"NELL", "Reddit"}},
+        {"GraphSAGE", {"NELL", "Reddit"}},
+        {"ResGCN", {"Ogbn-ArXiv"}},
+    };
+    double scale = cfg.getDouble("scale", 0.0);
+
+    std::map<std::string, Prepared> prep;
+    for (const auto &r : rows)
+        for (const auto &d : r.datasets)
+            if (!prep.count(d))
+                prep.emplace(d, prepare(d, scale));
+
+    std::vector<std::string> platforms = {"PyG-CPU", "PyG-GPU", "DGL-CPU",
+                                          "DGL-GPU", "HyGCN",   "AWB-GCN",
+                                          "GCoD",    "GCoD(8-bit)"};
+    for (const auto &r : rows) {
+        Table t("Fig. 10 | " + r.model +
+                " speedups over PyG-CPU on large graphs (x)");
+        std::vector<std::string> header = {"Platform"};
+        for (const auto &d : r.datasets)
+            header.push_back(d);
+        t.header(header);
+        std::map<std::string, double> cpu_latency;
+        for (const auto &platform : platforms) {
+            auto accel = makeAccelerator(platform);
+            bool is_gcod = platform.rfind("GCoD", 0) == 0;
+            std::vector<std::string> cells = {platform};
+            for (const auto &d : r.datasets) {
+                const Prepared &p = prep.at(d);
+                GraphInput in = is_gcod ? p.gcodInput() : p.rawInput();
+                DetailedResult res =
+                    accel->simulate(specFor(r.model, p), in);
+                if (platform == "PyG-CPU") {
+                    cpu_latency[d] = res.latencySeconds;
+                    cells.push_back(
+                        "1.0 (" + formatNumber(res.latencySeconds) + " s)");
+                } else {
+                    cells.push_back(formatSpeedup(cpu_latency[d] /
+                                                  res.latencySeconds));
+                }
+            }
+            t.row(cells);
+        }
+        t.print(std::cout);
+        std::cout << "(synthetic scale: ";
+        for (const auto &d : r.datasets)
+            std::cout << d << "=" << prep.at(d).scaleUsed << " ";
+        std::cout << "; costs extrapolated to published sizes)\n\n";
+    }
+}
+
+/** Microbenchmark: GCoD simulation at Reddit structure scale. */
+void
+BM_SimulateGcodReddit(benchmark::State &state)
+{
+    static Prepared p = prepare("Reddit");
+    ModelSpec spec = specFor("GCN", p);
+    GraphInput in = p.gcodInput();
+    auto accel = makeAccelerator("GCoD");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(accel->simulate(spec, in));
+}
+BENCHMARK(BM_SimulateGcodReddit);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, printFigure10);
+}

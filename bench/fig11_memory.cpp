@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces paper Fig. 11: (a) peak off-chip bandwidth requirement of
+ * GCoD and GCoD (8-bit) relative to HyGCN, and (b) off-chip data accesses
+ * of GCoD normalized to HyGCN and AWB-GCN, for GCN across the datasets.
+ *
+ * Expected shape (paper): GCoD needs on average ~48% (and 8-bit ~26%) of
+ * HyGCN's bandwidth, and fewer off-chip accesses than both baselines,
+ * with Reddit relatively higher (resource-aware pipeline trades reuse for
+ * on-chip storage).
+ */
+#include "bench_common.hpp"
+
+using namespace gcod;
+using namespace gcod::bench;
+
+namespace {
+
+void
+printFigure11(Config &cfg)
+{
+    std::vector<std::string> datasets = {"Cora", "CiteSeer", "Pubmed",
+                                         "NELL", "Reddit"};
+    double scale = cfg.getDouble("scale", 0.0);
+
+    Table a("Fig. 11(a) | Off-chip bandwidth requirement (GB/s)");
+    a.header({"Dataset", "HyGCN", "GCoD", "GCoD(8-bit)", "GCoD/HyGCN",
+              "8-bit/HyGCN"});
+    Table b("Fig. 11(b) | Off-chip accesses normalized to GCoD = 1");
+    b.header({"Dataset", "HyGCN", "AWB-GCN", "GCoD"});
+
+    double ratio_sum = 0.0, ratio8_sum = 0.0;
+    for (const auto &d : datasets) {
+        Prepared p = prepare(d, scale);
+        ModelSpec spec = specFor("GCN", p);
+        auto hygcn = makeAccelerator("HyGCN");
+        auto awb = makeAccelerator("AWB-GCN");
+        auto gcod = makeAccelerator("GCoD");
+        auto gcod8 = makeAccelerator("GCoD(8-bit)");
+        DetailedResult rh = hygcn->simulate(spec, p.rawInput());
+        DetailedResult ra = awb->simulate(spec, p.rawInput());
+        DetailedResult rg = gcod->simulate(spec, p.gcodInput());
+        DetailedResult rg8 = gcod8->simulate(spec, p.gcodInput());
+
+        double rel = rg.requiredBandwidthGBs / rh.requiredBandwidthGBs;
+        double rel8 = rg8.requiredBandwidthGBs / rh.requiredBandwidthGBs;
+        ratio_sum += rel;
+        ratio8_sum += rel8;
+        a.row({d, formatNumber(rh.requiredBandwidthGBs),
+               formatNumber(rg.requiredBandwidthGBs),
+               formatNumber(rg8.requiredBandwidthGBs), formatPercent(rel),
+               formatPercent(rel8)});
+        b.row({d, formatNumber(rh.offChipAccesses / rg.offChipAccesses),
+               formatNumber(ra.offChipAccesses / rg.offChipAccesses),
+               "1.00"});
+    }
+    a.print(std::cout);
+    std::cout << "average: GCoD needs "
+              << formatPercent(ratio_sum / double(datasets.size()))
+              << " and GCoD(8-bit) "
+              << formatPercent(ratio8_sum / double(datasets.size()))
+              << " of HyGCN's bandwidth (paper: ~48% / ~26%)\n\n";
+    b.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_ProfileMatrixPubmed(benchmark::State &state)
+{
+    static Prepared p = prepare("Pubmed");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            profileMatrix(p.synth.graph.adjacency()));
+}
+BENCHMARK(BM_ProfileMatrixPubmed);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, printFigure11);
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: GCoD's energy breakdown into computation,
+ * on-chip and off-chip read/write, split by combination vs aggregation,
+ * for the four GCN models on five datasets.
+ *
+ * Expected shape (paper): combination consumes most of the energy (GCoD
+ * has tamed the aggregation bottleneck — on CPUs aggregation takes
+ * 80-99%), and HBM energy stays reasonable as graphs grow.
+ */
+#include "bench_common.hpp"
+
+using namespace gcod;
+using namespace gcod::bench;
+
+namespace {
+
+void
+printFigure12(Config &cfg)
+{
+    std::vector<std::string> models = {"GCN", "GraphSAGE", "GIN", "GAT"};
+    std::vector<std::string> datasets = {"Cora", "CiteSeer", "Pubmed",
+                                         "NELL", "Reddit"};
+    double scale = cfg.getDouble("scale", 0.0);
+
+    std::map<std::string, Prepared> prep;
+    for (const auto &d : datasets)
+        prep.emplace(d, prepare(d, scale));
+    auto gcod = makeAccelerator("GCoD");
+
+    for (const auto &model : models) {
+        Table t("Fig. 12 | GCoD energy breakdown, " + model + " (%)");
+        t.header({"Dataset", "Comb compute", "Comb on-chip",
+                  "Comb off-chip", "Agg compute", "Agg on-chip",
+                  "Agg off-chip", "Comb share", "Total (mJ)"});
+        for (const auto &d : datasets) {
+            const Prepared &p = prep.at(d);
+            DetailedResult r =
+                gcod->simulate(specFor(model, p), p.gcodInput());
+            double total = r.totalEnergyJ();
+            auto pct = [&](double v) { return formatPercent(v / total); };
+            double comb_share = r.combinationEnergy.total() / total;
+            t.row({d, pct(r.combinationEnergy.computeJ),
+                   pct(r.combinationEnergy.onChipJ),
+                   pct(r.combinationEnergy.offChipJ),
+                   pct(r.aggregationEnergy.computeJ),
+                   pct(r.aggregationEnergy.onChipJ),
+                   pct(r.aggregationEnergy.offChipJ),
+                   formatPercent(comb_share),
+                   formatNumber(total * 1e3)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+}
+
+void
+BM_EnergyAttachment(benchmark::State &state)
+{
+    static Prepared p = prepare("Cora");
+    auto gcod = makeAccelerator("GCoD");
+    ModelSpec spec = specFor("GCN", p);
+    GraphInput in = p.gcodInput();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gcod->simulate(spec, in).totalEnergyJ());
+}
+BENCHMARK(BM_EnergyAttachment);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, printFigure12);
+}

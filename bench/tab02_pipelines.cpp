@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces paper Tab. II (and the Sec. VI-D discussion): the trade-off
+ * between the efficiency-aware and resource-aware inter-phase pipelines —
+ * on-chip storage demand vs off-chip accesses — for GCN across datasets.
+ *
+ * Expected shape (paper): efficiency-aware wins on small/medium graphs
+ * (everything cached); on Reddit the output outgrows the buffers and the
+ * resource-aware pipeline yields fewer off-chip accesses than forcing
+ * efficiency-aware, at a modest latency cost from the extra adjacency
+ * passes.
+ */
+#include "accel/gcod_accel.hpp"
+#include "bench_common.hpp"
+
+using namespace gcod;
+using namespace gcod::bench;
+
+namespace {
+
+void
+printTable2(Config &cfg)
+{
+    std::vector<std::string> datasets = {"Cora", "CiteSeer", "Pubmed",
+                                         "NELL", "Reddit"};
+    double scale = cfg.getDouble("scale", 0.0);
+
+    Table t("Tab. II | Efficiency- vs resource-aware pipeline, GCN");
+    t.header({"Dataset", "Output (MiB)", "Pipeline chosen",
+              "Eff: off-chip", "Res: off-chip", "Eff: latency",
+              "Res: latency"});
+
+    for (const auto &d : datasets) {
+        Prepared p = prepare(d, scale);
+        ModelSpec spec = specFor("GCN", p);
+        GraphInput in = p.gcodInput();
+
+        auto eff = makeGcodAccelerator(32, PipelineForce::Efficiency);
+        auto res = makeGcodAccelerator(32, PipelineForce::Resource);
+        auto autop = makeGcodAccelerator(32, PipelineForce::Auto);
+        DetailedResult re = eff->simulate(spec, in);
+        DetailedResult rr = res->simulate(spec, in);
+        DetailedResult ra = autop->simulate(spec, in);
+
+        // Output size of the first (widest) aggregation at published size.
+        double hidden = double(spec.layers[0].outDim);
+        double out_mb = double(p.profile.nodes) * hidden * 4.0 / 1048576.0;
+        bool resource_chosen = ra.details.at("resource_aware_layers") > 0.0;
+        t.row({d, formatNumber(out_mb),
+               resource_chosen ? "resource-aware" : "efficiency-aware",
+               formatBytes(re.offChipBytes()), formatBytes(rr.offChipBytes()),
+               formatNumber(re.latencySeconds * 1e3) + " ms",
+               formatNumber(rr.latencySeconds * 1e3) + " ms"});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_GcodPipelineSwitch(benchmark::State &state)
+{
+    static Prepared p = prepare("Reddit");
+    ModelSpec spec = specFor("GCN", p);
+    GraphInput in = p.gcodInput();
+    auto res = makeGcodAccelerator(32, PipelineForce::Resource);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(res->simulate(spec, in));
+}
+BENCHMARK(BM_GcodPipelineSwitch);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, printTable2);
+}

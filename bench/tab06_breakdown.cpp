@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper Tab. VI: speedup breakdown of the GCoD accelerator —
+ * the two-pronged architecture alone (reordered but unpruned workload),
+ * plus sparsification (SP), plus 8-bit quantization — all as speedups
+ * over PyG-CPU, with AWB-GCN for reference, GCN on five datasets.
+ *
+ * Expected shape (paper): the accelerator alone contributes ~2.3x over
+ * AWB-GCN, sparsification another ~1.09x, quantization another ~2x.
+ */
+#include "bench_common.hpp"
+
+using namespace gcod;
+using namespace gcod::bench;
+
+namespace {
+
+void
+printTable6(Config &cfg)
+{
+    std::vector<std::string> datasets = {"Cora", "CiteSeer", "Pubmed",
+                                         "NELL", "Reddit"};
+    double scale = cfg.getDouble("scale", 0.0);
+
+    Table t("Tab. VI | Speedup over PyG-CPU, GCN");
+    std::vector<std::string> header = {"Method"};
+    for (const auto &d : datasets)
+        header.push_back(d);
+    t.header(header);
+
+    std::map<std::string, Prepared> prep;
+    std::map<std::string, Graph> reordered;
+    std::map<std::string, double> cpu_lat;
+    for (const auto &d : datasets) {
+        prep.emplace(d, prepare(d, scale));
+        const Prepared &p = prep.at(d);
+        reordered.emplace(
+            d, p.synth.graph.permuted(p.outcome.partitioning.perm));
+        auto cpu = makeAccelerator("PyG-CPU");
+        cpu_lat[d] =
+            cpu->simulate(specFor("GCN", p), p.rawInput()).latencySeconds;
+    }
+
+    auto addRow = [&](const std::string &label, const std::string &platform,
+                      bool pruned) {
+        std::vector<std::string> row = {label};
+        auto accel = makeAccelerator(platform);
+        for (const auto &d : datasets) {
+            const Prepared &p = prep.at(d);
+            GraphInput in;
+            if (platform == "AWB-GCN") {
+                in = p.rawInput();
+            } else if (pruned) {
+                in = p.gcodInput();
+            } else {
+                in = p.gcodUnprunedInput(reordered.at(d));
+            }
+            DetailedResult r = accel->simulate(specFor("GCN", p), in);
+            row.push_back(formatSpeedup(cpu_lat[d] / r.latencySeconds));
+        }
+        t.row(row);
+    };
+
+    addRow("AWB-GCN", "AWB-GCN", false);
+    addRow("GCoD Accele.", "GCoD", false);
+    addRow("GCoD Accele. w/ SP.", "GCoD", true);
+    addRow("GCoD Accele. w/ SP. & Quant.", "GCoD(8-bit)", true);
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_WorkloadBuildCora(benchmark::State &state)
+{
+    static Prepared p = prepare("Cora");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(workloadOf(
+            p.outcome.partitioning, p.outcome.finalGraph.adjacency()));
+}
+BENCHMARK(BM_WorkloadBuildCora);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, printTable6);
+}

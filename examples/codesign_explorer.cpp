@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hardware design-space exploration, mirroring GCoD's reconfigurability
+ * story (Sec. V-B, Fig. 8): the accelerator is generated from
+ * parameterizable templates — PE count, buffer sizes, off-chip bandwidth —
+ * so a deployment can be re-tuned per task. This example sweeps those
+ * knobs for a chosen dataset/model and prints the latency/energy/bandwidth
+ * landscape plus the best configuration under a simple EDP objective.
+ *
+ * Usage: codesign_explorer [dataset=Pubmed] [model=GCN] [scale=...]
+ */
+#include <iostream>
+
+#include "accel/gcod_accel.hpp"
+#include "accel/reconfig.hpp"
+#include "gcod/pipeline.hpp"
+#include "sim/config.hpp"
+#include "sim/table.hpp"
+
+using namespace gcod;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    std::string dataset = cfg.getString("dataset", "Pubmed");
+    std::string model = cfg.getString("model", "GCN");
+
+    Rng rng(7);
+    const DatasetProfile &profile = profileByName(dataset);
+    double scale = cfg.getDouble("scale", profile.nodes > 30000 ? 0.1 : 1.0);
+    SyntheticGraph synth = synthesize(profile, scale, rng);
+    GcodOutcome outcome = runGcodStructureOnly(synth, {});
+
+    ModelSpec spec = makeModelSpec(model, profile.features, profile.classes,
+                                   profile.nodes > 20000);
+    GraphInput input =
+        makeGraphInput(outcome.finalGraph.adjacency(), outcome.workload);
+    input.publishedNodes = profile.nodes;
+    input.featureDensity = profile.featureDensity;
+
+    Table t("GCoD design space | " + model + " on " + dataset);
+    t.header({"PEs", "On-chip (MB)", "HBM (GB/s)", "Latency (us)",
+              "Energy (uJ)", "Req. BW (GB/s)", "EDP (pJ*s)"});
+
+    struct Point
+    {
+        double pes, sram, bw, edp;
+    };
+    Point best{0, 0, 0, 1e300};
+
+    for (double pes : {1024.0, 2048.0, 4096.0, 8192.0}) {
+        for (double sram_mb : {8.0, 16.0, 42.0}) {
+            for (double bw : {128.0, 256.0, 460.0}) {
+                PlatformConfig hw = makeGcodConfig(32);
+                hw.numPEs = pes;
+                hw.onChipBytes = sram_mb * 1e6;
+                hw.offChipGBs = bw;
+                GcodAccelModel accel(hw);
+                DetailedResult r = accel.simulate(spec, input);
+                double edp = r.totalEnergyJ() * r.latencySeconds * 1e12;
+                if (edp < best.edp)
+                    best = {pes, sram_mb, bw, edp};
+                t.row({formatNumber(pes), formatNumber(sram_mb),
+                       formatNumber(bw),
+                       formatNumber(r.latencySeconds * 1e6),
+                       formatNumber(r.totalEnergyJ() * 1e6),
+                       formatNumber(r.requiredBandwidthGBs),
+                       formatNumber(edp)});
+            }
+        }
+    }
+    t.print(std::cout);
+    std::cout << "best EDP config: " << best.pes << " PEs, " << best.sram
+              << " MB SRAM, " << best.bw << " GB/s HBM (EDP "
+              << formatNumber(best.edp) << " pJ*s)\n"
+              << "Like the paper's template-based compilation flow, each "
+                 "row is one generated hardware instance.\n\n";
+
+    // Fig. 8 flow: parse the network, compile the winning template.
+    ParsedNetwork net = parseNetwork(spec, synth.graph.numNodes(),
+                                     synth.graph.numEdges());
+    PlatformConfig hw = makeGcodConfig(32);
+    hw.numPEs = best.pes;
+    hw.onChipBytes = best.sram * 1e6;
+    hw.offChipGBs = best.bw;
+    HardwarePlan plan = compileHardware(hw, net, outcome.workload);
+    std::cout << describePlan(plan);
+    return 0;
+}

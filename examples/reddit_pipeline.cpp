@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The paper's motivating workload: Reddit-scale GCN inference (2-layer
+ * GCN over 233k nodes / 114.6M edges takes 2.94e5 ms on a Xeon CPU —
+ * Sec. I). This example walks the whole GCoD story on a Reddit-profile
+ * synthetic graph: structural processing, the two-level workload split,
+ * the efficiency-/resource-aware pipeline decision (Reddit's 36 MB of
+ * aggregation outputs overflow the 42 MB on-chip budget), and the final
+ * latency/energy/traffic comparison against the baselines.
+ *
+ * Usage: reddit_pipeline [scale=0.02] [model=GCN]
+ */
+#include <iostream>
+
+#include "accel/accelerator.hpp"
+#include "accel/gcod_accel.hpp"
+#include "gcod/pipeline.hpp"
+#include "sim/config.hpp"
+#include "sim/table.hpp"
+
+using namespace gcod;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    double scale = cfg.getDouble("scale", 0.02);
+    std::string model = cfg.getString("model", "GCN");
+
+    Rng rng(1);
+    const DatasetProfile &profile = profileByName("Reddit");
+    inform("synthesizing a Reddit-profile graph at scale ", scale, " (",
+           int64_t(profile.nodes * scale), " nodes)...");
+    SyntheticGraph synth = synthesize(profile, scale, rng);
+    inform("generated ", synth.graph.numNodes(), " nodes / ",
+           synth.graph.numEdges(), " edges, max degree ",
+           synth.graph.maxDegree());
+
+    GcodOptions opts;
+    opts.reorder.numClasses = 4;
+    opts.reorder.numSubgraphs = 16;
+    GcodOutcome out = runGcodStructureOnly(synth, opts);
+    inform("GCoD split-and-conquer: ",
+           formatPercent(1.0 - out.workload.offDiagFraction()),
+           " of nonzeros in the denser branch, ",
+           formatPercent(out.workload.offDiagFraction()),
+           " left for the sparser branch");
+
+    ModelSpec spec =
+        makeModelSpec(model, profile.features, profile.classes, true);
+    GraphInput raw = makeGraphInput(synth.graph.adjacency());
+    raw.publishedNodes = profile.nodes;
+    raw.featureDensity = profile.featureDensity;
+    GraphInput proc =
+        makeGraphInput(out.finalGraph.adjacency(), out.workload);
+    proc.publishedNodes = profile.nodes;
+    proc.featureDensity = profile.featureDensity;
+
+    // Pipeline decision: Reddit's aggregation outputs exceed on-chip.
+    double out_mb = double(profile.nodes) * 64.0 * 4.0 / 1e6;
+    inform("aggregation output footprint ", formatNumber(out_mb),
+           " MB vs 42 MB on-chip -> the accelerator picks the "
+           "resource-aware pipeline");
+    auto auto_accel = makeGcodAccelerator(32, PipelineForce::Auto);
+    DetailedResult auto_r = auto_accel->simulate(spec, proc);
+    inform("resource-aware layers used: ",
+           int(auto_r.details.at("resource_aware_layers")));
+
+    Table t("Reddit (" + model + ", extrapolated to published size)");
+    t.header({"Platform", "Latency", "Speedup vs CPU", "Off-chip",
+              "Energy (mJ)"});
+    double cpu = 0.0;
+    for (const auto &name : {"PyG-CPU", "DGL-GPU", "HyGCN", "AWB-GCN",
+                             "GCoD", "GCoD(8-bit)"}) {
+        auto accel = makeAccelerator(name);
+        bool is_gcod = std::string(name).rfind("GCoD", 0) == 0;
+        DetailedResult r = accel->simulate(spec, is_gcod ? proc : raw);
+        if (std::string(name) == "PyG-CPU")
+            cpu = r.latencySeconds;
+        t.row({name,
+               r.latencySeconds > 0.1
+                   ? formatNumber(r.latencySeconds) + " s"
+                   : formatNumber(r.latencySeconds * 1e3) + " ms",
+               formatSpeedup(cpu / r.latencySeconds),
+               formatBytes(r.offChipBytes()),
+               formatNumber(r.totalEnergyJ() * 1e3)});
+    }
+    t.print(std::cout);
+    std::cout << "paper anchor: PyG-CPU takes 2.94e5 ms on Reddit; GCoD "
+                 "reaches ~4.5e4x over CPU with quantization (Tab. VI).\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Abstract platform simulator interface and the platform registry.
+ *
+ * Every simulator is cycle-accurate at tile granularity: it walks the
+ * model's layers, computes compute cycles from MAC counts and the
+ * platform's (structure-dependent) utilization, computes off-chip traffic
+ * from operand sizes, buffer capacities, and the adjacency's actual
+ * nonzero distribution, and takes the max of compute- and memory-limited
+ * time per phase (the platforms all overlap DMA with compute).
+ */
+#ifndef GCOD_ACCEL_ACCELERATOR_HPP
+#define GCOD_ACCEL_ACCELERATOR_HPP
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/graph_input.hpp"
+#include "accel/layer_cost.hpp"
+#include "accel/platform.hpp"
+#include "accel/result.hpp"
+#include "nn/model_spec.hpp"
+
+namespace gcod {
+
+/** A detailed run result: RunResult plus named model-specific metrics. */
+struct DetailedResult : RunResult
+{
+    /** e.g. "weight_forward_hit_rate", "agg_imbalance". */
+    std::map<std::string, double> details;
+};
+
+/** Abstract platform simulator. */
+class AcceleratorModel
+{
+  public:
+    explicit AcceleratorModel(PlatformConfig cfg) : cfg_(std::move(cfg)) {}
+    virtual ~AcceleratorModel() = default;
+
+    /** Simulate one full-model inference over the given graph. */
+    virtual DetailedResult simulate(const ModelSpec &spec,
+                                    const GraphInput &in) const = 0;
+
+    const PlatformConfig &config() const { return cfg_; }
+
+  protected:
+    PlatformConfig cfg_;
+
+    /** Cycles a phase needs when limited by off-chip bandwidth. */
+    double
+    memoryCycles(double off_chip_bytes) const
+    {
+        double bytes_per_cycle = cfg_.offChipGBs * 1e9 /
+                                 (cfg_.freqGHz * 1e9);
+        return bytes_per_cycle > 0.0 ? off_chip_bytes / bytes_per_cycle
+                                     : 0.0;
+    }
+
+    /**
+     * Memory cycles exposed on the critical path of a dedicated
+     * accelerator: operands that fit on-chip are preloaded outside the
+     * timed inference (the paper's Tab. VI footnote: matrices "can be
+     * partially or entirely stored on-chip"), so only the traffic beyond
+     * the on-chip capacity stalls the pipeline.
+     */
+    double
+    coldMemoryCycles(double off_chip_bytes) const
+    {
+        return memoryCycles(
+            std::max(0.0, off_chip_bytes - cfg_.onChipBytes));
+    }
+};
+
+/**
+ * Build a platform simulator by name. Names: "PyG-CPU", "PyG-GPU",
+ * "DGL-CPU", "DGL-GPU", "HyGCN", "AWB-GCN", "ZC706", "KCU1500",
+ * "AlveoU50", "GCoD", "GCoD(8-bit)".
+ */
+std::unique_ptr<AcceleratorModel> makeAccelerator(const std::string &name);
+
+/** All platform names, in the paper's presentation order. */
+std::vector<std::string> allPlatformNames();
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_ACCELERATOR_HPP

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * AWB-GCN [Geng et al., MICRO'20] model: distributed (column-wise)
+ * aggregation over 4096 PEs with three runtime autotuning techniques that
+ * rebalance the regionally-clustered nonzeros. The raw per-PE imbalance is
+ * measured from the adjacency's actual column histogram; autotuning then
+ * removes most (not all) of it. The dataflow's signature cost — a large
+ * intermediate accumulation buffer that spills off-chip when the output
+ * matrix outgrows the scratchpad — is modelled against the 244 Mb
+ * on-chip budget.
+ */
+#ifndef GCOD_ACCEL_AWB_GCN_HPP
+#define GCOD_ACCEL_AWB_GCN_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace gcod {
+
+/** AWB-GCN: distributed aggregation with runtime workload rebalancing. */
+class AwbGcnModel : public AcceleratorModel
+{
+  public:
+    /** Fraction of raw imbalance remaining after autotuning converges. */
+    static constexpr double kResidualImbalance = 0.12;
+
+    using AcceleratorModel::AcceleratorModel;
+
+    DetailedResult simulate(const ModelSpec &spec,
+                            const GraphInput &in) const override;
+};
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_AWB_GCN_HPP

@@ -1,0 +1,71 @@
+#include "cpu_gpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcod {
+
+DetailedResult
+FrameworkModel::simulate(const ModelSpec &spec, const GraphInput &in) const
+{
+    DetailedResult r;
+    r.platform = cfg_.name;
+    double scale = in.sizeScale();
+    double nodes = double(in.adj.rows) * scale;
+    double nnz = double(in.adj.nnz) * scale;
+    double eb = elemBytes(cfg_);
+
+    // Frameworks store X dense and run dense GEMM for combination, so the
+    // input feature density is NOT exploited (unlike the accelerators).
+    auto works = modelWork(spec, nodes, nnz, PhaseOrder::CombThenAggr);
+    for (const auto &w : works) {
+        // ---- combination: dense GEMM -----------------------------------
+        PhaseCost comb;
+        comb.macs = w.combMacs;
+        double comb_compute =
+            w.combMacs / (cfg_.numPEs * cfg_.denseEfficiency);
+        // Streams X once, W once, writes XW.
+        comb.offChipBytes = (w.nodes * w.inDim + w.inDim * w.outDim * w.heads +
+                             w.nodes * w.outDim * w.heads) *
+                            eb;
+        comb.onChipBytes = 2.0 * comb.macs * eb * 0.1; // register-tiled
+        comb.cycles = std::max(comb_compute, memoryCycles(comb.offChipBytes)) +
+                      cfg_.perLayerOverheadCycles;
+
+        // ---- aggregation: message-passing scatter/gather -----------------
+        PhaseCost agg;
+        agg.macs = w.aggMacs;
+        double agg_compute = w.aggMacs /
+                             (cfg_.numPEs * cfg_.sparseEfficiency);
+        // Per-edge bookkeeping (index arithmetic, bounds, dispatch).
+        double edge_cycles = nnz * cfg_.perEdgeCycles;
+        // Edge-tensor traffic: PyG materializes per-edge messages
+        // (scatterFactor=3: read source rows, write messages, scatter-add)
+        // at random-access effective bandwidth.
+        double edge_tensor_bytes = nnz * w.aggWidth * eb;
+        double scatter_bw =
+            cfg_.scatterGBs > 0.0 ? cfg_.scatterGBs : cfg_.offChipGBs;
+        double scatter_cycles = cfg_.scatterFactor * edge_tensor_bytes /
+                                (scatter_bw * 1e9) * cfg_.freqGHz * 1e9;
+        // The DRAM-visible part of that traffic (past the caches).
+        double working_set = w.nodes * w.aggWidth * eb;
+        double miss = std::clamp(1.0 - cfg_.onChipBytes / working_set,
+                                 0.05, 1.0);
+        double adj_bytes = nnz * 2.0 * 4.0; // COO index pairs
+        double out_bytes = w.nodes * w.aggWidth * eb;
+        agg.offChipBytes = cfg_.scatterFactor * edge_tensor_bytes * miss +
+                           adj_bytes + out_bytes;
+        agg.onChipBytes = cfg_.scatterFactor * edge_tensor_bytes;
+        // Scatter is latency-bound, not overlappable with compute.
+        agg.cycles = agg_compute + edge_cycles + scatter_cycles +
+                     cfg_.perLayerOverheadCycles;
+
+        r.combination += comb;
+        r.aggregation += agg;
+    }
+    r.burstiness = 1.0 + 0.5 * in.adj.rowNnzCv;
+    finalize(r, cfg_);
+    return r;
+}
+
+} // namespace gcod

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Roofline-style models of the general-purpose baselines (PyG/DGL on CPU
+ * and GPU). Combination runs as a dense GEMM near library efficiency;
+ * aggregation runs as an irregular gather/scatter whose effective
+ * throughput collapses with degree variance and whose feature re-fetch
+ * traffic depends on how much of the working set fits in cache.
+ */
+#ifndef GCOD_ACCEL_CPU_GPU_HPP
+#define GCOD_ACCEL_CPU_GPU_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace gcod {
+
+/** PyG/DGL on CPU or GPU (framework differences live in the config). */
+class FrameworkModel : public AcceleratorModel
+{
+  public:
+    using AcceleratorModel::AcceleratorModel;
+
+    DetailedResult simulate(const ModelSpec &spec,
+                            const GraphInput &in) const override;
+};
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_CPU_GPU_HPP

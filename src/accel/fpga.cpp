@@ -1,0 +1,62 @@
+#include "fpga.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcod {
+
+DetailedResult
+DeepburningModel::simulate(const ModelSpec &spec, const GraphInput &in) const
+{
+    DetailedResult r;
+    r.platform = cfg_.name;
+    double scale = in.sizeScale();
+    double nodes = double(in.adj.rows) * scale;
+    double nnz = double(in.adj.nnz) * scale;
+    double eb = elemBytes(cfg_);
+
+    // No runtime rebalancing: raw column imbalance applies in full (capped
+    // to keep pathological single-column graphs finite).
+    double raw = columnImbalance(in.adj.colNnz, int(cfg_.numPEs));
+    double imbalance = std::min(raw, 24.0);
+
+    auto works = modelWork(spec, nodes, nnz, PhaseOrder::CombThenAggr,
+                           in.featureDensity);
+    for (const auto &w : works) {
+        PhaseCost comb;
+        comb.macs = w.combMacs * w.inDensity;
+        double comb_compute =
+            comb.macs / (cfg_.numPEs * cfg_.denseEfficiency);
+        // Tiled execution re-reads the input features ~1.5x.
+        comb.offChipBytes = (1.5 * w.nodes * w.inDim * w.inDensity +
+                             w.inDim * w.outDim * w.heads) *
+                            eb;
+        comb.onChipBytes = 2.0 * comb.macs * eb * 0.05;
+        comb.cycles = std::max(comb_compute,
+                               coldMemoryCycles(comb.offChipBytes)) +
+                      cfg_.perLayerOverheadCycles;
+
+        PhaseCost agg;
+        agg.macs = w.aggMacs;
+        double agg_compute = w.aggMacs /
+                             (cfg_.numPEs * cfg_.sparseEfficiency) *
+                             imbalance;
+        double output_bytes = w.nodes * w.aggWidth * eb;
+        double acc_budget = cfg_.onChipBytes * 0.5;
+        double spill = std::max(0.0, output_bytes - acc_budget);
+        agg.offChipBytes = 1.5 * w.nodes * w.aggWidth * eb +
+                           nnz * (4.0 + eb) + output_bytes + 2.0 * spill;
+        agg.onChipBytes = nnz * w.aggWidth * eb;
+        agg.cycles = std::max(agg_compute, coldMemoryCycles(agg.offChipBytes)) +
+                     cfg_.perLayerOverheadCycles;
+
+        r.combination += comb;
+        r.aggregation += agg;
+    }
+    r.burstiness = 1.5; // conservative generated DMA schedules
+    r.details["imbalance"] = imbalance;
+    finalize(r, cfg_);
+    return r;
+}
+
+} // namespace gcod

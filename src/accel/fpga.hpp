@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Deepburning-GL [Liang et al., ICCAD'20] model: automatically generated
+ * FPGA GNN accelerators on ZC706 / KCU1500 / Alveo U50. The generated
+ * designs use a distributed dataflow but lack AWB-GCN's runtime
+ * rebalancing, so the raw column imbalance applies in full, and their
+ * conservative buffering re-fetches operands per tile.
+ */
+#ifndef GCOD_ACCEL_FPGA_HPP
+#define GCOD_ACCEL_FPGA_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace gcod {
+
+/** A Deepburning-GL generated design on one FPGA board. */
+class DeepburningModel : public AcceleratorModel
+{
+  public:
+    using AcceleratorModel::AcceleratorModel;
+
+    DetailedResult simulate(const ModelSpec &spec,
+                            const GraphInput &in) const override;
+};
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_FPGA_HPP

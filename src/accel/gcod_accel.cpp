@@ -1,0 +1,217 @@
+#include "gcod_accel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+double
+GcodAccelModel::weightForwardHitRate(const WorkloadDescriptor &wd,
+                                     double agg_width, double elem_bytes,
+                                     double weight_buf_bytes)
+{
+    if (wd.tiles.empty() || wd.offDiagNnz == 0)
+        return 0.0;
+    // Weight buffer is split across chunks proportional to class workload,
+    // with a small floor so even a nearly-empty class's chunk can answer
+    // forwarding queries (hardware always provisions some buffer).
+    std::vector<double> chunk_buf(size_t(wd.numClasses), 0.0);
+    for (int c = 0; c < wd.numClasses; ++c) {
+        double share = wd.diagNnz > 0
+                           ? double(wd.classNnz[size_t(c)]) /
+                                 double(wd.diagNnz)
+                           : 1.0 / double(wd.numClasses);
+        share = std::max(share, 0.02 / double(wd.numClasses));
+        chunk_buf[size_t(c)] = weight_buf_bytes * share;
+    }
+    // A query for column c hits when the row lies in the resident fraction
+    // of the tile containing c. Tiles are visited at matched pace, so the
+    // resident fraction is buffer / tile-slice-size (Sec. V-B).
+    double hits = 0.0, queried = 0.0;
+    for (const auto &t : wd.tiles) {
+        double tile_bytes = double(t.size()) * agg_width * elem_bytes;
+        double residency =
+            tile_bytes > 0.0
+                ? std::min(1.0, chunk_buf[size_t(t.classId)] / tile_bytes)
+                : 1.0;
+        // Columns of this tile that carry off-diagonal nonzeros query it.
+        double nonempty = 0.0;
+        for (NodeId c = t.begin; c < t.end; ++c)
+            if (wd.offDiagColNnz[size_t(c)] > 0)
+                nonempty += 1.0;
+        hits += nonempty * residency;
+        queried += nonempty;
+    }
+    return queried > 0.0 ? hits / queried : 0.0;
+}
+
+DetailedResult
+GcodAccelModel::simulate(const ModelSpec &spec, const GraphInput &in) const
+{
+    GCOD_ASSERT(in.workload != nullptr,
+                "GCoD accelerator needs a GCoD workload descriptor");
+    const WorkloadDescriptor &wd = *in.workload;
+    DetailedResult r;
+    r.platform = cfg_.name;
+
+    double scale = in.sizeScale();
+    double nodes = double(wd.numNodes) * scale;
+    double nnz = double(wd.totalNnz) * scale;
+    double eb = elemBytes(cfg_);
+
+    // --- static resource allocation (once per deployment) --------------
+    double diag_share =
+        wd.totalNnz > 0 ? double(wd.diagNnz) / double(wd.totalNnz) : 1.0;
+    double pe_sparser = cfg_.numPEs *
+                        std::max(1.0 - diag_share, kMinSparserPeShare);
+    double pe_denser = cfg_.numPEs - pe_sparser;
+
+    std::vector<double> chunk_pes(size_t(wd.numClasses), 0.0);
+    for (int c = 0; c < wd.numClasses; ++c) {
+        double share = wd.diagNnz > 0
+                           ? double(wd.classNnz[size_t(c)]) /
+                                 double(wd.diagNnz)
+                           : 1.0 / double(wd.numClasses);
+        chunk_pes[size_t(c)] = std::max(1.0, pe_denser * share);
+    }
+    std::vector<double> class_imbalance = wd.perClassImbalance();
+
+    double obuf = cfg_.onChipBytes * kOutputBufShare;
+    double wbuf = cfg_.onChipBytes * kWeightBufShare;
+    double ibuf = cfg_.onChipBytes * kIndexBufShare;
+    double fbuf = cfg_.onChipBytes * kFeatureBufShare;
+
+    double hit_accum = 0.0, hit_weight = 0.0;
+    int resource_aware_layers = 0;
+
+    auto works = modelWork(spec, nodes, nnz, PhaseOrder::CombThenAggr,
+                           in.featureDensity);
+    for (const auto &w : works) {
+        // ---- pipeline selection (Tab. II) -------------------------------
+        double output_bytes = w.nodes * w.aggWidth * eb;
+        PipelineKind pipe = output_bytes <= obuf
+                                ? PipelineKind::EfficiencyAware
+                                : PipelineKind::ResourceAware;
+        if (pipelineForce == PipelineForce::Efficiency)
+            pipe = PipelineKind::EfficiencyAware;
+        else if (pipelineForce == PipelineForce::Resource)
+            pipe = PipelineKind::ResourceAware;
+        // Resource-aware tiles aggregation over column passes; each pass
+        // re-walks the adjacency but keeps only one output column slice.
+        double passes = 1.0;
+        double output_spill_bytes = 0.0;
+        if (pipe == PipelineKind::ResourceAware) {
+            double cols_per_pass =
+                std::max(1.0, std::floor(obuf / (w.nodes * eb)));
+            passes = std::clamp(std::ceil(w.aggWidth / cols_per_pass), 1.0,
+                                8.0);
+            ++resource_aware_layers;
+        } else if (output_bytes > obuf) {
+            // Forced efficiency-aware on an over-size output: partial
+            // results spill off-chip and return (the cost the
+            // resource-aware pipeline exists to avoid, Sec. V-B).
+            output_spill_bytes = 2.0 * (output_bytes - obuf);
+        }
+
+        // ---- combination: full array, weights resident, SpMM-capable ----
+        PhaseCost comb;
+        comb.macs = w.combMacs * w.inDensity;
+        double comb_compute =
+            comb.macs / (cfg_.numPEs * cfg_.denseEfficiency);
+        double x_bytes = w.nodes * w.inDim * w.inDensity * eb;
+        double x_refetch =
+            std::clamp(std::ceil(x_bytes / std::max(fbuf, 1.0)), 1.0, passes);
+        comb.offChipBytes =
+            x_bytes * x_refetch + w.inDim * w.outDim * w.heads * eb;
+        comb.onChipBytes = 2.0 * comb.macs * eb * 0.05;
+        comb.cycles = std::max(comb_compute,
+                               coldMemoryCycles(comb.offChipBytes)) +
+                      cfg_.perLayerOverheadCycles;
+
+        // ---- aggregation: two parallel branches --------------------------
+        double diag_nnz = double(wd.diagNnz) * scale;
+        double off_nnz = double(wd.offDiagNnz) * scale;
+
+        // Denser branch: chunks run concurrently, one per class; each
+        // chunk streams its class's subgraphs back-to-back, so its runtime
+        // is the class nnz over its PEs plus small pipeline bubbles from
+        // residual tile-size variance (METIS keeps subgraphs balanced,
+        // Sec. IV-B1, so the bubbles are minor).
+        double denser_cycles = 0.0;
+        for (int c = 0; c < wd.numClasses; ++c) {
+            double cnnz = double(wd.classNnz[size_t(c)]) * scale;
+            double bubble = std::min(
+                1.5, 1.0 + 0.1 * (class_imbalance[size_t(c)] - 1.0));
+            double cycles = cnnz * w.aggWidth /
+                            (chunk_pes[size_t(c)] *
+                             cfg_.sparseEfficiency) *
+                            bubble;
+            denser_cycles = std::max(denser_cycles, cycles);
+        }
+
+        // Sparser branch: one sub-accelerator, CSC input, column-wise.
+        double sparser_cycles =
+            off_nnz * w.aggWidth / (pe_sparser * cfg_.sparseEfficiency);
+
+        // Weight forwarding: misses fetch the queried XW row off-chip.
+        double hit = weightForwardHitRate(wd, w.aggWidth, eb, wbuf);
+        hit_accum += hit * w.aggMacs;
+        hit_weight += w.aggMacs;
+        double nonempty_cols = 0.0;
+        for (EdgeOffset cn : wd.offDiagColNnz)
+            if (cn > 0)
+                nonempty_cols += 1.0;
+        nonempty_cols *= scale;
+        double miss_weight_bytes =
+            (1.0 - hit) * nonempty_cols * w.aggWidth * eb;
+
+        // Adjacency traffic: denser chunks stream COO once per pass; the
+        // sparser CSC stays on-chip when it fits the index buffer.
+        double coo_bytes = diag_nnz * (2.0 * 4.0 + eb) * passes;
+        double csc_bytes = off_nnz * (4.0 + eb) +
+                           double(wd.numNodes) * scale * 8.0;
+        double csc_refetch = csc_bytes <= ibuf ? 1.0 : passes;
+        // XW slices for the denser chunks stream through weight buffers.
+        double xw_bytes = w.nodes * w.aggWidth * eb;
+
+        PhaseCost agg;
+        agg.macs = w.aggMacs;
+        double agg_compute = std::max(denser_cycles, sparser_cycles);
+        // Output synchronization of the two branches' buffers.
+        agg_compute += w.nodes * w.aggWidth / cfg_.numPEs;
+        agg.offChipBytes = coo_bytes + csc_bytes * csc_refetch + xw_bytes +
+                           miss_weight_bytes + output_bytes +
+                           output_spill_bytes;
+        agg.onChipBytes = (diag_nnz + off_nnz) * w.aggWidth * eb;
+        agg.cycles = std::max(agg_compute, coldMemoryCycles(agg.offChipBytes)) +
+                     cfg_.perLayerOverheadCycles;
+
+        r.combination += comb;
+        r.aggregation += agg;
+    }
+
+    r.burstiness = 1.05; // preloaded, chunk-balanced smooth streams
+    r.details["weight_forward_hit_rate"] =
+        hit_weight > 0.0 ? hit_accum / hit_weight : 0.0;
+    r.details["diag_share"] = diag_share;
+    r.details["resource_aware_layers"] = double(resource_aware_layers);
+    double worst = 1.0;
+    for (double v : class_imbalance)
+        worst = std::max(worst,
+                         std::min(1.5, 1.0 + 0.1 * (v - 1.0)));
+    r.details["chunk_imbalance"] = worst;
+    finalize(r, cfg_);
+    return r;
+}
+
+std::unique_ptr<GcodAccelModel>
+makeGcodAccelerator(int bits, PipelineForce force)
+{
+    auto m = std::make_unique<GcodAccelModel>(makeGcodConfig(bits));
+    m->pipelineForce = force;
+    return m;
+}
+
+} // namespace gcod

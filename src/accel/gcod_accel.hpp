@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The GCoD two-pronged accelerator (Sec. V): a chunk-per-class denser
+ * branch with complexity-proportional resource allocation, and a single
+ * sparser-branch sub-accelerator consuming the CSC off-diagonal remainder
+ * mostly on-chip with query-based weight forwarding from the denser
+ * chunks' weight buffers. Combination and aggregation are inter-phase
+ * pipelined, either efficiency-aware (row-wise combination, whole output
+ * buffered on-chip) or resource-aware (column-wise, one output column
+ * on-chip, extra adjacency passes) — selected by output size exactly as
+ * the paper does for Reddit (Sec. VI-D).
+ */
+#ifndef GCOD_ACCEL_GCOD_ACCEL_HPP
+#define GCOD_ACCEL_GCOD_ACCEL_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace gcod {
+
+/** Which inter-phase pipeline a layer used (Tab. II). */
+enum class PipelineKind { EfficiencyAware, ResourceAware };
+
+/** Pipeline-selection override for the Tab. II comparison bench. */
+enum class PipelineForce { Auto, Efficiency, Resource };
+
+/** The GCoD accelerator; requires GraphInput::workload. */
+class GcodAccelModel : public AcceleratorModel
+{
+  public:
+    using AcceleratorModel::AcceleratorModel;
+
+    /** Override automatic pipeline selection (default: by output size). */
+    PipelineForce pipelineForce = PipelineForce::Auto;
+
+    DetailedResult simulate(const ModelSpec &spec,
+                            const GraphInput &in) const override;
+
+    /** On-chip budget shares (fractions of PlatformConfig::onChipBytes). */
+    static constexpr double kOutputBufShare = 0.45;
+    static constexpr double kWeightBufShare = 0.30;
+    static constexpr double kIndexBufShare = 0.15;
+    static constexpr double kFeatureBufShare = 0.10;
+
+    /** Minimum PE share reserved for the sparser branch. */
+    static constexpr double kMinSparserPeShare = 0.05;
+
+    /**
+     * Compute the query-based weight-forwarding hit rate for a workload at
+     * the given aggregation width: the probability that an off-diagonal
+     * column's XW row is resident in the matching chunk's weight buffer
+     * when the sparser branch (running at matched pace) queries it.
+     */
+    static double weightForwardHitRate(const WorkloadDescriptor &wd,
+                                       double agg_width, double elem_bytes,
+                                       double weight_buf_bytes);
+};
+
+/** Build a GCoD accelerator with an explicit pipeline override. */
+std::unique_ptr<GcodAccelModel> makeGcodAccelerator(
+    int bits = 32, PipelineForce force = PipelineForce::Auto);
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_GCOD_ACCEL_HPP

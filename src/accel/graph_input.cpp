@@ -1,0 +1,21 @@
+#include "graph_input.hpp"
+
+namespace gcod {
+
+GraphInput
+makeGraphInput(const CsrMatrix &adj)
+{
+    GraphInput in;
+    in.adj = profileMatrix(adj);
+    return in;
+}
+
+GraphInput
+makeGraphInput(const CsrMatrix &adj, const WorkloadDescriptor &workload)
+{
+    GraphInput in = makeGraphInput(adj);
+    in.workload = &workload;
+    return in;
+}
+
+} // namespace gcod

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The graph-side input handed to platform simulators: a structural profile
+ * of the adjacency the platform will process, plus (for the GCoD
+ * accelerator) the two-level workload descriptor and (optionally) the
+ * published feature dimension when training used a capped one.
+ */
+#ifndef GCOD_ACCEL_GRAPH_INPUT_HPP
+#define GCOD_ACCEL_GRAPH_INPUT_HPP
+
+#include "gcod/workload.hpp"
+
+namespace gcod {
+
+/** Input bundle for AcceleratorModel::simulate. */
+struct GraphInput
+{
+    MatrixProfile adj;
+    /** Set when the adjacency was GCoD-processed (two-level workload). */
+    const WorkloadDescriptor *workload = nullptr;
+    /**
+     * Scale all byte/MAC counts up as if the graph had this many nodes
+     * (>= adj.rows); used when simulating a down-scaled synthetic stand-in
+     * of a published dataset. 0 = no scaling.
+     */
+    NodeId publishedNodes = 0;
+    /** Density of the input feature matrix X (1.0 = dense). */
+    double featureDensity = 1.0;
+
+    /** Linear extrapolation factor from the simulated to published size. */
+    double
+    sizeScale() const
+    {
+        if (publishedNodes <= 0 || adj.rows <= 0)
+            return 1.0;
+        return double(publishedNodes) / double(adj.rows);
+    }
+};
+
+/** Profile a raw adjacency into a GraphInput (baseline platforms). */
+GraphInput makeGraphInput(const CsrMatrix &adj);
+
+/** Wrap a GCoD workload descriptor (the descriptor must outlive the input). */
+GraphInput makeGraphInput(const CsrMatrix &adj,
+                          const WorkloadDescriptor &workload);
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_GRAPH_INPUT_HPP

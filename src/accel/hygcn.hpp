@@ -1,0 +1,35 @@
+/**
+ * @file
+ * HyGCN [Yan et al., HPCA'20] model: a hybrid ASIC with SIMD cores running
+ * *gathered* aggregation (Fig. 5(a)) before a systolic combination engine.
+ * Window sliding/shrinking improves edge locality, captured here through
+ * the adjacency's diagonal-band fraction; the gathered dataflow's
+ * signature cost — per-edge feature fetches over the wide input dimension
+ * — is modelled directly.
+ */
+#ifndef GCOD_ACCEL_HYGCN_HPP
+#define GCOD_ACCEL_HYGCN_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace gcod {
+
+/** HyGCN: gathered aggregation + systolic combination. */
+class HyGcnModel : public AcceleratorModel
+{
+  public:
+    using AcceleratorModel::AcceleratorModel;
+
+    DetailedResult simulate(const ModelSpec &spec,
+                            const GraphInput &in) const override;
+
+  private:
+    /** SIMD lanes dedicated to aggregation (32 cores x 16 lanes). */
+    static constexpr double kAggrPEs = 512.0;
+    /** Systolic MACs dedicated to combination (8 arrays x 128). */
+    static constexpr double kCombPEs = 1024.0;
+};
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_HYGCN_HPP

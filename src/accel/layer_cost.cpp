@@ -1,0 +1,70 @@
+#include "layer_cost.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+LayerWork
+layerWork(const LayerSpec &l, double nodes, double nnz, PhaseOrder order,
+          double in_density)
+{
+    LayerWork w;
+    w.inDensity = in_density;
+    w.nodes = nodes;
+    w.inDim = l.inDim;
+    w.outDim = l.outDim;
+    w.heads = l.heads;
+    w.nnz = nnz;
+
+    double comb_in = l.concatSelf ? 2.0 * l.inDim : double(l.inDim);
+    w.combMacs = nodes * comb_in * l.outDim * l.heads;
+
+    // Aggregation multiplies each adjacency nonzero by a feature row whose
+    // width depends on the phase order: Comb->Aggr aggregates XW (outDim),
+    // Aggr->Comb aggregates raw X (inDim). This asymmetry is why the
+    // distributed platforms aggregate second (Fig. 7).
+    w.aggWidth = order == PhaseOrder::CombThenAggr
+                     ? double(l.outDim) * l.heads
+                     : double(l.inDim);
+    w.aggMacs = nnz * w.aggWidth;
+    if (l.agg == Aggregation::Attention) {
+        // Attention scores: two dot products of width outDim per edge per
+        // head, plus the softmax normalization (~3 ops/edge).
+        w.aggMacs += nnz * l.heads * (2.0 * l.outDim + 3.0);
+    }
+    return w;
+}
+
+std::vector<LayerWork>
+modelWork(const ModelSpec &spec, double nodes, double nnz, PhaseOrder order,
+          double feature_density)
+{
+    std::vector<LayerWork> out;
+    out.reserve(spec.layers.size());
+    for (size_t i = 0; i < spec.layers.size(); ++i)
+        out.push_back(layerWork(spec.layers[i], nodes, nnz, order,
+                                i == 0 ? feature_density : 1.0));
+    return out;
+}
+
+double
+columnImbalance(const std::vector<EdgeOffset> &col_nnz, int pes)
+{
+    GCOD_ASSERT(pes >= 1, "need at least one PE");
+    if (col_nnz.empty())
+        return 1.0;
+    std::vector<double> load(static_cast<size_t>(pes), 0.0);
+    for (size_t c = 0; c < col_nnz.size(); ++c)
+        load[c % size_t(pes)] += double(col_nnz[c]);
+    double total = 0.0, peak = 0.0;
+    for (double v : load) {
+        total += v;
+        peak = std::max(peak, v);
+    }
+    double mean = total / double(pes);
+    return mean > 0.0 ? peak / mean : 1.0;
+}
+
+} // namespace gcod

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared per-layer arithmetic used by all platform simulators: MAC counts
+ * for combination/aggregation under either phase order (Fig. 7(b)), and
+ * the per-PE load-balance statistics computed from the real per-column
+ * nonzero histograms.
+ */
+#ifndef GCOD_ACCEL_LAYER_COST_HPP
+#define GCOD_ACCEL_LAYER_COST_HPP
+
+#include <vector>
+
+#include "accel/graph_input.hpp"
+#include "nn/model_spec.hpp"
+
+namespace gcod {
+
+/** Which phase executes first (Fig. 7(b) dataflow table). */
+enum class PhaseOrder
+{
+    CombThenAggr, ///< AWB-GCN, GCoD: aggregate the (smaller) XW
+    AggrThenComb, ///< HyGCN: aggregate raw (wider) input features
+};
+
+/** Dimension/MAC summary of one layer on one graph. */
+struct LayerWork
+{
+    double nodes = 0.0;
+    double inDim = 0.0;
+    double outDim = 0.0;
+    double heads = 1.0;
+    double nnz = 0.0;     ///< adjacency nonzeros this layer processes
+    double combMacs = 0.0;
+    double aggMacs = 0.0;
+    /** Feature width flowing through aggregation (order-dependent). */
+    double aggWidth = 0.0;
+    /** Density of this layer's input features (layer 0 can be sparse). */
+    double inDensity = 1.0;
+};
+
+/** Compute the work of layer @p l of @p spec on @p nnz-nonzero adjacency. */
+LayerWork layerWork(const LayerSpec &l, double nodes, double nnz,
+                    PhaseOrder order, double in_density = 1.0);
+
+/**
+ * All layers of a model. @p feature_density is the input X density; it
+ * applies to layer 0 only (hidden activations are dense after the first
+ * combination).
+ */
+std::vector<LayerWork> modelWork(const ModelSpec &spec, double nodes,
+                                 double nnz, PhaseOrder order,
+                                 double feature_density = 1.0);
+
+/**
+ * Load-imbalance factor (max/mean PE load) when the given per-column nnz
+ * histogram is dealt round-robin across @p pes processing elements —
+ * exactly the distributed-aggregation mapping of AWB-GCN.
+ */
+double columnImbalance(const std::vector<EdgeOffset> &col_nnz, int pes);
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_LAYER_COST_HPP

@@ -1,0 +1,173 @@
+#include "platform.hpp"
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+PlatformConfig
+makePygCpuConfig()
+{
+    PlatformConfig c;
+    c.name = "PyG-CPU";
+    // Intel Xeon E5-2680 v3: 2.5 GHz x 24 cores x 8-wide FMA.
+    c.freqGHz = 2.5;
+    c.numPEs = 24 * 8;
+    c.onChipBytes = 30e6; // L3
+    c.offChipGBs = 65.5;
+    c.memKind = MemKind::DDR4;
+    c.boardPowerW = 150.0;
+    c.denseEfficiency = 0.45;
+    // Irregular neighbor gathers run at O(1%) of peak on commodity cores
+    // (the paper: aggregation occupies 80-99% of CPU time).
+    c.sparseEfficiency = 0.004;
+    c.perLayerOverheadCycles = 2e6; // Python dispatch per layer
+    c.perEdgeCycles = 150.0;        // index bookkeeping per message
+    c.scatterFactor = 3.0;          // PyG materializes edge tensors
+    c.scatterGBs = 1.5;             // random scatter-add, single stream
+    return c;
+}
+
+PlatformConfig
+makeDglCpuConfig()
+{
+    PlatformConfig c = makePygCpuConfig();
+    c.name = "DGL-CPU";
+    // DGL's fused SpMM kernels gather markedly better than PyG's
+    // scatter-based aggregation on CPU.
+    c.sparseEfficiency = 0.045;
+    c.perLayerOverheadCycles = 1.5e6;
+    c.perEdgeCycles = 15.0;  // fused gather kernels
+    c.scatterFactor = 1.0;
+    c.scatterGBs = 8.0;
+    return c;
+}
+
+PlatformConfig
+makePygGpuConfig()
+{
+    PlatformConfig c;
+    c.name = "PyG-GPU";
+    // RTX 8000: 1.35 GHz x 4352 cores x 2 (FMA).
+    c.freqGHz = 1.35;
+    c.numPEs = 4352 * 2;
+    c.onChipBytes = 5.5e6; // L2
+    c.offChipGBs = 616.0;
+    c.memKind = MemKind::GDDR6;
+    c.boardPowerW = 250.0;
+    c.denseEfficiency = 0.50;
+    c.sparseEfficiency = 0.012;
+    c.perLayerOverheadCycles = 1.2e5; // kernel launches dominate tiny graphs
+    c.perEdgeCycles = 0.8;
+    c.scatterFactor = 3.0;
+    c.scatterGBs = 90.0; // uncoalesced atomics
+    return c;
+}
+
+PlatformConfig
+makeDglGpuConfig()
+{
+    PlatformConfig c = makePygGpuConfig();
+    c.name = "DGL-GPU";
+    c.sparseEfficiency = 0.030;
+    c.perLayerOverheadCycles = 1.8e5;
+    c.perEdgeCycles = 0.3;
+    c.scatterFactor = 1.0;
+    c.scatterGBs = 200.0;
+    return c;
+}
+
+PlatformConfig
+makeHyGcnConfig()
+{
+    PlatformConfig c;
+    c.name = "HyGCN";
+    // 32 SIMD16 cores + 8 systolic arrays at 1 GHz (Tab. V).
+    c.freqGHz = 1.0;
+    c.numPEs = 32 * 16 + 8 * 128;
+    c.onChipBytes = 24.1e6; // 128KB+2+2+4+16MB buffers
+    c.offChipGBs = 256.0;
+    c.memKind = MemKind::HBM;
+    c.boardPowerW = 6.7;
+    c.denseEfficiency = 0.85;
+    // Gathered aggregation with window sliding/shrinking: decent but
+    // sensitive to degree irregularity (modelled by the simulator).
+    c.sparseEfficiency = 0.35;
+    c.perLayerOverheadCycles = 1e3;
+    return c;
+}
+
+PlatformConfig
+makeAwbGcnConfig()
+{
+    PlatformConfig c;
+    c.name = "AWB-GCN";
+    c.freqGHz = 0.33;
+    c.numPEs = 4096;
+    c.onChipBytes = 244e6 / 8.0; // 244 Mb scratchpad
+    c.offChipGBs = 76.8;
+    c.memKind = MemKind::DDR4;
+    c.boardPowerW = 215.0;
+    c.denseEfficiency = 0.90;
+    c.sparseEfficiency = 0.85; // post-autotuning baseline efficiency
+    c.perLayerOverheadCycles = 300.0;
+    return c;
+}
+
+PlatformConfig
+makeDeepburningConfig(const std::string &board)
+{
+    PlatformConfig c;
+    c.memKind = MemKind::DDR4;
+    c.denseEfficiency = 0.75;
+    c.sparseEfficiency = 0.30; // generated designs lack load balancing
+    c.perLayerOverheadCycles = 1e4;
+    if (board == "ZC706") {
+        c.name = "ZC706";
+        c.freqGHz = 0.22;
+        c.numPEs = 900;
+        c.onChipBytes = 19.2e6;
+        c.offChipGBs = 12.8;
+        c.memKind = MemKind::DDR3;
+        c.boardPowerW = 19.0;
+    } else if (board == "KCU1500") {
+        c.name = "KCU1500";
+        c.freqGHz = 0.25;
+        c.numPEs = 5520;
+        c.onChipBytes = 75.9e6;
+        c.offChipGBs = 76.8;
+        c.boardPowerW = 25.0;
+    } else if (board == "AlveoU50") {
+        c.name = "AlveoU50";
+        c.freqGHz = 0.30;
+        c.numPEs = 5952;
+        c.onChipBytes = 227.3e6;
+        c.offChipGBs = 316.0;
+        c.memKind = MemKind::HBM;
+        c.boardPowerW = 50.0;
+    } else {
+        GCOD_FATAL("unknown Deepburning-GL board '", board, "'");
+    }
+    return c;
+}
+
+PlatformConfig
+makeGcodConfig(int bits)
+{
+    GCOD_ASSERT(bits == 32 || bits == 8, "GCoD supports 32- or 8-bit");
+    PlatformConfig c;
+    c.name = bits == 8 ? "GCoD(8-bit)" : "GCoD";
+    c.freqGHz = 0.33;
+    // 8-bit halves bandwidth pressure and packs 2.5x the PEs (Tab. V).
+    c.numPEs = bits == 8 ? 10240 : 4096;
+    c.onChipBytes = 42e6; // 9MB BRAM + 33MB URAM
+    c.offChipGBs = 460.0;
+    c.memKind = MemKind::HBM;
+    c.dataBits = bits;
+    c.boardPowerW = 180.0;
+    c.denseEfficiency = 0.92;
+    c.sparseEfficiency = 0.90;
+    c.perLayerOverheadCycles = 100.0;
+    return c;
+}
+
+} // namespace gcod

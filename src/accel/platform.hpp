@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Platform configurations mirroring the paper's Tab. V system table:
+ * PyG/DGL CPU and GPU, HyGCN (ASIC), AWB-GCN (Stratix-10 FPGA),
+ * Deepburning-GL on ZC706 / KCU1500 / Alveo U50, and GCoD on a VCU128
+ * (4096 PEs at 330 MHz, 42 MB on-chip, 460 GB/s HBM; the 8-bit variant
+ * affords 10240 PEs).
+ */
+#ifndef GCOD_ACCEL_PLATFORM_HPP
+#define GCOD_ACCEL_PLATFORM_HPP
+
+#include <string>
+
+namespace gcod {
+
+/** Off-chip memory technology (sets energy per byte). */
+enum class MemKind { DDR3, DDR4, GDDR6, HBM };
+
+/** Static description of one platform. */
+struct PlatformConfig
+{
+    std::string name;
+    double freqGHz = 1.0;
+    /** Multiply-accumulate lanes usable per cycle. */
+    double numPEs = 1.0;
+    double onChipBytes = 0.0;
+    double offChipGBs = 0.0;
+    MemKind memKind = MemKind::DDR4;
+    int dataBits = 32;     ///< operand precision
+    double boardPowerW = 0.0;
+
+    /** Effective utilization of the PE array on dense GEMM work. */
+    double denseEfficiency = 0.8;
+    /**
+     * Effective utilization on irregular sparse aggregation *before*
+     * any platform-specific balancing; general-purpose platforms are
+     * dominated by gather/scatter stalls here.
+     */
+    double sparseEfficiency = 0.5;
+    /** Fixed per-layer overhead (kernel launch, control), cycles. */
+    double perLayerOverheadCycles = 0.0;
+    /** Per-edge bookkeeping cost of framework message passing, cycles. */
+    double perEdgeCycles = 0.0;
+    /**
+     * Bytes moved per edge-feature byte during scatter/gather (PyG
+     * materializes per-edge message tensors: read + write + scatter = 3x;
+     * DGL's fused kernels avoid the materialization).
+     */
+    double scatterFactor = 1.0;
+    /** Effective random-access bandwidth for scatter/gather, GB/s. */
+    double scatterGBs = 0.0;
+
+    /** Peak MACs per second. */
+    double
+    peakMacsPerSec() const
+    {
+        return numPEs * freqGHz * 1e9;
+    }
+};
+
+PlatformConfig makePygCpuConfig();
+PlatformConfig makePygGpuConfig();
+PlatformConfig makeDglCpuConfig();
+PlatformConfig makeDglGpuConfig();
+PlatformConfig makeHyGcnConfig();
+PlatformConfig makeAwbGcnConfig();
+/** Deepburning-GL boards: "ZC706", "KCU1500", "AlveoU50". */
+PlatformConfig makeDeepburningConfig(const std::string &board);
+/** GCoD on VCU128; @p bits 32 (4096 PEs) or 8 (10240 PEs). */
+PlatformConfig makeGcodConfig(int bits = 32);
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_PLATFORM_HPP

@@ -1,0 +1,187 @@
+#include "reconfig.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "accel/layer_cost.hpp"
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+int
+ParsedNetwork::maxFeatureDim() const
+{
+    int best = 0;
+    for (const auto &l : layers)
+        best = std::max({best, l.inDim, l.outDim * l.heads});
+    return best;
+}
+
+bool
+ParsedNetwork::anySampling() const
+{
+    for (const auto &l : layers)
+        if (l.needsSampling)
+            return true;
+    return false;
+}
+
+bool
+ParsedNetwork::anyAttention() const
+{
+    for (const auto &l : layers)
+        if (l.needsAttention)
+            return true;
+    return false;
+}
+
+ParsedNetwork
+parseNetwork(const ModelSpec &spec, NodeId nodes, EdgeOffset edges)
+{
+    ParsedNetwork net;
+    net.model = spec.name;
+    net.numNodes = nodes;
+    net.numEdges = edges;
+    for (const auto &l : spec.layers) {
+        ParsedLayer pl;
+        pl.inDim = l.inDim;
+        pl.outDim = l.outDim;
+        pl.heads = l.heads;
+        pl.needsAttention = l.agg == Aggregation::Attention;
+        // Mean aggregation with self-concat is the GraphSAGE signature;
+        // its deployment samples neighborhoods at inference.
+        pl.needsSampling = l.concatSelf;
+        switch (l.agg) {
+          case Aggregation::Attention:
+            pl.op = "AttentionConv";
+            break;
+          case Aggregation::Add:
+            pl.op = "GINConv";
+            break;
+          case Aggregation::Max:
+            pl.op = "MaxConv";
+            break;
+          case Aggregation::Mean:
+          default:
+            pl.op = l.concatSelf ? "SAGEConv" : "GCNConv";
+            break;
+        }
+        LayerWork w = layerWork(l, double(nodes), double(edges) * 2.0,
+                                PhaseOrder::CombThenAggr);
+        pl.combMacs = w.combMacs;
+        pl.aggMacs = w.aggMacs;
+        net.layers.push_back(pl);
+    }
+    return net;
+}
+
+void
+HardwarePlan::validate() const
+{
+    double pes = sparser.pes;
+    double buf = outputBufBytes + indexBufBytes + sparser.weightBufBytes +
+                 sparser.featureBufBytes;
+    double bw = sparser.bandwidthGBs;
+    for (const auto &c : chunks) {
+        pes += c.pes;
+        buf += c.weightBufBytes + c.featureBufBytes;
+        bw += c.bandwidthGBs;
+    }
+    GCOD_ASSERT(pes <= platform.numPEs * 1.001,
+                "compiled plan exceeds the PE budget");
+    GCOD_ASSERT(buf <= platform.onChipBytes * 1.001,
+                "compiled plan exceeds the on-chip budget");
+    GCOD_ASSERT(bw <= platform.offChipGBs * 1.001,
+                "compiled plan exceeds the bandwidth budget");
+}
+
+HardwarePlan
+compileHardware(const PlatformConfig &base, const ParsedNetwork &network,
+                const WorkloadDescriptor &workload)
+{
+    GCOD_ASSERT(workload.numClasses >= 1, "workload has no classes");
+    HardwarePlan plan;
+    plan.platform = base;
+    plan.samplingUnits = network.anySampling();
+    plan.attentionLut = network.anyAttention();
+
+    // Fixed structural buffers first (Sec. V-B shares).
+    plan.outputBufBytes = base.onChipBytes * GcodAccelModel::kOutputBufShare;
+    plan.indexBufBytes = base.onChipBytes * GcodAccelModel::kIndexBufShare;
+    double chunk_buf_pool = base.onChipBytes *
+                            (GcodAccelModel::kWeightBufShare +
+                             GcodAccelModel::kFeatureBufShare);
+
+    // Branch split proportional to nonzero workload.
+    double diag_share =
+        workload.totalNnz > 0
+            ? double(workload.diagNnz) / double(workload.totalNnz)
+            : 1.0;
+    double sparser_share =
+        std::max(1.0 - diag_share, GcodAccelModel::kMinSparserPeShare);
+    double denser_pes = base.numPEs * (1.0 - sparser_share);
+
+    plan.sparser.classId = -1;
+    plan.sparser.pes = base.numPEs * sparser_share;
+    plan.sparser.workloadShare = 1.0 - diag_share;
+    plan.sparser.weightBufBytes = chunk_buf_pool * sparser_share * 0.75;
+    plan.sparser.featureBufBytes = chunk_buf_pool * sparser_share * 0.25;
+    plan.sparser.bandwidthGBs = base.offChipGBs * sparser_share;
+
+    double denser_buf = chunk_buf_pool * (1.0 - sparser_share);
+    double denser_bw = base.offChipGBs * (1.0 - sparser_share);
+    for (int c = 0; c < workload.numClasses; ++c) {
+        double share =
+            workload.diagNnz > 0
+                ? double(workload.classNnz[size_t(c)]) /
+                      double(workload.diagNnz)
+                : 1.0 / double(workload.numClasses);
+        ChunkPlan chunk;
+        chunk.classId = c;
+        chunk.workloadShare = share * diag_share;
+        chunk.pes = std::max(1.0, denser_pes * share);
+        chunk.weightBufBytes = denser_buf * share * 0.75;
+        chunk.featureBufBytes = denser_buf * share * 0.25;
+        chunk.bandwidthGBs = denser_bw * share;
+        plan.chunks.push_back(chunk);
+    }
+
+    // Normalize PE rounding so the budget holds exactly.
+    double total_pes = plan.sparser.pes;
+    for (const auto &c : plan.chunks)
+        total_pes += c.pes;
+    if (total_pes > base.numPEs) {
+        double fix = base.numPEs / total_pes;
+        plan.sparser.pes *= fix;
+        for (auto &c : plan.chunks)
+            c.pes *= fix;
+    }
+    plan.validate();
+    return plan;
+}
+
+std::string
+describePlan(const HardwarePlan &plan)
+{
+    std::ostringstream os;
+    os << "hardware plan for " << plan.platform.name << " ("
+       << plan.platform.numPEs << " PEs, "
+       << plan.platform.onChipBytes / 1e6 << " MB on-chip, "
+       << plan.platform.offChipGBs << " GB/s)\n";
+    os << "  output buffer: " << plan.outputBufBytes / 1e6 << " MB, "
+       << "index buffer: " << plan.indexBufBytes / 1e6 << " MB\n";
+    for (const auto &c : plan.chunks) {
+        os << "  chunk[class " << c.classId << "]: " << c.pes << " PEs, "
+           << c.weightBufBytes / 1e6 << " MB wbuf, " << c.bandwidthGBs
+           << " GB/s, " << c.workloadShare * 100.0 << "% of nnz\n";
+    }
+    os << "  sparser branch: " << plan.sparser.pes << " PEs, "
+       << plan.sparser.weightBufBytes / 1e6 << " MB wbuf, "
+       << plan.sparser.bandwidthGBs << " GB/s, "
+       << plan.sparser.workloadShare * 100.0 << "% of nnz\n";
+    os << "  sampling units: " << (plan.samplingUnits ? "yes" : "no")
+       << ", attention LUTs: " << (plan.attentionLut ? "yes" : "no") << "\n";
+    return os.str();
+}
+
+} // namespace gcod

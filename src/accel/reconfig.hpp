@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The software-hardware interface of Fig. 8: a *network parser* that
+ * extracts layer dimensions and operation kinds from a model, and a
+ * *hardware compiler* that fills the parameterizable attributes of the
+ * accelerator templates (number of chunks, per-chunk PEs, buffer sizes,
+ * bandwidth shares) from the parsed network and the GCoD workload — the
+ * one-time-per-task reconfiguration flow the paper describes.
+ */
+#ifndef GCOD_ACCEL_RECONFIG_HPP
+#define GCOD_ACCEL_RECONFIG_HPP
+
+#include <string>
+#include <vector>
+
+#include "accel/gcod_accel.hpp"
+#include "accel/platform.hpp"
+#include "gcod/workload.hpp"
+#include "nn/model_spec.hpp"
+
+namespace gcod {
+
+/** One parsed layer: what the hardware compiler needs to know. */
+struct ParsedLayer
+{
+    std::string op;      ///< "GCNConv", "Linear", "Attention", ...
+    int inDim = 0;
+    int outDim = 0;
+    int heads = 1;
+    bool needsSampling = false; ///< GraphSAGE-style neighborhood sampling
+    bool needsAttention = false;
+    double combMacs = 0.0;      ///< at the given graph size
+    double aggMacs = 0.0;
+};
+
+/** Parsed network summary (the parser stage of Fig. 8). */
+struct ParsedNetwork
+{
+    std::string model;
+    NodeId numNodes = 0;
+    EdgeOffset numEdges = 0;
+    std::vector<ParsedLayer> layers;
+
+    int maxFeatureDim() const;
+    bool anySampling() const;
+    bool anyAttention() const;
+};
+
+/** Parse a ModelSpec against a graph size. */
+ParsedNetwork parseNetwork(const ModelSpec &spec, NodeId nodes,
+                           EdgeOffset edges);
+
+/** Per-chunk resource assignment emitted by the hardware compiler. */
+struct ChunkPlan
+{
+    int classId = 0;
+    double pes = 0.0;
+    double weightBufBytes = 0.0;
+    double featureBufBytes = 0.0;
+    double bandwidthGBs = 0.0;
+    /** Share of the denser-branch workload this chunk owns. */
+    double workloadShare = 0.0;
+};
+
+/** Complete compiled configuration (the compiler stage of Fig. 8). */
+struct HardwarePlan
+{
+    PlatformConfig platform;       ///< template instantiated
+    std::vector<ChunkPlan> chunks; ///< denser-branch sub-accelerators
+    ChunkPlan sparser;             ///< the sparser-branch sub-accelerator
+    double outputBufBytes = 0.0;
+    double indexBufBytes = 0.0;
+    bool samplingUnits = false;
+    bool attentionLut = false;     ///< LUT-based non-linear units (GAT)
+
+    /** Sanity: resources must not exceed the template budget. */
+    void validate() const;
+};
+
+/**
+ * Compile a hardware plan: PEs/buffers/bandwidth are split between the
+ * branches proportional to their nonzero workload, then across chunks
+ * proportional to per-class MACs — exactly the complexity-proportional
+ * allocation of Sec. V-B.
+ *
+ * @param base      the platform template (e.g. makeGcodConfig(32))
+ * @param network   parsed model
+ * @param workload  GCoD workload descriptor of the processed graph
+ */
+HardwarePlan compileHardware(const PlatformConfig &base,
+                             const ParsedNetwork &network,
+                             const WorkloadDescriptor &workload);
+
+/** Render the plan as a human-readable configuration report. */
+std::string describePlan(const HardwarePlan &plan);
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_RECONFIG_HPP

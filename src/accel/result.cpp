@@ -1,0 +1,84 @@
+#include "result.hpp"
+
+#include <algorithm>
+
+namespace gcod {
+
+double
+macEnergyJ(int bits)
+{
+    // Horowitz ISSCC'14-style scaling: 32-bit fixed ~3.1 pJ, 8-bit ~0.2 pJ.
+    switch (bits) {
+      case 8:
+        return 0.2e-12;
+      case 16:
+        return 1.0e-12;
+      default:
+        return 3.1e-12;
+    }
+}
+
+double
+onChipEnergyPerByteJ()
+{
+    // Mid-size SRAM access, amortized per byte.
+    return 0.6e-12;
+}
+
+double
+offChipEnergyPerByteJ(MemKind kind)
+{
+    switch (kind) {
+      case MemKind::HBM:
+        return 31.2e-12; // ~3.9 pJ/bit
+      case MemKind::GDDR6:
+        return 60.0e-12;
+      case MemKind::DDR3:
+        return 180.0e-12;
+      case MemKind::DDR4:
+      default:
+        return 140.0e-12;
+    }
+}
+
+namespace {
+
+PhaseEnergy
+phaseEnergy(const PhaseCost &c, const PlatformConfig &cfg)
+{
+    PhaseEnergy e;
+    e.computeJ = c.macs * macEnergyJ(cfg.dataBits);
+    e.onChipJ = c.onChipBytes * onChipEnergyPerByteJ();
+    e.offChipJ = c.offChipBytes * offChipEnergyPerByteJ(cfg.memKind);
+    return e;
+}
+
+} // namespace
+
+void
+attachEnergy(RunResult &r, const PlatformConfig &cfg)
+{
+    r.combinationEnergy = phaseEnergy(r.combination, cfg);
+    r.aggregationEnergy = phaseEnergy(r.aggregation, cfg);
+}
+
+void
+finalize(RunResult &r, const PlatformConfig &cfg)
+{
+    r.totalCycles = r.combination.cycles + r.aggregation.cycles;
+    r.latencySeconds = r.totalCycles / (cfg.freqGHz * 1e9);
+    double bytes = r.offChipBytes();
+    r.offChipAccesses = bytes / 64.0;
+    r.requiredBandwidthGBs =
+        r.latencySeconds > 0.0
+            ? bytes / r.latencySeconds / 1e9 * std::max(r.burstiness, 1.0)
+            : 0.0;
+    double total_macs = r.combination.macs + r.aggregation.macs;
+    double ideal_cycles =
+        total_macs / std::max(cfg.numPEs, 1.0);
+    r.utilization =
+        r.totalCycles > 0.0 ? ideal_cycles / r.totalCycles : 0.0;
+    attachEnergy(r, cfg);
+}
+
+} // namespace gcod

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Simulation outputs shared by every platform model: per-phase cost
+ * accounting (combination vs aggregation, the paper's Fig. 12 axes) plus
+ * latency, traffic, bandwidth, and energy summaries.
+ */
+#ifndef GCOD_ACCEL_RESULT_HPP
+#define GCOD_ACCEL_RESULT_HPP
+
+#include <string>
+
+#include "accel/platform.hpp"
+
+namespace gcod {
+
+/** Cost of one execution phase (combination or aggregation). */
+struct PhaseCost
+{
+    double macs = 0.0;
+    double cycles = 0.0;
+    double offChipBytes = 0.0;
+    double onChipBytes = 0.0;
+
+    PhaseCost &
+    operator+=(const PhaseCost &o)
+    {
+        macs += o.macs;
+        cycles += o.cycles;
+        offChipBytes += o.offChipBytes;
+        onChipBytes += o.onChipBytes;
+        return *this;
+    }
+};
+
+/** Energy split for one phase (Fig. 12 categories). */
+struct PhaseEnergy
+{
+    double computeJ = 0.0;
+    double onChipJ = 0.0;
+    double offChipJ = 0.0;
+
+    double total() const { return computeJ + onChipJ + offChipJ; }
+};
+
+/** Full result of simulating one model on one graph on one platform. */
+struct RunResult
+{
+    std::string platform;
+    double totalCycles = 0.0;
+    double latencySeconds = 0.0;
+    PhaseCost combination;
+    PhaseCost aggregation;
+    PhaseEnergy combinationEnergy;
+    PhaseEnergy aggregationEnergy;
+    /**
+     * Peak off-chip bandwidth the design must provision (GB/s): the
+     * average streaming rate scaled by the dataflow's burstiness —
+     * gathered aggregation issues irregular bursts of neighbor fetches,
+     * while GCoD's preloaded, chunk-balanced branches stream smoothly
+     * (the paper's Fig. 11(a) records exactly this peak).
+     */
+    double requiredBandwidthGBs = 0.0;
+    /** Peak-to-average traffic ratio of the platform's dataflow. */
+    double burstiness = 1.0;
+    /** 64-byte off-chip transactions issued. */
+    double offChipAccesses = 0.0;
+    /** Average PE utilization across the run. */
+    double utilization = 0.0;
+
+    double
+    offChipBytes() const
+    {
+        return combination.offChipBytes + aggregation.offChipBytes;
+    }
+
+    double
+    totalEnergyJ() const
+    {
+        return combinationEnergy.total() + aggregationEnergy.total();
+    }
+};
+
+/** Bytes per element at the platform's operand precision. */
+inline double
+elemBytes(const PlatformConfig &cfg)
+{
+    return double(cfg.dataBits) / 8.0;
+}
+
+/** Energy per MAC at a given precision, Joules (45nm-era constants). */
+double macEnergyJ(int bits);
+/** Energy per on-chip SRAM byte moved, Joules. */
+double onChipEnergyPerByteJ();
+/** Energy per off-chip byte moved for a memory technology, Joules. */
+double offChipEnergyPerByteJ(MemKind kind);
+
+/** Fill the energy fields of a result from its phase costs. */
+void attachEnergy(RunResult &r, const PlatformConfig &cfg);
+
+/** Finalize latency/bandwidth/access counters from cycles and traffic. */
+void finalize(RunResult &r, const PlatformConfig &cfg);
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_RESULT_HPP

@@ -1,0 +1,123 @@
+#include "schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+ScheduleResult
+simulateSchedule(const WorkloadDescriptor &wd, const ScheduleOptions &opts)
+{
+    GCOD_ASSERT(wd.numClasses >= 1, "workload has no classes");
+    ScheduleResult res;
+
+    // --- resource allocation mirrors GcodAccelModel -------------------
+    double diag_share =
+        wd.totalNnz > 0 ? double(wd.diagNnz) / double(wd.totalNnz) : 1.0;
+    double pe_sparser =
+        opts.totalPEs * std::max(1.0 - diag_share, opts.minSparserPeShare);
+    double pe_denser = opts.totalPEs - pe_sparser;
+
+    std::vector<double> chunk_pes(size_t(wd.numClasses), 1.0);
+    std::vector<double> chunk_buf(size_t(wd.numClasses), 0.0);
+    for (int c = 0; c < wd.numClasses; ++c) {
+        double share = wd.diagNnz > 0
+                           ? double(wd.classNnz[size_t(c)]) /
+                                 double(wd.diagNnz)
+                           : 1.0 / double(wd.numClasses);
+        chunk_pes[size_t(c)] = std::max(1.0, pe_denser * share);
+        chunk_buf[size_t(c)] =
+            opts.weightBufBytes *
+            std::max(share, 0.02 / double(wd.numClasses));
+    }
+
+    // --- denser branch: sequential tiles per chunk ---------------------
+    std::vector<double> chunk_clock(size_t(wd.numClasses), 0.0);
+    std::vector<double> chunk_busy(size_t(wd.numClasses), 0.0);
+    res.timeline.reserve(wd.tiles.size());
+    for (size_t t = 0; t < wd.tiles.size(); ++t) {
+        const DiagonalTile &tile = wd.tiles[t];
+        double pes = chunk_pes[size_t(tile.classId)];
+        double cycles = double(tile.nnz) * opts.aggWidth /
+                        (pes * opts.sparseEfficiency);
+        TileInterval iv;
+        iv.tileIndex = int(t);
+        iv.classId = tile.classId;
+        iv.startCycle = chunk_clock[size_t(tile.classId)];
+        iv.endCycle = iv.startCycle + cycles;
+        // The XW slice stays resident until the buffer must turn over:
+        // residency time scales with how much of the tile fits.
+        double tile_bytes = double(tile.size()) * opts.aggWidth *
+                            opts.elemBytes;
+        double residency_frac =
+            tile_bytes > 0.0
+                ? std::min(1.0, chunk_buf[size_t(tile.classId)] / tile_bytes)
+                : 1.0;
+        iv.retainUntil = iv.endCycle + cycles * residency_frac;
+        chunk_clock[size_t(tile.classId)] = iv.endCycle;
+        chunk_busy[size_t(tile.classId)] += cycles;
+        res.timeline.push_back(iv);
+    }
+    for (double c : chunk_clock)
+        res.denserFinishCycle = std::max(res.denserFinishCycle, c);
+    res.chunkUtilization.resize(size_t(wd.numClasses), 0.0);
+    for (int c = 0; c < wd.numClasses; ++c) {
+        res.chunkUtilization[size_t(c)] =
+            res.denserFinishCycle > 0.0
+                ? chunk_busy[size_t(c)] / res.denserFinishCycle
+                : 1.0;
+    }
+
+    // --- sparser branch: column sweep + forwarding queries -------------
+    // Map each column to its owning tile interval.
+    std::vector<int> tile_of(size_t(wd.numNodes), -1);
+    for (size_t t = 0; t < wd.tiles.size(); ++t)
+        for (NodeId v = wd.tiles[t].begin; v < wd.tiles[t].end; ++v)
+            tile_of[size_t(v)] = int(t);
+
+    double sparser_rate = pe_sparser * opts.sparseEfficiency; // MACs/cycle
+    double clock = 0.0;
+    double hits = 0.0, queries = 0.0;
+    for (NodeId c = 0; c < wd.numNodes; ++c) {
+        EdgeOffset nnz = wd.offDiagColNnz[size_t(c)];
+        if (nnz == 0)
+            continue; // structural sparsity: whole column skipped
+        // Query the owning chunk before processing the column.
+        int t = tile_of[size_t(c)];
+        queries += 1.0;
+        if (t >= 0) {
+            const TileInterval &iv = res.timeline[size_t(t)];
+            double tile_bytes = double(wd.tiles[size_t(t)].size()) *
+                                opts.aggWidth * opts.elemBytes;
+            double residency_frac =
+                tile_bytes > 0.0
+                    ? std::min(1.0, chunk_buf[size_t(iv.classId)] /
+                                        tile_bytes)
+                    : 1.0;
+            // Hit: the query lands while (part of) the tile's XW rows are
+            // in the chunk's weight buffer. Partial residency means only
+            // that fraction of the window answers queries.
+            bool in_window =
+                clock >= iv.startCycle && clock <= iv.retainUntil;
+            if (in_window)
+                hits += residency_frac;
+            else
+                res.missedColumns += 1.0;
+        } else {
+            res.missedColumns += 1.0;
+        }
+        clock += double(nnz) * opts.aggWidth / sparser_rate;
+    }
+    res.sparserFinishCycle = clock;
+    res.forwardHitRate = queries > 0.0 ? hits / queries : 0.0;
+
+    double sync = double(wd.numNodes) * opts.aggWidth * opts.syncPerElement /
+                  opts.totalPEs;
+    res.aggregationCycles =
+        std::max(res.denserFinishCycle, res.sparserFinishCycle) + sync;
+    return res;
+}
+
+} // namespace gcod

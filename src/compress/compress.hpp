@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The SOTA GCN compression baselines the paper compares against in
+ * Tab. VII: Random Pruning (RP) [Frankle & Carbin-style random tickets],
+ * SGCN [Li et al.] ADMM graph sparsification, QAT [Fan et al.] 8-bit
+ * quantization-aware training, and Degree-Quant [Tailor et al.]
+ * degree-protective quantization.
+ */
+#ifndef GCOD_COMPRESS_COMPRESS_HPP
+#define GCOD_COMPRESS_COMPRESS_HPP
+
+#include <string>
+
+#include "nn/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace gcod {
+
+/** Result of one compression baseline run. */
+struct CompressReport
+{
+    std::string method;
+    double testAccuracy = 0.0;
+    /** Fraction of graph edges removed (pruning methods). */
+    double edgeSparsity = 0.0;
+    /** Operand precision used (quantization methods); 32 = full. */
+    int bits = 32;
+};
+
+/** Train on a graph with @p prune_ratio of its edges removed at random. */
+CompressReport randomPrune(const Dataset &ds, const std::string &model,
+                           double prune_ratio, const TrainOptions &topts,
+                           Rng &rng);
+
+/**
+ * SGCN-style sparsification: ADMM graph tuning against the GCN loss with
+ * no polarization term (the paper's [23]), then retraining.
+ */
+CompressReport sgcnSparsify(const Dataset &ds, const std::string &model,
+                            double prune_ratio, const TrainOptions &topts,
+                            Rng &rng);
+
+/**
+ * Quantization-aware training: every forward sees fake-quantized weights;
+ * gradients flow straight-through to the full-precision master copy.
+ */
+CompressReport qatTrain(const Dataset &ds, const std::string &model,
+                        int bits, const TrainOptions &topts, Rng &rng);
+
+/**
+ * Degree-Quant: QAT with protective masking — the top-degree nodes'
+ * features stay full-precision during quantized evaluation, since
+ * high-degree aggregations are the most quantization-sensitive.
+ */
+CompressReport degreeQuant(const Dataset &ds, const std::string &model,
+                           int bits, double protect_ratio,
+                           const TrainOptions &topts, Rng &rng);
+
+} // namespace gcod
+
+#endif // GCOD_COMPRESS_COMPRESS_HPP

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The complete GCoD training pipeline (Fig. 3):
+ *
+ *   Step 1  pretrain the GCN on the partitioned (reordered) graph, with
+ *           early-bird early stopping (Sec. IV-B2);
+ *   Step 2  tune the graph — sparsify + polarize via ADMM — then retrain;
+ *   Step 3  structurally sparsify patches, then retrain.
+ *
+ * The output bundles everything the accelerator needs: the processed
+ * adjacency, the tile layout, and the workload descriptor, plus
+ * accuracy/training-cost bookkeeping for Tab. VII and the training-cost
+ * analysis.
+ */
+#ifndef GCOD_GCOD_PIPELINE_HPP
+#define GCOD_GCOD_PIPELINE_HPP
+
+#include <memory>
+#include <string>
+
+#include "gcod/polarize.hpp"
+#include "gcod/reorder.hpp"
+#include "gcod/structural.hpp"
+#include "gcod/workload.hpp"
+#include "nn/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace gcod {
+
+/** Pipeline configuration. */
+struct GcodOptions
+{
+    std::string model = "GCN"; ///< final model family (Tab. IV names)
+    ReorderOptions reorder;
+    PolarizeOptions polarize;
+    StructuralOptions structural;
+    TrainOptions pretrain;     ///< Step 1 (earlyBird defaults on)
+    TrainOptions retrain;      ///< Steps 2-3 retraining
+    int tuneRounds = 1;        ///< Step 2 iterations (paper: "several")
+    uint64_t seed = 11;
+
+    GcodOptions()
+    {
+        pretrain.earlyBird = true;
+        pretrain.epochs = 400;
+        retrain.epochs = 400;
+        retrain.earlyBird = true;
+    }
+};
+
+/** Everything produced by the pipeline. */
+struct GcodOutcome
+{
+    Partitioning partitioning;
+    /** Final processed graph (reordered node space, pruned). */
+    Graph finalGraph;
+    /** Dataset permuted into the reordered node space. */
+    Dataset reorderedData;
+    /** Workload of the final processed adjacency (feeds the accelerator). */
+    WorkloadDescriptor workload;
+    /** Workload right after Step 1 (before any pruning), for ablations. */
+    WorkloadDescriptor workloadAfterReorder;
+    /** Profile of the original, unprocessed adjacency (baselines). */
+    MatrixProfile originalProfile;
+
+    /** Vanilla model accuracy on the original graph. */
+    double baselineAccuracy = 0.0;
+    /** Final model accuracy on the GCoD-processed graph. */
+    double finalAccuracy = 0.0;
+    /** Final accuracy with 8-bit fake quantization (GCoD 8-bit). */
+    double finalAccuracyInt8 = 0.0;
+
+    /** Edge fraction removed by Step 2 / Step 3. */
+    double step2PruneRatio = 0.0;
+    double step3PruneRatio = 0.0;
+    /** Polarization loss before/after processing. */
+    double polaBefore = 0.0;
+    double polaAfter = 0.0;
+
+    /** Training-cost proxies (epochs x weights) per phase. */
+    double pretrainCost = 0.0;
+    double tuneCost = 0.0;
+    double retrainCost = 0.0;
+    /** Cost of standard (no GCoD) training for the overhead ratio. */
+    double vanillaCost = 0.0;
+
+    /** GCoD training overhead vs standard training (paper: 0.7x-1.1x). */
+    double
+    trainingOverheadRatio() const
+    {
+        double total = pretrainCost + tuneCost + retrainCost;
+        return vanillaCost > 0.0 ? total / vanillaCost : 0.0;
+    }
+};
+
+/** Permute a dataset into a new node order (perm[old] = new). */
+Dataset permuteDataset(const Dataset &ds, const std::vector<NodeId> &perm,
+                       Graph reordered_graph);
+
+/** Run the full three-step pipeline on a materialized dataset. */
+GcodOutcome runGcodPipeline(const Dataset &ds, const GcodOptions &opts = {});
+
+/**
+ * Structure-only variant: runs Steps 1-3 with the graph-tuning projection
+ * driven purely by topology (no GCN pretraining or retraining). Produces
+ * the same kind of workload descriptor orders of magnitude faster; used by
+ * the latency/bandwidth benches where accuracy is not measured.
+ */
+GcodOutcome runGcodStructureOnly(const SyntheticGraph &synth,
+                                 const GcodOptions &opts = {});
+
+} // namespace gcod
+
+#endif // GCOD_GCOD_PIPELINE_HPP

@@ -1,0 +1,227 @@
+#include "polarize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hpp"
+#include "tensor/ops.hpp"
+
+namespace gcod {
+
+namespace {
+
+/** One undirected tunable edge of the adjacency. */
+struct TunableEdge
+{
+    NodeId u, v;
+    float value;  ///< ADMM primal variable
+    float z;      ///< ADMM auxiliary (projected) variable
+    float dual;   ///< scaled dual variable
+    float dist;   ///< normalized diagonal distance |u - v| / N
+};
+
+/**
+ * Differentiable-adjacency 2-layer GCN evaluation context. The adjacency
+ * is rebuilt from the current edge values plus fixed self-loop weights.
+ */
+class TunableGcn
+{
+  public:
+    TunableGcn(const Graph &g, const Matrix &x, const Matrix &w0,
+               const Matrix &w1)
+        : n_(g.numNodes()), m0_(matmul(x, w0)), w1_(&w1)
+    {
+        // Fixed degree normalization from the original topology.
+        invSqrt_.resize(size_t(n_));
+        for (NodeId i = 0; i < n_; ++i)
+            invSqrt_[size_t(i)] =
+                1.0f / std::sqrt(float(g.degrees()[size_t(i)]) + 1.0f);
+    }
+
+    /** Normalization weight of edge (u, v). */
+    float
+    norm(NodeId u, NodeId v) const
+    {
+        return invSqrt_[size_t(u)] * invSqrt_[size_t(v)];
+    }
+
+    /** Build the normalized adjacency from current edge values. */
+    CsrMatrix
+    buildAdjacency(const std::vector<TunableEdge> &edges) const
+    {
+        CooMatrix coo(n_, n_);
+        for (const auto &e : edges) {
+            if (e.value <= 0.0f)
+                continue;
+            float w = e.value * norm(e.u, e.v);
+            coo.add(e.u, e.v, w);
+            coo.add(e.v, e.u, w);
+        }
+        for (NodeId i = 0; i < n_; ++i)
+            coo.add(i, i, invSqrt_[size_t(i)] * invSqrt_[size_t(i)]);
+        return coo.toCsr();
+    }
+
+    /**
+     * Forward + backward: returns the masked CE loss and fills dvalue (the
+     * gradient of the loss w.r.t. each edge's *raw* value).
+     */
+    double
+    lossAndGrad(const std::vector<TunableEdge> &edges,
+                const std::vector<int> &labels,
+                const std::vector<bool> &mask,
+                std::vector<float> *dvalue) const
+    {
+        CsrMatrix ahat = buildAdjacency(edges);
+        // Forward: Y1 = A M0, H = relu(Y1), M1 = H W1, Y2 = A M1.
+        Matrix y1 = spmm(ahat, m0_);
+        Matrix h = relu(y1);
+        Matrix m1 = matmul(h, *w1_);
+        Matrix y2 = spmm(ahat, m1);
+        Matrix probs = softmaxRows(y2);
+        double loss = crossEntropy(probs, labels, mask);
+        if (!dvalue)
+            return loss;
+
+        Matrix dy2 = softmaxCrossEntropyBackward(probs, labels, mask);
+        // Path through the second SpMM's operand: dM1 = A^T dY2 (A sym).
+        Matrix dm1 = spmm(ahat, dy2);
+        Matrix dh = matmulTransposedB(dm1, *w1_);
+        Matrix dy1 = reluBackward(dh, y1);
+
+        // dA_ij = dY2_i . M1_j + dY1_i . M0_j, chain-ruled through the
+        // fixed normalization and symmetrized over both directions.
+        dvalue->assign(edges.size(), 0.0f);
+        for (size_t e = 0; e < edges.size(); ++e) {
+            const auto &ed = edges[e];
+            if (ed.value <= 0.0f) {
+                // Pruned edges get the gradient they would have at 0 so
+                // ADMM can resurrect them if the loss wants them back.
+            }
+            float g = 0.0f;
+            g += rowDot(dy2, ed.u, m1, ed.v);
+            g += rowDot(dy2, ed.v, m1, ed.u);
+            g += rowDot(dy1, ed.u, m0_, ed.v);
+            g += rowDot(dy1, ed.v, m0_, ed.u);
+            (*dvalue)[e] = g * norm(ed.u, ed.v);
+        }
+        return loss;
+    }
+
+  private:
+    static float
+    rowDot(const Matrix &a, NodeId ra, const Matrix &b, NodeId rb)
+    {
+        const float *pa = a.row(ra);
+        const float *pb = b.row(rb);
+        float acc = 0.0f;
+        for (int64_t k = 0; k < a.cols(); ++k)
+            acc += pa[k] * pb[k];
+        return acc;
+    }
+
+    NodeId n_;
+    Matrix m0_; ///< X W0, fixed
+    const Matrix *w1_;
+    std::vector<float> invSqrt_;
+};
+
+} // namespace
+
+double
+polarizationLoss(const CsrMatrix &adj)
+{
+    if (adj.nnz() == 0)
+        return 0.0;
+    double sum = 0.0;
+    adj.forEach([&](NodeId r, NodeId c, float) {
+        sum += std::abs(double(r) - double(c));
+    });
+    return sum / double(adj.nnz()) / double(std::max<NodeId>(adj.rows(), 1));
+}
+
+PolarizeResult
+sparsifyAndPolarize(const Graph &g, const Matrix &x,
+                    const std::vector<int> &labels,
+                    const std::vector<bool> &mask, const Matrix &w0,
+                    const Matrix &w1, const PolarizeOptions &opts)
+{
+    GCOD_ASSERT(x.rows() == int64_t(g.numNodes()), "feature rows mismatch");
+    PolarizeResult res;
+    TunableGcn gcn(g, x, w0, w1);
+
+    // Collect undirected edges (upper triangle) as ADMM variables.
+    std::vector<TunableEdge> edges;
+    g.adjacency().forEach([&](NodeId r, NodeId c, float) {
+        if (r < c) {
+            TunableEdge e;
+            e.u = r;
+            e.v = c;
+            e.value = 1.0f;
+            e.z = 1.0f;
+            e.dual = 0.0f;
+            e.dist = float(c - r) / float(std::max<NodeId>(g.numNodes(), 1));
+            edges.push_back(e);
+        }
+    });
+
+    res.lossBefore = gcn.lossAndGrad(edges, labels, mask, nullptr);
+    res.polaBefore = polarizationLoss(g.adjacency());
+
+    size_t keep = size_t(std::llround(double(edges.size()) *
+                                      (1.0 - opts.pruneRatio)));
+    keep = std::clamp<size_t>(keep, 1, edges.size());
+
+    std::vector<float> grad;
+    std::vector<size_t> order(edges.size());
+    for (int iter = 0; iter < opts.admmIterations; ++iter) {
+        // Primal: gradient descent on L_GCN + (rho/2)||v - z + u||^2.
+        for (int step = 0; step < opts.gradSteps; ++step) {
+            gcn.lossAndGrad(edges, labels, mask, &grad);
+            for (size_t e = 0; e < edges.size(); ++e) {
+                auto &ed = edges[e];
+                float aug = opts.rho * (ed.value - ed.z + ed.dual);
+                ed.value -= opts.lr * (grad[e] + aug);
+                ed.value = std::clamp(ed.value, 0.0f, 2.0f);
+            }
+        }
+        // Projection: keep the top-(1-p) edges by value minus the
+        // polarization distance penalty; this is the proximal operator of
+        // L_SP + L_Pola under the hard budget.
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            auto score = [&](size_t e) {
+                return edges[e].value + edges[e].dual -
+                       float(opts.polaWeight) * edges[e].dist;
+            };
+            return score(a) > score(b);
+        });
+        for (size_t rank = 0; rank < order.size(); ++rank) {
+            auto &ed = edges[order[rank]];
+            ed.z = rank < keep ? std::max(ed.value + ed.dual, 0.0f) : 0.0f;
+        }
+        // Dual ascent.
+        for (auto &ed : edges)
+            ed.dual += ed.value - ed.z;
+    }
+
+    // Adopt the projected pattern as the final binary adjacency.
+    std::vector<std::pair<NodeId, NodeId>> kept;
+    for (const auto &ed : edges)
+        if (ed.z > 0.0f)
+            kept.emplace_back(ed.u, ed.v);
+    Graph pruned(g.numNodes(), kept);
+    res.prunedAdj = pruned.adjacency();
+    res.achievedPruneRatio =
+        1.0 - double(kept.size()) / double(std::max<size_t>(edges.size(), 1));
+
+    // Evaluate the final loss with the kept pattern at unit values.
+    for (auto &ed : edges)
+        ed.value = ed.z > 0.0f ? 1.0f : 0.0f;
+    res.lossAfter = gcn.lossAndGrad(edges, labels, mask, nullptr);
+    res.polaAfter = polarizationLoss(res.prunedAdj);
+    return res;
+}
+
+} // namespace gcod

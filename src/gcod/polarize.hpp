@@ -1,0 +1,80 @@
+/**
+ * @file
+ * GCoD algorithm Step 2: graph sparsification + polarization via ADMM
+ * (Sec. IV-B1, Eq. 4).
+ *
+ * The graph optimization treats the adjacency values as the trainable
+ * variables (the GCN weights W0/W1 stay frozen, exactly as in [23]):
+ *
+ *   L_Graph(A) = L_GCN(A) + L_SP(A) + L_Pola(A)
+ *
+ * L_SP is the hard sparsity budget ||A||_0 <= (1-p) ||A_orig||_0 and
+ * L_Pola = (1/M) sum |i - j| over nonzeros — both non-differentiable, so
+ * they are handled in the ADMM projection step: the auxiliary variable Z
+ * keeps the top-(1-p) edges ranked by |value| - lambda * |i-j|/N, which
+ * simultaneously enforces the budget and prefers near-diagonal (denser
+ * branch) edges, polarizing the matrix. The differentiable L_GCN(A) part
+ * is minimized by explicit gradient descent through both SpMM layers.
+ */
+#ifndef GCOD_GCOD_POLARIZE_HPP
+#define GCOD_GCOD_POLARIZE_HPP
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gcod {
+
+/** ADMM configuration for Step 2. */
+struct PolarizeOptions
+{
+    /** Target fraction of edges to remove (paper: 10% is SOTA-lossless). */
+    double pruneRatio = 0.10;
+    /** Polarization weight lambda on the normalized diagonal distance. */
+    double polaWeight = 0.25;
+    /** Outer ADMM iterations. */
+    int admmIterations = 6;
+    /** Gradient steps on the differentiable part per ADMM iteration. */
+    int gradSteps = 4;
+    /** Learning rate for the adjacency-value updates. */
+    float lr = 0.05f;
+    /** ADMM penalty coefficient rho. */
+    float rho = 0.05f;
+};
+
+/** Step-2 outcome. */
+struct PolarizeResult
+{
+    /** Pruned symmetric binary adjacency in the reordered space. */
+    CsrMatrix prunedAdj;
+    double achievedPruneRatio = 0.0;
+    /** Masked cross-entropy L_GCN(A) before/after tuning. */
+    double lossBefore = 0.0;
+    double lossAfter = 0.0;
+    /** L_Pola = mean |i-j| / N over nonzeros, before/after. */
+    double polaBefore = 0.0;
+    double polaAfter = 0.0;
+};
+
+/**
+ * Run sparsify-and-polarize on a reordered graph.
+ *
+ * @param g        the (reordered) graph to tune
+ * @param x        node features, rows in the reordered order
+ * @param labels   node labels, reordered
+ * @param mask     training mask (loss rows), reordered
+ * @param w0, w1   frozen weights of the pretrained 2-layer GCN
+ */
+PolarizeResult sparsifyAndPolarize(const Graph &g, const Matrix &x,
+                                   const std::vector<int> &labels,
+                                   const std::vector<bool> &mask,
+                                   const Matrix &w0, const Matrix &w1,
+                                   const PolarizeOptions &opts = {});
+
+/** L_Pola of a matrix: mean normalized diagonal distance of nonzeros. */
+double polarizationLoss(const CsrMatrix &adj);
+
+} // namespace gcod
+
+#endif // GCOD_GCOD_POLARIZE_HPP

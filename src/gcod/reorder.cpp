@@ -1,0 +1,120 @@
+#include "reorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+Partitioning
+reorderGraph(const Graph &g, const ReorderOptions &opts)
+{
+    GCOD_ASSERT(opts.numClasses >= 1 && opts.numGroups >= 1 &&
+                    opts.numSubgraphs >= opts.numClasses,
+                "invalid reorder options");
+    Partitioning out;
+    out.opts = opts;
+
+    // --- Degree classification (coarse-grained regularity) -------------
+    DegreeClasses classes = classifyBalanced(g, opts.numClasses);
+    int C = classes.numClasses; // may be < requested on regular graphs
+    out.opts.numClasses = C;
+
+    std::vector<std::vector<NodeId>> class_nodes(static_cast<size_t>(C));
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        class_nodes[size_t(classes.classOf[size_t(v)])].push_back(v);
+
+    // Edge mass per class decides each class's share of the S subgraphs.
+    std::vector<double> class_mass(size_t(C), 0.0);
+    double total_mass = 0.0;
+    for (int c = 0; c < C; ++c) {
+        for (NodeId v : class_nodes[size_t(c)])
+            class_mass[size_t(c)] += double(g.degrees()[size_t(v)]) + 1.0;
+        total_mass += class_mass[size_t(c)];
+    }
+
+    int G = opts.numGroups;
+    std::vector<int> parts_per_class(size_t(C), G);
+    int assigned = C * G;
+    for (int c = 0; c < C; ++c) {
+        // Proportional share rounded to a multiple of G so subgraphs can be
+        // distributed evenly across groups (Sec. IV-B1).
+        int share = int(std::lround(double(opts.numSubgraphs) *
+                                    class_mass[size_t(c)] / total_mass));
+        share = std::max(G, (share / G) * G);
+        assigned += share - G;
+        parts_per_class[size_t(c)] = share;
+        (void)assigned;
+    }
+
+    // --- METIS-like split of each class into balanced subgraphs --------
+    // Subgraphs indexed [class][part] in original node ids.
+    std::vector<std::vector<std::vector<NodeId>>> split(static_cast<size_t>(C));
+    for (int c = 0; c < C; ++c) {
+        const auto &nodes = class_nodes[size_t(c)];
+        int parts = std::min<int>(parts_per_class[size_t(c)],
+                                  std::max<int>(1, int(nodes.size())));
+        split[size_t(c)].assign(size_t(parts), {});
+        if (nodes.empty())
+            continue;
+        Graph sub = g.inducedSubgraph(nodes);
+        // Balance edge mass: weight = degree in the *full* graph + 1, so
+        // the subgraphs carry similar aggregate workload.
+        std::vector<double> weights(nodes.size());
+        for (size_t i = 0; i < nodes.size(); ++i)
+            weights[i] = double(g.degrees()[size_t(nodes[i])]) + 1.0;
+        PartitionOptions popts;
+        popts.seed = opts.seed + uint64_t(c);
+        PartitionResult pr = partitionGraph(sub, parts, weights, popts);
+        for (size_t i = 0; i < nodes.size(); ++i)
+            split[size_t(c)][size_t(pr.partOf[i])].push_back(nodes[i]);
+    }
+
+    // --- Group assignment: round-robin within each class ---------------
+    // subgraph k of class c -> group k % G ("uniformly distributed").
+    // Final layout: group-major, class-minor, subgraph innermost.
+    out.perm.assign(size_t(g.numNodes()), -1);
+    NodeId cursor = 0;
+    int subgraph_counter = 0;
+    for (int grp = 0; grp < G; ++grp) {
+        out.groupBoundaries.push_back(cursor);
+        for (int c = 0; c < C; ++c) {
+            out.classBoundaries.push_back(cursor);
+            for (size_t k = 0; k < split[size_t(c)].size(); ++k) {
+                if (int(k) % G != grp)
+                    continue;
+                const auto &nodes = split[size_t(c)][k];
+                if (nodes.empty())
+                    continue;
+                DiagonalTile tile;
+                tile.classId = c;
+                tile.groupId = grp;
+                tile.subgraphId = subgraph_counter++;
+                tile.begin = cursor;
+                for (NodeId v : nodes)
+                    out.perm[size_t(v)] = cursor++;
+                tile.end = cursor;
+                out.tiles.push_back(tile);
+
+                SubgraphInfo info;
+                info.classId = c;
+                info.groupId = grp;
+                info.nodes = nodes;
+                out.subgraphs.push_back(std::move(info));
+            }
+        }
+    }
+    GCOD_ASSERT(cursor == g.numNodes(), "permutation does not cover graph");
+    return out;
+}
+
+WorkloadDescriptor
+workloadOf(const Partitioning &p, const CsrMatrix &reordered)
+{
+    return buildWorkload(reordered, p.tiles, p.opts.numClasses,
+                         p.opts.numGroups);
+}
+
+} // namespace gcod

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GCoD algorithm Step 1: split-and-conquer graph partitioning
+ * (Sec. IV-B1). Nodes are clustered into C degree classes, each class is
+ * split by the METIS-like partitioner into edge-balanced subgraphs, the
+ * subgraphs are distributed round-robin across G groups, and a node
+ * permutation is derived that lays the adjacency out as Fig. 2(a): groups
+ * outermost, classes within each group, subgraphs contiguous.
+ */
+#ifndef GCOD_GCOD_REORDER_HPP
+#define GCOD_GCOD_REORDER_HPP
+
+#include <vector>
+
+#include "gcod/workload.hpp"
+#include "graph/graph.hpp"
+#include "partition/degree_classes.hpp"
+#include "partition/metis_lite.hpp"
+
+namespace gcod {
+
+/** Step-1 configuration: the paper's two hyper-parameters C and S. */
+struct ReorderOptions
+{
+    int numClasses = 2;   ///< C: degree classes == accelerator chunks
+    int numSubgraphs = 8; ///< S: total subgraphs across all classes
+    int numGroups = 2;    ///< G: groups the subgraphs are spread over
+    uint64_t seed = 1;
+};
+
+/** One subgraph after Step 1 (original node ids). */
+struct SubgraphInfo
+{
+    int classId = 0;
+    int groupId = 0;
+    std::vector<NodeId> nodes;
+};
+
+/** Step-1 output: permutation plus tile layout in the reordered space. */
+struct Partitioning
+{
+    ReorderOptions opts;
+    /** perm[old] = new position. */
+    std::vector<NodeId> perm;
+    std::vector<SubgraphInfo> subgraphs;
+    /** Tile layout (reordered coordinates), ordered by group then class. */
+    std::vector<DiagonalTile> tiles;
+    /** Node indices (reordered) where a new group starts (Fig. 4 red). */
+    std::vector<NodeId> groupBoundaries;
+    /** Node indices (reordered) where a new class segment starts (green). */
+    std::vector<NodeId> classBoundaries;
+};
+
+/** Run Step 1 on a graph. */
+Partitioning reorderGraph(const Graph &g, const ReorderOptions &opts);
+
+/**
+ * Re-derive the tile nnz/statistics of a partitioning against a (possibly
+ * pruned) reordered adjacency.
+ */
+WorkloadDescriptor workloadOf(const Partitioning &p, const CsrMatrix &reordered);
+
+} // namespace gcod
+
+#endif // GCOD_GCOD_REORDER_HPP

@@ -1,0 +1,55 @@
+#include "structural.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+StructuralResult
+structuralSparsify(const CsrMatrix &adj, const StructuralOptions &opts)
+{
+    GCOD_ASSERT(adj.rows() == adj.cols(), "adjacency must be square");
+    StructuralResult res;
+
+    NodeId n = adj.rows();
+    NodeId patch = opts.patchSize > 0 ? opts.patchSize
+                                      : std::max<NodeId>(64, n / 16);
+    int64_t patches_per_dim = (int64_t(n) + patch - 1) / patch;
+    res.patchesTotal = patches_per_dim * patches_per_dim;
+
+    // Count nonzeros per unordered patch pair {(I,J),(J,I)}.
+    auto pairKey = [&](int64_t pi, int64_t pj) {
+        if (pi > pj)
+            std::swap(pi, pj);
+        return uint64_t(pi) * uint64_t(patches_per_dim) + uint64_t(pj);
+    };
+    std::unordered_map<uint64_t, EdgeOffset> patch_nnz;
+    adj.forEach([&](NodeId r, NodeId c, float) {
+        patch_nnz[pairKey(r / patch, c / patch)] += 1;
+    });
+    res.patchesEmpty = res.patchesTotal - 2 * int64_t(patch_nnz.size());
+
+    // A symmetric pair holds counts from both mirror patches, so compare
+    // against 2*eta (diagonal patches self-pair, same threshold logic).
+    std::unordered_map<uint64_t, bool> prune;
+    prune.reserve(patch_nnz.size());
+    for (auto [key, count] : patch_nnz) {
+        bool kill = count < 2 * opts.eta;
+        prune[key] = kill;
+        if (kill)
+            res.patchesPruned += 2;
+    }
+
+    EdgeOffset before = adj.nnz();
+    res.prunedAdj = adj.filtered([&](NodeId r, NodeId c, float) {
+        return !prune[pairKey(r / patch, c / patch)];
+    });
+    EdgeOffset after = res.prunedAdj.nnz();
+    res.removedFraction =
+        before > 0 ? double(before - after) / double(before) : 0.0;
+    return res;
+}
+
+} // namespace gcod

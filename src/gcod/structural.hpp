@@ -1,0 +1,53 @@
+/**
+ * @file
+ * GCoD algorithm Step 3: patch-based structural sparsification
+ * (Sec. IV-B1). The reordered adjacency is tiled into patchSize x
+ * patchSize patches; patches holding fewer than eta nonzeros are pruned
+ * entirely, creating the vacancies visible in Fig. 4 and letting the
+ * accelerator skip whole columns (Sec. V-B). Paper: eta in [10, 30],
+ * yielding 5-15% structural sparsity.
+ */
+#ifndef GCOD_GCOD_STRUCTURAL_HPP
+#define GCOD_GCOD_STRUCTURAL_HPP
+
+#include "graph/sparse.hpp"
+
+namespace gcod {
+
+/** Step-3 configuration. */
+struct StructuralOptions
+{
+    /**
+     * Patch edge length; 0 = auto. Patches are sub-blocks of the class
+     * tiles (Fig. 2), so auto resolves to max(64, rows/16) — and the
+     * pipeline overrides it with a tile-aware value, keeping the removed
+     * fraction in the paper's 5-15% band rather than wiping the whole
+     * off-diagonal region.
+     */
+    NodeId patchSize = 0;
+    /** Prune patches with 0 < nnz < eta (paper range 10-30). */
+    EdgeOffset eta = 10;
+};
+
+/** Step-3 outcome. */
+struct StructuralResult
+{
+    CsrMatrix prunedAdj;
+    /** Fraction of the input nonzeros removed (paper: up to ~10-15%). */
+    double removedFraction = 0.0;
+    int64_t patchesTotal = 0;
+    int64_t patchesPruned = 0;
+    int64_t patchesEmpty = 0;
+};
+
+/**
+ * Prune sparse patches of a symmetric adjacency. Patch (I, J) and its
+ * mirror (J, I) are pruned together (symmetry preserved): the pair goes
+ * when its combined count is below 2 * eta.
+ */
+StructuralResult structuralSparsify(const CsrMatrix &adj,
+                                    const StructuralOptions &opts = {});
+
+} // namespace gcod
+
+#endif // GCOD_GCOD_STRUCTURAL_HPP

@@ -1,0 +1,118 @@
+#include "workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+MatrixProfile
+profileMatrix(const CsrMatrix &m, NodeId band_width)
+{
+    MatrixProfile p;
+    p.rows = m.rows();
+    p.cols = m.cols();
+    p.nnz = m.nnz();
+    double cells = double(m.rows()) * double(m.cols());
+    p.density = cells > 0.0 ? double(p.nnz) / cells : 0.0;
+
+    StatDistribution row_d("row", ""), col_d("col", "");
+    p.colNnz.assign(size_t(m.cols()), 0);
+    EdgeOffset in_band = 0;
+    NodeId band = band_width > 0 ? band_width
+                                 : std::max<NodeId>(m.rows() / 16, 1);
+    m.forEach([&](NodeId r, NodeId c, float) {
+        p.colNnz[size_t(c)] += 1;
+        if (std::abs(int64_t(r) - int64_t(c)) <= int64_t(band) / 2)
+            ++in_band;
+    });
+    for (NodeId r = 0; r < m.rows(); ++r)
+        row_d.sample(double(m.rowNnz(r)));
+    size_t empty_cols = 0;
+    for (NodeId c = 0; c < m.cols(); ++c) {
+        col_d.sample(double(p.colNnz[size_t(c)]));
+        if (p.colNnz[size_t(c)] == 0)
+            ++empty_cols;
+    }
+    p.rowNnzMean = row_d.mean();
+    p.rowNnzCv = row_d.cv();
+    p.rowNnzMax = row_d.max();
+    p.colNnzMean = col_d.mean();
+    p.colNnzCv = col_d.cv();
+    p.colNnzMax = col_d.max();
+    p.diagonalBandFraction = p.nnz ? double(in_band) / double(p.nnz) : 0.0;
+    p.emptyColumnFraction =
+        m.cols() > 0 ? double(empty_cols) / double(m.cols()) : 0.0;
+    return p;
+}
+
+std::vector<double>
+WorkloadDescriptor::perClassImbalance() const
+{
+    std::vector<StatDistribution> per_class;
+    per_class.reserve(size_t(numClasses));
+    for (int c = 0; c < numClasses; ++c)
+        per_class.emplace_back("c", "");
+    for (const auto &t : tiles)
+        per_class[size_t(t.classId)].sample(double(t.nnz));
+    std::vector<double> out;
+    out.reserve(size_t(numClasses));
+    for (const auto &d : per_class)
+        out.push_back(d.count() ? d.imbalance() : 1.0);
+    return out;
+}
+
+WorkloadDescriptor
+buildWorkload(const CsrMatrix &adj, const std::vector<DiagonalTile> &tiles,
+              int num_classes, int num_groups)
+{
+    GCOD_ASSERT(adj.rows() == adj.cols(), "adjacency must be square");
+    WorkloadDescriptor wd;
+    wd.numNodes = adj.rows();
+    wd.totalNnz = adj.nnz();
+    wd.numClasses = num_classes;
+    wd.numGroups = num_groups;
+    wd.tiles = tiles;
+    wd.classNnz.assign(size_t(num_classes), 0);
+    wd.offDiagColNnz.assign(size_t(adj.cols()), 0);
+
+    // Validate coverage and build node -> tile lookup.
+    std::vector<int> tile_of(size_t(adj.rows()), -1);
+    NodeId covered = 0;
+    for (size_t t = 0; t < tiles.size(); ++t) {
+        GCOD_ASSERT(tiles[t].begin >= 0 && tiles[t].end <= adj.rows() &&
+                        tiles[t].begin <= tiles[t].end,
+                    "tile range invalid");
+        for (NodeId v = tiles[t].begin; v < tiles[t].end; ++v) {
+            GCOD_ASSERT(tile_of[size_t(v)] == -1, "tiles overlap");
+            tile_of[size_t(v)] = int(t);
+        }
+        covered += tiles[t].size();
+    }
+    GCOD_ASSERT(covered == adj.rows(), "tiles must cover all nodes");
+
+    for (auto &t : wd.tiles)
+        t.nnz = 0;
+    adj.forEach([&](NodeId r, NodeId c, float) {
+        int tr = tile_of[size_t(r)];
+        if (tr == tile_of[size_t(c)]) {
+            wd.tiles[size_t(tr)].nnz += 1;
+            wd.diagNnz += 1;
+            wd.classNnz[size_t(wd.tiles[size_t(tr)].classId)] += 1;
+        } else {
+            wd.offDiagNnz += 1;
+            wd.offDiagColNnz[size_t(c)] += 1;
+        }
+    });
+
+    size_t empty = 0;
+    for (EdgeOffset n : wd.offDiagColNnz)
+        if (n == 0)
+            ++empty;
+    wd.offDiagEmptyColFraction =
+        adj.cols() > 0 ? double(empty) / double(adj.cols()) : 0.0;
+    return wd;
+}
+
+} // namespace gcod

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Workload descriptors: the structural summaries of (processed) adjacency
+ * matrices that the accelerator simulators consume.
+ *
+ * The simulators are cycle-accurate at tile granularity: they never touch
+ * individual nonzeros at simulation time, only per-tile/per-column counts
+ * extracted here once, which keeps Reddit-scale simulation fast while
+ * remaining faithful to the real sparsity structure.
+ */
+#ifndef GCOD_GCOD_WORKLOAD_HPP
+#define GCOD_GCOD_WORKLOAD_HPP
+
+#include <vector>
+
+#include "graph/sparse.hpp"
+#include "sim/stats.hpp"
+
+namespace gcod {
+
+/**
+ * Structure profile of an arbitrary sparse matrix (used for the baseline
+ * accelerators, which see the unprocessed adjacency).
+ */
+struct MatrixProfile
+{
+    NodeId rows = 0;
+    NodeId cols = 0;
+    EdgeOffset nnz = 0;
+    double density = 0.0;
+    /** Row-nnz distribution: drives gathered-aggregation irregularity. */
+    double rowNnzMean = 0.0, rowNnzCv = 0.0, rowNnzMax = 0.0;
+    /** Column-nnz distribution: drives distributed-aggregation imbalance. */
+    double colNnzMean = 0.0, colNnzCv = 0.0, colNnzMax = 0.0;
+    /** Fraction of nonzeros within a +-bandwidth/2 diagonal band. */
+    double diagonalBandFraction = 0.0;
+    /** Fraction of empty columns (skippable by column-wise dataflows). */
+    double emptyColumnFraction = 0.0;
+
+    /** Per-column nnz histogram retained for exact balance simulation. */
+    std::vector<EdgeOffset> colNnz;
+};
+
+/** Extract a MatrixProfile; band fraction uses bandCells-wide diagonal. */
+MatrixProfile profileMatrix(const CsrMatrix &m, NodeId band_width = 0);
+
+/** One diagonal subgraph tile of the GCoD-processed adjacency. */
+struct DiagonalTile
+{
+    int classId = 0;
+    int groupId = 0;
+    int subgraphId = 0;
+    NodeId begin = 0; ///< first node (row and col) of the tile
+    NodeId end = 0;   ///< one-past-last node
+    EdgeOffset nnz = 0;
+
+    NodeId size() const { return end - begin; }
+};
+
+/**
+ * Complete workload description of a GCoD-processed adjacency matrix:
+ * the denser-branch diagonal tiles plus the sparser off-diagonal remainder.
+ */
+struct WorkloadDescriptor
+{
+    NodeId numNodes = 0;
+    EdgeOffset totalNnz = 0;
+    int numClasses = 0;
+    int numGroups = 0;
+
+    std::vector<DiagonalTile> tiles;
+    /** Nonzeros inside diagonal tiles (the denser workload). */
+    EdgeOffset diagNnz = 0;
+    /** Off-diagonal nonzeros (the sparser workload). */
+    EdgeOffset offDiagNnz = 0;
+    /** Per-column nnz of the off-diagonal remainder (sparser branch). */
+    std::vector<EdgeOffset> offDiagColNnz;
+    /** Per-class total diagonal nnz (chunk resource allocation). */
+    std::vector<EdgeOffset> classNnz;
+    /** Fraction of off-diagonal columns that are entirely empty. */
+    double offDiagEmptyColFraction = 0.0;
+
+    /** Share of all nonzeros in the sparser branch (paper: ~30% on Cora). */
+    double
+    offDiagFraction() const
+    {
+        return totalNnz ? double(offDiagNnz) / double(totalNnz) : 0.0;
+    }
+
+    /** Tile-nnz imbalance (max/mean) within each class. */
+    std::vector<double> perClassImbalance() const;
+};
+
+/**
+ * Build the descriptor from a (reordered) adjacency and the tile layout.
+ * Tiles must be non-overlapping, sorted, and cover [0, numNodes).
+ */
+WorkloadDescriptor buildWorkload(const CsrMatrix &adj,
+                                 const std::vector<DiagonalTile> &tiles,
+                                 int num_classes, int num_groups);
+
+} // namespace gcod
+
+#endif // GCOD_GCOD_WORKLOAD_HPP

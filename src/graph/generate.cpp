@@ -1,0 +1,207 @@
+#include "generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+namespace {
+
+/** Pack an undirected edge into one 64-bit key for dedup sets. */
+uint64_t
+edgeKey(NodeId u, NodeId v)
+{
+    if (u > v)
+        std::swap(u, v);
+    return (uint64_t(uint32_t(u)) << 32) | uint64_t(uint32_t(v));
+}
+
+/**
+ * Cumulative-weight sampler over node propensities. Sampling is a binary
+ * search over the prefix-sum array: O(log n) per draw.
+ */
+class WeightedSampler
+{
+  public:
+    WeightedSampler(const std::vector<NodeId> &nodes,
+                    const std::vector<double> &theta)
+        : nodes_(nodes)
+    {
+        prefix_.resize(nodes.size());
+        double acc = 0.0;
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            acc += theta[size_t(nodes[i])];
+            prefix_[i] = acc;
+        }
+    }
+
+    NodeId
+    sample(Rng &rng) const
+    {
+        double r = rng.uniformReal(0.0, prefix_.back());
+        auto it = std::lower_bound(prefix_.begin(), prefix_.end(), r);
+        size_t idx = size_t(it - prefix_.begin());
+        if (idx >= nodes_.size())
+            idx = nodes_.size() - 1;
+        return nodes_[idx];
+    }
+
+  private:
+    std::vector<NodeId> nodes_;
+    std::vector<double> prefix_;
+};
+
+} // namespace
+
+Graph
+erdosRenyi(NodeId n, EdgeOffset m, Rng &rng)
+{
+    GCOD_ASSERT(n >= 2, "erdosRenyi needs >= 2 nodes");
+    EdgeOffset max_edges = EdgeOffset(n) * (EdgeOffset(n) - 1) / 2;
+    GCOD_ASSERT(m <= max_edges, "erdosRenyi: too many edges requested");
+    std::unordered_set<uint64_t> seen;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(size_t(m));
+    while (EdgeOffset(edges.size()) < m) {
+        NodeId u = NodeId(rng.uniformInt(0, n - 1));
+        NodeId v = NodeId(rng.uniformInt(0, n - 1));
+        if (u == v)
+            continue;
+        if (seen.insert(edgeKey(u, v)).second)
+            edges.emplace_back(u, v);
+    }
+    return Graph(n, edges);
+}
+
+Graph
+barabasiAlbert(NodeId n, NodeId m_attach, Rng &rng)
+{
+    GCOD_ASSERT(n > m_attach && m_attach >= 1, "barabasiAlbert parameters");
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    // Repeated-endpoint list: picking uniformly from it is preferential
+    // attachment because nodes appear proportional to their degree.
+    std::vector<NodeId> endpoints;
+    // Seed clique over the first m_attach+1 nodes.
+    for (NodeId u = 0; u <= m_attach; ++u) {
+        for (NodeId v = u + 1; v <= m_attach; ++v) {
+            edges.emplace_back(u, v);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+        }
+    }
+    std::unordered_set<uint64_t> seen;
+    for (const auto &[u, v] : edges)
+        seen.insert(edgeKey(u, v));
+    for (NodeId u = m_attach + 1; u < n; ++u) {
+        NodeId added = 0;
+        size_t guard = 0;
+        while (added < m_attach && guard < 64 * size_t(m_attach)) {
+            ++guard;
+            NodeId v = endpoints[size_t(
+                rng.uniformInt(0, int64_t(endpoints.size()) - 1))];
+            if (v == u || !seen.insert(edgeKey(u, v)).second)
+                continue;
+            edges.emplace_back(u, v);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+            ++added;
+        }
+    }
+    return Graph(n, edges);
+}
+
+Graph
+rmat(NodeId n, EdgeOffset m, double a, double b, double c, Rng &rng)
+{
+    double d = 1.0 - a - b - c;
+    GCOD_ASSERT(d >= 0.0, "rmat probabilities must sum to <= 1");
+    int scale = 0;
+    while ((NodeId(1) << scale) < n)
+        ++scale;
+    std::unordered_set<uint64_t> seen;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(size_t(m));
+    size_t guard = 0, guard_max = size_t(m) * 64;
+    while (EdgeOffset(edges.size()) < m && guard++ < guard_max) {
+        NodeId u = 0, v = 0;
+        for (int bit = 0; bit < scale; ++bit) {
+            double r = rng.uniformReal();
+            if (r < a) {
+                // upper-left quadrant: no bits set
+            } else if (r < a + b) {
+                v |= NodeId(1) << bit;
+            } else if (r < a + b + c) {
+                u |= NodeId(1) << bit;
+            } else {
+                u |= NodeId(1) << bit;
+                v |= NodeId(1) << bit;
+            }
+        }
+        if (u >= n || v >= n || u == v)
+            continue;
+        if (seen.insert(edgeKey(u, v)).second)
+            edges.emplace_back(u, v);
+    }
+    return Graph(n, edges);
+}
+
+Graph
+degreeCorrectedSbm(NodeId n, EdgeOffset m, int num_classes, double p_intra,
+                   double gamma, std::vector<int> &labels_out, Rng &rng)
+{
+    GCOD_ASSERT(num_classes >= 1, "need at least one class");
+    GCOD_ASSERT(p_intra >= 0.0 && p_intra <= 1.0, "p_intra out of range");
+
+    // Balanced planted labels, shuffled so that communities are not
+    // contiguous in node-id space (GCoD's reordering has to earn it).
+    labels_out.assign(size_t(n), 0);
+    for (NodeId i = 0; i < n; ++i)
+        labels_out[size_t(i)] = int(i) % num_classes;
+    rng.shuffle(labels_out);
+
+    // Power-law degree propensities theta_i ~ (1-u)^{-1/(gamma-1)},
+    // the standard inverse-CDF transform for a Pareto tail.
+    std::vector<double> theta(static_cast<size_t>(n));
+    double expo = 1.0 / std::max(gamma - 1.0, 0.1);
+    for (NodeId i = 0; i < n; ++i) {
+        double u = rng.uniformReal(0.0, 0.999999);
+        theta[size_t(i)] = std::pow(1.0 - u, -expo);
+    }
+
+    std::vector<NodeId> all(static_cast<size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    WeightedSampler global(all, theta);
+
+    std::vector<std::vector<NodeId>> by_class(static_cast<size_t>(num_classes));
+    for (NodeId i = 0; i < n; ++i)
+        by_class[size_t(labels_out[size_t(i)])].push_back(i);
+    std::vector<WeightedSampler> class_samplers;
+    class_samplers.reserve(size_t(num_classes));
+    for (int c = 0; c < num_classes; ++c)
+        class_samplers.emplace_back(by_class[size_t(c)], theta);
+
+    std::unordered_set<uint64_t> seen;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(size_t(m));
+    size_t guard = 0, guard_max = size_t(m) * 64;
+    while (EdgeOffset(edges.size()) < m && guard++ < guard_max) {
+        NodeId u = global.sample(rng);
+        NodeId v;
+        if (rng.bernoulli(p_intra)) {
+            v = class_samplers[size_t(labels_out[size_t(u)])].sample(rng);
+        } else {
+            v = global.sample(rng);
+        }
+        if (u == v)
+            continue;
+        if (seen.insert(edgeKey(u, v)).second)
+            edges.emplace_back(u, v);
+    }
+    return Graph(n, edges);
+}
+
+} // namespace gcod

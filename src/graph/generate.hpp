@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * Real datasets from the paper (Tab. III) are not redistributable inside
+ * this repository, so experiments run on synthetic graphs whose structural
+ * statistics are matched to each dataset: node/edge counts, power-law
+ * degree distributions (the irregularity that motivates GCoD), and planted
+ * community structure (so accuracy experiments are meaningful).
+ */
+#ifndef GCOD_GRAPH_GENERATE_HPP
+#define GCOD_GRAPH_GENERATE_HPP
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace gcod {
+
+/** G(n, m): uniformly random m undirected edges (no power law). */
+Graph erdosRenyi(NodeId n, EdgeOffset m, Rng &rng);
+
+/**
+ * Barabási–Albert preferential attachment: each new node attaches to
+ * @p m_attach existing nodes with probability proportional to degree,
+ * producing the power-law degree distribution real graphs exhibit.
+ */
+Graph barabasiAlbert(NodeId n, NodeId m_attach, Rng &rng);
+
+/**
+ * R-MAT recursive matrix generator (Chakrabarti et al.), the classic
+ * skewed generator used by graph-accelerator papers. Partition
+ * probabilities (a, b, c, d) must sum to 1.
+ */
+Graph rmat(NodeId n, EdgeOffset m, double a, double b, double c, Rng &rng);
+
+/**
+ * Degree-corrected stochastic block model: the workhorse generator behind
+ * each dataset profile.
+ *
+ * Nodes receive a class label (balanced across @p num_classes) and a
+ * power-law degree propensity with exponent @p gamma. Edges are sampled
+ * endpoint-by-endpoint proportional to propensity; with probability
+ * @p p_intra the second endpoint is drawn from the first endpoint's class
+ * (community structure), otherwise globally.
+ *
+ * @param n            node count
+ * @param m            target undirected edge count (duplicates resampled)
+ * @param num_classes  number of planted communities
+ * @param p_intra      probability an edge stays within a community
+ * @param gamma        power-law exponent for the propensity distribution
+ * @param labels_out   receives the planted class label per node
+ */
+Graph degreeCorrectedSbm(NodeId n, EdgeOffset m, int num_classes,
+                         double p_intra, double gamma,
+                         std::vector<int> &labels_out, Rng &rng);
+
+} // namespace gcod
+
+#endif // GCOD_GRAPH_GENERATE_HPP

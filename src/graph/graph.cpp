@@ -1,0 +1,157 @@
+#include "graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <queue>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+Graph::Graph(NodeId num_nodes,
+             const std::vector<std::pair<NodeId, NodeId>> &edges)
+{
+    CooMatrix coo(num_nodes, num_nodes);
+    for (auto [u, v] : edges) {
+        GCOD_ASSERT(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes,
+                    "edge endpoint out of range");
+        if (u == v)
+            continue;
+        coo.add(u, v, 1.0f);
+        coo.add(v, u, 1.0f);
+    }
+    adj_ = coo.toCsr();
+    // Coalescing sums duplicates; renormalize the pattern to binary.
+    for (auto &v : adj_.values())
+        v = 1.0f;
+    computeDegrees();
+}
+
+Graph::Graph(CsrMatrix adjacency) : adj_(std::move(adjacency))
+{
+    GCOD_ASSERT(adj_.rows() == adj_.cols(), "adjacency must be square");
+    computeDegrees();
+}
+
+void
+Graph::computeDegrees()
+{
+    degrees_.assign(size_t(adj_.rows()), 0);
+    for (NodeId r = 0; r < adj_.rows(); ++r)
+        degrees_[size_t(r)] = NodeId(adj_.rowNnz(r));
+}
+
+NodeId
+Graph::maxDegree() const
+{
+    if (degrees_.empty())
+        return 0;
+    return *std::max_element(degrees_.begin(), degrees_.end());
+}
+
+double
+Graph::averageDegree() const
+{
+    if (degrees_.empty())
+        return 0.0;
+    double sum = std::accumulate(degrees_.begin(), degrees_.end(), 0.0);
+    return sum / double(degrees_.size());
+}
+
+CsrMatrix
+Graph::normalizedAdjacency() const
+{
+    NodeId n = numNodes();
+    // Degree including the self loop added by the renormalization trick.
+    std::vector<float> inv_sqrt(static_cast<size_t>(n));
+    for (NodeId i = 0; i < n; ++i)
+        inv_sqrt[size_t(i)] = 1.0f / std::sqrt(float(degrees_[size_t(i)]) + 1.0f);
+
+    CooMatrix coo(n, n);
+    adj_.forEach([&](NodeId r, NodeId c, float) {
+        coo.add(r, c, inv_sqrt[size_t(r)] * inv_sqrt[size_t(c)]);
+    });
+    for (NodeId i = 0; i < n; ++i)
+        coo.add(i, i, inv_sqrt[size_t(i)] * inv_sqrt[size_t(i)]);
+    return coo.toCsr();
+}
+
+Graph
+Graph::permuted(const std::vector<NodeId> &perm) const
+{
+    return Graph(adj_.permuted(perm));
+}
+
+Graph
+Graph::inducedSubgraph(const std::vector<NodeId> &nodes) const
+{
+    std::vector<NodeId> relabel(size_t(numNodes()), -1);
+    for (size_t i = 0; i < nodes.size(); ++i)
+        relabel[size_t(nodes[i])] = NodeId(i);
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId u : nodes) {
+        adj_.forEachInRow(u, [&](NodeId v, float) {
+            NodeId ru = relabel[size_t(u)], rv = relabel[size_t(v)];
+            if (rv >= 0 && ru < rv)
+                edges.emplace_back(ru, rv);
+        });
+    }
+    return Graph(NodeId(nodes.size()), edges);
+}
+
+std::vector<NodeId>
+Graph::connectedComponents() const
+{
+    NodeId n = numNodes();
+    std::vector<NodeId> comp(size_t(n), -1);
+    NodeId next = 0;
+    for (NodeId s = 0; s < n; ++s) {
+        if (comp[size_t(s)] >= 0)
+            continue;
+        std::queue<NodeId> q;
+        q.push(s);
+        comp[size_t(s)] = next;
+        while (!q.empty()) {
+            NodeId u = q.front();
+            q.pop();
+            adj_.forEachInRow(u, [&](NodeId v, float) {
+                if (comp[size_t(v)] < 0) {
+                    comp[size_t(v)] = next;
+                    q.push(v);
+                }
+            });
+        }
+        ++next;
+    }
+    return comp;
+}
+
+double
+Graph::degreeDistributionSlope() const
+{
+    std::map<NodeId, size_t> counts;
+    for (NodeId d : degrees_)
+        if (d >= 1)
+            counts[d] += 1;
+    if (counts.size() < 2)
+        return 0.0;
+    // Least-squares slope of log(count) against log(degree).
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    double n = double(counts.size());
+    for (auto [d, c] : counts) {
+        double x = std::log(double(d));
+        double y = std::log(double(c));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    double denom = n * sxx - sx * sx;
+    if (std::fabs(denom) < 1e-12)
+        return 0.0;
+    return (n * sxy - sx * sy) / denom;
+}
+
+} // namespace gcod

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Graph abstraction: an undirected simple graph stored as a symmetric
+ * CSR adjacency, plus the GCN-specific normalized adjacency
+ * \f$\hat A = D^{-1/2} (A + I) D^{-1/2}\f$ (Kipf & Welling renormalization).
+ */
+#ifndef GCOD_GRAPH_GRAPH_HPP
+#define GCOD_GRAPH_GRAPH_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/sparse.hpp"
+
+namespace gcod {
+
+/**
+ * An undirected graph over nodes [0, N). Construction symmetrizes and
+ * deduplicates the provided edge list and removes self loops (the GCN
+ * normalization re-adds them).
+ */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Build from an undirected edge list. */
+    Graph(NodeId num_nodes, const std::vector<std::pair<NodeId, NodeId>> &edges);
+
+    /** Wrap an existing symmetric adjacency (values ignored, pattern kept). */
+    explicit Graph(CsrMatrix adjacency);
+
+    NodeId numNodes() const { return adj_.rows(); }
+
+    /** Undirected edge count (half the stored nonzeros). */
+    EdgeOffset numEdges() const { return adj_.nnz() / 2; }
+
+    /** Symmetric binary adjacency (no self loops). */
+    const CsrMatrix &adjacency() const { return adj_; }
+
+    /** Node degrees (number of neighbours). */
+    const std::vector<NodeId> &degrees() const { return degrees_; }
+
+    NodeId maxDegree() const;
+    double averageDegree() const;
+
+    /**
+     * GCN-normalized adjacency with self loops:
+     * \f$\hat A = D^{-1/2}(A+I)D^{-1/2}\f$.
+     */
+    CsrMatrix normalizedAdjacency() const;
+
+    /** Relabel nodes: node v becomes perm[v]. */
+    Graph permuted(const std::vector<NodeId> &perm) const;
+
+    /** Induced subgraph over the given (sorted or unsorted) node set. */
+    Graph inducedSubgraph(const std::vector<NodeId> &nodes) const;
+
+    /** Connected component id per node (BFS). */
+    std::vector<NodeId> connectedComponents() const;
+
+    /**
+     * Power-law fit diagnostic: returns the slope of log(count) vs
+     * log(degree) over degrees >= 1 (expected to be strongly negative for
+     * real-world graphs; near 0 for Erdős–Rényi).
+     */
+    double degreeDistributionSlope() const;
+
+  private:
+    CsrMatrix adj_;
+    std::vector<NodeId> degrees_;
+
+    void computeDegrees();
+};
+
+} // namespace gcod
+
+#endif // GCOD_GRAPH_GRAPH_HPP

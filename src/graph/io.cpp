@@ -1,0 +1,129 @@
+#include "io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+namespace {
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f)
+        GCOD_FATAL("cannot open '", path, "' for writing");
+    return f;
+}
+
+std::ifstream
+openIn(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        GCOD_FATAL("cannot open '", path, "' for reading");
+    return f;
+}
+
+} // namespace
+
+void
+saveEdgeList(const Graph &g, const std::string &path)
+{
+    std::ofstream f = openOut(path);
+    f << "# nodes " << g.numNodes() << " edges " << g.numEdges() << "\n";
+    g.adjacency().forEach([&](NodeId r, NodeId c, float) {
+        if (r < c)
+            f << r << " " << c << "\n";
+    });
+}
+
+Graph
+loadEdgeList(const std::string &path)
+{
+    std::ifstream f = openIn(path);
+    std::string line;
+    NodeId n = 0;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    while (std::getline(f, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream is(line);
+            std::string hash, key;
+            is >> hash >> key;
+            if (key == "nodes")
+                is >> n;
+            continue;
+        }
+        std::istringstream is(line);
+        NodeId u, v;
+        if (!(is >> u >> v))
+            GCOD_FATAL("malformed edge line in '", path, "': ", line);
+        edges.emplace_back(u, v);
+        n = std::max({n, NodeId(u + 1), NodeId(v + 1)});
+    }
+    return Graph(n, edges);
+}
+
+void
+saveMatrixMarket(const CsrMatrix &m, const std::string &path)
+{
+    std::ofstream f = openOut(path);
+    f << "%%MatrixMarket matrix coordinate real general\n";
+    f << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    m.forEach([&](NodeId r, NodeId c, float v) {
+        f << (r + 1) << " " << (c + 1) << " " << v << "\n";
+    });
+}
+
+CsrMatrix
+loadMatrixMarket(const std::string &path)
+{
+    std::ifstream f = openIn(path);
+    std::string line;
+    // Skip banner and comments.
+    do {
+        if (!std::getline(f, line))
+            GCOD_FATAL("'", path, "' is empty");
+    } while (!line.empty() && line[0] == '%');
+
+    std::istringstream header(line);
+    NodeId rows, cols;
+    EdgeOffset nnz;
+    if (!(header >> rows >> cols >> nnz))
+        GCOD_FATAL("malformed MatrixMarket header in '", path, "'");
+
+    CooMatrix coo(rows, cols);
+    for (EdgeOffset i = 0; i < nnz; ++i) {
+        NodeId r, c;
+        float v;
+        if (!(f >> r >> c >> v))
+            GCOD_FATAL("truncated MatrixMarket body in '", path, "'");
+        coo.add(r - 1, c - 1, v);
+    }
+    return coo.toCsr();
+}
+
+void
+saveLabels(const std::vector<int> &labels, const std::string &path)
+{
+    std::ofstream f = openOut(path);
+    for (int l : labels)
+        f << l << "\n";
+}
+
+std::vector<int>
+loadLabels(const std::string &path)
+{
+    std::ifstream f = openIn(path);
+    std::vector<int> labels;
+    int l;
+    while (f >> l)
+        labels.push_back(l);
+    return labels;
+}
+
+} // namespace gcod

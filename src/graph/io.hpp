@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Graph and matrix serialization: a simple edge-list text format for
+ * graphs (compatible with common SNAP-style dumps) and MatrixMarket
+ * coordinate format for sparse matrices, so processed graphs, planted
+ * labels, and GCoD workloads can be cached across runs or inspected with
+ * external tooling.
+ */
+#ifndef GCOD_GRAPH_IO_HPP
+#define GCOD_GRAPH_IO_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcod {
+
+/**
+ * Write a graph as an edge-list text file:
+ *   line 1: "# nodes <N> edges <M>"
+ *   then one "u v" pair per undirected edge (u < v).
+ */
+void saveEdgeList(const Graph &g, const std::string &path);
+
+/** Load a graph written by saveEdgeList (or any "u v" line format). */
+Graph loadEdgeList(const std::string &path);
+
+/** Write a sparse matrix in MatrixMarket coordinate format (1-based). */
+void saveMatrixMarket(const CsrMatrix &m, const std::string &path);
+
+/** Load a MatrixMarket coordinate file (general, real). */
+CsrMatrix loadMatrixMarket(const std::string &path);
+
+/** Write integer labels, one per line. */
+void saveLabels(const std::vector<int> &labels, const std::string &path);
+
+/** Load labels written by saveLabels. */
+std::vector<int> loadLabels(const std::string &path);
+
+} // namespace gcod
+
+#endif // GCOD_GRAPH_IO_HPP

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dataset profiles matching Tab. III of the paper, plus synthesis of a
+ * structurally equivalent graph (and planted labels) at a configurable
+ * scale.
+ */
+#ifndef GCOD_GRAPH_PROFILES_HPP
+#define GCOD_GRAPH_PROFILES_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/generate.hpp"
+#include "graph/graph.hpp"
+
+namespace gcod {
+
+/**
+ * Published statistics of one benchmark dataset (paper Tab. III) together
+ * with generator knobs that reproduce its structural character.
+ */
+struct DatasetProfile
+{
+    std::string name;
+    NodeId nodes;
+    EdgeOffset edges;
+    int features;       ///< published feature dimension (used by cost models)
+    int classes;        ///< label classes
+    double storageMB;   ///< paper-reported storage footprint
+    double featureDensity; ///< density of the input feature matrix X
+    double pIntra;      ///< community-edge probability for synthesis
+    double gamma;       ///< power-law exponent for synthesis
+    int trainFeatureCap;///< feature dim cap when materializing training data
+};
+
+/** The six datasets the paper evaluates (Tab. III). */
+const std::vector<DatasetProfile> &allProfiles();
+
+/** Lookup by case-sensitive name ("Cora", ..., "Reddit"); fatal if absent. */
+const DatasetProfile &profileByName(const std::string &name);
+
+/** The three citation graphs used in Figs. 4 & 9. */
+std::vector<std::string> citationDatasetNames();
+
+/** The large graphs used in Fig. 10. */
+std::vector<std::string> largeDatasetNames();
+
+/**
+ * A synthesized dataset instance: the graph plus planted labels.
+ * Feature materialization lives in src/nn (it needs the tensor library).
+ */
+struct SyntheticGraph
+{
+    DatasetProfile profile;  ///< profile at the *scaled* size
+    DatasetProfile original; ///< unscaled published statistics
+    Graph graph;
+    std::vector<int> labels;
+    double scale = 1.0;
+};
+
+/**
+ * Instantiate a profile as a degree-corrected SBM graph.
+ *
+ * @param scale   shrinks nodes and edges by this factor (degree
+ *                distribution and density character preserved); 1.0 is the
+ *                published size.
+ */
+SyntheticGraph synthesize(const DatasetProfile &profile, double scale,
+                          Rng &rng);
+
+} // namespace gcod
+
+#endif // GCOD_GRAPH_PROFILES_HPP

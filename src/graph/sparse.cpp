@@ -1,0 +1,208 @@
+#include "sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+void
+CooMatrix::coalesce()
+{
+    std::sort(entries_.begin(), entries_.end(),
+              [](const CooEntry &a, const CooEntry &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    std::vector<CooEntry> merged;
+    merged.reserve(entries_.size());
+    for (const auto &e : entries_) {
+        if (!merged.empty() && merged.back().row == e.row &&
+            merged.back().col == e.col) {
+            merged.back().value += e.value;
+        } else {
+            merged.push_back(e);
+        }
+    }
+    entries_ = std::move(merged);
+}
+
+CsrMatrix
+CooMatrix::toCsr() const
+{
+    CooMatrix sorted = *this;
+    sorted.coalesce();
+    std::vector<EdgeOffset> indptr(size_t(rows_) + 1, 0);
+    std::vector<NodeId> indices;
+    std::vector<float> values;
+    indices.reserve(sorted.entries().size());
+    values.reserve(sorted.entries().size());
+    for (const auto &e : sorted.entries()) {
+        GCOD_ASSERT(e.row >= 0 && e.row < rows_, "COO row out of bounds");
+        GCOD_ASSERT(e.col >= 0 && e.col < cols_, "COO col out of bounds");
+        indptr[size_t(e.row) + 1] += 1;
+        indices.push_back(e.col);
+        values.push_back(e.value);
+    }
+    for (size_t r = 0; r < size_t(rows_); ++r)
+        indptr[r + 1] += indptr[r];
+    return CsrMatrix(rows_, cols_, std::move(indptr), std::move(indices),
+                     std::move(values));
+}
+
+CsrMatrix::CsrMatrix(NodeId rows, NodeId cols,
+                     std::vector<EdgeOffset> indptr,
+                     std::vector<NodeId> indices, std::vector<float> values)
+    : rows_(rows), cols_(cols), indptr_(std::move(indptr)),
+      indices_(std::move(indices)), values_(std::move(values))
+{
+    GCOD_ASSERT(indptr_.size() == size_t(rows_) + 1,
+                "CSR indptr size mismatch");
+    GCOD_ASSERT(indices_.size() == values_.size(),
+                "CSR indices/values size mismatch");
+    GCOD_ASSERT(indptr_.front() == 0, "CSR indptr must start at 0");
+    GCOD_ASSERT(indptr_.back() == EdgeOffset(indices_.size()),
+                "CSR indptr end mismatch");
+    for (size_t r = 0; r < size_t(rows_); ++r)
+        GCOD_ASSERT(indptr_[r] <= indptr_[r + 1], "CSR indptr not monotone");
+}
+
+float
+CsrMatrix::at(NodeId r, NodeId c) const
+{
+    GCOD_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "CSR at() out of bounds");
+    auto begin = indices_.begin() + indptr_[size_t(r)];
+    auto end = indices_.begin() + indptr_[size_t(r) + 1];
+    auto it = std::lower_bound(begin, end, c);
+    if (it != end && *it == c)
+        return values_[size_t(it - indices_.begin())];
+    return 0.0f;
+}
+
+CsrMatrix
+CsrMatrix::transpose() const
+{
+    std::vector<EdgeOffset> tptr(size_t(cols_) + 1, 0);
+    for (NodeId c : indices_)
+        tptr[size_t(c) + 1] += 1;
+    for (size_t c = 0; c < size_t(cols_); ++c)
+        tptr[c + 1] += tptr[c];
+    std::vector<NodeId> tidx(indices_.size());
+    std::vector<float> tval(values_.size());
+    std::vector<EdgeOffset> cursor(tptr.begin(), tptr.end() - 1);
+    for (NodeId r = 0; r < rows_; ++r) {
+        for (EdgeOffset k = indptr_[size_t(r)]; k < indptr_[size_t(r) + 1];
+             ++k) {
+            NodeId c = indices_[size_t(k)];
+            EdgeOffset dst = cursor[size_t(c)]++;
+            tidx[size_t(dst)] = r;
+            tval[size_t(dst)] = values_[size_t(k)];
+        }
+    }
+    return CsrMatrix(cols_, rows_, std::move(tptr), std::move(tidx),
+                     std::move(tval));
+}
+
+CooMatrix
+CsrMatrix::toCoo() const
+{
+    CooMatrix coo(rows_, cols_);
+    forEach([&](NodeId r, NodeId c, float v) { coo.add(r, c, v); });
+    return coo;
+}
+
+CscMatrix
+CsrMatrix::toCsc() const
+{
+    CsrMatrix t = transpose();
+    // A^T in CSR is exactly A in CSC: colptr = t.indptr, rowidx = t.indices.
+    return CscMatrix(rows_, cols_,
+                     std::vector<EdgeOffset>(t.indptr()),
+                     std::vector<NodeId>(t.indices()),
+                     std::vector<float>(t.values()));
+}
+
+CsrMatrix
+CsrMatrix::permuted(const std::vector<NodeId> &perm) const
+{
+    GCOD_ASSERT(rows_ == cols_, "symmetric permutation needs square matrix");
+    GCOD_ASSERT(perm.size() == size_t(rows_), "permutation size mismatch");
+    CooMatrix coo(rows_, cols_);
+    forEach([&](NodeId r, NodeId c, float v) {
+        coo.add(perm[size_t(r)], perm[size_t(c)], v);
+    });
+    return coo.toCsr();
+}
+
+CsrMatrix
+CsrMatrix::filtered(
+    const std::function<bool(NodeId, NodeId, float)> &keep) const
+{
+    CooMatrix coo(rows_, cols_);
+    forEach([&](NodeId r, NodeId c, float v) {
+        if (keep(r, c, v))
+            coo.add(r, c, v);
+    });
+    return coo.toCsr();
+}
+
+double
+CsrMatrix::sparsity() const
+{
+    double cells = double(rows_) * double(cols_);
+    if (cells == 0.0)
+        return 1.0;
+    return 1.0 - double(nnz()) / cells;
+}
+
+bool
+CsrMatrix::isSymmetric(float eps) const
+{
+    if (rows_ != cols_)
+        return false;
+    bool sym = true;
+    forEach([&](NodeId r, NodeId c, float v) {
+        if (std::fabs(at(c, r) - v) > eps)
+            sym = false;
+    });
+    return sym;
+}
+
+CscMatrix::CscMatrix(NodeId rows, NodeId cols,
+                     std::vector<EdgeOffset> colptr,
+                     std::vector<NodeId> rowidx, std::vector<float> values)
+    : rows_(rows), cols_(cols), colptr_(std::move(colptr)),
+      rowidx_(std::move(rowidx)), values_(std::move(values))
+{
+    GCOD_ASSERT(colptr_.size() == size_t(cols_) + 1,
+                "CSC colptr size mismatch");
+    GCOD_ASSERT(rowidx_.size() == values_.size(),
+                "CSC rowidx/values size mismatch");
+}
+
+double
+CscMatrix::storageBytes(int index_bits, int value_bits) const
+{
+    double idx = double(index_bits) / 8.0;
+    double val = double(value_bits) / 8.0;
+    return double(colptr_.size()) * 8.0 + double(nnz()) * (idx + val);
+}
+
+double
+cooStorageBytes(EdgeOffset nnz, int index_bits, int value_bits)
+{
+    double idx = double(index_bits) / 8.0;
+    double val = double(value_bits) / 8.0;
+    return double(nnz) * (2.0 * idx + val);
+}
+
+double
+csrStorageBytes(NodeId rows, EdgeOffset nnz, int index_bits, int value_bits)
+{
+    double idx = double(index_bits) / 8.0;
+    double val = double(value_bits) / 8.0;
+    return double(rows + 1) * 8.0 + double(nnz) * (idx + val);
+}
+
+} // namespace gcod

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Sparse matrix containers used across the repository.
+ *
+ * Three formats mirror the ones the GCoD accelerator manipulates:
+ *  - COO: coordinate triples, the denser-branch input format (Sec. V-B).
+ *  - CSR: compressed sparse row, the canonical in-memory adjacency.
+ *  - CSC: compressed sparse column, the sparser-branch input format whose
+ *    column-wise consumption drives distributed aggregation (Fig. 5(b)).
+ *
+ * Index type is int32 (node counts in the paper top out at 232,965) while
+ * offset arrays use int64 so Reddit-scale edge counts (114.6M) fit.
+ */
+#ifndef GCOD_GRAPH_SPARSE_HPP
+#define GCOD_GRAPH_SPARSE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace gcod {
+
+using NodeId = int32_t;
+using EdgeOffset = int64_t;
+
+/** One coordinate-format nonzero. */
+struct CooEntry
+{
+    NodeId row;
+    NodeId col;
+    float value;
+};
+
+class CsrMatrix;
+class CscMatrix;
+
+/** Coordinate-format sparse matrix (unordered unless stated). */
+class CooMatrix
+{
+  public:
+    CooMatrix() = default;
+    CooMatrix(NodeId rows, NodeId cols) : rows_(rows), cols_(cols) {}
+
+    void
+    add(NodeId r, NodeId c, float v)
+    {
+        entries_.push_back({r, c, v});
+    }
+
+    NodeId rows() const { return rows_; }
+    NodeId cols() const { return cols_; }
+    EdgeOffset nnz() const { return EdgeOffset(entries_.size()); }
+
+    std::vector<CooEntry> &entries() { return entries_; }
+    const std::vector<CooEntry> &entries() const { return entries_; }
+
+    /** Sort by (row, col) and sum duplicate coordinates. */
+    void coalesce();
+
+    /** Convert to CSR (coalesces first). */
+    CsrMatrix toCsr() const;
+
+  private:
+    NodeId rows_ = 0;
+    NodeId cols_ = 0;
+    std::vector<CooEntry> entries_;
+};
+
+/** Compressed sparse row matrix. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** Build from raw arrays; validates monotonic offsets and bounds. */
+    CsrMatrix(NodeId rows, NodeId cols, std::vector<EdgeOffset> indptr,
+              std::vector<NodeId> indices, std::vector<float> values);
+
+    NodeId rows() const { return rows_; }
+    NodeId cols() const { return cols_; }
+    EdgeOffset nnz() const { return indptr_.empty() ? 0 : indptr_.back(); }
+
+    const std::vector<EdgeOffset> &indptr() const { return indptr_; }
+    const std::vector<NodeId> &indices() const { return indices_; }
+    const std::vector<float> &values() const { return values_; }
+    std::vector<float> &values() { return values_; }
+
+    /** Number of nonzeros in row r. */
+    EdgeOffset
+    rowNnz(NodeId r) const
+    {
+        return indptr_[size_t(r) + 1] - indptr_[size_t(r)];
+    }
+
+    /** Iterate entries of row r: callback(col, value). */
+    template <typename Fn>
+    void
+    forEachInRow(NodeId r, Fn &&fn) const
+    {
+        for (EdgeOffset k = indptr_[size_t(r)]; k < indptr_[size_t(r) + 1];
+             ++k) {
+            fn(indices_[size_t(k)], values_[size_t(k)]);
+        }
+    }
+
+    /** Iterate all entries: callback(row, col, value). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (NodeId r = 0; r < rows_; ++r)
+            forEachInRow(r, [&](NodeId c, float v) { fn(r, c, v); });
+    }
+
+    /** Lookup a single entry (binary search); 0 when absent. */
+    float at(NodeId r, NodeId c) const;
+
+    /** Transpose (CSR of A^T, equivalently the CSC arrays of A). */
+    CsrMatrix transpose() const;
+
+    /** Convert to COO triples. */
+    CooMatrix toCoo() const;
+
+    /** Convert to an explicit CSC container. */
+    CscMatrix toCsc() const;
+
+    /**
+     * Symmetric permutation B = P A P^T, i.e. new index of node v is
+     * perm[v]. Requires rows == cols.
+     */
+    CsrMatrix permuted(const std::vector<NodeId> &perm) const;
+
+    /** Remove entries where keep(r, c, v) is false. */
+    CsrMatrix filtered(
+        const std::function<bool(NodeId, NodeId, float)> &keep) const;
+
+    /** Fraction of zero entries: 1 - nnz/(rows*cols). */
+    double sparsity() const;
+
+    /** True when the pattern and values are symmetric (within eps). */
+    bool isSymmetric(float eps = 1e-6f) const;
+
+  private:
+    NodeId rows_ = 0;
+    NodeId cols_ = 0;
+    std::vector<EdgeOffset> indptr_;
+    std::vector<NodeId> indices_;
+    std::vector<float> values_;
+};
+
+/**
+ * Compressed sparse column matrix. The sparser branch of the GCoD
+ * accelerator consumes adjacency columns one (or a few) per cycle, so the
+ * simulator models it over this container directly.
+ */
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+    CscMatrix(NodeId rows, NodeId cols, std::vector<EdgeOffset> colptr,
+              std::vector<NodeId> rowidx, std::vector<float> values);
+
+    NodeId rows() const { return rows_; }
+    NodeId cols() const { return cols_; }
+    EdgeOffset nnz() const { return colptr_.empty() ? 0 : colptr_.back(); }
+
+    const std::vector<EdgeOffset> &colptr() const { return colptr_; }
+    const std::vector<NodeId> &rowidx() const { return rowidx_; }
+    const std::vector<float> &values() const { return values_; }
+
+    EdgeOffset
+    colNnz(NodeId c) const
+    {
+        return colptr_[size_t(c) + 1] - colptr_[size_t(c)];
+    }
+
+    /** Iterate entries of column c: callback(row, value). */
+    template <typename Fn>
+    void
+    forEachInCol(NodeId c, Fn &&fn) const
+    {
+        for (EdgeOffset k = colptr_[size_t(c)]; k < colptr_[size_t(c) + 1];
+             ++k) {
+            fn(rowidx_[size_t(k)], values_[size_t(k)]);
+        }
+    }
+
+    /**
+     * Storage footprint in bytes for the given index/value widths;
+     * CSC stores (cols+1) offsets + nnz row indices + nnz values. Used by
+     * the accelerator model to decide on-chip residency (Sec. V-B).
+     */
+    double storageBytes(int index_bits = 32, int value_bits = 32) const;
+
+  private:
+    NodeId rows_ = 0;
+    NodeId cols_ = 0;
+    std::vector<EdgeOffset> colptr_;
+    std::vector<NodeId> rowidx_;
+    std::vector<float> values_;
+};
+
+/** Storage footprint of a COO matrix in bytes (three arrays per entry). */
+double cooStorageBytes(EdgeOffset nnz, int index_bits = 32,
+                       int value_bits = 32);
+
+/** Storage footprint of a CSR matrix in bytes. */
+double csrStorageBytes(NodeId rows, EdgeOffset nnz, int index_bits = 32,
+                       int value_bits = 32);
+
+} // namespace gcod
+
+#endif // GCOD_GRAPH_SPARSE_HPP

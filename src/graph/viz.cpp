@@ -1,0 +1,93 @@
+#include "viz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+std::vector<std::vector<double>>
+densityGrid(const CsrMatrix &m, int cells)
+{
+    GCOD_ASSERT(cells >= 1, "densityGrid needs >= 1 cell");
+    std::vector<std::vector<double>> grid(size_t(cells),
+                                          std::vector<double>(size_t(cells),
+                                                              0.0));
+    double rscale = double(cells) / std::max<NodeId>(m.rows(), 1);
+    double cscale = double(cells) / std::max<NodeId>(m.cols(), 1);
+    m.forEach([&](NodeId r, NodeId c, float) {
+        auto gr = std::min(int(double(r) * rscale), cells - 1);
+        auto gc = std::min(int(double(c) * cscale), cells - 1);
+        grid[size_t(gr)][size_t(gc)] += 1.0;
+    });
+    return grid;
+}
+
+std::string
+asciiDensity(const CsrMatrix &m, int cells,
+             const std::vector<NodeId> &separators)
+{
+    auto grid = densityGrid(m, cells);
+    double peak = 0.0;
+    for (const auto &row : grid)
+        for (double v : row)
+            peak = std::max(peak, v);
+    // Separator node indices mapped into grid cells.
+    std::vector<bool> sep(size_t(cells), false);
+    for (NodeId s : separators) {
+        int cell = int(double(s) * double(cells) /
+                       std::max<NodeId>(m.rows(), 1));
+        if (cell >= 0 && cell < cells)
+            sep[size_t(cell)] = true;
+    }
+    static const char shades[] = {' ', '.', ':', '+', '*', '#'};
+    std::string out;
+    for (int r = 0; r < cells; ++r) {
+        if (sep[size_t(r)]) {
+            out.append(size_t(cells) + 2, '-');
+            out.push_back('\n');
+        }
+        for (int c = 0; c < cells; ++c) {
+            if (sep[size_t(c)])
+                out.push_back('|');
+            double v = grid[size_t(r)][size_t(c)];
+            int level = 0;
+            if (peak > 0.0 && v > 0.0) {
+                level = 1 + int(std::floor(std::log1p(v) /
+                                           std::log1p(peak) * 4.999));
+                level = std::clamp(level, 1, 5);
+            }
+            out.push_back(shades[level]);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+void
+writePgm(const CsrMatrix &m, int cells, const std::string &path)
+{
+    auto grid = densityGrid(m, cells);
+    double peak = 0.0;
+    for (const auto &row : grid)
+        for (double v : row)
+            peak = std::max(peak, v);
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        GCOD_FATAL("cannot open '", path, "' for writing");
+    f << "P5\n" << cells << " " << cells << "\n255\n";
+    for (const auto &row : grid) {
+        for (double v : row) {
+            double norm = peak > 0.0
+                              ? std::log1p(v) / std::log1p(peak)
+                              : 0.0;
+            // White background, dark nonzeros (matches the paper's plots).
+            unsigned char px = (unsigned char)(255.0 - 255.0 * norm);
+            f.write(reinterpret_cast<const char *>(&px), 1);
+        }
+    }
+}
+
+} // namespace gcod

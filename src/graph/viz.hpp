@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Adjacency-matrix visualization used to regenerate Fig. 4: density images
+ * of the adjacency matrix before/after GCoD training, with class (green in
+ * the paper) and group (red) separator positions reported alongside.
+ */
+#ifndef GCOD_GRAPH_VIZ_HPP
+#define GCOD_GRAPH_VIZ_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/sparse.hpp"
+
+namespace gcod {
+
+/**
+ * Downsample a sparse matrix onto a cells x cells density grid; each cell
+ * holds the nonzero count of its tile.
+ */
+std::vector<std::vector<double>> densityGrid(const CsrMatrix &m, int cells);
+
+/**
+ * Render the density grid as ASCII art (space . : + * # by density decile)
+ * with optional separator rows/cols marked by '|' and '-'.
+ */
+std::string asciiDensity(const CsrMatrix &m, int cells,
+                         const std::vector<NodeId> &separators = {});
+
+/** Write a binary PGM grayscale image of the density grid. */
+void writePgm(const CsrMatrix &m, int cells, const std::string &path);
+
+} // namespace gcod
+
+#endif // GCOD_GRAPH_VIZ_HPP

@@ -1,0 +1,43 @@
+#include "adam.hpp"
+
+#include <cmath>
+
+namespace gcod {
+
+Adam::Adam(std::vector<Matrix *> params, AdamOptions opts)
+    : params_(std::move(params)), opts_(opts)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Matrix *p : params_) {
+        GCOD_ASSERT(p != nullptr, "null parameter");
+        m_.emplace_back(p->rows(), p->cols(), 0.0f);
+        v_.emplace_back(p->rows(), p->cols(), 0.0f);
+    }
+}
+
+void
+Adam::step(const std::vector<Matrix *> &grads)
+{
+    GCOD_ASSERT(grads.size() == params_.size(), "gradient count mismatch");
+    ++t_;
+    float bc1 = 1.0f - std::pow(opts_.beta1, float(t_));
+    float bc2 = 1.0f - std::pow(opts_.beta2, float(t_));
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Matrix &p = *params_[i];
+        const Matrix &g = *grads[i];
+        GCOD_ASSERT(p.sameShape(g), "param/grad shape mismatch");
+        auto &m = m_[i].data();
+        auto &v = v_[i].data();
+        for (size_t k = 0; k < p.data().size(); ++k) {
+            float gk = g.data()[k] + opts_.weightDecay * p.data()[k];
+            m[k] = opts_.beta1 * m[k] + (1.0f - opts_.beta1) * gk;
+            v[k] = opts_.beta2 * v[k] + (1.0f - opts_.beta2) * gk * gk;
+            float mhat = m[k] / bc1;
+            float vhat = v[k] / bc2;
+            p.data()[k] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+        }
+    }
+}
+
+} // namespace gcod

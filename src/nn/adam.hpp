@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Adam optimizer [Kingma & Ba] over a flat list of parameter matrices,
+ * matching the paper's training setting (lr = 0.01, 400 epochs).
+ */
+#ifndef GCOD_NN_ADAM_HPP
+#define GCOD_NN_ADAM_HPP
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace gcod {
+
+/** Adam hyper-parameters. */
+struct AdamOptions
+{
+    float lr = 0.01f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weightDecay = 0.0f;
+};
+
+/**
+ * Adam state bound to a fixed parameter list. Parameter and gradient
+ * pointers must stay valid and keep their shapes for the optimizer's
+ * lifetime.
+ */
+class Adam
+{
+  public:
+    Adam(std::vector<Matrix *> params, AdamOptions opts = {});
+
+    /** Apply one update from the given gradients (parallel to params). */
+    void step(const std::vector<Matrix *> &grads);
+
+    /** Steps taken so far (bias-correction exponent). */
+    int64_t steps() const { return t_; }
+
+    const AdamOptions &options() const { return opts_; }
+
+  private:
+    std::vector<Matrix *> params_;
+    AdamOptions opts_;
+    int64_t t_ = 0;
+    std::vector<Matrix> m_;
+    std::vector<Matrix> v_;
+};
+
+} // namespace gcod
+
+#endif // GCOD_NN_ADAM_HPP

@@ -1,0 +1,64 @@
+#include "dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+Dataset
+materialize(const SyntheticGraph &synth, Rng &rng,
+            const FeatureOptions &fopts, const SplitOptions &sopts)
+{
+    Dataset ds;
+    ds.synth = synth;
+    ds.labels = synth.labels;
+
+    NodeId n = synth.graph.numNodes();
+    int classes = synth.profile.classes;
+    int dim = std::min(synth.profile.features, synth.profile.trainFeatureCap);
+    GCOD_ASSERT(dim >= classes,
+                "feature dim must be at least the class count");
+
+    // Sparse random centroid per class.
+    Matrix centroids(classes, dim, 0.0f);
+    for (int c = 0; c < classes; ++c) {
+        for (int f = 0; f < dim; ++f)
+            if (rng.bernoulli(fopts.centroidDensity))
+                centroids(c, f) = float(rng.normal(1.5, 0.5));
+        // Guarantee at least one discriminative coordinate per class.
+        centroids(c, c % dim) += 2.0f;
+    }
+
+    ds.features = Matrix(n, dim, 0.0f);
+    for (NodeId i = 0; i < n; ++i) {
+        int c = ds.labels[size_t(i)];
+        bool dropped = rng.bernoulli(fopts.dropProb);
+        for (int f = 0; f < dim; ++f) {
+            float base = dropped ? 0.0f : centroids(c, f);
+            ds.features(i, f) = base + float(rng.normal(0.0, fopts.noise));
+        }
+    }
+
+    // Shuffled split: train | val | test.
+    std::vector<NodeId> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    auto n_train = size_t(double(n) * sopts.trainFraction);
+    auto n_val = size_t(double(n) * sopts.valFraction);
+    ds.trainMask.assign(size_t(n), false);
+    ds.valMask.assign(size_t(n), false);
+    ds.testMask.assign(size_t(n), false);
+    for (size_t i = 0; i < size_t(n); ++i) {
+        if (i < n_train)
+            ds.trainMask[size_t(order[i])] = true;
+        else if (i < n_train + n_val)
+            ds.valMask[size_t(order[i])] = true;
+        else
+            ds.testMask[size_t(order[i])] = true;
+    }
+    return ds;
+}
+
+} // namespace gcod

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Materialization of a training-ready dataset from a synthesized graph:
+ * class-centroid features with noise (so the planted labels are learnable,
+ * as in real citation graphs where bag-of-words features correlate with the
+ * topic label) plus train/val/test masks following the public-split style
+ * of [Kipf & Welling] (small labeled training set, larger val/test sets).
+ */
+#ifndef GCOD_NN_DATASET_HPP
+#define GCOD_NN_DATASET_HPP
+
+#include <vector>
+
+#include "graph/profiles.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gcod {
+
+/** A complete supervised node-classification dataset. */
+struct Dataset
+{
+    SyntheticGraph synth;
+    Matrix features;
+    std::vector<int> labels;
+    std::vector<bool> trainMask;
+    std::vector<bool> valMask;
+    std::vector<bool> testMask;
+
+    int featureDim() const { return int(features.cols()); }
+    int numClasses() const { return synth.profile.classes; }
+};
+
+/** Feature-synthesis options. */
+struct FeatureOptions
+{
+    /** Fraction of feature dimensions active in each class centroid. */
+    double centroidDensity = 0.08;
+    /** Gaussian noise stddev added on top of the centroid. */
+    double noise = 0.8;
+    /** Per-node chance of dropping the centroid entirely (hard nodes). */
+    double dropProb = 0.05;
+};
+
+/** Mask-split options (fractions of all nodes). */
+struct SplitOptions
+{
+    double trainFraction = 0.30;
+    double valFraction = 0.20;
+};
+
+/**
+ * Build features/masks for a synthesized graph. The feature dimension is
+ * min(profile.features, profile.trainFeatureCap) — large published dims
+ * (e.g. NELL's 5414) are capped to keep from-scratch CPU training
+ * tractable; the accelerator cost models always use the published dims.
+ */
+Dataset materialize(const SyntheticGraph &synth, Rng &rng,
+                    const FeatureOptions &fopts = {},
+                    const SplitOptions &sopts = {});
+
+} // namespace gcod
+
+#endif // GCOD_NN_DATASET_HPP

@@ -1,0 +1,254 @@
+#include "gat.hpp"
+
+#include <cmath>
+
+namespace gcod {
+
+namespace {
+
+constexpr float kLeakySlope = 0.2f;
+
+float
+leaky(float x)
+{
+    return x > 0.0f ? x : kLeakySlope * x;
+}
+
+float
+leakyGrad(float x)
+{
+    return x > 0.0f ? 1.0f : kLeakySlope;
+}
+
+Matrix
+elu(const Matrix &x)
+{
+    Matrix y = x;
+    for (auto &v : y.data())
+        if (v < 0.0f)
+            v = std::exp(v) - 1.0f;
+    return y;
+}
+
+Matrix
+eluBackward(const Matrix &grad, const Matrix &pre)
+{
+    Matrix g = grad;
+    for (size_t i = 0; i < g.data().size(); ++i)
+        if (pre.data()[i] < 0.0f)
+            g.data()[i] *= std::exp(pre.data()[i]);
+    return g;
+}
+
+} // namespace
+
+GatLayer::GatLayer(int in, int out, int heads, bool concat, Rng &rng)
+    : w(in, int64_t(heads) * out), gw(in, int64_t(heads) * out),
+      aSrc(heads, out), gaSrc(heads, out), aDst(heads, out),
+      gaDst(heads, out), in_(in), out_(out), heads_(heads), concat_(concat)
+{
+    w.glorotInit(rng);
+    aSrc.glorotInit(rng);
+    aDst.glorotInit(rng);
+}
+
+void
+GatLayer::buildEdges(const CsrMatrix &adj)
+{
+    NodeId n = adj.rows();
+    rowPtr_.assign(size_t(n) + 1, 0);
+    for (NodeId i = 0; i < n; ++i)
+        rowPtr_[size_t(i) + 1] = rowPtr_[size_t(i)] + adj.rowNnz(i) + 1;
+    colIdx_.resize(size_t(rowPtr_.back()));
+    for (NodeId i = 0; i < n; ++i) {
+        EdgeOffset k = rowPtr_[size_t(i)];
+        adj.forEachInRow(i, [&](NodeId j, float) {
+            colIdx_[size_t(k++)] = j;
+        });
+        colIdx_[size_t(k)] = i; // self loop last
+    }
+}
+
+Matrix
+GatLayer::forward(const CsrMatrix &adj, const Matrix &x)
+{
+    NodeId n = adj.rows();
+    h_ = matmul(x, w);
+    buildEdges(adj);
+
+    // Per-node attention scores s_i = aSrc . h_i, t_i = aDst . h_i.
+    Matrix s(n, heads_), t(n, heads_);
+    for (NodeId i = 0; i < n; ++i) {
+        for (int k = 0; k < heads_; ++k) {
+            const float *hv = h_.row(i) + int64_t(k) * out_;
+            float sv = 0.0f, tv = 0.0f;
+            for (int f = 0; f < out_; ++f) {
+                sv += aSrc(k, f) * hv[f];
+                tv += aDst(k, f) * hv[f];
+            }
+            s(i, k) = sv;
+            t(i, k) = tv;
+        }
+    }
+
+    EdgeOffset ne = rowPtr_.back();
+    pre_.assign(size_t(ne) * size_t(heads_), 0.0f);
+    alpha_.assign(size_t(ne) * size_t(heads_), 0.0f);
+    for (NodeId i = 0; i < n; ++i) {
+        for (int k = 0; k < heads_; ++k) {
+            // Numerically stable softmax over i's incident edges.
+            float peak = -1e30f;
+            for (EdgeOffset e = rowPtr_[size_t(i)];
+                 e < rowPtr_[size_t(i) + 1]; ++e) {
+                NodeId j = colIdx_[size_t(e)];
+                float p = s(i, k) + t(j, k);
+                pre_[size_t(e) * size_t(heads_) + size_t(k)] = p;
+                peak = std::max(peak, leaky(p));
+            }
+            float denom = 0.0f;
+            for (EdgeOffset e = rowPtr_[size_t(i)];
+                 e < rowPtr_[size_t(i) + 1]; ++e) {
+                float p = pre_[size_t(e) * size_t(heads_) + size_t(k)];
+                float ex = std::exp(leaky(p) - peak);
+                alpha_[size_t(e) * size_t(heads_) + size_t(k)] = ex;
+                denom += ex;
+            }
+            for (EdgeOffset e = rowPtr_[size_t(i)];
+                 e < rowPtr_[size_t(i) + 1]; ++e)
+                alpha_[size_t(e) * size_t(heads_) + size_t(k)] /= denom;
+        }
+    }
+
+    // Aggregate values.
+    Matrix out(n, outDim(), 0.0f);
+    for (NodeId i = 0; i < n; ++i) {
+        for (EdgeOffset e = rowPtr_[size_t(i)]; e < rowPtr_[size_t(i) + 1];
+             ++e) {
+            NodeId j = colIdx_[size_t(e)];
+            for (int k = 0; k < heads_; ++k) {
+                float a = alpha_[size_t(e) * size_t(heads_) + size_t(k)];
+                const float *hv = h_.row(j) + int64_t(k) * out_;
+                if (concat_) {
+                    float *ov = out.row(i) + int64_t(k) * out_;
+                    for (int f = 0; f < out_; ++f)
+                        ov[f] += a * hv[f];
+                } else {
+                    float *ov = out.row(i);
+                    float inv = 1.0f / float(heads_);
+                    for (int f = 0; f < out_; ++f)
+                        ov[f] += inv * a * hv[f];
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+GatLayer::backward(const CsrMatrix &adj, const Matrix &x, const Matrix &dout)
+{
+    NodeId n = adj.rows();
+    Matrix dh(n, int64_t(heads_) * out_, 0.0f);
+    Matrix ds(n, heads_, 0.0f), dt(n, heads_, 0.0f);
+    gaSrc.fill(0.0f);
+    gaDst.fill(0.0f);
+
+    float head_scale = concat_ ? 1.0f : 1.0f / float(heads_);
+    std::vector<float> dalpha;
+    for (NodeId i = 0; i < n; ++i) {
+        EdgeOffset begin = rowPtr_[size_t(i)], end = rowPtr_[size_t(i) + 1];
+        dalpha.assign(size_t(end - begin) * size_t(heads_), 0.0f);
+        for (int k = 0; k < heads_; ++k) {
+            const float *di = concat_ ? dout.row(i) + int64_t(k) * out_
+                                      : dout.row(i);
+            // Value path: dalpha_e = d_i . h_j, dh_j += alpha d_i.
+            float inner = 0.0f; // sum_e alpha_e dalpha_e (softmax backward)
+            for (EdgeOffset e = begin; e < end; ++e) {
+                NodeId j = colIdx_[size_t(e)];
+                const float *hv = h_.row(j) + int64_t(k) * out_;
+                float *dhj = dh.row(j) + int64_t(k) * out_;
+                float a = alpha_[size_t(e) * size_t(heads_) + size_t(k)];
+                float da = 0.0f;
+                for (int f = 0; f < out_; ++f) {
+                    da += di[f] * hv[f];
+                    dhj[f] += head_scale * a * di[f];
+                }
+                da *= head_scale;
+                dalpha[size_t(e - begin) * size_t(heads_) + size_t(k)] = da;
+                inner += a * da;
+            }
+            // Softmax + LeakyReLU backward, then split to s_i and t_j.
+            for (EdgeOffset e = begin; e < end; ++e) {
+                NodeId j = colIdx_[size_t(e)];
+                float a = alpha_[size_t(e) * size_t(heads_) + size_t(k)];
+                float da =
+                    dalpha[size_t(e - begin) * size_t(heads_) + size_t(k)];
+                float de = a * (da - inner);
+                float dp = de * leakyGrad(
+                    pre_[size_t(e) * size_t(heads_) + size_t(k)]);
+                ds(i, k) += dp;
+                dt(j, k) += dp;
+            }
+        }
+    }
+
+    // Attention-vector gradients and their contribution to dh.
+    for (NodeId v = 0; v < n; ++v) {
+        for (int k = 0; k < heads_; ++k) {
+            const float *hv = h_.row(v) + int64_t(k) * out_;
+            float *dhv = dh.row(v) + int64_t(k) * out_;
+            float dsv = ds(v, k), dtv = dt(v, k);
+            for (int f = 0; f < out_; ++f) {
+                gaSrc(k, f) += dsv * hv[f];
+                gaDst(k, f) += dtv * hv[f];
+                dhv[f] += dsv * aSrc(k, f) + dtv * aDst(k, f);
+            }
+        }
+    }
+
+    gw = matmulTransposedA(x, dh);
+    return matmulTransposedB(dh, w);
+}
+
+GatModel::GatModel(int features, int hidden, int heads, int classes, Rng &rng)
+    : layer1_(features, hidden, heads, true, rng),
+      layer2_(hidden * heads, classes, 1, false, rng)
+{
+    spec_.name = "GAT";
+    spec_.layers = {
+        {features, hidden, Aggregation::Attention, heads, false},
+        {hidden * heads, classes, Aggregation::Attention, 1, false}};
+}
+
+Matrix
+GatModel::forward(const GraphContext &ctx, const Matrix &x)
+{
+    z1_ = layer1_.forward(ctx.binary(), x);
+    h1_ = elu(z1_);
+    return layer2_.forward(ctx.binary(), h1_);
+}
+
+void
+GatModel::backward(const GraphContext &ctx, const Matrix &x,
+                   const Matrix &dlogits)
+{
+    Matrix dh1 = layer2_.backward(ctx.binary(), h1_, dlogits);
+    Matrix dz1 = eluBackward(dh1, z1_);
+    layer1_.backward(ctx.binary(), x, dz1);
+}
+
+std::vector<Matrix *>
+GatModel::parameters()
+{
+    return {&layer1_.w, &layer1_.aSrc, &layer1_.aDst,
+            &layer2_.w, &layer2_.aSrc, &layer2_.aDst};
+}
+
+std::vector<Matrix *>
+GatModel::gradients()
+{
+    return {&layer1_.gw, &layer1_.gaSrc, &layer1_.gaDst,
+            &layer2_.gw, &layer2_.gaSrc, &layer2_.gaDst};
+}
+
+} // namespace gcod

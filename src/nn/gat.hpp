@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Graph Attention Network [Velickovic et al.] with multi-head additive
+ * attention, exact softmax-attention backward, self loops, LeakyReLU(0.2)
+ * scoring and ELU between layers. Paper Tab. IV: 8 hidden units x 8 heads.
+ */
+#ifndef GCOD_NN_GAT_HPP
+#define GCOD_NN_GAT_HPP
+
+#include "nn/models.hpp"
+
+namespace gcod {
+
+/**
+ * One GAT layer. Heads are concatenated when @p concat is true (hidden
+ * layers) and averaged otherwise (output layer).
+ */
+class GatLayer
+{
+  public:
+    GatLayer() = default;
+    GatLayer(int in, int out, int heads, bool concat, Rng &rng);
+
+    /** Output is N x heads*out (concat) or N x out (average). */
+    Matrix forward(const CsrMatrix &adj, const Matrix &x);
+
+    /** Returns dX; fills weight/attention gradients. */
+    Matrix backward(const CsrMatrix &adj, const Matrix &x,
+                    const Matrix &dout);
+
+    Matrix w, gw;        ///< in x heads*out projection
+    Matrix aSrc, gaSrc;  ///< heads x out source attention vector
+    Matrix aDst, gaDst;  ///< heads x out destination attention vector
+
+    int inDim() const { return in_; }
+    int outDim() const { return concat_ ? heads_ * out_ : out_; }
+
+  private:
+    int in_ = 0, out_ = 0, heads_ = 1;
+    bool concat_ = true;
+
+    // Forward caches -------------------------------------------------
+    Matrix h_;                       ///< X W (N x heads*out)
+    std::vector<EdgeOffset> rowPtr_; ///< edge list with self loops
+    std::vector<NodeId> colIdx_;
+    std::vector<float> alpha_;       ///< attention weight per edge per head
+    std::vector<float> pre_;         ///< pre-LeakyReLU score per edge/head
+
+    void buildEdges(const CsrMatrix &adj);
+};
+
+/** Two-layer GAT: (F -> 8) x 8 heads concat, ELU, (64 -> C) averaged. */
+class GatModel : public GnnModel
+{
+  public:
+    GatModel(int features, int hidden, int heads, int classes, Rng &rng);
+
+    Matrix forward(const GraphContext &ctx, const Matrix &x) override;
+    void backward(const GraphContext &ctx, const Matrix &x,
+                  const Matrix &dlogits) override;
+    std::vector<Matrix *> parameters() override;
+    std::vector<Matrix *> gradients() override;
+    const ModelSpec &spec() const override { return spec_; }
+
+  private:
+    ModelSpec spec_;
+    GatLayer layer1_;
+    GatLayer layer2_;
+    Matrix z1_; ///< pre-ELU layer-1 output
+    Matrix h1_; ///< post-ELU layer-1 output
+};
+
+} // namespace gcod
+
+#endif // GCOD_NN_GAT_HPP

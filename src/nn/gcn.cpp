@@ -1,0 +1,43 @@
+#include "gcn.hpp"
+
+namespace gcod {
+
+GcnModel::GcnModel(int features, int hidden, int classes, Rng &rng)
+    : conv1_(features, hidden, rng), conv2_(hidden, classes, rng)
+{
+    spec_.name = "GCN";
+    spec_.layers = {{features, hidden, Aggregation::Mean, 1, false},
+                    {hidden, classes, Aggregation::Mean, 1, false}};
+}
+
+Matrix
+GcnModel::forward(const GraphContext &ctx, const Matrix &x)
+{
+    z1_ = conv1_.forward(ctx.normalized(), x);
+    h1_ = relu(z1_);
+    return conv2_.forward(ctx.normalized(), h1_);
+}
+
+void
+GcnModel::backward(const GraphContext &ctx, const Matrix &,
+                   const Matrix &dlogits)
+{
+    // normalized() is symmetric, so it is its own transpose operator.
+    Matrix dh1 = conv2_.backward(ctx.normalized(), dlogits);
+    Matrix dz1 = reluBackward(dh1, z1_);
+    conv1_.backward(ctx.normalized(), dz1);
+}
+
+std::vector<Matrix *>
+GcnModel::parameters()
+{
+    return {&conv1_.w, &conv2_.w};
+}
+
+std::vector<Matrix *>
+GcnModel::gradients()
+{
+    return {&conv1_.gw, &conv2_.gw};
+}
+
+} // namespace gcod

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Two-layer GCN [Kipf & Welling]:
+ * \f$Z = \hat A\,\mathrm{ReLU}(\hat A X W_0) W_1\f$ (paper Eq. 1).
+ */
+#ifndef GCOD_NN_GCN_HPP
+#define GCOD_NN_GCN_HPP
+
+#include "nn/models.hpp"
+
+namespace gcod {
+
+/** The vanilla 2-layer GCN with mean (renormalized) aggregation. */
+class GcnModel : public GnnModel
+{
+  public:
+    GcnModel(int features, int hidden, int classes, Rng &rng);
+
+    Matrix forward(const GraphContext &ctx, const Matrix &x) override;
+    void backward(const GraphContext &ctx, const Matrix &x,
+                  const Matrix &dlogits) override;
+    std::vector<Matrix *> parameters() override;
+    std::vector<Matrix *> gradients() override;
+    const ModelSpec &spec() const override { return spec_; }
+
+  private:
+    ModelSpec spec_;
+    GraphConv conv1_;
+    GraphConv conv2_;
+    Matrix z1_; ///< pre-ReLU hidden activations (cached for backward)
+    Matrix h1_; ///< post-ReLU hidden activations
+};
+
+} // namespace gcod
+
+#endif // GCOD_NN_GCN_HPP

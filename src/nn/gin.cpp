@@ -1,0 +1,105 @@
+#include "gin.hpp"
+
+namespace gcod {
+
+GinConv::GinConv(int in, int mlp_hidden, int out, Rng &rng)
+    : w1(in, mlp_hidden), gw1(in, mlp_hidden), w2(mlp_hidden, out),
+      gw2(mlp_hidden, out)
+{
+    w1.glorotInit(rng);
+    w2.glorotInit(rng);
+}
+
+Matrix
+GinConv::forward(const CsrMatrix &adj, const Matrix &x)
+{
+    s_ = spmm(adj, x);
+    // s = (1+eps) x + A x
+    Matrix scaled = x;
+    scaled *= (1.0f + eps);
+    s_ += scaled;
+    m1_ = matmul(s_, w1);
+    h1_ = relu(m1_);
+    return matmul(h1_, w2);
+}
+
+Matrix
+GinConv::backward(const CsrMatrix &adj, const Matrix &dz)
+{
+    gw2 = matmulTransposedA(h1_, dz);
+    Matrix dh1 = matmulTransposedB(dz, w2);
+    Matrix dm1 = reluBackward(dh1, m1_);
+    gw1 = matmulTransposedA(s_, dm1);
+    Matrix ds = matmulTransposedB(dm1, w1);
+    // dX = (1+eps) dS + A^T dS; adjacency is symmetric.
+    Matrix dx = spmm(adj, ds);
+    ds *= (1.0f + eps);
+    dx += ds;
+    return dx;
+}
+
+GinModel::GinModel(int features, int hidden, int classes, Rng &rng)
+{
+    spec_.name = "GIN";
+    spec_.layers = {{features, hidden, Aggregation::Add, 1, false},
+                    {hidden, hidden, Aggregation::Add, 1, false},
+                    {hidden, classes, Aggregation::Add, 1, false}};
+    convs_.emplace_back(features, hidden, hidden, rng);
+    convs_.emplace_back(hidden, hidden, hidden, rng);
+    convs_.emplace_back(hidden, hidden, classes, rng);
+}
+
+Matrix
+GinModel::forward(const GraphContext &ctx, const Matrix &x)
+{
+    acts_.clear();
+    preact_.clear();
+    Matrix h = x;
+    for (size_t i = 0; i < convs_.size(); ++i) {
+        Matrix z = convs_[i].forward(ctx.binary(), h);
+        if (i + 1 < convs_.size()) {
+            preact_.push_back(z);
+            h = relu(z);
+            acts_.push_back(h);
+        } else {
+            h = std::move(z);
+        }
+    }
+    return h;
+}
+
+void
+GinModel::backward(const GraphContext &ctx, const Matrix &,
+                   const Matrix &dlogits)
+{
+    Matrix grad = dlogits;
+    for (size_t i = convs_.size(); i-- > 0;) {
+        grad = convs_[i].backward(ctx.binary(), grad);
+        if (i > 0)
+            grad = reluBackward(grad, preact_[i - 1]);
+    }
+}
+
+std::vector<Matrix *>
+GinModel::parameters()
+{
+    std::vector<Matrix *> ps;
+    for (auto &c : convs_) {
+        ps.push_back(&c.w1);
+        ps.push_back(&c.w2);
+    }
+    return ps;
+}
+
+std::vector<Matrix *>
+GinModel::gradients()
+{
+    std::vector<Matrix *> gs;
+    for (auto &c : convs_) {
+        gs.push_back(&c.gw1);
+        gs.push_back(&c.gw2);
+    }
+    return gs;
+}
+
+} // namespace gcod

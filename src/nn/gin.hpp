@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Graph Isomorphism Network [Xu et al.]: each layer computes
+ * \f$Z = \mathrm{MLP}((1+\epsilon) X + \sum_{j \in N(i)} X_j)\f$ with Add
+ * aggregation (paper Tab. IV uses a 3-layer GIN).
+ */
+#ifndef GCOD_NN_GIN_HPP
+#define GCOD_NN_GIN_HPP
+
+#include "nn/models.hpp"
+
+namespace gcod {
+
+/** One GIN convolution with a 2-layer MLP and fixed epsilon. */
+struct GinConv
+{
+    float eps = 0.0f;
+    Matrix w1, gw1; ///< in x hidden MLP weights
+    Matrix w2, gw2; ///< hidden x out MLP weights
+    Matrix s_;      ///< cached (1+eps)X + AX
+    Matrix m1_;     ///< cached pre-ReLU MLP hidden
+    Matrix h1_;     ///< cached post-ReLU MLP hidden
+
+    GinConv() = default;
+    GinConv(int in, int mlp_hidden, int out, Rng &rng);
+
+    Matrix forward(const CsrMatrix &adj, const Matrix &x);
+
+    /** Returns dX; fills gw1/gw2. @p adj must be symmetric. */
+    Matrix backward(const CsrMatrix &adj, const Matrix &dz);
+};
+
+/** 3-layer GIN with Add aggregation. */
+class GinModel : public GnnModel
+{
+  public:
+    GinModel(int features, int hidden, int classes, Rng &rng);
+
+    Matrix forward(const GraphContext &ctx, const Matrix &x) override;
+    void backward(const GraphContext &ctx, const Matrix &x,
+                  const Matrix &dlogits) override;
+    std::vector<Matrix *> parameters() override;
+    std::vector<Matrix *> gradients() override;
+    const ModelSpec &spec() const override { return spec_; }
+
+  private:
+    ModelSpec spec_;
+    std::vector<GinConv> convs_;
+    std::vector<Matrix> acts_;   ///< post-ReLU inputs to layers 1..L-1
+    std::vector<Matrix> preact_; ///< pre-ReLU outputs of layers 0..L-2
+};
+
+} // namespace gcod
+
+#endif // GCOD_NN_GIN_HPP

@@ -1,0 +1,16 @@
+#include "graph_context.hpp"
+
+namespace gcod {
+
+GraphContext::GraphContext(const Graph &g)
+    : graph_(&g), normalized_(g.normalizedAdjacency()), binary_(g.adjacency())
+{
+    CooMatrix coo(g.numNodes(), g.numNodes());
+    binary_.forEach([&](NodeId r, NodeId c, float) {
+        float d = float(g.degrees()[size_t(r)]);
+        coo.add(r, c, d > 0.0f ? 1.0f / d : 0.0f);
+    });
+    rowMean_ = coo.toCsr();
+}
+
+} // namespace gcod

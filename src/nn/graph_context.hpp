@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Precomputed adjacency operators shared by all model forward passes.
+ *
+ * Models need different views of the same graph: the GCN renormalized
+ * \f$\hat A\f$, the binary adjacency (GIN's Add aggregation), and the
+ * row-mean operator \f$D^{-1}A\f$ (GraphSAGE). GraphContext computes each
+ * once per graph.
+ */
+#ifndef GCOD_NN_GRAPH_CONTEXT_HPP
+#define GCOD_NN_GRAPH_CONTEXT_HPP
+
+#include "graph/graph.hpp"
+
+namespace gcod {
+
+/** Cached adjacency operator bundle for one graph. */
+class GraphContext
+{
+  public:
+    explicit GraphContext(const Graph &g);
+
+    const Graph &graph() const { return *graph_; }
+
+    /** \f$\hat A = D^{-1/2}(A+I)D^{-1/2}\f$, symmetric. */
+    const CsrMatrix &normalized() const { return normalized_; }
+
+    /** Binary adjacency (no self loops). */
+    const CsrMatrix &binary() const { return binary_; }
+
+    /** Row-stochastic mean aggregator \f$D^{-1}A\f$ (0 rows for isolates). */
+    const CsrMatrix &rowMean() const { return rowMean_; }
+
+  private:
+    const Graph *graph_;
+    CsrMatrix normalized_;
+    CsrMatrix binary_;
+    CsrMatrix rowMean_;
+};
+
+} // namespace gcod
+
+#endif // GCOD_NN_GRAPH_CONTEXT_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shape-level description of a GNN model, shared between the trainable
+ * implementations (src/nn) and the accelerator cost models (src/accel),
+ * which only need layer dimensions and aggregation kinds to count MACs and
+ * bytes. Mirrors the paper's Tab. IV.
+ */
+#ifndef GCOD_NN_MODEL_SPEC_HPP
+#define GCOD_NN_MODEL_SPEC_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+/** Aggregation operator per Tab. IV. */
+enum class Aggregation { Mean, Add, Attention, Max };
+
+/** One GNN layer's shape: input dim, output dim, aggregation. */
+struct LayerSpec
+{
+    int inDim = 0;
+    int outDim = 0;
+    Aggregation agg = Aggregation::Mean;
+    /** Attention heads (GAT) or MLP depth (GIN); 1 otherwise. */
+    int heads = 1;
+    /** True when the layer concatenates self features (GraphSAGE). */
+    bool concatSelf = false;
+};
+
+/** A whole model: named stack of layers. */
+struct ModelSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    /** Total weight parameter count. */
+    int64_t
+    weightCount() const
+    {
+        int64_t total = 0;
+        for (const auto &l : layers) {
+            int64_t in = l.concatSelf ? 2 * l.inDim : l.inDim;
+            total += in * int64_t(l.outDim) * l.heads;
+        }
+        return total;
+    }
+};
+
+/**
+ * Build the paper's model specs (Tab. IV): hidden dim 16 for the citation
+ * graphs and 64 for NELL/Reddit; GAT uses 8 hidden x 8 heads; ResGCN is 28
+ * layers x 128 hidden.
+ *
+ * @param model     one of "GCN", "GIN", "GAT", "GraphSAGE", "ResGCN"
+ * @param features  dataset input feature dimension
+ * @param classes   dataset label classes
+ * @param large     true for NELL/Reddit-sized datasets (hidden dim 64)
+ */
+ModelSpec makeModelSpec(const std::string &model, int features, int classes,
+                        bool large);
+
+} // namespace gcod
+
+#endif // GCOD_NN_MODEL_SPEC_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The five GNN families the paper evaluates (Tab. IV): GCN, GIN, GAT,
+ * GraphSAGE, and ResGCN, each with an explicit hand-derived backward pass
+ * (no autograd) and Glorot initialization.
+ *
+ * All models implement GnnModel: forward caches whatever backward needs;
+ * backward fills per-parameter gradient matrices that the Adam optimizer
+ * consumes.
+ */
+#ifndef GCOD_NN_MODELS_HPP
+#define GCOD_NN_MODELS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/graph_context.hpp"
+#include "nn/model_spec.hpp"
+#include "sim/rng.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace gcod {
+
+/** Abstract trainable GNN. */
+class GnnModel
+{
+  public:
+    virtual ~GnnModel() = default;
+
+    /** Compute logits for all nodes, caching intermediates. */
+    virtual Matrix forward(const GraphContext &ctx, const Matrix &x) = 0;
+
+    /**
+     * Backpropagate from dLogits (softmax-CE gradient) through the cached
+     * forward; fills the gradient matrices returned by gradients().
+     */
+    virtual void backward(const GraphContext &ctx, const Matrix &x,
+                          const Matrix &dlogits) = 0;
+
+    /** Trainable parameters, order-stable across calls. */
+    virtual std::vector<Matrix *> parameters() = 0;
+
+    /** Gradients parallel to parameters(). */
+    virtual std::vector<Matrix *> gradients() = 0;
+
+    /** Shape-level description for the accelerator cost models. */
+    virtual const ModelSpec &spec() const = 0;
+
+    const std::string &name() const { return spec().name; }
+
+    /**
+     * Hook for models with stochastic neighborhoods (GraphSAGE): draw a new
+     * neighbor sample for the coming epoch. Default is a no-op.
+     */
+    virtual void resampleNeighborhoods(const GraphContext &, Rng &) {}
+};
+
+/**
+ * Shared building block: one graph convolution Z = agg(A) X W with a
+ * pluggable aggregation operator passed in as a sparse matrix.
+ */
+struct GraphConv
+{
+    Matrix w;      ///< inDim x outDim weights
+    Matrix gw;     ///< gradient of w
+    Matrix cached; ///< cached aggregation output S = op * X
+
+    GraphConv() = default;
+    GraphConv(int in, int out, Rng &rng);
+
+    /** Z = op * x * w (cached for backward). */
+    Matrix forward(const CsrMatrix &op, const Matrix &x);
+
+    /**
+     * Fill gw and return dX given dZ. @p op_t is the transpose operator
+     * (equal to @p op itself when symmetric).
+     */
+    Matrix backward(const CsrMatrix &op_t, const Matrix &dz);
+};
+
+/** Factory: construct a model by name matching makeModelSpec(). */
+std::unique_ptr<GnnModel> makeModel(const std::string &name, int features,
+                                    int classes, bool large, Rng &rng);
+
+/**
+ * Run inference with fake-quantized weights and activations (the
+ * GCoD (8-bit) variant). Weights are quantized in place, the forward pass
+ * runs, then full-precision weights are restored.
+ */
+Matrix quantizedForward(GnnModel &model, const GraphContext &ctx,
+                        const Matrix &x, int bits);
+
+} // namespace gcod
+
+#endif // GCOD_NN_MODELS_HPP

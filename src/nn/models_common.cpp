@@ -1,0 +1,46 @@
+#include "models.hpp"
+
+#include "tensor/quant.hpp"
+
+namespace gcod {
+
+GraphConv::GraphConv(int in, int out, Rng &rng) : w(in, out), gw(in, out)
+{
+    w.glorotInit(rng);
+}
+
+Matrix
+GraphConv::forward(const CsrMatrix &op, const Matrix &x)
+{
+    cached = spmm(op, x);
+    return matmul(cached, w);
+}
+
+Matrix
+GraphConv::backward(const CsrMatrix &op_t, const Matrix &dz)
+{
+    gw = matmulTransposedA(cached, dz);
+    Matrix ds = matmulTransposedB(dz, w);
+    return spmm(op_t, ds);
+}
+
+Matrix
+quantizedForward(GnnModel &model, const GraphContext &ctx, const Matrix &x,
+                 int bits)
+{
+    // Quantize weights in place, remembering originals.
+    std::vector<Matrix> saved;
+    auto params = model.parameters();
+    saved.reserve(params.size());
+    for (Matrix *p : params) {
+        saved.push_back(*p);
+        *p = fakeQuantize(*p, bits);
+    }
+    Matrix qx = fakeQuantize(x, bits);
+    Matrix logits = model.forward(ctx, qx);
+    for (size_t i = 0; i < params.size(); ++i)
+        *params[i] = saved[i];
+    return logits;
+}
+
+} // namespace gcod

@@ -1,0 +1,30 @@
+#include "models.hpp"
+
+#include "nn/gat.hpp"
+#include "nn/gcn.hpp"
+#include "nn/gin.hpp"
+#include "nn/resgcn.hpp"
+#include "nn/sage.hpp"
+
+namespace gcod {
+
+std::unique_ptr<GnnModel>
+makeModel(const std::string &name, int features, int classes, bool large,
+          Rng &rng)
+{
+    int hidden = large ? 64 : 16;
+    if (name == "GCN")
+        return std::make_unique<GcnModel>(features, hidden, classes, rng);
+    if (name == "GIN")
+        return std::make_unique<GinModel>(features, hidden, classes, rng);
+    if (name == "GAT")
+        return std::make_unique<GatModel>(features, 8, 8, classes, rng);
+    if (name == "GraphSAGE")
+        return std::make_unique<SageModel>(features, hidden, classes, 25, 10,
+                                           rng);
+    if (name == "ResGCN")
+        return std::make_unique<ResGcnModel>(features, 128, classes, 28, rng);
+    GCOD_FATAL("unknown model '", name, "'");
+}
+
+} // namespace gcod

@@ -1,0 +1,122 @@
+#include "resgcn.hpp"
+
+namespace gcod {
+
+MaxConv::MaxConv(int in, int out, Rng &rng) : w(in, out), gw(in, out)
+{
+    w.glorotInit(rng);
+}
+
+Matrix
+MaxConv::forward(const CsrMatrix &adj, const Matrix &x)
+{
+    NodeId n = adj.rows();
+    int64_t f = x.cols();
+    s_ = x; // self is always a candidate, so start from it
+    argmax_.assign(size_t(n) * size_t(f), 0);
+    for (NodeId i = 0; i < n; ++i)
+        for (int64_t c = 0; c < f; ++c)
+            argmax_[size_t(i) * size_t(f) + size_t(c)] = i;
+    for (NodeId i = 0; i < n; ++i) {
+        float *srow = s_.row(i);
+        adj.forEachInRow(i, [&](NodeId j, float) {
+            const float *xrow = x.row(j);
+            for (int64_t c = 0; c < f; ++c) {
+                if (xrow[c] > srow[c]) {
+                    srow[c] = xrow[c];
+                    argmax_[size_t(i) * size_t(f) + size_t(c)] = j;
+                }
+            }
+        });
+    }
+    return matmul(s_, w);
+}
+
+Matrix
+MaxConv::backward(const Matrix &dz)
+{
+    gw = matmulTransposedA(s_, dz);
+    Matrix ds = matmulTransposedB(dz, w);
+    // Route each (i, c) gradient to the winning source node.
+    Matrix dx(s_.rows(), s_.cols(), 0.0f);
+    int64_t f = s_.cols();
+    for (int64_t i = 0; i < ds.rows(); ++i) {
+        const float *dsr = ds.row(i);
+        for (int64_t c = 0; c < f; ++c) {
+            NodeId j = argmax_[size_t(i) * size_t(f) + size_t(c)];
+            dx(j, c) += dsr[c];
+        }
+    }
+    return dx;
+}
+
+ResGcnModel::ResGcnModel(int features, int hidden, int classes, int layers,
+                         Rng &rng)
+    : input_(features, hidden, rng), output_(hidden, classes, rng)
+{
+    GCOD_ASSERT(layers >= 3, "ResGCN needs at least 3 layers");
+    spec_.name = "ResGCN";
+    spec_.layers.push_back({features, hidden, Aggregation::Max, 1, false});
+    for (int i = 0; i < layers - 2; ++i) {
+        blocks_.emplace_back(hidden, hidden, rng);
+        spec_.layers.push_back({hidden, hidden, Aggregation::Max, 1, false});
+    }
+    spec_.layers.push_back({hidden, classes, Aggregation::Max, 1, false});
+}
+
+Matrix
+ResGcnModel::forward(const GraphContext &ctx, const Matrix &x)
+{
+    const CsrMatrix &adj = ctx.binary();
+    inPre_ = input_.forward(adj, x);
+    Matrix h = relu(inPre_);
+    blockIn_.clear();
+    blockPre_.clear();
+    blockIn_.reserve(blocks_.size());
+    blockPre_.reserve(blocks_.size());
+    for (auto &blk : blocks_) {
+        blockIn_.push_back(h);
+        Matrix z = blk.forward(adj, h);
+        blockPre_.push_back(z);
+        Matrix r = relu(z);
+        r += h; // residual connection
+        h = std::move(r);
+    }
+    return output_.forward(adj, h);
+}
+
+void
+ResGcnModel::backward(const GraphContext &, const Matrix &,
+                      const Matrix &dlogits)
+{
+    Matrix dh = output_.backward(dlogits);
+    for (size_t b = blocks_.size(); b-- > 0;) {
+        Matrix dz = reluBackward(dh, blockPre_[b]);
+        Matrix dthrough = blocks_[b].backward(dz);
+        dh += dthrough; // residual: gradient flows both through and around
+    }
+    Matrix dz0 = reluBackward(dh, inPre_);
+    input_.backward(dz0);
+}
+
+std::vector<Matrix *>
+ResGcnModel::parameters()
+{
+    std::vector<Matrix *> ps{&input_.w};
+    for (auto &b : blocks_)
+        ps.push_back(&b.w);
+    ps.push_back(&output_.w);
+    return ps;
+}
+
+std::vector<Matrix *>
+ResGcnModel::gradients()
+{
+    std::vector<Matrix *> gs{&input_.gw};
+    for (auto &b : blocks_)
+        gs.push_back(&b.gw);
+    gs.push_back(&output_.gw);
+    return gs;
+}
+
+} // namespace gcod

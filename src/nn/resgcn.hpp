@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deep residual GCN (DeeperGCN [Li et al.]): 28 layers, 128 hidden units,
+ * Max aggregation (paper Tab. IV). Each block computes
+ * X <- X + ReLU(maxagg(X) W) with exact argmax routing in backward.
+ */
+#ifndef GCOD_NN_RESGCN_HPP
+#define GCOD_NN_RESGCN_HPP
+
+#include "nn/models.hpp"
+
+namespace gcod {
+
+/**
+ * One max-aggregation graph convolution. Aggregation takes the
+ * element-wise max over the closed neighborhood (self + neighbors), with
+ * argmax indices cached so backward routes gradients exactly.
+ */
+struct MaxConv
+{
+    Matrix w, gw;
+    Matrix s_;                  ///< cached max-aggregated features
+    std::vector<NodeId> argmax_; ///< winner node per (node, feature)
+
+    MaxConv() = default;
+    MaxConv(int in, int out, Rng &rng);
+
+    Matrix forward(const CsrMatrix &adj, const Matrix &x);
+
+    /** Returns dX; fills gw. Shape comes from the cached aggregation. */
+    Matrix backward(const Matrix &dz);
+};
+
+/** 28-layer residual GCN with max aggregation. */
+class ResGcnModel : public GnnModel
+{
+  public:
+    ResGcnModel(int features, int hidden, int classes, int layers, Rng &rng);
+
+    Matrix forward(const GraphContext &ctx, const Matrix &x) override;
+    void backward(const GraphContext &ctx, const Matrix &x,
+                  const Matrix &dlogits) override;
+    std::vector<Matrix *> parameters() override;
+    std::vector<Matrix *> gradients() override;
+    const ModelSpec &spec() const override { return spec_; }
+
+  private:
+    ModelSpec spec_;
+    MaxConv input_;              ///< features -> hidden
+    std::vector<MaxConv> blocks_;///< hidden -> hidden residual blocks
+    MaxConv output_;             ///< hidden -> classes
+    // Caches: inputs and pre-activations per block.
+    Matrix inPre_;
+    std::vector<Matrix> blockIn_;
+    std::vector<Matrix> blockPre_;
+};
+
+} // namespace gcod
+
+#endif // GCOD_NN_RESGCN_HPP

@@ -1,0 +1,132 @@
+#include "sage.hpp"
+
+#include <algorithm>
+
+namespace gcod {
+
+SageConv::SageConv(int in, int out, Rng &rng)
+    : w(2 * int64_t(in), out), gw(2 * int64_t(in), out), inDim(in),
+      outDim(out)
+{
+    w.glorotInit(rng);
+}
+
+Matrix
+SageConv::forward(const CsrMatrix &mean, const Matrix &x)
+{
+    s_ = spmm(mean, x);
+    xCat_ = hconcat(x, s_);
+    return matmul(xCat_, w);
+}
+
+Matrix
+SageConv::backward(const CsrMatrix &mean_t, const Matrix &dz)
+{
+    gw = matmulTransposedA(xCat_, dz);
+    Matrix dcat = matmulTransposedB(dz, w);
+    // Split concat gradient into the self and the neighbor halves.
+    Matrix dx(dcat.rows(), inDim, 0.0f);
+    Matrix ds(dcat.rows(), inDim, 0.0f);
+    for (int64_t r = 0; r < dcat.rows(); ++r) {
+        std::copy(dcat.row(r), dcat.row(r) + inDim, dx.row(r));
+        std::copy(dcat.row(r) + inDim, dcat.row(r) + 2 * inDim, ds.row(r));
+    }
+    dx += spmm(mean_t, ds);
+    return dx;
+}
+
+SageModel::SageModel(int features, int hidden, int classes, int sample1,
+                     int sample2, Rng &rng)
+    : conv1_(features, hidden, rng), conv2_(hidden, classes, rng),
+      sample1_(sample1), sample2_(sample2)
+{
+    spec_.name = "GraphSAGE";
+    spec_.layers = {{features, hidden, Aggregation::Mean, 1, true},
+                    {hidden, classes, Aggregation::Mean, 1, true}};
+}
+
+CsrMatrix
+SageModel::sampleMeanOperator(const Graph &g, int k, Rng &rng)
+{
+    CooMatrix coo(g.numNodes(), g.numNodes());
+    const CsrMatrix &adj = g.adjacency();
+    std::vector<NodeId> nbrs;
+    for (NodeId i = 0; i < g.numNodes(); ++i) {
+        nbrs.clear();
+        adj.forEachInRow(i, [&](NodeId j, float) { nbrs.push_back(j); });
+        if (nbrs.empty())
+            continue;
+        if (int(nbrs.size()) > k) {
+            rng.shuffle(nbrs);
+            nbrs.resize(size_t(k));
+        }
+        float wgt = 1.0f / float(nbrs.size());
+        for (NodeId j : nbrs)
+            coo.add(i, j, wgt);
+    }
+    return coo.toCsr();
+}
+
+void
+SageModel::resampleNeighborhoods(const GraphContext &ctx, Rng &rng)
+{
+    if (sample1_ <= 0 && sample2_ <= 0)
+        return;
+    const Graph &g = ctx.graph();
+    mean1_ = sample1_ > 0 ? sampleMeanOperator(g, sample1_, rng)
+                          : ctx.rowMean();
+    mean2_ = sample2_ > 0 ? sampleMeanOperator(g, sample2_, rng)
+                          : ctx.rowMean();
+    mean1T_ = mean1_.transpose();
+    mean2T_ = mean2_.transpose();
+    sampled_ = true;
+}
+
+void
+SageModel::clearSampling()
+{
+    sampled_ = false;
+}
+
+Matrix
+SageModel::forward(const GraphContext &ctx, const Matrix &x)
+{
+    const CsrMatrix &m1 = sampled_ ? mean1_ : ctx.rowMean();
+    const CsrMatrix &m2 = sampled_ ? mean2_ : ctx.rowMean();
+    z1_ = conv1_.forward(m1, x);
+    h1_ = relu(z1_);
+    return conv2_.forward(m2, h1_);
+}
+
+void
+SageModel::backward(const GraphContext &ctx, const Matrix &,
+                    const Matrix &dlogits)
+{
+    CsrMatrix full_t; // lazily built full-mean transpose when unsampled
+    const CsrMatrix *m1t, *m2t;
+    if (sampled_) {
+        m1t = &mean1T_;
+        m2t = &mean2T_;
+    } else {
+        full_t = ctx.rowMean().transpose();
+        m1t = &full_t;
+        m2t = &full_t;
+    }
+    Matrix dh1 = conv2_.backward(*m2t, dlogits);
+    Matrix dz1 = reluBackward(dh1, z1_);
+    conv1_.backward(*m1t, dz1);
+}
+
+std::vector<Matrix *>
+SageModel::parameters()
+{
+    return {&conv1_.w, &conv2_.w};
+}
+
+std::vector<Matrix *>
+SageModel::gradients()
+{
+    return {&conv1_.gw, &conv2_.gw};
+}
+
+} // namespace gcod

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * GraphSAGE [Hamilton et al.] with mean aggregation and optional
+ * fixed-size neighborhood sampling (paper setting: 25 and 10 neighbors for
+ * layers 1 and 2), the mini-batch-style model of Tab. IV. Each layer
+ * computes Z = [X || mean_{j in sample(N(i))} X_j] W.
+ */
+#ifndef GCOD_NN_SAGE_HPP
+#define GCOD_NN_SAGE_HPP
+
+#include "nn/models.hpp"
+
+namespace gcod {
+
+/** One GraphSAGE-mean layer with self-concat. */
+struct SageConv
+{
+    Matrix w, gw;  ///< (2*in) x out
+    Matrix s_;     ///< cached aggregated neighbor features
+    Matrix xCat_;  ///< cached [x || s]
+
+    SageConv() = default;
+    SageConv(int in, int out, Rng &rng);
+
+    /** @p mean is the (possibly sampled) row-mean operator. */
+    Matrix forward(const CsrMatrix &mean, const Matrix &x);
+
+    /** @p mean_t is the transpose of the operator used in forward. */
+    Matrix backward(const CsrMatrix &mean_t, const Matrix &dz);
+
+    int inDim = 0, outDim = 0;
+};
+
+/** Two-layer GraphSAGE with per-epoch neighbor resampling. */
+class SageModel : public GnnModel
+{
+  public:
+    /**
+     * @param sample1/sample2  neighbor sample sizes per layer; 0 disables
+     *                         sampling (full mean aggregation)
+     */
+    SageModel(int features, int hidden, int classes, int sample1,
+              int sample2, Rng &rng);
+
+    Matrix forward(const GraphContext &ctx, const Matrix &x) override;
+    void backward(const GraphContext &ctx, const Matrix &x,
+                  const Matrix &dlogits) override;
+    std::vector<Matrix *> parameters() override;
+    std::vector<Matrix *> gradients() override;
+    const ModelSpec &spec() const override { return spec_; }
+
+    /** Draw a fresh neighbor sample (called once per training epoch). */
+    void resampleNeighborhoods(const GraphContext &ctx, Rng &rng) override;
+
+    /** Drop sampled operators; subsequent forwards use the full mean. */
+    void clearSampling();
+
+  private:
+    ModelSpec spec_;
+    SageConv conv1_, conv2_;
+    int sample1_ = 0, sample2_ = 0;
+    Matrix z1_, h1_;
+    // Sampled mean operators and their transposes (empty = full mean).
+    CsrMatrix mean1_, mean1T_, mean2_, mean2T_;
+    bool sampled_ = false;
+
+    static CsrMatrix sampleMeanOperator(const Graph &g, int k, Rng &rng);
+};
+
+} // namespace gcod
+
+#endif // GCOD_NN_SAGE_HPP

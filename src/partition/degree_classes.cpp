@@ -1,0 +1,64 @@
+#include "degree_classes.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+DegreeClasses
+classifyByThresholds(const Graph &g, const std::vector<NodeId> &thresholds)
+{
+    for (size_t i = 1; i < thresholds.size(); ++i)
+        GCOD_ASSERT(thresholds[i] > thresholds[i - 1],
+                    "thresholds must be strictly ascending");
+    DegreeClasses out;
+    out.numClasses = int(thresholds.size()) + 1;
+    out.thresholds = thresholds;
+    out.classOf.resize(size_t(g.numNodes()));
+    out.classSizes.assign(size_t(out.numClasses), 0);
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        NodeId d = g.degrees()[size_t(v)];
+        auto it = std::upper_bound(thresholds.begin(), thresholds.end(), d);
+        int c = int(it - thresholds.begin());
+        out.classOf[size_t(v)] = c;
+        out.classSizes[size_t(c)] += 1;
+    }
+    return out;
+}
+
+DegreeClasses
+classifyBalanced(const Graph &g, int num_classes)
+{
+    GCOD_ASSERT(num_classes >= 1, "need at least one class");
+    if (num_classes == 1 || g.numNodes() == 0)
+        return classifyByThresholds(g, {});
+
+    // Sort nodes by degree and cut at equal shares of total degree mass.
+    std::vector<NodeId> order(static_cast<size_t>(g.numNodes()));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return g.degrees()[size_t(a)] < g.degrees()[size_t(b)];
+    });
+    double total = 0.0;
+    for (NodeId d : g.degrees())
+        total += double(d);
+
+    std::vector<NodeId> thresholds;
+    double acc = 0.0;
+    int next_cut = 1;
+    for (NodeId v : order) {
+        acc += double(g.degrees()[size_t(v)]);
+        if (acc >= total * double(next_cut) / double(num_classes) &&
+            next_cut < num_classes) {
+            NodeId t = g.degrees()[size_t(v)] + 1;
+            if (thresholds.empty() || t > thresholds.back())
+                thresholds.push_back(t);
+            ++next_cut;
+        }
+    }
+    return classifyByThresholds(g, thresholds);
+}
+
+} // namespace gcod

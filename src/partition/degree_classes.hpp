@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Degree-class extraction (GCoD algorithm Step 1, Sec. IV-B).
+ *
+ * Nodes are clustered into C classes by in-degree against a degree
+ * partition list 0 = d0 < d1 < ... < dC = inf; class c holds nodes with
+ * d_{c-1} <= deg < d_c. Classes feed one accelerator chunk each, so nodes
+ * in a class share similar data-access and processing workloads.
+ */
+#ifndef GCOD_PARTITION_DEGREE_CLASSES_HPP
+#define GCOD_PARTITION_DEGREE_CLASSES_HPP
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcod {
+
+/** Result of degree classification. */
+struct DegreeClasses
+{
+    int numClasses = 0;
+    std::vector<int> classOf;        ///< class id per node
+    std::vector<NodeId> thresholds;  ///< d1..d_{C-1} boundaries used
+    std::vector<NodeId> classSizes;  ///< node count per class
+};
+
+/**
+ * Classify nodes with an explicit threshold list (ascending, exclusive
+ * upper bounds). thresholds.size()+1 classes result.
+ */
+DegreeClasses classifyByThresholds(const Graph &g,
+                                   const std::vector<NodeId> &thresholds);
+
+/**
+ * Pick thresholds automatically so classes hold roughly equal *edge* mass
+ * (sum of degrees), matching GCoD's goal of workload-balanced chunks, then
+ * classify. Adjacent duplicate thresholds are merged, so the result may
+ * have fewer than @p num_classes classes on very regular graphs.
+ */
+DegreeClasses classifyBalanced(const Graph &g, int num_classes);
+
+} // namespace gcod
+
+#endif // GCOD_PARTITION_DEGREE_CLASSES_HPP

@@ -1,0 +1,304 @@
+#include "metis_lite.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "sim/logging.hpp"
+#include "sim/rng.hpp"
+
+namespace gcod {
+
+namespace {
+
+/** One level of the multilevel hierarchy: a weighted CSR graph. */
+struct Level
+{
+    NodeId n = 0;
+    std::vector<EdgeOffset> xadj;
+    std::vector<NodeId> adjncy;
+    std::vector<double> adjwgt;
+    std::vector<double> vwgt;
+    /** Mapping from this level's nodes to the coarser level's nodes. */
+    std::vector<NodeId> coarseMap;
+};
+
+Level
+fromGraph(const Graph &g, const std::vector<double> &weights)
+{
+    Level lv;
+    lv.n = g.numNodes();
+    const CsrMatrix &a = g.adjacency();
+    lv.xadj = a.indptr();
+    lv.adjncy = a.indices();
+    lv.adjwgt.assign(lv.adjncy.size(), 1.0);
+    if (weights.empty()) {
+        lv.vwgt.assign(size_t(lv.n), 1.0);
+    } else {
+        GCOD_ASSERT(weights.size() == size_t(lv.n),
+                    "vertex weight count mismatch");
+        lv.vwgt = weights;
+    }
+    return lv;
+}
+
+/** Heavy-edge matching; returns coarse node count and fills level.coarseMap. */
+NodeId
+heavyEdgeMatch(Level &lv, Rng &rng)
+{
+    std::vector<NodeId> order(static_cast<size_t>(lv.n));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    std::vector<NodeId> match(size_t(lv.n), -1);
+    for (NodeId u : order) {
+        if (match[size_t(u)] >= 0)
+            continue;
+        NodeId best = -1;
+        double best_w = -1.0;
+        for (EdgeOffset k = lv.xadj[size_t(u)]; k < lv.xadj[size_t(u) + 1];
+             ++k) {
+            NodeId v = lv.adjncy[size_t(k)];
+            if (v == u || match[size_t(v)] >= 0)
+                continue;
+            if (lv.adjwgt[size_t(k)] > best_w) {
+                best_w = lv.adjwgt[size_t(k)];
+                best = v;
+            }
+        }
+        if (best >= 0) {
+            match[size_t(u)] = best;
+            match[size_t(best)] = u;
+        } else {
+            match[size_t(u)] = u;
+        }
+    }
+
+    lv.coarseMap.assign(size_t(lv.n), -1);
+    NodeId next = 0;
+    for (NodeId u = 0; u < lv.n; ++u) {
+        if (lv.coarseMap[size_t(u)] >= 0)
+            continue;
+        NodeId v = match[size_t(u)];
+        lv.coarseMap[size_t(u)] = next;
+        lv.coarseMap[size_t(v)] = next;
+        ++next;
+    }
+    return next;
+}
+
+/** Contract a matched level into its coarser successor. */
+Level
+contract(const Level &fine, NodeId coarse_n)
+{
+    Level lv;
+    lv.n = coarse_n;
+    lv.vwgt.assign(size_t(coarse_n), 0.0);
+    for (NodeId u = 0; u < fine.n; ++u)
+        lv.vwgt[size_t(fine.coarseMap[size_t(u)])] += fine.vwgt[size_t(u)];
+
+    // Aggregate parallel edges between coarse nodes.
+    std::vector<std::unordered_map<NodeId, double>> nbr(
+        static_cast<size_t>(coarse_n));
+    for (NodeId u = 0; u < fine.n; ++u) {
+        NodeId cu = fine.coarseMap[size_t(u)];
+        for (EdgeOffset k = fine.xadj[size_t(u)];
+             k < fine.xadj[size_t(u) + 1]; ++k) {
+            NodeId cv = fine.coarseMap[size_t(fine.adjncy[size_t(k)])];
+            if (cu == cv)
+                continue;
+            nbr[size_t(cu)][cv] += fine.adjwgt[size_t(k)];
+        }
+    }
+    lv.xadj.assign(size_t(coarse_n) + 1, 0);
+    for (NodeId u = 0; u < coarse_n; ++u)
+        lv.xadj[size_t(u) + 1] = lv.xadj[size_t(u)] +
+                                 EdgeOffset(nbr[size_t(u)].size());
+    lv.adjncy.resize(size_t(lv.xadj.back()));
+    lv.adjwgt.resize(size_t(lv.xadj.back()));
+    for (NodeId u = 0; u < coarse_n; ++u) {
+        EdgeOffset k = lv.xadj[size_t(u)];
+        for (auto [v, w] : nbr[size_t(u)]) {
+            lv.adjncy[size_t(k)] = v;
+            lv.adjwgt[size_t(k)] = w;
+            ++k;
+        }
+    }
+    return lv;
+}
+
+/** Greedy region growing: seed parts, grow by BFS until weight target. */
+std::vector<int>
+initialPartition(const Level &lv, int parts, Rng &rng)
+{
+    double total = std::accumulate(lv.vwgt.begin(), lv.vwgt.end(), 0.0);
+    double target = total / double(parts);
+
+    std::vector<int> part(size_t(lv.n), -1);
+    std::vector<NodeId> order(static_cast<size_t>(lv.n));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    size_t seed_cursor = 0;
+    for (int p = 0; p < parts - 1; ++p) {
+        // Find an unassigned seed.
+        while (seed_cursor < order.size() &&
+               part[size_t(order[seed_cursor])] >= 0)
+            ++seed_cursor;
+        if (seed_cursor >= order.size())
+            break;
+        std::vector<NodeId> frontier{order[seed_cursor]};
+        double weight = 0.0;
+        size_t head = 0;
+        part[size_t(order[seed_cursor])] = p;
+        weight += lv.vwgt[size_t(order[seed_cursor])];
+        while (weight < target && head < frontier.size()) {
+            NodeId u = frontier[head++];
+            for (EdgeOffset k = lv.xadj[size_t(u)];
+                 k < lv.xadj[size_t(u) + 1] && weight < target; ++k) {
+                NodeId v = lv.adjncy[size_t(k)];
+                if (part[size_t(v)] >= 0)
+                    continue;
+                part[size_t(v)] = p;
+                weight += lv.vwgt[size_t(v)];
+                frontier.push_back(v);
+            }
+        }
+    }
+    for (NodeId u = 0; u < lv.n; ++u)
+        if (part[size_t(u)] < 0)
+            part[size_t(u)] = parts - 1;
+    return part;
+}
+
+/** Boundary FM-style refinement pass; returns true if anything moved. */
+bool
+refineOnce(const Level &lv, int parts, std::vector<int> &part,
+           std::vector<double> &pw, double max_weight)
+{
+    bool moved = false;
+    std::vector<double> gain(static_cast<size_t>(parts));
+    for (NodeId u = 0; u < lv.n; ++u) {
+        int pu = part[size_t(u)];
+        std::fill(gain.begin(), gain.end(), 0.0);
+        bool boundary = false;
+        for (EdgeOffset k = lv.xadj[size_t(u)]; k < lv.xadj[size_t(u) + 1];
+             ++k) {
+            int pv = part[size_t(lv.adjncy[size_t(k)])];
+            gain[size_t(pv)] += lv.adjwgt[size_t(k)];
+            if (pv != pu)
+                boundary = true;
+        }
+        if (!boundary)
+            continue;
+        int best = pu;
+        double best_gain = 0.0;
+        for (int p = 0; p < parts; ++p) {
+            if (p == pu)
+                continue;
+            double g = gain[size_t(p)] - gain[size_t(pu)];
+            bool fits = pw[size_t(p)] + lv.vwgt[size_t(u)] <= max_weight;
+            // Strictly-positive-gain moves, or zero-gain moves that improve
+            // balance (classic FM tie-break).
+            bool better_balance = pw[size_t(p)] + lv.vwgt[size_t(u)] <
+                                  pw[size_t(pu)];
+            if (fits && (g > best_gain ||
+                         (g == best_gain && g >= 0.0 && best == pu &&
+                          better_balance))) {
+                best = p;
+                best_gain = g;
+            }
+        }
+        if (best != pu) {
+            pw[size_t(pu)] -= lv.vwgt[size_t(u)];
+            pw[size_t(best)] += lv.vwgt[size_t(u)];
+            part[size_t(u)] = best;
+            moved = true;
+        }
+    }
+    return moved;
+}
+
+void
+refine(const Level &lv, int parts, std::vector<int> &part,
+       const PartitionOptions &opts)
+{
+    double total = std::accumulate(lv.vwgt.begin(), lv.vwgt.end(), 0.0);
+    double max_weight = total / double(parts) * opts.balanceFactor;
+    std::vector<double> pw(size_t(parts), 0.0);
+    for (NodeId u = 0; u < lv.n; ++u)
+        pw[size_t(part[size_t(u)])] += lv.vwgt[size_t(u)];
+    for (int pass = 0; pass < opts.refinePasses; ++pass)
+        if (!refineOnce(lv, parts, part, pw, max_weight))
+            break;
+}
+
+} // namespace
+
+PartitionResult
+partitionGraph(const Graph &g, int parts, const std::vector<double> &weights,
+               const PartitionOptions &opts)
+{
+    GCOD_ASSERT(parts >= 1, "parts must be >= 1");
+    PartitionResult res;
+    res.parts = parts;
+    if (parts == 1 || g.numNodes() == 0) {
+        res.partOf.assign(size_t(g.numNodes()), 0);
+        res.partWeights.assign(size_t(parts), 0.0);
+        for (NodeId u = 0; u < g.numNodes(); ++u)
+            res.partWeights[0] +=
+                weights.empty() ? 1.0 : weights[size_t(u)];
+        res.edgeCut = 0;
+        return res;
+    }
+
+    Rng rng(opts.seed);
+    std::vector<Level> levels;
+    levels.push_back(fromGraph(g, weights));
+
+    // Coarsen until small or no further contraction possible.
+    while (levels.back().n > NodeId(opts.coarsenTarget * parts)) {
+        NodeId coarse_n = heavyEdgeMatch(levels.back(), rng);
+        if (coarse_n >= levels.back().n)
+            break; // no matching progress (e.g. edgeless graph)
+        levels.push_back(contract(levels.back(), coarse_n));
+    }
+
+    // Initial partition at the coarsest level.
+    std::vector<int> part = initialPartition(levels.back(), parts, rng);
+    refine(levels.back(), parts, part, opts);
+
+    // Uncoarsen, projecting and refining at each level.
+    for (size_t li = levels.size(); li-- > 1;) {
+        const Level &fine = levels[li - 1];
+        std::vector<int> fine_part(static_cast<size_t>(fine.n));
+        for (NodeId u = 0; u < fine.n; ++u)
+            fine_part[size_t(u)] = part[size_t(fine.coarseMap[size_t(u)])];
+        part = std::move(fine_part);
+        refine(levels[li - 1], parts, part, opts);
+    }
+
+    res.partOf = std::move(part);
+    res.partWeights.assign(size_t(parts), 0.0);
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        double w = weights.empty() ? 1.0 : weights[size_t(u)];
+        res.partWeights[size_t(res.partOf[size_t(u)])] += w;
+    }
+    res.edgeCut = computeEdgeCut(g, res.partOf);
+    return res;
+}
+
+EdgeOffset
+computeEdgeCut(const Graph &g, const std::vector<int> &part_of)
+{
+    GCOD_ASSERT(part_of.size() == size_t(g.numNodes()),
+                "partition size mismatch");
+    EdgeOffset cut = 0;
+    g.adjacency().forEach([&](NodeId r, NodeId c, float) {
+        if (r < c && part_of[size_t(r)] != part_of[size_t(c)])
+            ++cut;
+    });
+    return cut;
+}
+
+} // namespace gcod

@@ -1,0 +1,69 @@
+#include "config.hpp"
+
+#include <cstdlib>
+
+#include "logging.hpp"
+
+namespace gcod {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string tok = argv[i];
+        auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            GCOD_FATAL("expected key=value argument, got '", tok, "'");
+        }
+        set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+int64_t
+Config::getInt(const std::string &key, int64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+} // namespace gcod

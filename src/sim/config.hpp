@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A tiny typed key/value configuration store.
+ *
+ * Benchmarks and examples accept "key=value" command-line overrides (e.g.
+ * `scale=0.1 classes=4`) which land in a Config; simulated components read
+ * their parameters through typed accessors with defaults.
+ */
+#ifndef GCOD_SIM_CONFIG_HPP
+#define GCOD_SIM_CONFIG_HPP
+
+#include <map>
+#include <string>
+
+namespace gcod {
+
+/** String-backed configuration map with typed accessors. */
+class Config
+{
+  public:
+    /** Set (or overwrite) a raw value. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Parse argv-style "key=value" tokens; unknown shapes are fatal. */
+    void parseArgs(int argc, char **argv);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters returning @p def when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    int64_t getInt(const std::string &key, int64_t def = 0) const;
+    double getDouble(const std::string &key, double def = 0.0) const;
+    bool getBool(const std::string &key, bool def = false) const;
+
+    const std::map<std::string, std::string> &entries() const
+    {
+        return values_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace gcod
+
+#endif // GCOD_SIM_CONFIG_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * gem5-style status and error reporting for the GCoD simulator.
+ *
+ * Severity model follows the gem5 convention:
+ *  - panic():  an internal simulator bug; never the user's fault. Aborts.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, inconsistent arguments). Exits with 1.
+ *  - warn():   something is questionable but the run may still be useful.
+ *  - inform(): plain status output.
+ */
+#ifndef GCOD_SIM_LOGGING_HPP
+#define GCOD_SIM_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace gcod {
+
+/** Verbosity levels honoured by inform(); warn/fatal/panic always print. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Process-wide log verbosity (default Info). */
+LogLevel logLevel();
+
+/** Set the process-wide log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort on an internal invariant violation (simulator bug).
+ * Accepts any number of streamable arguments.
+ */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, const Args &...args)
+{
+    detail::panicImpl(file, line, detail::concat(args...));
+}
+
+/** Exit(1) on an unrecoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, const Args &...args)
+{
+    detail::fatalImpl(file, line, detail::concat(args...));
+}
+
+/** Print a warning about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::warnImpl(detail::concat(args...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    detail::informImpl(detail::concat(args...));
+}
+
+/** Print a debug-level message (shown only at LogLevel::Debug). */
+template <typename... Args>
+void
+debugLog(const Args &...args)
+{
+    detail::debugImpl(detail::concat(args...));
+}
+
+#define GCOD_PANIC(...) ::gcod::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define GCOD_FATAL(...) ::gcod::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an invariant that indicates a simulator bug when violated. */
+#define GCOD_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            GCOD_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);       \
+    } while (0)
+
+} // namespace gcod
+
+#endif // GCOD_SIM_LOGGING_HPP

@@ -1,0 +1,125 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+namespace gcod {
+
+void
+StatDistribution::sample(double v)
+{
+    ++count_;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    sum_ += v;
+    double delta = v - mean_;
+    mean_ += delta / double(count_);
+    m2_ += delta * (v - mean_);
+    samples_.push_back(v);
+}
+
+double
+StatDistribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+StatDistribution::cv() const
+{
+    double m = mean();
+    return m != 0.0 ? stddev() / m : 0.0;
+}
+
+double
+StatDistribution::imbalance() const
+{
+    double m = mean();
+    return m != 0.0 ? max() / m : 1.0;
+}
+
+std::vector<size_t>
+StatDistribution::histogram() const
+{
+    std::vector<size_t> bins(binCount_, 0);
+    if (!count_ || binCount_ == 0)
+        return bins;
+    double lo = min(), hi = max();
+    double width = (hi - lo) / double(binCount_);
+    if (width <= 0.0) {
+        bins[0] = count_;
+        return bins;
+    }
+    for (double v : samples_) {
+        auto idx = size_t((v - lo) / width);
+        bins[std::min(idx, binCount_ - 1)] += 1;
+    }
+    return bins;
+}
+
+StatScalar &
+StatGroup::scalar(const std::string &name, const std::string &desc)
+{
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+        it = scalars_.emplace(name, StatScalar(name, desc)).first;
+    return it->second;
+}
+
+StatDistribution &
+StatGroup::distribution(const std::string &name, const std::string &desc,
+                        size_t bins)
+{
+    auto it = dists_.find(name);
+    if (it == dists_.end())
+        it = dists_.emplace(name, StatDistribution(name, desc, bins)).first;
+    return it->second;
+}
+
+const StatScalar *
+StatGroup::findScalar(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? nullptr : &it->second;
+}
+
+const StatDistribution *
+StatGroup::findDistribution(const std::string &name) const
+{
+    auto it = dists_.find(name);
+    return it == dists_.end() ? nullptr : &it->second;
+}
+
+void
+StatGroup::print(std::ostream &os) const
+{
+    os << "---------- " << name_ << " ----------\n";
+    for (const auto &[key, s] : scalars_) {
+        os << std::left << std::setw(40) << (name_ + "." + key)
+           << std::setw(18) << s.value();
+        if (!s.desc().empty())
+            os << " # " << s.desc();
+        os << "\n";
+    }
+    for (const auto &[key, d] : dists_) {
+        os << std::left << std::setw(40) << (name_ + "." + key)
+           << "n=" << d.count() << " mean=" << d.mean()
+           << " min=" << d.min() << " max=" << d.max()
+           << " cv=" << d.cv();
+        if (!d.desc().empty())
+            os << " # " << d.desc();
+        os << "\n";
+    }
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[key, s] : scalars_)
+        s = 0.0;
+    for (auto &[key, d] : dists_)
+        d = StatDistribution(d.name(), d.desc());
+}
+
+} // namespace gcod

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A small gem5-inspired statistics package.
+ *
+ * Simulators in src/accel register named statistics (scalar counters,
+ * distributions, and derived formulas) into a StatGroup. Benchmarks print
+ * groups at the end of a simulated run; tests assert on individual values.
+ */
+#ifndef GCOD_SIM_STATS_HPP
+#define GCOD_SIM_STATS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gcod {
+
+/** A named monotonically accumulating scalar statistic. */
+class StatScalar
+{
+  public:
+    StatScalar() = default;
+    StatScalar(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    StatScalar &operator+=(double v) { value_ += v; return *this; }
+    StatScalar &operator=(double v) { value_ = v; return *this; }
+    void inc(double v = 1.0) { value_ += v; }
+
+    double value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0.0;
+};
+
+/**
+ * A streaming distribution tracking min/max/mean/variance plus a fixed-bin
+ * histogram; used for per-PE workload balance and per-tile nnz profiles.
+ */
+class StatDistribution
+{
+  public:
+    StatDistribution() = default;
+
+    /** @param bins number of histogram bins laid out lazily on first range */
+    StatDistribution(std::string name, std::string desc, size_t bins = 16)
+        : name_(std::move(name)), desc_(std::move(desc)), binCount_(bins)
+    {}
+
+    /** Record one sample. */
+    void sample(double v);
+
+    size_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Population variance via Welford accumulation. */
+    double variance() const { return count_ ? m2_ / double(count_) : 0.0; }
+    double stddev() const;
+
+    /** Coefficient of variation (stddev/mean); imbalance proxy. */
+    double cv() const;
+
+    /** max/mean ratio: the classic load-imbalance factor. */
+    double imbalance() const;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Raw retained samples (kept for histogram printing and tests). */
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** Render an equal-width histogram over [min,max] with binCount_ bins. */
+    std::vector<size_t> histogram() const;
+
+  private:
+    std::string name_;
+    std::string desc_;
+    size_t binCount_ = 16;
+    size_t count_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    std::vector<double> samples_;
+};
+
+/**
+ * A named collection of statistics belonging to one simulated component
+ * (e.g. one sub-accelerator chunk, the HBM model, the whole platform).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "stats") : name_(std::move(name)) {}
+
+    /** Create-or-fetch a scalar stat by name. */
+    StatScalar &scalar(const std::string &name, const std::string &desc = "");
+
+    /** Create-or-fetch a distribution stat by name. */
+    StatDistribution &distribution(const std::string &name,
+                                   const std::string &desc = "",
+                                   size_t bins = 16);
+
+    /** Lookup without creation; nullptr when absent. */
+    const StatScalar *findScalar(const std::string &name) const;
+    const StatDistribution *findDistribution(const std::string &name) const;
+
+    /** Dump "name value # desc" lines, gem5 stats.txt style. */
+    void print(std::ostream &os) const;
+
+    /** Reset every contained statistic to zero samples. */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, StatScalar> scalars_;
+    std::map<std::string, StatDistribution> dists_;
+};
+
+} // namespace gcod
+
+#endif // GCOD_SIM_STATS_HPP

@@ -1,0 +1,122 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace gcod {
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+    std::vector<size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    size_t total = 1;
+    for (size_t w : width)
+        total += w + 3;
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    std::string rule(total, '-');
+    auto emit = [&](const std::vector<std::string> &r) {
+        os << "|";
+        for (size_t c = 0; c < cols; ++c) {
+            std::string cell = c < r.size() ? r[c] : "";
+            os << " " << std::left << std::setw(int(width[c])) << cell << " |";
+        }
+        os << "\n";
+    };
+    os << rule << "\n";
+    if (!header_.empty()) {
+        emit(header_);
+        os << rule << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    os << rule << "\n";
+}
+
+std::string
+formatNumber(double v)
+{
+    char buf[64];
+    if (v == 0.0)
+        return "0";
+    double a = std::fabs(v);
+    if (a >= 1000.0)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else if (a >= 10.0)
+        std::snprintf(buf, sizeof(buf), "%.1f", v);
+    else if (a >= 0.01)
+        std::snprintf(buf, sizeof(buf), "%.3f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2e", v);
+    return buf;
+}
+
+std::string
+formatSpeedup(double v)
+{
+    char buf[64];
+    if (v >= 100.0)
+        std::snprintf(buf, sizeof(buf), "%.0fx", v);
+    else if (v >= 10.0)
+        std::snprintf(buf, sizeof(buf), "%.1fx", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fx", v);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    char buf[64];
+    const char *unit = "B";
+    double v = bytes;
+    if (v >= 1024.0 * 1024.0 * 1024.0) {
+        v /= 1024.0 * 1024.0 * 1024.0;
+        unit = "GiB";
+    } else if (v >= 1024.0 * 1024.0) {
+        v /= 1024.0 * 1024.0;
+        unit = "MiB";
+    } else if (v >= 1024.0) {
+        v /= 1024.0;
+        unit = "KiB";
+    }
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, unit);
+    return buf;
+}
+
+std::string
+formatPercent(double ratio)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+    return buf;
+}
+
+} // namespace gcod

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table rendering used by every bench binary to print the rows
+ * and series the paper's tables and figures report.
+ */
+#ifndef GCOD_SIM_TABLE_HPP
+#define GCOD_SIM_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gcod {
+
+/**
+ * A right-padded ASCII table. Columns are sized to their widest cell;
+ * numeric formatting is the caller's responsibility (use formatNumber()).
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row; ragged rows are padded with empty cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with a title banner and column separators. */
+    void print(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+    const std::vector<std::vector<std::string>> &data() const { return rows_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double compactly: 3 significant decimals, no trailing zeros. */
+std::string formatNumber(double v);
+
+/** Format as "12345x" style speedup with adaptive precision. */
+std::string formatSpeedup(double v);
+
+/** Format bytes with binary unit suffix (KiB/MiB/GiB). */
+std::string formatBytes(double bytes);
+
+/** Format a [0,1] ratio as a percentage string. */
+std::string formatPercent(double ratio);
+
+} // namespace gcod
+
+#endif // GCOD_SIM_TABLE_HPP

@@ -1,0 +1,92 @@
+#include "fused.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+Matrix
+fusedEfficiencyAware(const CscMatrix &a_csc, const Matrix &x,
+                     const Matrix &w, FusedStats *stats)
+{
+    GCOD_ASSERT(x.cols() == w.rows(), "X/W shape mismatch");
+    GCOD_ASSERT(int64_t(a_csc.cols()) == x.rows(), "A/X shape mismatch");
+    Matrix y(a_csc.rows(), w.cols(), 0.0f);
+    FusedStats s;
+    // One row of XW live at a time; the whole output stays buffered.
+    std::vector<float> xw_row(static_cast<size_t>(w.cols()), 0.0f);
+    s.peakIntermediate = w.cols();
+    s.peakOutput = y.size();
+    for (NodeId i = 0; i < NodeId(x.rows()); ++i) {
+        // Row-wise combination: row i of XW (Fig. 7(c)).
+        std::fill(xw_row.begin(), xw_row.end(), 0.0f);
+        const float *xrow = x.row(i);
+        for (int64_t k = 0; k < x.cols(); ++k) {
+            float xv = xrow[k];
+            if (xv == 0.0f)
+                continue;
+            const float *wrow = w.row(k);
+            for (int64_t j = 0; j < w.cols(); ++j)
+                xw_row[size_t(j)] += xv * wrow[j];
+            s.macs += w.cols();
+        }
+        // Immediate distributed aggregation: the finished XW row
+        // multiplies all nonzeros of A's column i (Fig. 7(d)).
+        a_csc.forEachInCol(i, [&](NodeId r, float av) {
+            float *yrow = y.row(r);
+            for (int64_t j = 0; j < w.cols(); ++j)
+                yrow[j] += av * xw_row[size_t(j)];
+            s.macs += w.cols();
+        });
+    }
+    if (stats)
+        *stats = s;
+    return y;
+}
+
+Matrix
+fusedResourceAware(const CscMatrix &a_csc, const Matrix &x, const Matrix &w,
+                   FusedStats *stats)
+{
+    GCOD_ASSERT(x.cols() == w.rows(), "X/W shape mismatch");
+    GCOD_ASSERT(int64_t(a_csc.cols()) == x.rows(), "A/X shape mismatch");
+    Matrix y(a_csc.rows(), w.cols(), 0.0f);
+    FusedStats s;
+    // One XW column and one output column live at a time (Fig. 7(e)/(f)).
+    std::vector<float> xw_col(static_cast<size_t>(x.rows()), 0.0f);
+    std::vector<float> y_col(static_cast<size_t>(a_csc.rows()), 0.0f);
+    s.peakIntermediate = x.rows();
+    s.peakOutput = a_csc.rows();
+    for (int64_t j = 0; j < w.cols(); ++j) {
+        // Column-wise combination: XW[:, j] = X * W[:, j].
+        std::fill(xw_col.begin(), xw_col.end(), 0.0f);
+        for (int64_t i = 0; i < x.rows(); ++i) {
+            const float *xrow = x.row(i);
+            float acc = 0.0f;
+            for (int64_t k = 0; k < x.cols(); ++k)
+                acc += xrow[k] * w(k, j);
+            xw_col[size_t(i)] = acc;
+            s.macs += x.cols();
+        }
+        // Column-wise aggregation with full output-column reuse:
+        // Y[:, j] = A * XW[:, j].
+        std::fill(y_col.begin(), y_col.end(), 0.0f);
+        for (NodeId c = 0; c < a_csc.cols(); ++c) {
+            float xv = xw_col[size_t(c)];
+            if (xv == 0.0f)
+                continue;
+            a_csc.forEachInCol(c, [&](NodeId r, float av) {
+                y_col[size_t(r)] += av * xv;
+                s.macs += 1;
+            });
+        }
+        for (NodeId r = 0; r < a_csc.rows(); ++r)
+            y(r, j) = y_col[size_t(r)];
+    }
+    if (stats)
+        *stats = s;
+    return y;
+}
+
+} // namespace gcod

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Functional implementations of the paper's two inter-phase pipelines
+ * (Fig. 7): fused combination + aggregation kernels that compute
+ * \f$X' = A (X W)\f$ without materializing the full intermediate XW.
+ *
+ *  - Efficiency-aware: combination runs row-wise; as soon as row i of XW
+ *    is complete it is broadcast down column i of A (spatial reuse of the
+ *    XW row, temporal reuse of A), accumulating into a full output buffer
+ *    (Fig. 7(c)+(d)).
+ *  - Resource-aware: combination runs column-wise; one column of XW is
+ *    built at a time and aggregated immediately, so only one output
+ *    column is ever live (Fig. 7(e)+(f)).
+ *
+ * Both must equal the unfused spmm(A, matmul(X, W)) — asserted by tests —
+ * and both report their peak intermediate/output footprint so the Tab. II
+ * storage trade-off is demonstrated by construction, not just modelled.
+ */
+#ifndef GCOD_TENSOR_FUSED_HPP
+#define GCOD_TENSOR_FUSED_HPP
+
+#include "graph/sparse.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gcod {
+
+/** Footprint accounting of a fused pipeline run. */
+struct FusedStats
+{
+    /** Peak live intermediate (XW) elements. */
+    int64_t peakIntermediate = 0;
+    /** Peak live output accumulator elements. */
+    int64_t peakOutput = 0;
+    /** Total multiply-accumulate operations executed. */
+    int64_t macs = 0;
+};
+
+/**
+ * Efficiency-aware pipeline: Y = A * (X * W), XW produced row-wise and
+ * consumed immediately; output fully buffered.
+ *
+ * @param a_csc  adjacency in CSC (columns consumed as XW rows complete)
+ */
+Matrix fusedEfficiencyAware(const CscMatrix &a_csc, const Matrix &x,
+                            const Matrix &w, FusedStats *stats = nullptr);
+
+/**
+ * Resource-aware pipeline: Y = A * (X * W), XW produced column-wise;
+ * only one XW column and one output column live at a time.
+ */
+Matrix fusedResourceAware(const CscMatrix &a_csc, const Matrix &x,
+                          const Matrix &w, FusedStats *stats = nullptr);
+
+} // namespace gcod
+
+#endif // GCOD_TENSOR_FUSED_HPP

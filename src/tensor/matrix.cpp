@@ -1,0 +1,67 @@
+#include "matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcod {
+
+void
+Matrix::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Matrix::glorotInit(Rng &rng)
+{
+    double limit = std::sqrt(6.0 / double(rows_ + cols_));
+    for (auto &v : data_)
+        v = float(rng.uniformReal(-limit, limit));
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &other)
+{
+    GCOD_ASSERT(sameShape(other), "matrix += shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator-=(const Matrix &other)
+{
+    GCOD_ASSERT(sameShape(other), "matrix -= shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(float s)
+{
+    for (auto &v : data_)
+        v *= s;
+    return *this;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double acc = 0.0;
+    for (float v : data_)
+        acc += double(v) * double(v);
+    return std::sqrt(acc);
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    GCOD_ASSERT(a.sameShape(b), "maxAbsDiff shape mismatch");
+    double m = 0.0;
+    for (size_t i = 0; i < a.data_.size(); ++i)
+        m = std::max(m, std::fabs(double(a.data_[i]) - double(b.data_[i])));
+    return m;
+}
+
+} // namespace gcod

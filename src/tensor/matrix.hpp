@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dense row-major float matrix, the feature/weight container of the NN
+ * library and the dense operand of the SpMM kernels.
+ */
+#ifndef GCOD_TENSOR_MATRIX_HPP
+#define GCOD_TENSOR_MATRIX_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hpp"
+#include "sim/rng.hpp"
+
+namespace gcod {
+
+/** Row-major dense float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(int64_t rows, int64_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), data_(size_t(rows * cols), fill)
+    {
+        GCOD_ASSERT(rows >= 0 && cols >= 0, "negative matrix shape");
+    }
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    int64_t size() const { return rows_ * cols_; }
+
+    float &
+    operator()(int64_t r, int64_t c)
+    {
+        return data_[size_t(r * cols_ + c)];
+    }
+    float
+    operator()(int64_t r, int64_t c) const
+    {
+        return data_[size_t(r * cols_ + c)];
+    }
+
+    float *row(int64_t r) { return data_.data() + r * cols_; }
+    const float *row(int64_t r) const { return data_.data() + r * cols_; }
+
+    std::vector<float> &data() { return data_; }
+    const std::vector<float> &data() const { return data_; }
+
+    /** Fill every element with v. */
+    void fill(float v);
+
+    /** Glorot/Xavier uniform initialization (standard for GCN weights). */
+    void glorotInit(Rng &rng);
+
+    /** Elementwise in-place: this += other. */
+    Matrix &operator+=(const Matrix &other);
+    /** Elementwise in-place: this -= other. */
+    Matrix &operator-=(const Matrix &other);
+    /** Scalar in-place scale. */
+    Matrix &operator*=(float s);
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Max |a-b| across elements; fatal on shape mismatch. */
+    static double maxAbsDiff(const Matrix &a, const Matrix &b);
+
+    bool
+    sameShape(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_;
+    }
+
+  private:
+    int64_t rows_ = 0;
+    int64_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace gcod
+
+#endif // GCOD_TENSOR_MATRIX_HPP

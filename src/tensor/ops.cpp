@@ -1,0 +1,255 @@
+#include "ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcod {
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    GCOD_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
+    Matrix c(a.rows(), b.cols(), 0.0f);
+    // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+    for (int64_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (int64_t k = 0; k < a.cols(); ++k) {
+            float av = arow[k];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.row(k);
+            for (int64_t j = 0; j < b.cols(); ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulTransposedA(const Matrix &a, const Matrix &b)
+{
+    GCOD_ASSERT(a.rows() == b.rows(), "matmulTransposedA shape mismatch");
+    Matrix c(a.cols(), b.cols(), 0.0f);
+    for (int64_t k = 0; k < a.rows(); ++k) {
+        const float *arow = a.row(k);
+        const float *brow = b.row(k);
+        for (int64_t i = 0; i < a.cols(); ++i) {
+            float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.row(i);
+            for (int64_t j = 0; j < b.cols(); ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulTransposedB(const Matrix &a, const Matrix &b)
+{
+    GCOD_ASSERT(a.cols() == b.cols(), "matmulTransposedB shape mismatch");
+    Matrix c(a.rows(), b.rows(), 0.0f);
+    for (int64_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (int64_t j = 0; j < b.rows(); ++j) {
+            const float *brow = b.row(j);
+            float acc = 0.0f;
+            for (int64_t k = 0; k < a.cols(); ++k)
+                acc += arow[k] * brow[k];
+            crow[j] += acc;
+        }
+    }
+    return c;
+}
+
+Matrix
+spmmRowWise(const CsrMatrix &a, const Matrix &x)
+{
+    GCOD_ASSERT(int64_t(a.cols()) == x.rows(), "spmm shape mismatch");
+    Matrix y(a.rows(), x.cols(), 0.0f);
+    for (NodeId r = 0; r < a.rows(); ++r) {
+        float *yrow = y.row(r);
+        a.forEachInRow(r, [&](NodeId c, float v) {
+            const float *xrow = x.row(c);
+            for (int64_t j = 0; j < x.cols(); ++j)
+                yrow[j] += v * xrow[j];
+        });
+    }
+    return y;
+}
+
+Matrix
+spmmColumnWise(const CscMatrix &a, const Matrix &x)
+{
+    GCOD_ASSERT(int64_t(a.cols()) == x.rows(), "spmm shape mismatch");
+    Matrix y(a.rows(), x.cols(), 0.0f);
+    // Consume one adjacency column per step; each column's entries all
+    // multiply the same row of X (distributed aggregation, Fig. 5(b)).
+    for (NodeId c = 0; c < a.cols(); ++c) {
+        const float *xrow = x.row(c);
+        a.forEachInCol(c, [&](NodeId r, float v) {
+            float *yrow = y.row(r);
+            for (int64_t j = 0; j < x.cols(); ++j)
+                yrow[j] += v * xrow[j];
+        });
+    }
+    return y;
+}
+
+Matrix
+spmm(const CsrMatrix &a, const Matrix &x)
+{
+    return spmmRowWise(a, x);
+}
+
+Matrix
+relu(const Matrix &x)
+{
+    Matrix y = x;
+    for (auto &v : y.data())
+        v = std::max(v, 0.0f);
+    return y;
+}
+
+Matrix
+reluBackward(const Matrix &grad, const Matrix &x)
+{
+    GCOD_ASSERT(grad.sameShape(x), "reluBackward shape mismatch");
+    Matrix g = grad;
+    for (size_t i = 0; i < g.data().size(); ++i)
+        if (x.data()[i] <= 0.0f)
+            g.data()[i] = 0.0f;
+    return g;
+}
+
+Matrix
+leakyRelu(const Matrix &x, float alpha)
+{
+    Matrix y = x;
+    for (auto &v : y.data())
+        if (v < 0.0f)
+            v *= alpha;
+    return y;
+}
+
+Matrix
+softmaxRows(const Matrix &x)
+{
+    Matrix y(x.rows(), x.cols());
+    for (int64_t r = 0; r < x.rows(); ++r) {
+        const float *in = x.row(r);
+        float *out = y.row(r);
+        float peak = in[0];
+        for (int64_t c = 1; c < x.cols(); ++c)
+            peak = std::max(peak, in[c]);
+        float sum = 0.0f;
+        for (int64_t c = 0; c < x.cols(); ++c) {
+            out[c] = std::exp(in[c] - peak);
+            sum += out[c];
+        }
+        for (int64_t c = 0; c < x.cols(); ++c)
+            out[c] /= sum;
+    }
+    return y;
+}
+
+namespace {
+
+bool
+rowSelected(const std::vector<bool> &mask, int64_t r)
+{
+    return mask.empty() || mask[size_t(r)];
+}
+
+} // namespace
+
+double
+crossEntropy(const Matrix &probs, const std::vector<int> &labels,
+             const std::vector<bool> &mask)
+{
+    GCOD_ASSERT(labels.size() == size_t(probs.rows()),
+                "crossEntropy label count mismatch");
+    double loss = 0.0;
+    int64_t counted = 0;
+    for (int64_t r = 0; r < probs.rows(); ++r) {
+        if (!rowSelected(mask, r))
+            continue;
+        float p = probs(r, labels[size_t(r)]);
+        loss += -std::log(std::max(p, 1e-12f));
+        ++counted;
+    }
+    return counted ? loss / double(counted) : 0.0;
+}
+
+Matrix
+softmaxCrossEntropyBackward(const Matrix &probs,
+                            const std::vector<int> &labels,
+                            const std::vector<bool> &mask)
+{
+    Matrix grad(probs.rows(), probs.cols(), 0.0f);
+    int64_t counted = 0;
+    for (int64_t r = 0; r < probs.rows(); ++r)
+        if (rowSelected(mask, r))
+            ++counted;
+    if (!counted)
+        return grad;
+    float inv = 1.0f / float(counted);
+    for (int64_t r = 0; r < probs.rows(); ++r) {
+        if (!rowSelected(mask, r))
+            continue;
+        for (int64_t c = 0; c < probs.cols(); ++c)
+            grad(r, c) = probs(r, c) * inv;
+        grad(r, labels[size_t(r)]) -= inv;
+    }
+    return grad;
+}
+
+double
+accuracy(const Matrix &logits, const std::vector<int> &labels,
+         const std::vector<bool> &mask)
+{
+    GCOD_ASSERT(labels.size() == size_t(logits.rows()),
+                "accuracy label count mismatch");
+    int64_t correct = 0, counted = 0;
+    for (int64_t r = 0; r < logits.rows(); ++r) {
+        if (!rowSelected(mask, r))
+            continue;
+        const float *row = logits.row(r);
+        int64_t best = 0;
+        for (int64_t c = 1; c < logits.cols(); ++c)
+            if (row[c] > row[best])
+                best = c;
+        if (best == labels[size_t(r)])
+            ++correct;
+        ++counted;
+    }
+    return counted ? double(correct) / double(counted) : 0.0;
+}
+
+Matrix
+hconcat(const Matrix &a, const Matrix &b)
+{
+    GCOD_ASSERT(a.rows() == b.rows(), "hconcat row mismatch");
+    Matrix c(a.rows(), a.cols() + b.cols());
+    for (int64_t r = 0; r < a.rows(); ++r) {
+        std::copy(a.row(r), a.row(r) + a.cols(), c.row(r));
+        std::copy(b.row(r), b.row(r) + b.cols(), c.row(r) + a.cols());
+    }
+    return c;
+}
+
+Matrix
+meanOf(const std::vector<Matrix> &ms)
+{
+    GCOD_ASSERT(!ms.empty(), "meanOf needs at least one matrix");
+    Matrix acc = ms[0];
+    for (size_t i = 1; i < ms.size(); ++i)
+        acc += ms[i];
+    acc *= 1.0f / float(ms.size());
+    return acc;
+}
+
+} // namespace gcod

@@ -1,0 +1,84 @@
+#include "quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcod {
+
+QuantParams
+chooseQuantParams(const Matrix &x, int bits)
+{
+    GCOD_ASSERT(bits >= 2 && bits <= 16, "unsupported quant width");
+    float peak = 0.0f;
+    for (float v : x.data())
+        peak = std::max(peak, std::fabs(v));
+    QuantParams qp;
+    qp.bits = bits;
+    float qmax = float((1 << (bits - 1)) - 1);
+    qp.scale = peak > 0.0f ? peak / qmax : 1.0f;
+    return qp;
+}
+
+std::vector<int32_t>
+quantize(const Matrix &x, const QuantParams &qp)
+{
+    int32_t lo = -(1 << (qp.bits - 1));
+    int32_t hi = (1 << (qp.bits - 1)) - 1;
+    std::vector<int32_t> q(x.data().size());
+    for (size_t i = 0; i < q.size(); ++i) {
+        auto v = int32_t(std::lround(x.data()[i] / qp.scale));
+        q[i] = std::clamp(v, lo, hi);
+    }
+    return q;
+}
+
+Matrix
+dequantize(const std::vector<int32_t> &q, int64_t rows, int64_t cols,
+           const QuantParams &qp)
+{
+    GCOD_ASSERT(q.size() == size_t(rows * cols), "dequantize size mismatch");
+    Matrix x(rows, cols);
+    for (size_t i = 0; i < q.size(); ++i)
+        x.data()[i] = float(q[i]) * qp.scale;
+    return x;
+}
+
+Matrix
+fakeQuantize(const Matrix &x, int bits)
+{
+    QuantParams qp = chooseQuantParams(x, bits);
+    return dequantize(quantize(x, qp), x.rows(), x.cols(), qp);
+}
+
+double
+quantizationError(const Matrix &x, int bits)
+{
+    return Matrix::maxAbsDiff(x, fakeQuantize(x, bits));
+}
+
+Matrix
+degreeAwareFakeQuantize(const Matrix &x, const std::vector<int32_t> &degrees,
+                        int bits, double protect_ratio)
+{
+    GCOD_ASSERT(degrees.size() == size_t(x.rows()),
+                "degree count must match rows");
+    std::vector<int32_t> sorted = degrees;
+    std::sort(sorted.begin(), sorted.end());
+    size_t cut = size_t(double(sorted.size()) *
+                        std::clamp(1.0 - protect_ratio, 0.0, 1.0));
+    if (cut >= sorted.size())
+        cut = sorted.size() - 1;
+    int32_t threshold = sorted[cut];
+
+    Matrix q = fakeQuantize(x, bits);
+    Matrix out = q;
+    for (int64_t r = 0; r < x.rows(); ++r) {
+        if (degrees[size_t(r)] >= threshold) {
+            // Protected high-degree row: keep full precision.
+            std::copy(x.row(r), x.row(r) + x.cols(), out.row(r));
+        }
+    }
+    return out;
+}
+
+} // namespace gcod

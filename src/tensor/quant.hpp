@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Integer quantization support for the GCoD (8-bit) variant and the
+ * QAT / Degree-Quant compression baselines (paper Tab. VII, Tab. VI).
+ *
+ * Symmetric per-tensor quantization: q = clamp(round(x / s), -2^{b-1},
+ * 2^{b-1}-1), dequant x' = q * s, with s chosen from the max-abs range.
+ * Fake-quantization (quantize-dequantize in float) is what QAT inserts in
+ * the forward pass while keeping float gradients (straight-through).
+ */
+#ifndef GCOD_TENSOR_QUANT_HPP
+#define GCOD_TENSOR_QUANT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace gcod {
+
+/** Quantization parameters for one tensor. */
+struct QuantParams
+{
+    float scale = 1.0f;
+    int bits = 8;
+};
+
+/** Choose a symmetric scale covering max|x| at the given bit width. */
+QuantParams chooseQuantParams(const Matrix &x, int bits);
+
+/** Quantize to integers (stored widened to int32 for convenience). */
+std::vector<int32_t> quantize(const Matrix &x, const QuantParams &qp);
+
+/** Dequantize back to float with the same params. */
+Matrix dequantize(const std::vector<int32_t> &q, int64_t rows, int64_t cols,
+                  const QuantParams &qp);
+
+/**
+ * Fake-quantize: quantize-dequantize round trip in float. This is the
+ * operation QAT inserts during training and what GCoD (8-bit) applies to
+ * weights and activations at inference.
+ */
+Matrix fakeQuantize(const Matrix &x, int bits);
+
+/** Max |x - fakeQuantize(x)| — the quantization error bound. */
+double quantizationError(const Matrix &x, int bits);
+
+/**
+ * Degree-Quant style protective masking: rows whose node degree is above
+ * the (1 - protect_ratio) quantile keep full precision, the rest are
+ * fake-quantized. High-degree nodes accumulate many messages and are the
+ * ones quantization hurts most [Tailor et al.].
+ */
+Matrix degreeAwareFakeQuantize(const Matrix &x,
+                               const std::vector<int32_t> &degrees, int bits,
+                               double protect_ratio);
+
+} // namespace gcod
+
+#endif // GCOD_TENSOR_QUANT_HPP

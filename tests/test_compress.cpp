@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the compression baselines (RP / SGCN / QAT / Degree-Quant)
+ * used in the Tab. VII comparison.
+ */
+#include <gtest/gtest.h>
+
+#include "compress/compress.hpp"
+
+using namespace gcod;
+
+namespace {
+
+Dataset
+smallDataset(uint64_t seed = 33)
+{
+    Rng rng(seed);
+    SyntheticGraph s = synthesize(profileByName("Cora"), 0.15, rng);
+    return materialize(s, rng);
+}
+
+TrainOptions
+fastTrain()
+{
+    TrainOptions t;
+    t.epochs = 20;
+    return t;
+}
+
+} // namespace
+
+TEST(Compress, RandomPruneKeepsRequestedFraction)
+{
+    Dataset ds = smallDataset();
+    Rng rng(1);
+    CompressReport rep = randomPrune(ds, "GCN", 0.10, fastTrain(), rng);
+    EXPECT_EQ(rep.method, "RP");
+    EXPECT_NEAR(rep.edgeSparsity, 0.10, 1e-9);
+    EXPECT_GT(rep.testAccuracy, 1.0 / double(ds.numClasses()));
+}
+
+TEST(Compress, SgcnAchievesPruneBudget)
+{
+    Dataset ds = smallDataset(35);
+    Rng rng(2);
+    CompressReport rep = sgcnSparsify(ds, "GCN", 0.10, fastTrain(), rng);
+    EXPECT_EQ(rep.method, "SGCN");
+    EXPECT_NEAR(rep.edgeSparsity, 0.10, 0.03);
+    EXPECT_GT(rep.testAccuracy, 1.0 / double(ds.numClasses()));
+}
+
+TEST(Compress, QatTrainsToUsableAccuracy)
+{
+    Dataset ds = smallDataset(37);
+    Rng rng(3);
+    CompressReport rep = qatTrain(ds, "GCN", 8, fastTrain(), rng);
+    EXPECT_EQ(rep.method, "QAT");
+    EXPECT_EQ(rep.bits, 8);
+    EXPECT_GT(rep.testAccuracy, 2.0 / double(ds.numClasses()));
+}
+
+TEST(Compress, DegreeQuantRunsWithProtection)
+{
+    Dataset ds = smallDataset(39);
+    Rng rng(4);
+    CompressReport rep =
+        degreeQuant(ds, "GCN", 8, 0.1, fastTrain(), rng);
+    EXPECT_EQ(rep.method, "Degree-Quant");
+    EXPECT_GT(rep.testAccuracy, 2.0 / double(ds.numClasses()));
+}
+
+TEST(Compress, LowBitQatDegradesGracefully)
+{
+    Dataset ds = smallDataset(41);
+    Rng rng(5);
+    CompressReport q8 = qatTrain(ds, "GCN", 8, fastTrain(), rng);
+    CompressReport q3 = qatTrain(ds, "GCN", 3, fastTrain(), rng);
+    // 3-bit is strictly harder; it must not beat 8-bit by a wide margin.
+    EXPECT_LT(q3.testAccuracy, q8.testAccuracy + 0.10);
+}
+
+class CompressModels : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(CompressModels, BaselinesRunAcrossModelFamilies)
+{
+    Dataset ds = smallDataset(43);
+    Rng rng(6);
+    TrainOptions t;
+    t.epochs = 6;
+    EXPECT_GT(randomPrune(ds, GetParam(), 0.1, t, rng).testAccuracy, 0.0);
+    EXPECT_GT(qatTrain(ds, GetParam(), 8, t, rng).testAccuracy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CompressModels,
+                         ::testing::Values("GCN", "GIN", "GraphSAGE"));

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the fused inter-phase pipeline kernels (Fig. 7): numerical
+ * equality with the unfused reference and the Tab. II storage trade-off
+ * demonstrated by construction.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/generate.hpp"
+#include "tensor/fused.hpp"
+#include "tensor/ops.hpp"
+
+using namespace gcod;
+
+namespace {
+
+struct Problem
+{
+    CsrMatrix a;
+    CscMatrix a_csc;
+    Matrix x;
+    Matrix w;
+    Matrix reference;
+};
+
+Problem
+makeProblem(NodeId n, int in_dim, int out_dim, uint64_t seed)
+{
+    Rng rng(seed);
+    Graph g = erdosRenyi(n, EdgeOffset(n) * 3, rng);
+    Problem p;
+    p.a = g.normalizedAdjacency();
+    p.a_csc = p.a.toCsc();
+    p.x = Matrix(n, in_dim);
+    for (auto &v : p.x.data())
+        v = float(rng.normal(0.0, 1.0));
+    p.w = Matrix(in_dim, out_dim);
+    p.w.glorotInit(rng);
+    p.reference = spmm(p.a, matmul(p.x, p.w));
+    return p;
+}
+
+} // namespace
+
+TEST(Fused, EfficiencyAwareMatchesUnfused)
+{
+    Problem p = makeProblem(60, 12, 7, 1);
+    FusedStats s;
+    Matrix y = fusedEfficiencyAware(p.a_csc, p.x, p.w, &s);
+    EXPECT_LT(Matrix::maxAbsDiff(y, p.reference), 1e-4);
+    EXPECT_GT(s.macs, 0);
+}
+
+TEST(Fused, ResourceAwareMatchesUnfused)
+{
+    Problem p = makeProblem(60, 12, 7, 2);
+    FusedStats s;
+    Matrix y = fusedResourceAware(p.a_csc, p.x, p.w, &s);
+    EXPECT_LT(Matrix::maxAbsDiff(y, p.reference), 1e-4);
+}
+
+TEST(Fused, PipelinesAgreeWithEachOther)
+{
+    Problem p = makeProblem(80, 9, 5, 3);
+    Matrix e = fusedEfficiencyAware(p.a_csc, p.x, p.w);
+    Matrix r = fusedResourceAware(p.a_csc, p.x, p.w);
+    EXPECT_LT(Matrix::maxAbsDiff(e, r), 1e-4);
+}
+
+TEST(Fused, StorageTradeoffMatchesTable2)
+{
+    // Tab. II: efficiency-aware holds the whole output on-chip but only
+    // one XW row; resource-aware holds one output column but a whole XW
+    // column. For n >> dims, output dominates.
+    Problem p = makeProblem(100, 8, 6, 4);
+    FusedStats eff, res;
+    fusedEfficiencyAware(p.a_csc, p.x, p.w, &eff);
+    fusedResourceAware(p.a_csc, p.x, p.w, &res);
+    // Efficiency-aware: full output (n x out), tiny intermediate (out).
+    EXPECT_EQ(eff.peakOutput, 100 * 6);
+    EXPECT_EQ(eff.peakIntermediate, 6);
+    // Resource-aware: one output column (n), one XW column (n).
+    EXPECT_EQ(res.peakOutput, 100);
+    EXPECT_EQ(res.peakIntermediate, 100);
+    EXPECT_LT(res.peakOutput, eff.peakOutput);
+}
+
+TEST(Fused, SparseInputSkipsZeroWork)
+{
+    // Zero rows in X must not contribute MACs in the efficiency-aware
+    // (row-wise) kernel — the SpMM sparsity support of Sec. V-B.
+    Problem p = makeProblem(50, 10, 4, 5);
+    FusedStats dense_stats;
+    fusedEfficiencyAware(p.a_csc, p.x, p.w, &dense_stats);
+    Matrix sparse_x = p.x;
+    for (int64_t r = 0; r < sparse_x.rows() / 2; ++r)
+        for (int64_t c = 0; c < sparse_x.cols(); ++c)
+            sparse_x(r, c) = 0.0f;
+    FusedStats sparse_stats;
+    fusedEfficiencyAware(p.a_csc, sparse_x, p.w, &sparse_stats);
+    EXPECT_LT(sparse_stats.macs, dense_stats.macs);
+}
+
+class FusedShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(FusedShapes, BothPipelinesExactAcrossShapes)
+{
+    auto [n, in_dim, out_dim] = GetParam();
+    Problem p = makeProblem(NodeId(n), in_dim, out_dim,
+                            uint64_t(n + in_dim + out_dim));
+    Matrix e = fusedEfficiencyAware(p.a_csc, p.x, p.w);
+    Matrix r = fusedResourceAware(p.a_csc, p.x, p.w);
+    EXPECT_LT(Matrix::maxAbsDiff(e, p.reference), 2e-4);
+    EXPECT_LT(Matrix::maxAbsDiff(r, p.reference), 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FusedShapes,
+    ::testing::Values(std::make_tuple(16, 4, 3),
+                      std::make_tuple(33, 17, 9),
+                      std::make_tuple(64, 8, 16),
+                      std::make_tuple(128, 5, 2),
+                      std::make_tuple(40, 40, 40)));

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the Graph abstraction, generators, profiles, and viz.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generate.hpp"
+#include "graph/graph.hpp"
+#include "graph/profiles.hpp"
+#include "graph/viz.hpp"
+#include "sim/rng.hpp"
+
+using namespace gcod;
+
+TEST(Graph, ConstructionSymmetrizesAndDedupes)
+{
+    Graph g(4, {{0, 1}, {1, 0}, {0, 1}, {2, 3}});
+    EXPECT_EQ(g.numEdges(), 2);
+    EXPECT_TRUE(g.adjacency().isSymmetric());
+    EXPECT_FLOAT_EQ(g.adjacency().at(0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(g.adjacency().at(1, 0), 1.0f);
+}
+
+TEST(Graph, SelfLoopsAreDropped)
+{
+    Graph g(3, {{0, 0}, {1, 2}});
+    EXPECT_EQ(g.numEdges(), 1);
+    EXPECT_FLOAT_EQ(g.adjacency().at(0, 0), 0.0f);
+}
+
+TEST(Graph, DegreesMatchAdjacency)
+{
+    Graph g(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+    EXPECT_EQ(g.degrees()[0], 3);
+    EXPECT_EQ(g.degrees()[1], 2);
+    EXPECT_EQ(g.degrees()[3], 1);
+    EXPECT_EQ(g.maxDegree(), 3);
+    EXPECT_NEAR(g.averageDegree(), (3 + 2 + 2 + 1) / 4.0, 1e-12);
+}
+
+TEST(Graph, NormalizedAdjacencyMatchesHandComputation)
+{
+    // Path graph 0-1: deg+1 = 2 for both; Ahat = [[1/2, 1/2], [1/2, 1/2]].
+    Graph g(2, {{0, 1}});
+    CsrMatrix a = g.normalizedAdjacency();
+    EXPECT_NEAR(a.at(0, 0), 0.5f, 1e-6);
+    EXPECT_NEAR(a.at(0, 1), 0.5f, 1e-6);
+    EXPECT_NEAR(a.at(1, 1), 0.5f, 1e-6);
+    EXPECT_TRUE(a.isSymmetric());
+}
+
+TEST(Graph, NormalizedAdjacencyEntriesFollowRenormalization)
+{
+    Rng rng(5);
+    Graph g = erdosRenyi(50, 120, rng);
+    CsrMatrix a = g.normalizedAdjacency();
+    EXPECT_TRUE(a.isSymmetric());
+    // Every entry equals 1/sqrt((d_i+1)(d_j+1)); diagonal always present.
+    a.forEach([&](NodeId r, NodeId c, float v) {
+        double expect = 1.0 / std::sqrt(
+            double(g.degrees()[size_t(r)] + 1) *
+            double(g.degrees()[size_t(c)] + 1));
+        EXPECT_NEAR(v, expect, 1e-5);
+    });
+    for (NodeId r = 0; r < a.rows(); ++r)
+        EXPECT_GT(a.at(r, r), 0.0f);
+}
+
+TEST(Graph, InducedSubgraphKeepsInternalEdges)
+{
+    Graph g(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+    Graph sub = g.inducedSubgraph({0, 1, 2});
+    EXPECT_EQ(sub.numNodes(), 3);
+    EXPECT_EQ(sub.numEdges(), 2); // 0-1, 1-2 survive; rest cut
+}
+
+TEST(Graph, ConnectedComponentsLabelsConsistently)
+{
+    Graph g(6, {{0, 1}, {1, 2}, {3, 4}});
+    auto comp = g.connectedComponents();
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[1], comp[2]);
+    EXPECT_EQ(comp[3], comp[4]);
+    EXPECT_NE(comp[0], comp[3]);
+    EXPECT_NE(comp[5], comp[0]);
+    EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(Graph, PermutedGraphKeepsDegreesUnderRelabel)
+{
+    Rng rng(6);
+    Graph g = erdosRenyi(30, 60, rng);
+    std::vector<NodeId> perm(30);
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(perm);
+    Graph p = g.permuted(perm);
+    for (NodeId v = 0; v < 30; ++v)
+        EXPECT_EQ(p.degrees()[size_t(perm[size_t(v)])],
+                  g.degrees()[size_t(v)]);
+}
+
+// -------------------------------------------------------------- generators
+TEST(Generate, ErdosRenyiExactEdgeCount)
+{
+    Rng rng(7);
+    Graph g = erdosRenyi(100, 300, rng);
+    EXPECT_EQ(g.numNodes(), 100);
+    EXPECT_EQ(g.numEdges(), 300);
+}
+
+TEST(Generate, ErdosRenyiNearZeroSlopeSkew)
+{
+    Rng rng(8);
+    Graph g = erdosRenyi(2000, 10000, rng);
+    // Poisson-ish degrees: no heavy tail; max degree near the mean.
+    EXPECT_LT(g.maxDegree(), 10 * NodeId(g.averageDegree() + 1));
+}
+
+TEST(Generate, BarabasiAlbertIsPowerLaw)
+{
+    Rng rng(9);
+    Graph g = barabasiAlbert(3000, 3, rng);
+    // Heavy tail: hub degree far above the mean, log-log slope negative.
+    EXPECT_GT(g.maxDegree(), 10 * NodeId(g.averageDegree()));
+    EXPECT_LT(g.degreeDistributionSlope(), -0.8);
+}
+
+TEST(Generate, RmatProducesSkewedDegrees)
+{
+    Rng rng(10);
+    Graph g = rmat(1024, 4000, 0.57, 0.19, 0.19, rng);
+    EXPECT_GT(g.maxDegree(), 3 * NodeId(g.averageDegree()));
+    EXPECT_LE(g.numEdges(), 4000);
+    EXPECT_GT(g.numEdges(), 3000);
+}
+
+TEST(Generate, SbmLabelsBalancedAndHomophilous)
+{
+    Rng rng(11);
+    std::vector<int> labels;
+    Graph g = degreeCorrectedSbm(1000, 4000, 5, 0.9, 2.5, labels, rng);
+    // Balanced labels.
+    std::vector<int> counts(5, 0);
+    for (int l : labels)
+        counts[size_t(l)] += 1;
+    for (int c : counts)
+        EXPECT_NEAR(c, 200, 2);
+    // Homophily: intra-class edges far above the 1/5 random baseline.
+    EdgeOffset intra = 0;
+    g.adjacency().forEach([&](NodeId r, NodeId c, float) {
+        if (r < c && labels[size_t(r)] == labels[size_t(c)])
+            ++intra;
+    });
+    double frac = double(intra) / double(g.numEdges());
+    EXPECT_GT(frac, 0.5);
+}
+
+TEST(Generate, SbmHasPowerLawTail)
+{
+    Rng rng(12);
+    std::vector<int> labels;
+    Graph g = degreeCorrectedSbm(3000, 12000, 7, 0.8, 2.3, labels, rng);
+    EXPECT_GT(g.maxDegree(), 8 * NodeId(g.averageDegree()));
+    EXPECT_LT(g.degreeDistributionSlope(), -0.6);
+}
+
+// ---------------------------------------------------------------- profiles
+TEST(Profiles, AllSixDatasetsPresent)
+{
+    EXPECT_EQ(allProfiles().size(), 6u);
+    EXPECT_EQ(profileByName("Cora").nodes, 2708);
+    EXPECT_EQ(profileByName("Reddit").edges, 114615892);
+    EXPECT_EQ(profileByName("CiteSeer").features, 3703);
+    EXPECT_EQ(profileByName("NELL").classes, 210);
+    EXPECT_THROW(profileByName("NotADataset"), std::runtime_error);
+}
+
+TEST(Profiles, CitationAndLargeListsAreDisjoint)
+{
+    auto cit = citationDatasetNames();
+    auto large = largeDatasetNames();
+    for (const auto &c : cit)
+        for (const auto &l : large)
+            EXPECT_NE(c, l);
+}
+
+class ProfileSynthesis : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ProfileSynthesis, FullScaleMatchesPublishedCounts)
+{
+    const DatasetProfile &p = profileByName(GetParam());
+    Rng rng(13);
+    double scale = p.nodes > 10000 ? 0.05 : 1.0;
+    SyntheticGraph s = synthesize(p, scale, rng);
+    EXPECT_NEAR(double(s.graph.numNodes()), double(p.nodes) * scale,
+                double(p.nodes) * scale * 0.02 + 40);
+    EXPECT_GT(s.graph.numEdges(), 0);
+    EXPECT_EQ(s.labels.size(), size_t(s.graph.numNodes()));
+    for (int l : s.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, s.profile.classes);
+    }
+}
+
+TEST_P(ProfileSynthesis, AverageDegreePreservedUnderScaling)
+{
+    const DatasetProfile &p = profileByName(GetParam());
+    if (p.nodes > 100000)
+        GTEST_SKIP() << "covered by the smaller profiles";
+    Rng rng(14);
+    SyntheticGraph big = synthesize(p, std::min(1.0, 20000.0 / p.nodes), rng);
+    SyntheticGraph small = synthesize(p, 0.1, rng);
+    // Degree character is scale-invariant to ~2x.
+    EXPECT_NEAR(small.graph.averageDegree(), big.graph.averageDegree(),
+                big.graph.averageDegree() + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, ProfileSynthesis,
+                         ::testing::Values("Cora", "CiteSeer", "Pubmed",
+                                           "NELL", "Ogbn-ArXiv"));
+
+// --------------------------------------------------------------------- viz
+TEST(Viz, DensityGridCountsAllNonzeros)
+{
+    Graph g(4, {{0, 1}, {2, 3}});
+    auto grid = densityGrid(g.adjacency(), 2);
+    double total = 0.0;
+    for (const auto &row : grid)
+        for (double v : row)
+            total += v;
+    EXPECT_DOUBLE_EQ(total, double(g.adjacency().nnz()));
+}
+
+TEST(Viz, AsciiDensityHasExpectedLines)
+{
+    Graph g(8, {{0, 1}, {6, 7}});
+    std::string art = asciiDensity(g.adjacency(), 8);
+    int newlines = 0;
+    for (char c : art)
+        newlines += c == '\n';
+    EXPECT_EQ(newlines, 8);
+}
+
+TEST(Viz, SeparatorsInsertRules)
+{
+    Graph g(8, {{0, 1}});
+    std::string with = asciiDensity(g.adjacency(), 8, {4});
+    std::string without = asciiDensity(g.adjacency(), 8);
+    EXPECT_GT(with.size(), without.size());
+    EXPECT_NE(with.find('|'), std::string::npos);
+}
+
+TEST(Viz, PgmFileWritten)
+{
+    Graph g(16, {{0, 1}, {5, 9}});
+    std::string path = "/tmp/gcod_viz_test.pgm";
+    writePgm(g.adjacency(), 8, path);
+    FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[2] = {0, 0};
+    EXPECT_EQ(std::fread(magic, 1, 2, f), 2u);
+    EXPECT_EQ(magic[0], 'P');
+    EXPECT_EQ(magic[1], '5');
+    std::fclose(f);
+    std::remove(path.c_str());
+}

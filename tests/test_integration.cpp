@@ -1,0 +1,134 @@
+/**
+ * @file
+ * End-to-end integration tests: the full co-design loop (synthesize ->
+ * GCoD algorithm -> accelerator simulation) plus cross-run determinism,
+ * exercised the way the benches and examples drive the library.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hpp"
+#include "compress/compress.hpp"
+#include "gcod/pipeline.hpp"
+#include "nn/trainer.hpp"
+
+using namespace gcod;
+
+TEST(Integration, FullCoDesignLoopOnCora)
+{
+    Rng rng(100);
+    SyntheticGraph synth = synthesize(profileByName("Cora"), 0.3, rng);
+    Dataset ds = materialize(synth, rng);
+
+    GcodOptions opts;
+    opts.pretrain.epochs = 20;
+    opts.retrain.epochs = 20;
+    GcodOutcome out = runGcodPipeline(ds, opts);
+
+    // Algorithm side: pruning happened, accuracy survived.
+    EXPECT_GT(out.step2PruneRatio, 0.0);
+    EXPECT_GT(out.finalAccuracy, 0.4);
+
+    // Hardware side: the processed workload beats the baselines.
+    ModelSpec spec = makeModelSpec("GCN", 1433, 7, false);
+    GraphInput raw = makeGraphInput(ds.synth.graph.adjacency());
+    raw.featureDensity = 0.013;
+    GraphInput proc =
+        makeGraphInput(out.finalGraph.adjacency(), out.workload);
+    proc.featureDensity = 0.013;
+
+    double cpu =
+        makeAccelerator("PyG-CPU")->simulate(spec, raw).latencySeconds;
+    double awb =
+        makeAccelerator("AWB-GCN")->simulate(spec, raw).latencySeconds;
+    double gcod =
+        makeAccelerator("GCoD")->simulate(spec, proc).latencySeconds;
+    EXPECT_GT(cpu / gcod, 100.0);
+    EXPECT_GT(awb / gcod, 1.0);
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    auto run = []() {
+        Rng rng(7);
+        SyntheticGraph synth = synthesize(profileByName("CiteSeer"), 0.3,
+                                          rng);
+        GcodOutcome out = runGcodStructureOnly(synth, {});
+        ModelSpec spec = makeModelSpec("GCN", 3703, 6, false);
+        GraphInput in =
+            makeGraphInput(out.finalGraph.adjacency(), out.workload);
+        return makeAccelerator("GCoD")->simulate(spec, in).latencySeconds;
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Integration, WorkloadSurvivesPruningConsistency)
+{
+    // The invariant chain the accelerator depends on: tiles cover, nnz
+    // split is exact, and pruning only shrinks counts.
+    Rng rng(8);
+    SyntheticGraph synth = synthesize(profileByName("Pubmed"), 0.2, rng);
+    GcodOutcome out = runGcodStructureOnly(synth, {});
+    EXPECT_EQ(out.workload.numNodes, out.workloadAfterReorder.numNodes);
+    EXPECT_LE(out.workload.totalNnz, out.workloadAfterReorder.totalNnz);
+    EXPECT_EQ(out.workload.tiles.size(),
+              out.workloadAfterReorder.tiles.size());
+    for (size_t t = 0; t < out.workload.tiles.size(); ++t) {
+        EXPECT_EQ(out.workload.tiles[t].begin,
+                  out.workloadAfterReorder.tiles[t].begin);
+        EXPECT_LE(out.workload.tiles[t].nnz,
+                  out.workloadAfterReorder.tiles[t].nnz);
+    }
+}
+
+TEST(Integration, AllModelsSimulateOnAllPlatformsNell)
+{
+    Rng rng(9);
+    SyntheticGraph synth = synthesize(profileByName("NELL"), 0.05, rng);
+    GcodOutcome out = runGcodStructureOnly(synth, {});
+    GraphInput raw = makeGraphInput(synth.graph.adjacency());
+    raw.publishedNodes = profileByName("NELL").nodes;
+    GraphInput proc =
+        makeGraphInput(out.finalGraph.adjacency(), out.workload);
+    proc.publishedNodes = profileByName("NELL").nodes;
+
+    for (const char *model : {"GCN", "GIN", "GAT", "GraphSAGE", "ResGCN"}) {
+        ModelSpec spec = makeModelSpec(model, 5414, 210, true);
+        for (const auto &platform : allPlatformNames()) {
+            bool is_gcod = platform.rfind("GCoD", 0) == 0;
+            DetailedResult r = makeAccelerator(platform)->simulate(
+                spec, is_gcod ? proc : raw);
+            EXPECT_GT(r.latencySeconds, 0.0)
+                << model << " on " << platform;
+        }
+    }
+}
+
+TEST(Integration, HyperParameterSweepStaysInPaperBand)
+{
+    // Condensed version of the Sec. VI-C ablation as a regression test.
+    Rng rng(10);
+    SyntheticGraph synth = synthesize(profileByName("Cora"), 0.5, rng);
+    ModelSpec spec = makeModelSpec("GCN", 1433, 7, false);
+    GraphInput raw = makeGraphInput(synth.graph.adjacency());
+    raw.featureDensity = 0.013;
+    double awb =
+        makeAccelerator("AWB-GCN")->simulate(spec, raw).latencySeconds;
+
+    for (int c : {1, 2, 4}) {
+        for (int s : {8, 16}) {
+            GcodOptions opts;
+            opts.reorder.numClasses = c;
+            opts.reorder.numSubgraphs = std::max(s, c);
+            GcodOutcome out = runGcodStructureOnly(synth, opts);
+            GraphInput proc =
+                makeGraphInput(out.finalGraph.adjacency(), out.workload);
+            proc.featureDensity = 0.013;
+            double gcod = makeAccelerator("GCoD")
+                              ->simulate(spec, proc)
+                              .latencySeconds;
+            // Paper band is 1.8-2.8x over AWB-GCN; allow generous slack.
+            EXPECT_GT(awb / gcod, 1.0) << "C=" << c << " S=" << s;
+            EXPECT_LT(awb / gcod, 12.0) << "C=" << c << " S=" << s;
+        }
+    }
+}

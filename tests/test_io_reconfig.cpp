@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for graph/matrix serialization and the Fig. 8 reconfiguration
+ * flow (network parser + hardware compiler).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "accel/reconfig.hpp"
+#include "gcod/pipeline.hpp"
+#include "graph/generate.hpp"
+#include "graph/io.hpp"
+
+using namespace gcod;
+
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return "/tmp/gcod_io_test_" + name;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------- io
+TEST(Io, EdgeListRoundTrip)
+{
+    Rng rng(1);
+    Graph g = erdosRenyi(60, 150, rng);
+    std::string path = tmpPath("edges.txt");
+    saveEdgeList(g, path);
+    Graph back = loadEdgeList(path);
+    EXPECT_EQ(back.numNodes(), g.numNodes());
+    EXPECT_EQ(back.numEdges(), g.numEdges());
+    g.adjacency().forEach([&](NodeId r, NodeId c, float v) {
+        EXPECT_FLOAT_EQ(back.adjacency().at(r, c), v);
+    });
+    std::remove(path.c_str());
+}
+
+TEST(Io, EdgeListHeaderPreservesIsolatedTailNodes)
+{
+    Graph g(10, {{0, 1}}); // nodes 2..9 are isolated
+    std::string path = tmpPath("isolated.txt");
+    saveEdgeList(g, path);
+    Graph back = loadEdgeList(path);
+    EXPECT_EQ(back.numNodes(), 10);
+    std::remove(path.c_str());
+}
+
+TEST(Io, MatrixMarketRoundTrip)
+{
+    Rng rng(2);
+    Graph g = erdosRenyi(40, 100, rng);
+    CsrMatrix m = g.normalizedAdjacency();
+    std::string path = tmpPath("mat.mtx");
+    saveMatrixMarket(m, path);
+    CsrMatrix back = loadMatrixMarket(path);
+    EXPECT_EQ(back.nnz(), m.nnz());
+    m.forEach([&](NodeId r, NodeId c, float v) {
+        EXPECT_NEAR(back.at(r, c), v, 1e-5);
+    });
+    std::remove(path.c_str());
+}
+
+TEST(Io, LabelsRoundTrip)
+{
+    std::vector<int> labels = {0, 3, 2, 1, 7, 0};
+    std::string path = tmpPath("labels.txt");
+    saveLabels(labels, path);
+    EXPECT_EQ(loadLabels(path), labels);
+    std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadEdgeList("/nonexistent/nope.txt"),
+                 std::runtime_error);
+    EXPECT_THROW(loadMatrixMarket("/nonexistent/nope.mtx"),
+                 std::runtime_error);
+}
+
+// ----------------------------------------------------------------- parser
+TEST(Parser, ExtractsLayerDimsAndOps)
+{
+    ModelSpec spec = makeModelSpec("GCN", 1433, 7, false);
+    ParsedNetwork net = parseNetwork(spec, 2708, 5429);
+    ASSERT_EQ(net.layers.size(), 2u);
+    EXPECT_EQ(net.layers[0].op, "GCNConv");
+    EXPECT_EQ(net.layers[0].inDim, 1433);
+    EXPECT_EQ(net.layers[0].outDim, 16);
+    EXPECT_EQ(net.maxFeatureDim(), 1433);
+    EXPECT_FALSE(net.anySampling());
+    EXPECT_FALSE(net.anyAttention());
+    EXPECT_GT(net.layers[0].combMacs, net.layers[1].combMacs);
+}
+
+TEST(Parser, DetectsSamplingAndAttention)
+{
+    ParsedNetwork sage =
+        parseNetwork(makeModelSpec("GraphSAGE", 602, 41, true), 1000, 5000);
+    EXPECT_TRUE(sage.anySampling());
+    EXPECT_EQ(sage.layers[0].op, "SAGEConv");
+
+    ParsedNetwork gat =
+        parseNetwork(makeModelSpec("GAT", 1433, 7, false), 1000, 5000);
+    EXPECT_TRUE(gat.anyAttention());
+    EXPECT_EQ(gat.layers[0].op, "AttentionConv");
+
+    ParsedNetwork gin =
+        parseNetwork(makeModelSpec("GIN", 1433, 7, false), 1000, 5000);
+    EXPECT_EQ(gin.layers[0].op, "GINConv");
+
+    ParsedNetwork res =
+        parseNetwork(makeModelSpec("ResGCN", 128, 40, true), 1000, 5000);
+    EXPECT_EQ(res.layers[0].op, "MaxConv");
+}
+
+// --------------------------------------------------------------- compiler
+class CompilerFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(42);
+        synth_ = synthesize(profileByName("Cora"), 0.5, rng);
+        outcome_ = runGcodStructureOnly(synth_, {});
+        net_ = parseNetwork(makeModelSpec("GCN", 1433, 7, false),
+                            synth_.graph.numNodes(),
+                            synth_.graph.numEdges());
+    }
+
+    SyntheticGraph synth_;
+    GcodOutcome outcome_;
+    ParsedNetwork net_;
+};
+
+TEST_F(CompilerFixture, RespectsAllBudgets)
+{
+    HardwarePlan plan =
+        compileHardware(makeGcodConfig(32), net_, outcome_.workload);
+    EXPECT_NO_THROW(plan.validate());
+    EXPECT_EQ(plan.chunks.size(),
+              size_t(outcome_.workload.numClasses));
+}
+
+TEST_F(CompilerFixture, AllocationIsWorkloadProportional)
+{
+    HardwarePlan plan =
+        compileHardware(makeGcodConfig(32), net_, outcome_.workload);
+    const WorkloadDescriptor &wd = outcome_.workload;
+    // The chunk with more class nnz gets at least as many PEs.
+    for (size_t a = 0; a < plan.chunks.size(); ++a) {
+        for (size_t b = 0; b < plan.chunks.size(); ++b) {
+            if (wd.classNnz[size_t(plan.chunks[a].classId)] >
+                wd.classNnz[size_t(plan.chunks[b].classId)]) {
+                EXPECT_GE(plan.chunks[a].pes, plan.chunks[b].pes);
+            }
+        }
+    }
+    // Workload shares cover everything.
+    double share = plan.sparser.workloadShare;
+    for (const auto &c : plan.chunks)
+        share += c.workloadShare;
+    EXPECT_NEAR(share, 1.0, 1e-6);
+}
+
+TEST_F(CompilerFixture, SamplingUnitsFollowTheModel)
+{
+    HardwarePlan gcn =
+        compileHardware(makeGcodConfig(32), net_, outcome_.workload);
+    EXPECT_FALSE(gcn.samplingUnits);
+    ParsedNetwork sage = parseNetwork(
+        makeModelSpec("GraphSAGE", 1433, 7, false),
+        synth_.graph.numNodes(), synth_.graph.numEdges());
+    HardwarePlan p =
+        compileHardware(makeGcodConfig(32), sage, outcome_.workload);
+    EXPECT_TRUE(p.samplingUnits);
+}
+
+TEST_F(CompilerFixture, DescribePlanMentionsEveryChunk)
+{
+    HardwarePlan plan =
+        compileHardware(makeGcodConfig(32), net_, outcome_.workload);
+    std::string desc = describePlan(plan);
+    for (const auto &c : plan.chunks)
+        EXPECT_NE(desc.find("class " + std::to_string(c.classId)),
+                  std::string::npos);
+    EXPECT_NE(desc.find("sparser branch"), std::string::npos);
+}
+
+TEST_F(CompilerFixture, EightBitTemplateCompilesToo)
+{
+    HardwarePlan plan =
+        compileHardware(makeGcodConfig(8), net_, outcome_.workload);
+    EXPECT_NO_THROW(plan.validate());
+    EXPECT_NEAR(plan.platform.numPEs, 10240.0, 1e-9);
+}

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the NN library: model shapes, exact numerical gradient checks
+ * for every model family's hand-written backward pass, Adam, dataset
+ * materialization, and the training loop.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.hpp"
+#include "nn/dataset.hpp"
+#include "nn/models.hpp"
+#include "nn/resgcn.hpp"
+#include "nn/sage.hpp"
+#include "nn/trainer.hpp"
+
+using namespace gcod;
+
+namespace {
+
+/** A small fixed graph with mixed degrees for gradient checking. */
+Graph
+tinyGraph()
+{
+    return Graph(8, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {3, 4}, {4, 5},
+                     {5, 6}, {6, 7}, {2, 7}});
+}
+
+Matrix
+tinyFeatures(Rng &rng)
+{
+    Matrix x(8, 5);
+    for (auto &v : x.data())
+        v = float(rng.normal(0.0, 1.0));
+    return x;
+}
+
+const std::vector<int> kTinyLabels = {0, 1, 2, 0, 1, 2, 0, 1};
+
+double
+lossOf(GnnModel &m, const GraphContext &ctx, const Matrix &x)
+{
+    Matrix logits = m.forward(ctx, x);
+    return crossEntropy(softmaxRows(logits), kTinyLabels);
+}
+
+/**
+ * Numerical gradient check: perturb a sample of each parameter's entries
+ * and compare the finite-difference quotient against the analytic
+ * gradient from backward().
+ */
+void
+checkGradients(GnnModel &m, double tol = 0.08)
+{
+    Graph g = tinyGraph();
+    GraphContext ctx(g);
+    Rng rng(77);
+    Matrix x = tinyFeatures(rng);
+
+    Matrix logits = m.forward(ctx, x);
+    Matrix probs = softmaxRows(logits);
+    Matrix dlogits = softmaxCrossEntropyBackward(probs, kTinyLabels);
+    m.backward(ctx, x, dlogits);
+
+    auto params = m.parameters();
+    auto grads = m.gradients();
+    ASSERT_EQ(params.size(), grads.size());
+    const float eps = 3e-3f;
+    for (size_t pi = 0; pi < params.size(); ++pi) {
+        Matrix &p = *params[pi];
+        const Matrix &gmat = *grads[pi];
+        ASSERT_TRUE(p.sameShape(gmat));
+        // Sample a handful of entries per parameter.
+        int64_t stride = std::max<int64_t>(1, p.size() / 12);
+        for (int64_t k = 0; k < p.size(); k += stride) {
+            float saved = p.data()[size_t(k)];
+            p.data()[size_t(k)] = saved + eps;
+            double lp = lossOf(m, ctx, x);
+            p.data()[size_t(k)] = saved - eps;
+            double lm = lossOf(m, ctx, x);
+            p.data()[size_t(k)] = saved;
+            double numeric = (lp - lm) / (2.0 * eps);
+            double analytic = gmat.data()[size_t(k)];
+            double scale = std::max({std::fabs(numeric),
+                                     std::fabs(analytic), 0.05});
+            EXPECT_NEAR(analytic, numeric, tol * scale)
+                << "param " << pi << " entry " << k;
+        }
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------- graph ctx
+TEST(GraphContext, OperatorsHaveExpectedShape)
+{
+    Graph g = tinyGraph();
+    GraphContext ctx(g);
+    EXPECT_EQ(ctx.normalized().rows(), 8);
+    EXPECT_EQ(ctx.binary().nnz(), g.adjacency().nnz());
+    // rowMean rows sum to 1 (or 0 for isolates).
+    for (NodeId r = 0; r < 8; ++r) {
+        double sum = 0.0;
+        ctx.rowMean().forEachInRow(r, [&](NodeId, float v) { sum += v; });
+        EXPECT_NEAR(sum, g.degrees()[size_t(r)] > 0 ? 1.0 : 0.0, 1e-5);
+    }
+}
+
+// ----------------------------------------------------------- model shapes
+class ModelShapes : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ModelShapes, ForwardProducesLogitsPerNode)
+{
+    Rng rng(1);
+    auto m = makeModel(GetParam(), 5, 3, false, rng);
+    Graph g = tinyGraph();
+    GraphContext ctx(g);
+    Matrix x = tinyFeatures(rng);
+    Matrix logits = m->forward(ctx, x);
+    EXPECT_EQ(logits.rows(), 8);
+    EXPECT_EQ(logits.cols(), 3);
+    for (float v : logits.data())
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(ModelShapes, ParametersAndGradientsAreParallel)
+{
+    Rng rng(2);
+    auto m = makeModel(GetParam(), 5, 3, false, rng);
+    auto ps = m->parameters();
+    auto gs = m->gradients();
+    ASSERT_EQ(ps.size(), gs.size());
+    for (size_t i = 0; i < ps.size(); ++i)
+        EXPECT_TRUE(ps[i]->sameShape(*gs[i]));
+    EXPECT_GT(m->spec().weightCount(), 0);
+}
+
+TEST_P(ModelShapes, QuantizedForwardRestoresWeights)
+{
+    Rng rng(3);
+    auto m = makeModel(GetParam(), 5, 3, false, rng);
+    Graph g = tinyGraph();
+    GraphContext ctx(g);
+    Matrix x = tinyFeatures(rng);
+    std::vector<Matrix> before;
+    for (Matrix *p : m->parameters())
+        before.push_back(*p);
+    Matrix logits = quantizedForward(*m, ctx, x, 8);
+    EXPECT_EQ(logits.rows(), 8);
+    auto after = m->parameters();
+    for (size_t i = 0; i < after.size(); ++i)
+        EXPECT_LT(Matrix::maxAbsDiff(before[i], *after[i]), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelShapes,
+                         ::testing::Values("GCN", "GIN", "GAT", "GraphSAGE",
+                                           "ResGCN"));
+
+// --------------------------------------------------------- gradient checks
+TEST(Gradients, GcnBackwardIsExact)
+{
+    Rng rng(10);
+    auto m = makeModel("GCN", 5, 3, false, rng);
+    checkGradients(*m);
+}
+
+TEST(Gradients, GinBackwardIsExact)
+{
+    Rng rng(11);
+    auto m = makeModel("GIN", 5, 3, false, rng);
+    checkGradients(*m);
+}
+
+TEST(Gradients, GatBackwardIsExact)
+{
+    Rng rng(12);
+    auto m = makeModel("GAT", 5, 3, false, rng);
+    checkGradients(*m, 0.12); // attention softmax is float-noisier
+}
+
+TEST(Gradients, SageBackwardIsExact)
+{
+    Rng rng(13);
+    // Unsampled (full-mean) variant so the operator is deterministic.
+    SageModel m(5, 7, 3, 0, 0, rng);
+    checkGradients(m);
+}
+
+TEST(Gradients, ResGcnBackwardIsExact)
+{
+    // A shallow instance: 28 float32 layers accumulate too much rounding
+    // for finite differences, but the backward code is depth-independent.
+    Rng rng(14);
+    ResGcnModel m(5, 8, 3, 4, rng);
+    checkGradients(m, 0.15);
+}
+
+// ------------------------------------------------------------------- adam
+TEST(Adam, MinimizesQuadratic)
+{
+    // One 1x1 parameter, loss (w-3)^2: Adam should converge to 3.
+    Matrix w(1, 1, 0.0f);
+    Adam adam({&w}, {.lr = 0.1f});
+    Matrix g(1, 1);
+    for (int i = 0; i < 500; ++i) {
+        g(0, 0) = 2.0f * (w(0, 0) - 3.0f);
+        adam.step({&g});
+    }
+    EXPECT_NEAR(w(0, 0), 3.0f, 0.05f);
+    EXPECT_EQ(adam.steps(), 500);
+}
+
+TEST(Adam, ShapeMismatchPanics)
+{
+    Matrix w(2, 2);
+    Adam adam({&w});
+    Matrix bad(3, 3);
+    EXPECT_THROW(adam.step({&bad}), std::logic_error);
+}
+
+TEST(Adam, WeightDecayShrinksWeights)
+{
+    Matrix w(1, 1, 10.0f);
+    AdamOptions opts;
+    opts.lr = 0.1f;
+    opts.weightDecay = 1.0f;
+    Adam adam({&w}, opts);
+    Matrix g(1, 1, 0.0f);
+    for (int i = 0; i < 100; ++i)
+        adam.step({&g});
+    EXPECT_LT(std::fabs(w(0, 0)), 10.0f);
+}
+
+// ---------------------------------------------------------------- dataset
+TEST(Dataset, MaterializeShapesAndMasks)
+{
+    Rng rng(20);
+    SyntheticGraph synth = synthesize(profileByName("Cora"), 0.2, rng);
+    Dataset ds = materialize(synth, rng);
+    NodeId n = synth.graph.numNodes();
+    EXPECT_EQ(ds.features.rows(), int64_t(n));
+    EXPECT_EQ(ds.labels.size(), size_t(n));
+    // Masks partition all nodes.
+    int covered = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        int in = int(ds.trainMask[size_t(v)]) + int(ds.valMask[size_t(v)]) +
+                 int(ds.testMask[size_t(v)]);
+        EXPECT_EQ(in, 1);
+        covered += in;
+    }
+    EXPECT_EQ(covered, n);
+}
+
+TEST(Dataset, FeaturesCorrelateWithLabels)
+{
+    // Same-class nodes must be closer in feature space than cross-class
+    // (otherwise accuracy experiments are meaningless).
+    Rng rng(21);
+    SyntheticGraph synth = synthesize(profileByName("Cora"), 0.2, rng);
+    Dataset ds = materialize(synth, rng);
+    double same = 0.0, cross = 0.0;
+    int n_same = 0, n_cross = 0;
+    for (int trial = 0; trial < 4000; ++trial) {
+        auto i = int64_t(rng.uniformInt(0, ds.features.rows() - 1));
+        auto j = int64_t(rng.uniformInt(0, ds.features.rows() - 1));
+        if (i == j)
+            continue;
+        double d = 0.0;
+        for (int64_t c = 0; c < ds.features.cols(); ++c) {
+            double diff = ds.features(i, c) - ds.features(j, c);
+            d += diff * diff;
+        }
+        if (ds.labels[size_t(i)] == ds.labels[size_t(j)]) {
+            same += d;
+            ++n_same;
+        } else {
+            cross += d;
+            ++n_cross;
+        }
+    }
+    EXPECT_LT(same / n_same, cross / n_cross);
+}
+
+// ---------------------------------------------------------------- trainer
+TEST(Trainer, GcnLearnsAboveChance)
+{
+    Rng rng(22);
+    SyntheticGraph synth = synthesize(profileByName("Cora"), 0.15, rng);
+    Dataset ds = materialize(synth, rng);
+    GraphContext ctx(ds.synth.graph);
+    auto m = makeModel("GCN", ds.featureDim(), ds.numClasses(), false, rng);
+    TrainOptions topts;
+    topts.epochs = 40;
+    TrainReport rep = train(*m, ctx, ds, topts);
+    double chance = 1.0 / double(ds.numClasses());
+    EXPECT_GT(rep.testAccuracy, chance * 2.0);
+    EXPECT_EQ(rep.epochsRun, 40);
+    EXPECT_GT(rep.trainingCostProxy, 0.0);
+}
+
+TEST(Trainer, EarlyBirdStopsEarly)
+{
+    Rng rng(23);
+    SyntheticGraph synth = synthesize(profileByName("Cora"), 0.15, rng);
+    Dataset ds = materialize(synth, rng);
+    GraphContext ctx(ds.synth.graph);
+    auto m = makeModel("GCN", ds.featureDim(), ds.numClasses(), false, rng);
+    TrainOptions topts;
+    topts.epochs = 300;
+    topts.earlyBird = true;
+    TrainReport rep = train(*m, ctx, ds, topts);
+    EXPECT_LT(rep.epochsRun, 300);
+    EXPECT_GE(rep.epochsRun, topts.minEpochs);
+}
+
+TEST(Trainer, QuantizedEvalCloseToFloat)
+{
+    Rng rng(24);
+    SyntheticGraph synth = synthesize(profileByName("Cora"), 0.15, rng);
+    Dataset ds = materialize(synth, rng);
+    GraphContext ctx(ds.synth.graph);
+    auto m = makeModel("GCN", ds.featureDim(), ds.numClasses(), false, rng);
+    TrainOptions topts;
+    topts.epochs = 40;
+    TrainReport rep = train(*m, ctx, ds, topts);
+    EXPECT_GT(rep.testAccuracyInt8, rep.testAccuracy - 0.15);
+}
+
+// --------------------------------------------------------------- specs
+TEST(ModelSpec, MatchesPaperTable4)
+{
+    ModelSpec gcn = makeModelSpec("GCN", 1433, 7, false);
+    EXPECT_EQ(gcn.layers.size(), 2u);
+    EXPECT_EQ(gcn.layers[0].outDim, 16);
+    ModelSpec gcn_large = makeModelSpec("GCN", 602, 41, true);
+    EXPECT_EQ(gcn_large.layers[0].outDim, 64);
+    ModelSpec gat = makeModelSpec("GAT", 1433, 7, false);
+    EXPECT_EQ(gat.layers[0].heads, 8);
+    EXPECT_EQ(gat.layers[0].outDim, 8);
+    ModelSpec gin = makeModelSpec("GIN", 1433, 7, false);
+    EXPECT_EQ(gin.layers.size(), 3u);
+    EXPECT_EQ(gin.layers[0].agg, Aggregation::Add);
+    ModelSpec res = makeModelSpec("ResGCN", 128, 40, true);
+    EXPECT_EQ(res.layers.size(), 28u);
+    EXPECT_EQ(res.layers[1].outDim, 128);
+    EXPECT_EQ(res.layers[0].agg, Aggregation::Max);
+    ModelSpec sage = makeModelSpec("GraphSAGE", 1433, 7, false);
+    EXPECT_TRUE(sage.layers[0].concatSelf);
+    EXPECT_THROW(makeModelSpec("NoSuchModel", 1, 1, false),
+                 std::runtime_error);
+}
+
+TEST(ModelSpec, WeightCountAccountsConcatAndHeads)
+{
+    ModelSpec sage = makeModelSpec("GraphSAGE", 10, 2, false);
+    // Layer 0: 2*10*16, layer 1: 2*16*2.
+    EXPECT_EQ(sage.weightCount(), 2 * 10 * 16 + 2 * 16 * 2);
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the degree classifier and the METIS-like multilevel
+ * partitioner: coverage, balance, and cut quality.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generate.hpp"
+#include "partition/degree_classes.hpp"
+#include "partition/metis_lite.hpp"
+#include "sim/rng.hpp"
+
+using namespace gcod;
+
+// --------------------------------------------------------- degree classes
+TEST(DegreeClasses, ExplicitThresholds)
+{
+    // Star graph: hub degree 4, leaves degree 1.
+    Graph g(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+    DegreeClasses dc = classifyByThresholds(g, {3});
+    EXPECT_EQ(dc.numClasses, 2);
+    EXPECT_EQ(dc.classOf[0], 1); // hub above threshold
+    for (NodeId v = 1; v < 5; ++v)
+        EXPECT_EQ(dc.classOf[size_t(v)], 0);
+    EXPECT_EQ(dc.classSizes[0], 4);
+    EXPECT_EQ(dc.classSizes[1], 1);
+}
+
+TEST(DegreeClasses, ThresholdsMustAscend)
+{
+    Graph g(3, {{0, 1}});
+    EXPECT_THROW(classifyByThresholds(g, {5, 2}), std::logic_error);
+}
+
+TEST(DegreeClasses, BalancedSplitsDegreeMass)
+{
+    Rng rng(1);
+    Graph g = barabasiAlbert(2000, 4, rng);
+    DegreeClasses dc = classifyBalanced(g, 3);
+    EXPECT_GE(dc.numClasses, 2);
+    // Each class's degree mass within a loose factor of the mean share.
+    std::vector<double> mass(size_t(dc.numClasses), 0.0);
+    double total = 0.0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        mass[size_t(dc.classOf[size_t(v)])] += g.degrees()[size_t(v)];
+        total += g.degrees()[size_t(v)];
+    }
+    for (double m : mass)
+        EXPECT_GT(m, total / double(dc.numClasses) / 6.0);
+}
+
+TEST(DegreeClasses, ClassesAreMonotoneInDegree)
+{
+    Rng rng(2);
+    Graph g = barabasiAlbert(500, 3, rng);
+    DegreeClasses dc = classifyBalanced(g, 4);
+    // A node in a higher class never has lower degree than one in a
+    // strictly lower class's upper threshold.
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        for (NodeId v = 0; v < g.numNodes(); ++v) {
+            if (dc.classOf[size_t(u)] < dc.classOf[size_t(v)]) {
+                EXPECT_LE(g.degrees()[size_t(u)],
+                          g.degrees()[size_t(v)]);
+            }
+        }
+    }
+}
+
+TEST(DegreeClasses, SingleClassTrivial)
+{
+    Graph g(4, {{0, 1}, {2, 3}});
+    DegreeClasses dc = classifyBalanced(g, 1);
+    EXPECT_EQ(dc.numClasses, 1);
+    for (int c : dc.classOf)
+        EXPECT_EQ(c, 0);
+}
+
+// --------------------------------------------------------------- metis-lite
+TEST(MetisLite, CoversAllNodesWithValidParts)
+{
+    Rng rng(3);
+    Graph g = erdosRenyi(300, 900, rng);
+    PartitionResult pr = partitionGraph(g, 4);
+    EXPECT_EQ(pr.partOf.size(), 300u);
+    for (int p : pr.partOf) {
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, 4);
+    }
+    // All parts nonempty on a connected-ish random graph.
+    std::vector<int> sizes(4, 0);
+    for (int p : pr.partOf)
+        sizes[size_t(p)] += 1;
+    for (int s : sizes)
+        EXPECT_GT(s, 0);
+}
+
+TEST(MetisLite, SinglePartIsIdentity)
+{
+    Rng rng(4);
+    Graph g = erdosRenyi(50, 100, rng);
+    PartitionResult pr = partitionGraph(g, 1);
+    EXPECT_EQ(pr.edgeCut, 0);
+    for (int p : pr.partOf)
+        EXPECT_EQ(p, 0);
+}
+
+TEST(MetisLite, CutBeatsRandomAssignment)
+{
+    Rng rng(5);
+    // Two planted communities joined by few edges: the partitioner should
+    // find a cut close to the planted one, far below random (~half edges).
+    std::vector<int> labels;
+    Graph g = degreeCorrectedSbm(400, 2400, 2, 0.95, 2.8, labels, rng);
+    PartitionResult pr = partitionGraph(g, 2);
+    std::vector<int> random_part(400);
+    for (auto &p : random_part)
+        p = int(rng.uniformInt(0, 1));
+    EdgeOffset random_cut = computeEdgeCut(g, random_part);
+    EXPECT_LT(pr.edgeCut, random_cut / 2);
+}
+
+TEST(MetisLite, RespectsBalanceFactor)
+{
+    Rng rng(6);
+    Graph g = erdosRenyi(500, 2000, rng);
+    PartitionOptions opts;
+    opts.balanceFactor = 1.15;
+    PartitionResult pr = partitionGraph(g, 4, {}, opts);
+    double target = 500.0 / 4.0;
+    for (double w : pr.partWeights)
+        EXPECT_LE(w, target * opts.balanceFactor * 1.35 + 1.0);
+}
+
+TEST(MetisLite, WeightedBalanceUsesVertexWeights)
+{
+    Rng rng(7);
+    Graph g = erdosRenyi(200, 600, rng);
+    std::vector<double> weights(200, 1.0);
+    // A handful of very heavy nodes must spread across parts.
+    for (int i = 0; i < 4; ++i)
+        weights[size_t(i * 50)] = 50.0;
+    PartitionResult pr = partitionGraph(g, 4, weights);
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    for (double w : pr.partWeights)
+        EXPECT_LT(w, total * 0.6);
+}
+
+TEST(MetisLite, EdgelessGraphStillPartitions)
+{
+    Graph g(40, {});
+    PartitionResult pr = partitionGraph(g, 4);
+    EXPECT_EQ(pr.edgeCut, 0);
+    for (int p : pr.partOf) {
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, 4);
+    }
+}
+
+TEST(MetisLite, DeterministicForFixedSeed)
+{
+    Rng rng(8);
+    Graph g = erdosRenyi(150, 450, rng);
+    PartitionOptions opts;
+    opts.seed = 99;
+    PartitionResult a = partitionGraph(g, 3, {}, opts);
+    PartitionResult b = partitionGraph(g, 3, {}, opts);
+    EXPECT_EQ(a.partOf, b.partOf);
+    EXPECT_EQ(a.edgeCut, b.edgeCut);
+}
+
+TEST(ComputeEdgeCut, CountsCrossEdgesOnce)
+{
+    Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+    EXPECT_EQ(computeEdgeCut(g, {0, 0, 1, 1}), 1);
+    EXPECT_EQ(computeEdgeCut(g, {0, 1, 0, 1}), 3);
+    EXPECT_EQ(computeEdgeCut(g, {0, 0, 0, 0}), 0);
+}
+
+class MetisParts : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(MetisParts, BalanceAndCoverageAcrossK)
+{
+    int k = GetParam();
+    Rng rng(static_cast<uint64_t>(k));
+    Graph g = barabasiAlbert(600, 3, rng);
+    std::vector<double> weights(600);
+    for (NodeId v = 0; v < 600; ++v)
+        weights[size_t(v)] = double(g.degrees()[size_t(v)]) + 1.0;
+    PartitionResult pr = partitionGraph(g, k, weights);
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    int nonempty = 0;
+    for (double w : pr.partWeights)
+        nonempty += w > 0.0;
+    EXPECT_GE(nonempty, std::max(1, k - 1));
+    // No part grossly overloaded (power-law graphs are hard; allow 2x).
+    for (double w : pr.partWeights)
+        EXPECT_LE(w, total / double(k) * 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, MetisParts,
+                         ::testing::Values(2, 3, 4, 6, 8, 12));

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit tests for the simulation infrastructure: logging, statistics,
+ * tables, config, and deterministic RNG.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/config.hpp"
+#include "sim/logging.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+
+using namespace gcod;
+
+// ---------------------------------------------------------------- logging
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(GCOD_PANIC("boom"), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(GCOD_FATAL("user error"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(GCOD_ASSERT(1 + 1 == 2, "fine"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(GCOD_ASSERT(false, "bad"), std::logic_error);
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(old);
+}
+
+// ------------------------------------------------------------------ stats
+TEST(StatScalar, AccumulatesAndAssigns)
+{
+    StatScalar s("x", "desc");
+    s += 2.0;
+    s.inc();
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+    s = 7.0;
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+    EXPECT_EQ(s.name(), "x");
+}
+
+TEST(StatDistribution, MomentsMatchDirectComputation)
+{
+    StatDistribution d("d", "");
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+    double sum = 0.0;
+    for (double x : xs) {
+        d.sample(x);
+        sum += x;
+    }
+    double mean = sum / double(xs.size());
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= double(xs.size());
+    EXPECT_EQ(d.count(), xs.size());
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 10.0);
+    EXPECT_NEAR(d.mean(), mean, 1e-12);
+    EXPECT_NEAR(d.variance(), var, 1e-9);
+    EXPECT_NEAR(d.stddev(), std::sqrt(var), 1e-9);
+}
+
+TEST(StatDistribution, ImbalanceIsMaxOverMean)
+{
+    StatDistribution d("d", "");
+    d.sample(1.0);
+    d.sample(1.0);
+    d.sample(4.0);
+    EXPECT_NEAR(d.imbalance(), 4.0 / 2.0, 1e-12);
+}
+
+TEST(StatDistribution, EmptyIsSafe)
+{
+    StatDistribution d("d", "");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.cv(), 0.0);
+    EXPECT_DOUBLE_EQ(d.imbalance(), 1.0);
+}
+
+TEST(StatDistribution, HistogramCountsAllSamples)
+{
+    StatDistribution d("d", "", 4);
+    for (int i = 0; i < 100; ++i)
+        d.sample(double(i));
+    auto h = d.histogram();
+    size_t total = 0;
+    for (size_t c : h)
+        total += c;
+    EXPECT_EQ(total, 100u);
+    EXPECT_EQ(h.size(), 4u);
+}
+
+TEST(StatDistribution, HistogramSingleValue)
+{
+    StatDistribution d("d", "", 8);
+    for (int i = 0; i < 5; ++i)
+        d.sample(3.0);
+    auto h = d.histogram();
+    EXPECT_EQ(h[0], 5u);
+}
+
+TEST(StatGroup, CreateFetchAndFind)
+{
+    StatGroup g("grp");
+    g.scalar("a", "first") += 1.0;
+    g.scalar("a") += 1.0;
+    EXPECT_DOUBLE_EQ(g.scalar("a").value(), 2.0);
+    EXPECT_NE(g.findScalar("a"), nullptr);
+    EXPECT_EQ(g.findScalar("zzz"), nullptr);
+    g.distribution("d").sample(1.0);
+    EXPECT_NE(g.findDistribution("d"), nullptr);
+    EXPECT_EQ(g.findDistribution("zzz"), nullptr);
+}
+
+TEST(StatGroup, ResetZeroesEverything)
+{
+    StatGroup g("grp");
+    g.scalar("a") += 5.0;
+    g.distribution("d").sample(2.0);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.scalar("a").value(), 0.0);
+    EXPECT_EQ(g.distribution("d").count(), 0u);
+}
+
+TEST(StatGroup, PrintContainsNamesAndValues)
+{
+    StatGroup g("grp");
+    g.scalar("cycles", "total cycles") = 42.0;
+    std::ostringstream os;
+    g.print(os);
+    EXPECT_NE(os.str().find("grp.cycles"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ table
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("title");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    t.row({"333", "4"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("title"), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RaggedRowsArePadded)
+{
+    Table t;
+    t.header({"a", "b", "c"});
+    t.row({"only"});
+    std::ostringstream os;
+    EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(TableFormat, Numbers)
+{
+    EXPECT_EQ(formatNumber(0.0), "0");
+    EXPECT_EQ(formatNumber(12345.0), "12345");
+    EXPECT_EQ(formatNumber(12.34), "12.3");
+    EXPECT_EQ(formatNumber(0.5), "0.500");
+}
+
+TEST(TableFormat, Speedups)
+{
+    EXPECT_EQ(formatSpeedup(12345.0), "12345x");
+    EXPECT_EQ(formatSpeedup(12.3), "12.3x");
+    EXPECT_EQ(formatSpeedup(2.5), "2.50x");
+}
+
+TEST(TableFormat, Bytes)
+{
+    EXPECT_EQ(formatBytes(512.0), "512.00 B");
+    EXPECT_EQ(formatBytes(2048.0), "2.00 KiB");
+    EXPECT_EQ(formatBytes(3.0 * 1024 * 1024), "3.00 MiB");
+    EXPECT_EQ(formatBytes(1.5 * 1024 * 1024 * 1024), "1.50 GiB");
+}
+
+TEST(TableFormat, Percent)
+{
+    EXPECT_EQ(formatPercent(0.481), "48.1%");
+}
+
+// ----------------------------------------------------------------- config
+TEST(Config, ParseAndTypedGet)
+{
+    Config c;
+    const char *argv[] = {"prog", "scale=0.5", "name=Cora", "flag=true",
+                          "n=42"};
+    c.parseArgs(5, const_cast<char **>(argv));
+    EXPECT_DOUBLE_EQ(c.getDouble("scale"), 0.5);
+    EXPECT_EQ(c.getString("name"), "Cora");
+    EXPECT_TRUE(c.getBool("flag"));
+    EXPECT_EQ(c.getInt("n"), 42);
+    EXPECT_EQ(c.getInt("missing", 7), 7);
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, MalformedArgIsFatal)
+{
+    Config c;
+    const char *argv[] = {"prog", "notkeyvalue"};
+    EXPECT_THROW(c.parseArgs(2, const_cast<char **>(argv)),
+                 std::runtime_error);
+}
+
+// -------------------------------------------------------------------- rng
+TEST(Rng, DeterministicWithSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000);
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.uniformInt(-3, 7);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, UniformRealInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniformReal(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, NormalMeanApproximately)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.25);
+    EXPECT_NEAR(double(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng r(17);
+    std::vector<double> w = {0.0, 1.0, 3.0};
+    std::vector<int> counts(3, 0);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        counts[r.discrete(w)] += 1;
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(double(counts[2]) / double(counts[1]), 3.0, 0.3);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng r(19);
+    std::vector<int> v = {1, 2, 3, 4, 5};
+    auto sorted = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(21);
+    Rng child = a.fork();
+    // The fork must not replay the parent's stream.
+    Rng b(21);
+    b.fork();
+    EXPECT_NE(child.uniformInt(0, 1 << 30), a.uniformInt(0, 1 << 30));
+}

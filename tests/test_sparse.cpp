@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit and property tests for the sparse matrix containers (COO/CSR/CSC):
+ * construction, conversion round-trips, permutation, filtering, and
+ * storage accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/sparse.hpp"
+#include "sim/rng.hpp"
+
+using namespace gcod;
+
+namespace {
+
+/** 4x4 fixture matrix matching the CSC example in the paper's Fig. 1. */
+CsrMatrix
+smallMatrix()
+{
+    CooMatrix coo(4, 4);
+    coo.add(0, 1, 1.0f);
+    coo.add(1, 0, 1.0f);
+    coo.add(1, 2, 1.0f);
+    coo.add(2, 0, 1.0f);
+    coo.add(2, 3, 1.0f);
+    coo.add(3, 1, 1.0f);
+    return coo.toCsr();
+}
+
+CsrMatrix
+randomMatrix(NodeId rows, NodeId cols, int nnz, Rng &rng)
+{
+    CooMatrix coo(rows, cols);
+    for (int i = 0; i < nnz; ++i)
+        coo.add(NodeId(rng.uniformInt(0, rows - 1)),
+                NodeId(rng.uniformInt(0, cols - 1)),
+                float(rng.uniformReal(0.1, 2.0)));
+    return coo.toCsr();
+}
+
+} // namespace
+
+TEST(Coo, CoalesceSumsDuplicates)
+{
+    CooMatrix coo(2, 2);
+    coo.add(0, 0, 1.0f);
+    coo.add(0, 0, 2.0f);
+    coo.add(1, 1, 4.0f);
+    coo.coalesce();
+    EXPECT_EQ(coo.nnz(), 2);
+    EXPECT_FLOAT_EQ(coo.entries()[0].value, 3.0f);
+}
+
+TEST(Coo, ToCsrSortsWithinRows)
+{
+    CooMatrix coo(2, 4);
+    coo.add(0, 3, 1.0f);
+    coo.add(0, 1, 1.0f);
+    coo.add(1, 0, 1.0f);
+    CsrMatrix m = coo.toCsr();
+    EXPECT_EQ(m.indices()[0], 1);
+    EXPECT_EQ(m.indices()[1], 3);
+    EXPECT_EQ(m.rowNnz(0), 2);
+    EXPECT_EQ(m.rowNnz(1), 1);
+}
+
+TEST(Coo, OutOfBoundsEntryPanics)
+{
+    CooMatrix coo(2, 2);
+    coo.add(5, 0, 1.0f);
+    EXPECT_THROW(coo.toCsr(), std::logic_error);
+}
+
+TEST(Csr, ConstructionValidatesShape)
+{
+    // indptr too short.
+    EXPECT_THROW(CsrMatrix(2, 2, {0, 0}, {}, {}), std::logic_error);
+    // indices/values mismatch.
+    EXPECT_THROW(CsrMatrix(1, 2, {0, 1}, {0}, {}), std::logic_error);
+    // non-monotone indptr.
+    EXPECT_THROW(CsrMatrix(2, 2, {0, 2, 1}, {0, 1}, {1.f, 1.f}),
+                 std::logic_error);
+}
+
+TEST(Csr, AtFindsEntriesAndZeros)
+{
+    CsrMatrix m = smallMatrix();
+    EXPECT_FLOAT_EQ(m.at(0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(m.at(2, 3), 1.0f);
+    EXPECT_FLOAT_EQ(m.at(3, 3), 0.0f);
+}
+
+TEST(Csr, PaperFig1CscExample)
+{
+    // The paper's Fig. 1: column offsets [0,2,4,5,6], row indexes
+    // [1,2,0,3,1,2] for the 4x4 example adjacency.
+    CscMatrix csc = smallMatrix().toCsc();
+    std::vector<EdgeOffset> expect_ptr = {0, 2, 4, 5, 6};
+    std::vector<NodeId> expect_rows = {1, 2, 0, 3, 1, 2};
+    EXPECT_EQ(csc.colptr(), expect_ptr);
+    EXPECT_EQ(csc.rowidx(), expect_rows);
+}
+
+TEST(Csr, TransposeSwapsCoordinates)
+{
+    CsrMatrix m = smallMatrix();
+    CsrMatrix t = m.transpose();
+    m.forEach([&](NodeId r, NodeId c, float v) {
+        EXPECT_FLOAT_EQ(t.at(c, r), v);
+    });
+    EXPECT_EQ(t.nnz(), m.nnz());
+}
+
+TEST(Csr, TransposeTwiceIsIdentity)
+{
+    Rng rng(1);
+    CsrMatrix m = randomMatrix(20, 30, 100, rng);
+    CsrMatrix tt = m.transpose().transpose();
+    EXPECT_EQ(tt.nnz(), m.nnz());
+    m.forEach([&](NodeId r, NodeId c, float v) {
+        EXPECT_FLOAT_EQ(tt.at(r, c), v);
+    });
+}
+
+TEST(Csr, CooRoundTrip)
+{
+    Rng rng(2);
+    CsrMatrix m = randomMatrix(15, 15, 60, rng);
+    CsrMatrix back = m.toCoo().toCsr();
+    EXPECT_EQ(back.nnz(), m.nnz());
+    m.forEach([&](NodeId r, NodeId c, float v) {
+        EXPECT_FLOAT_EQ(back.at(r, c), v);
+    });
+}
+
+TEST(Csr, PermutedPreservesEntriesUnderRelabeling)
+{
+    CsrMatrix m = smallMatrix();
+    std::vector<NodeId> perm = {2, 0, 3, 1}; // old -> new
+    CsrMatrix p = m.permuted(perm);
+    EXPECT_EQ(p.nnz(), m.nnz());
+    m.forEach([&](NodeId r, NodeId c, float v) {
+        EXPECT_FLOAT_EQ(p.at(perm[size_t(r)], perm[size_t(c)]), v);
+    });
+}
+
+TEST(Csr, IdentityPermutationIsNoop)
+{
+    Rng rng(3);
+    CsrMatrix m = randomMatrix(10, 10, 30, rng);
+    std::vector<NodeId> id(10);
+    std::iota(id.begin(), id.end(), 0);
+    CsrMatrix p = m.permuted(id);
+    m.forEach([&](NodeId r, NodeId c, float v) {
+        EXPECT_FLOAT_EQ(p.at(r, c), v);
+    });
+}
+
+TEST(Csr, FilteredDropsOnlyRejected)
+{
+    CsrMatrix m = smallMatrix();
+    CsrMatrix f = m.filtered(
+        [](NodeId r, NodeId, float) { return r != 1; });
+    EXPECT_EQ(f.rowNnz(1), 0);
+    EXPECT_EQ(f.nnz(), m.nnz() - m.rowNnz(1));
+}
+
+TEST(Csr, SparsityMatchesDefinition)
+{
+    CsrMatrix m = smallMatrix(); // 6 nnz in 16 cells
+    EXPECT_NEAR(m.sparsity(), 1.0 - 6.0 / 16.0, 1e-12);
+}
+
+TEST(Csr, SymmetryDetection)
+{
+    CooMatrix coo(3, 3);
+    coo.add(0, 1, 1.0f);
+    coo.add(1, 0, 1.0f);
+    CsrMatrix sym = coo.toCsr();
+    EXPECT_TRUE(sym.isSymmetric());
+    coo.add(2, 0, 1.0f);
+    EXPECT_FALSE(coo.toCsr().isSymmetric());
+}
+
+TEST(Csc, ColumnNnzMatchesCsrColumns)
+{
+    Rng rng(4);
+    CsrMatrix m = randomMatrix(25, 18, 120, rng);
+    CscMatrix csc = m.toCsc();
+    std::vector<EdgeOffset> col_count(18, 0);
+    m.forEach([&](NodeId, NodeId c, float) { col_count[size_t(c)] += 1; });
+    for (NodeId c = 0; c < 18; ++c)
+        EXPECT_EQ(csc.colNnz(c), col_count[size_t(c)]);
+}
+
+TEST(Csc, ForEachInColVisitsAllEntries)
+{
+    CscMatrix csc = smallMatrix().toCsc();
+    EdgeOffset visited = 0;
+    for (NodeId c = 0; c < csc.cols(); ++c)
+        csc.forEachInCol(c, [&](NodeId, float) { ++visited; });
+    EXPECT_EQ(visited, csc.nnz());
+}
+
+TEST(Storage, CscSmallerThanCooAtLowDensity)
+{
+    // The sparser branch's motivation: CSC beats COO on index storage.
+    EdgeOffset nnz = 1000;
+    NodeId cols = 500;
+    double csc = double(cols + 1) * 8.0 + double(nnz) * (4.0 + 4.0);
+    double coo = cooStorageBytes(nnz);
+    EXPECT_LT(csc, coo * 1.05);
+}
+
+TEST(Storage, NarrowValuesShrinkFootprint)
+{
+    EXPECT_LT(cooStorageBytes(100, 32, 8), cooStorageBytes(100, 32, 32));
+    EXPECT_LT(csrStorageBytes(10, 100, 32, 8),
+              csrStorageBytes(10, 100, 32, 32));
+}
+
+// Property sweep: conversions agree across random shapes.
+class SparseRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SparseRoundTrip, CsrCscAgreeEverywhere)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    NodeId n = NodeId(8 + GetParam() * 7);
+    CsrMatrix m = randomMatrix(n, n, 4 * n, rng);
+    CscMatrix csc = m.toCsc();
+    EdgeOffset count = 0;
+    for (NodeId c = 0; c < n; ++c) {
+        csc.forEachInCol(c, [&](NodeId r, float v) {
+            EXPECT_FLOAT_EQ(m.at(r, c), v);
+            ++count;
+        });
+    }
+    EXPECT_EQ(count, m.nnz());
+}
+
+TEST_P(SparseRoundTrip, PermutationIsBijective)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+    NodeId n = NodeId(8 + GetParam() * 7);
+    CsrMatrix m = randomMatrix(n, n, 4 * n, rng);
+    std::vector<NodeId> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(perm);
+    // Inverse permutation restores the original.
+    std::vector<NodeId> inv(static_cast<size_t>(n));
+    for (NodeId i = 0; i < n; ++i)
+        inv[size_t(perm[size_t(i)])] = i;
+    CsrMatrix back = m.permuted(perm).permuted(inv);
+    m.forEach([&](NodeId r, NodeId c, float v) {
+        EXPECT_FLOAT_EQ(back.at(r, c), v);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SparseRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
