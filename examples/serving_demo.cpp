@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal tour of the serving engine: build one engine over four
+ * backends, send a burst of mixed-dataset requests, and show what the
+ * serving layer did — how requests were batched, which backend each
+ * batch was routed to, what the co-design artifact cost to build, and
+ * how the cache amortized it.
+ *
+ * Usage: example_serving_demo [requests=64] [workers=2]
+ */
+#include <iostream>
+
+#include "serve/engine.hpp"
+#include "sim/config.hpp"
+#include "sim/table.hpp"
+
+using namespace gcod;
+using namespace gcod::serve;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    int64_t requests = cfg.getInt("requests", 64);
+
+    ServeOptions opts;
+    opts.backends = {"GCoD", "HyGCN", "AWB-GCN", "DGL-GPU"};
+    opts.workers = size_t(cfg.getInt("workers", 2));
+    opts.batching.policy = BatchPolicy::Timeout;
+    opts.batching.maxBatch = 16;
+    opts.batching.maxDelay = std::chrono::microseconds(1000);
+    ServingEngine engine(opts);
+
+    std::cout << "Submitting " << requests
+              << " requests over {Cora, CiteSeer} + one GAT model...\n\n";
+
+    std::vector<std::future<InferenceReply>> futures;
+    for (int64_t i = 0; i < requests; ++i) {
+        InferenceRequest req;
+        req.dataset = i % 3 == 0 ? "CiteSeer" : "Cora";
+        req.model = i % 7 == 0 ? "GAT" : "GCN";
+        req.node = NodeId(i);
+        futures.push_back(engine.submit(std::move(req)));
+    }
+    engine.drain();
+
+    Table t("First 8 replies");
+    t.header({"Req", "Dataset/model", "Backend", "Batch", "Cache",
+              "Latency (ms)"});
+    for (size_t i = 0; i < futures.size(); ++i) {
+        InferenceReply r = futures[i].get();
+        if (i >= 8)
+            continue;
+        t.row({std::to_string(r.id),
+               (i % 3 == 0 ? "CiteSeer/" : "Cora/") +
+                   std::string(i % 7 == 0 ? "GAT" : "GCN"),
+               r.backend, std::to_string(r.batchSize),
+               r.cacheHit ? "hit" : "miss",
+               formatNumber(r.latencySeconds * 1e3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nArtifact cache: " << engine.cache().size()
+              << " resident bundles, hit rate "
+              << formatNumber(engine.cache().hitRate()) << ", "
+              << formatNumber(engine.cache().totalBuildSeconds())
+              << " s total build time amortized over " << requests
+              << " requests\n\n";
+
+    engine.stats().print(std::cout, engine.cache().hitRate());
+    return 0;
+}

@@ -1,0 +1,122 @@
+#include "serve/artifact.hpp"
+
+#include <chrono>
+#include <map>
+#include <sstream>
+
+#include "graph/profiles.hpp"
+#include "sim/rng.hpp"
+
+namespace gcod::serve {
+
+namespace {
+
+/** FNV-1a over raw bytes. */
+void
+hashBytes(uint64_t &h, const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+}
+
+template <typename T>
+void
+hashValue(uint64_t &h, const T &v)
+{
+    static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                  "hashValue takes scalar fields only");
+    hashBytes(h, &v, sizeof(v));
+}
+
+} // namespace
+
+uint64_t
+hashGcodOptions(const GcodOptions &opts)
+{
+    uint64_t h = 14695981039346656037ULL;
+    hashBytes(h, opts.model.data(), opts.model.size());
+    hashValue(h, opts.reorder.numClasses);
+    hashValue(h, opts.reorder.numSubgraphs);
+    hashValue(h, opts.reorder.numGroups);
+    hashValue(h, opts.reorder.seed);
+    hashValue(h, opts.polarize.pruneRatio);
+    hashValue(h, opts.polarize.polaWeight);
+    hashValue(h, opts.polarize.admmIterations);
+    hashValue(h, opts.polarize.gradSteps);
+    hashValue(h, opts.polarize.lr);
+    hashValue(h, opts.polarize.rho);
+    hashValue(h, opts.structural.patchSize);
+    hashValue(h, opts.structural.eta);
+    hashValue(h, opts.pretrain.epochs);
+    hashValue(h, opts.pretrain.earlyBird);
+    hashValue(h, opts.retrain.epochs);
+    hashValue(h, opts.retrain.earlyBird);
+    hashValue(h, opts.tuneRounds);
+    hashValue(h, opts.seed);
+    return h;
+}
+
+std::string
+ArtifactKey::toString() const
+{
+    std::ostringstream os;
+    os << dataset << '/' << model << '/' << std::hex << optionsHash;
+    return os.str();
+}
+
+size_t
+ArtifactKeyHash::operator()(const ArtifactKey &k) const
+{
+    uint64_t h = k.optionsHash;
+    hashBytes(h, k.dataset.data(), k.dataset.size());
+    hashBytes(h, k.model.data(), k.model.size());
+    return size_t(h);
+}
+
+double
+defaultServeScale(const std::string &dataset)
+{
+    static const std::map<std::string, double> scales = {
+        {"Cora", 1.0},  {"CiteSeer", 1.0},    {"Pubmed", 0.5},
+        {"NELL", 0.08}, {"Ogbn-ArXiv", 0.05}, {"Reddit", 0.01},
+    };
+    auto it = scales.find(dataset);
+    return it == scales.end() ? 1.0 : it->second;
+}
+
+std::shared_ptr<const ArtifactBundle>
+buildArtifact(const ArtifactKey &key, const GcodOptions &opts, double scale,
+              uint64_t seed)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto bundle = std::make_shared<ArtifactBundle>();
+    bundle->key = key;
+    bundle->profile = profileByName(key.dataset);
+    bundle->scaleUsed = scale > 0.0 ? scale : defaultServeScale(key.dataset);
+
+    Rng rng(seed);
+    bundle->synth = synthesize(bundle->profile, bundle->scaleUsed, rng);
+    bundle->outcome = runGcodStructureOnly(bundle->synth, opts);
+    bundle->spec =
+        makeModelSpec(key.model, bundle->profile.features,
+                      bundle->profile.classes, bundle->profile.nodes > 20000);
+
+    bundle->raw = makeGraphInput(bundle->synth.graph.adjacency());
+    bundle->raw.publishedNodes = bundle->profile.nodes;
+    bundle->raw.featureDensity = bundle->profile.featureDensity;
+
+    bundle->gcodIn = makeGraphInput(bundle->outcome.finalGraph.adjacency(),
+                                    bundle->outcome.workload);
+    bundle->gcodIn.publishedNodes = bundle->profile.nodes;
+    bundle->gcodIn.featureDensity = bundle->profile.featureDensity;
+
+    bundle->buildSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return bundle;
+}
+
+} // namespace gcod::serve

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The precompiled co-design artifact served by the inference engine.
+ *
+ * GCoD's value proposition for serving is that the expensive offline work
+ * (graph synthesis, Step 1-3 processing, tile layout, workload
+ * extraction, model shape) is paid once per (dataset, model, options)
+ * triple and then amortized across millions of requests. An
+ * ArtifactBundle is that unit of amortization: everything a platform
+ * simulator needs to execute one inference, with both the raw-adjacency
+ * input (baseline backends) and the GCoD workload input (the co-designed
+ * accelerator) prebuilt so the serving hot path does no profiling work.
+ */
+#ifndef GCOD_SERVE_ARTIFACT_HPP
+#define GCOD_SERVE_ARTIFACT_HPP
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "accel/graph_input.hpp"
+#include "gcod/pipeline.hpp"
+#include "nn/model_spec.hpp"
+
+namespace gcod::serve {
+
+/** Stable content hash of every pipeline knob that shapes the artifact. */
+uint64_t hashGcodOptions(const GcodOptions &opts);
+
+/** Cache key: which artifact a request needs. */
+struct ArtifactKey
+{
+    std::string dataset;
+    std::string model = "GCN";
+    uint64_t optionsHash = 0;
+
+    bool
+    operator==(const ArtifactKey &o) const
+    {
+        return optionsHash == o.optionsHash && dataset == o.dataset &&
+               model == o.model;
+    }
+    bool operator!=(const ArtifactKey &o) const { return !(*this == o); }
+    bool
+    operator<(const ArtifactKey &o) const
+    {
+        return std::tie(dataset, model, optionsHash) <
+               std::tie(o.dataset, o.model, o.optionsHash);
+    }
+
+    std::string toString() const;
+};
+
+/** Hash functor for unordered containers. */
+struct ArtifactKeyHash
+{
+    size_t operator()(const ArtifactKey &k) const;
+};
+
+/**
+ * One precompiled serving artifact. Immutable once built; the engine
+ * holds it through a shared_ptr so in-flight batches keep it alive across
+ * cache evictions. Not copyable/movable: `gcodIn.workload` points into
+ * `outcome`, so the object must stay where it was built.
+ */
+struct ArtifactBundle
+{
+    ArtifactBundle() = default;
+    ArtifactBundle(const ArtifactBundle &) = delete;
+    ArtifactBundle &operator=(const ArtifactBundle &) = delete;
+
+    ArtifactKey key;
+    /** Published dataset statistics (Tab. III). */
+    DatasetProfile profile;
+    /** Synthesized stand-in graph at `scaleUsed` of the published size. */
+    SyntheticGraph synth;
+    /** Structure-only GCoD pipeline output (tiles + workload). */
+    GcodOutcome outcome;
+    /** Model shapes at the published dimensions (Tab. IV). */
+    ModelSpec spec;
+    double scaleUsed = 1.0;
+    /** Wall-clock cost of building this bundle, seconds. */
+    double buildSeconds = 0.0;
+
+    /** Prebuilt simulator input for baseline backends (raw adjacency). */
+    GraphInput raw;
+    /** Prebuilt input for the GCoD accelerator (processed + workload). */
+    GraphInput gcodIn;
+};
+
+/** Serving-friendly synthesis scale for a dataset (keeps builds fast). */
+double defaultServeScale(const std::string &dataset);
+
+/**
+ * Build a bundle: synthesize the dataset profile, run the structure-only
+ * GCoD pipeline, and prebuild both simulator inputs.
+ *
+ * @param scale 0 = the per-dataset default.
+ */
+std::shared_ptr<const ArtifactBundle>
+buildArtifact(const ArtifactKey &key, const GcodOptions &opts,
+              double scale = 0.0, uint64_t seed = 42);
+
+} // namespace gcod::serve
+
+#endif // GCOD_SERVE_ARTIFACT_HPP

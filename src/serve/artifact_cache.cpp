@@ -1,0 +1,148 @@
+#include "serve/artifact_cache.hpp"
+
+#include "sim/logging.hpp"
+
+namespace gcod::serve {
+
+ArtifactCache::ArtifactCache(size_t capacity, Builder builder)
+    : capacity_(capacity == 0 ? 1 : capacity), builder_(std::move(builder))
+{
+    GCOD_ASSERT(builder_ != nullptr, "ArtifactCache needs a builder");
+}
+
+ArtifactCache::Lookup
+ArtifactCache::get(const ArtifactKey &key)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            // Hit: move to the MRU front.
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++hits_;
+            return {it->second->bundle, true};
+        }
+        if (building_.count(key) == 0)
+            break;
+        // Another worker is building this key; wait for it, then re-check
+        // (the build may also have failed, in which case we retry it).
+        buildDone_.wait(lock);
+    }
+
+    ++misses_;
+    building_.insert(key);
+    lock.unlock();
+
+    std::shared_ptr<const ArtifactBundle> bundle;
+    try {
+        bundle = builder_(key);
+    } catch (...) {
+        lock.lock();
+        building_.erase(key);
+        buildDone_.notify_all();
+        throw;
+    }
+
+    lock.lock();
+    building_.erase(key);
+    if (bundle == nullptr) {
+        // Wake same-key waiters before failing, or they sleep forever.
+        buildDone_.notify_all();
+        GCOD_PANIC("artifact builder returned null");
+    }
+    buildSeconds_ += bundle->buildSeconds;
+    lru_.push_front(Entry{key, bundle});
+    map_[key] = lru_.begin();
+    evictLocked();
+    buildDone_.notify_all();
+    return {bundle, false};
+}
+
+void
+ArtifactCache::evictLocked()
+{
+    while (lru_.size() > capacity_) {
+        map_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+bool
+ArtifactCache::contains(const ArtifactKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.count(key) != 0;
+}
+
+size_t
+ArtifactCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+}
+
+uint64_t
+ArtifactCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+uint64_t
+ArtifactCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+uint64_t
+ArtifactCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+}
+
+double
+ArtifactCache::hitRate() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = hits_ + misses_;
+    return total ? double(hits_) / double(total) : 0.0;
+}
+
+double
+ArtifactCache::totalBuildSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return buildSeconds_;
+}
+
+std::vector<ArtifactKey>
+ArtifactCache::keysMruFirst() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ArtifactKey> keys;
+    keys.reserve(lru_.size());
+    for (const auto &e : lru_)
+        keys.push_back(e.key);
+    return keys;
+}
+
+void
+ArtifactCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    map_.clear();
+}
+
+ArtifactCache::Builder
+makeArtifactBuilder(GcodOptions opts, double scale, uint64_t seed)
+{
+    return [opts, scale, seed](const ArtifactKey &key) {
+        return buildArtifact(key, opts, scale, seed);
+    };
+}
+
+} // namespace gcod::serve

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * LRU cache of precompiled serving artifacts.
+ *
+ * Keyed by (dataset, model, GcodOptions hash); a hit returns the shared
+ * bundle immediately, a miss runs the builder (graph synthesis + the
+ * structure-only GCoD pipeline) exactly once even when several workers
+ * race on the same key. Eviction is strict LRU over whole bundles;
+ * in-flight batches keep their evicted bundle alive through the shared_ptr
+ * until they complete.
+ */
+#ifndef GCOD_SERVE_ARTIFACT_CACHE_HPP
+#define GCOD_SERVE_ARTIFACT_CACHE_HPP
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/artifact.hpp"
+
+namespace gcod::serve {
+
+class ArtifactCache
+{
+  public:
+    using Builder = std::function<std::shared_ptr<const ArtifactBundle>(
+        const ArtifactKey &)>;
+
+    /** Result of one lookup. */
+    struct Lookup
+    {
+        std::shared_ptr<const ArtifactBundle> bundle;
+        bool hit = false;
+    };
+
+    /**
+     * @param capacity max resident bundles (>= 1)
+     * @param builder  invoked on a miss, outside the cache lock
+     */
+    ArtifactCache(size_t capacity, Builder builder);
+
+    /** Fetch-or-build. Throws whatever the builder throws on a miss. */
+    Lookup get(const ArtifactKey &key);
+
+    /** Residency check without building or touching recency. */
+    bool contains(const ArtifactKey &key) const;
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+
+    uint64_t hits() const;
+    uint64_t misses() const;
+    uint64_t evictions() const;
+    double hitRate() const;
+    /** Total wall-clock seconds spent building bundles (miss cost). */
+    double totalBuildSeconds() const;
+
+    /** Resident keys, most recently used first (tests eviction order). */
+    std::vector<ArtifactKey> keysMruFirst() const;
+
+    /** Drop every resident bundle (not counted as evictions). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        ArtifactKey key;
+        std::shared_ptr<const ArtifactBundle> bundle;
+    };
+
+    void evictLocked();
+
+    size_t capacity_;
+    Builder builder_;
+
+    mutable std::mutex mu_;
+    std::condition_variable buildDone_;
+    /** Keys currently being built (misses in progress). */
+    std::set<ArtifactKey> building_;
+    /** MRU-first recency list. */
+    std::list<Entry> lru_;
+    std::unordered_map<ArtifactKey, std::list<Entry>::iterator,
+                       ArtifactKeyHash>
+        map_;
+
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    double buildSeconds_ = 0.0;
+};
+
+/** Builder running the real artifact pipeline with the given options. */
+ArtifactCache::Builder makeArtifactBuilder(GcodOptions opts,
+                                           double scale = 0.0,
+                                           uint64_t seed = 42);
+
+} // namespace gcod::serve
+
+#endif // GCOD_SERVE_ARTIFACT_CACHE_HPP

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cost-model-driven dispatch across heterogeneous backends.
+ *
+ * The router owns one AcceleratorModel per configured platform and scores
+ * each batch with the shared per-layer arithmetic (accel/layer_cost):
+ * combination MACs at the platform's dense efficiency, aggregation MACs at
+ * its sparse efficiency, plus per-layer overhead — and, for the GCoD
+ * accelerator, the two-pronged schedule simulation (accel/schedule) which
+ * captures the denser/sparser branch overlap the closed-form estimate
+ * misses. Base estimates are memoized per (artifact, backend).
+ *
+ * Dispatch is least-work-left in *virtual* time: each backend carries an
+ * accumulator of the simulated seconds already assigned to it, and a
+ * batch goes to the backend whose accumulated work plus this batch's
+ * estimate is smallest (scaled by live queue depth when workers overlap).
+ * Because the simulated platforms are orders of magnitude faster than
+ * wall-clock arrivals, live queue depth alone almost never builds up; the
+ * virtual accumulator models the steady-state saturation a real serving
+ * fleet balances against, yielding a deterministic speed-weighted spread
+ * across heterogeneous backends.
+ */
+#ifndef GCOD_SERVE_BACKEND_ROUTER_HPP
+#define GCOD_SERVE_BACKEND_ROUTER_HPP
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "serve/artifact.hpp"
+
+namespace gcod::serve {
+
+/** Outcome of routing one batch. */
+struct RouteDecision
+{
+    int backend = -1;
+    std::string name;
+    /** Cost-model latency estimate for the batch's inference pass. */
+    double estimatedSeconds = 0.0;
+    /** Queue depth the chosen backend had when scored. */
+    int depthAtChoice = 0;
+};
+
+class BackendRouter
+{
+  public:
+    /** @param names platform names accepted by makeAccelerator(). */
+    explicit BackendRouter(const std::vector<std::string> &names);
+
+    size_t numBackends() const { return backends_.size(); }
+    const std::string &name(int i) const { return backends_[i]->name; }
+    const AcceleratorModel &model(int i) const
+    {
+        return *backends_[i]->model;
+    }
+
+    /** True when backend @p i consumes the GCoD workload descriptor. */
+    bool usesWorkload(int i) const { return backends_[i]->wantsWorkload; }
+
+    /** Simulator input of @p bundle appropriate for backend @p i. */
+    const GraphInput &
+    inputFor(int i, const ArtifactBundle &bundle) const
+    {
+        return usesWorkload(i) ? bundle.gcodIn : bundle.raw;
+    }
+
+    /**
+     * Pick the least-loaded backend for one batch over @p bundle. Pure
+     * (no state mutated) given the current virtual-work accumulators and
+     * queue depths; ties break toward the earlier platform in
+     * construction order, so routing is deterministic under one worker.
+     */
+    RouteDecision choose(const ArtifactBundle &bundle);
+
+    /** Cost-model estimate (seconds) of one pass, ignoring load. */
+    double estimateSeconds(int i, const ArtifactBundle &bundle);
+
+    /**
+     * Load accounting around a dispatched batch: begin charges the
+     * estimate to the backend's virtual-work accumulator and bumps its
+     * live queue depth; end releases the depth.
+     */
+    void beginDispatch(int i, double estimated_seconds);
+    void endDispatch(int i);
+
+    int queueDepth(int i) const;
+    uint64_t dispatched(int i) const;
+    /** Simulated seconds of work assigned to backend @p i so far. */
+    double assignedWorkSeconds(int i) const;
+
+  private:
+    struct Backend
+    {
+        std::string name;
+        std::unique_ptr<AcceleratorModel> model;
+        bool wantsWorkload = false;
+        std::atomic<int> inflight{0};
+        std::atomic<uint64_t> dispatched{0};
+        std::atomic<double> assignedWork{0.0};
+    };
+
+    std::vector<std::unique_ptr<Backend>> backends_;
+
+    std::mutex memoMu_;
+    /** (artifact key, backend) -> base estimate, built lazily. */
+    std::map<std::pair<ArtifactKey, int>, double> memo_;
+};
+
+} // namespace gcod::serve
+
+#endif // GCOD_SERVE_BACKEND_ROUTER_HPP

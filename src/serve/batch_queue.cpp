@@ -1,0 +1,156 @@
+#include "serve/batch_queue.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace gcod::serve {
+
+const char *
+batchPolicyName(BatchPolicy p)
+{
+    switch (p) {
+    case BatchPolicy::FixedSize: return "fixed";
+    case BatchPolicy::Timeout: return "timeout";
+    case BatchPolicy::Adaptive: return "adaptive";
+    }
+    return "?";
+}
+
+BatchQueue::BatchQueue(BatchOptions opts) : opts_(opts)
+{
+    GCOD_ASSERT(opts_.maxBatch >= 1, "maxBatch must be >= 1");
+    // maxBatch is the hard cap; a larger adaptive floor would make
+    // targetLocked()'s clamp ill-formed.
+    opts_.adaptiveMin = std::min(opts_.adaptiveMin, opts_.maxBatch);
+}
+
+bool
+BatchQueue::push(PendingRequest &r)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_)
+        return false;
+    Group &g = groups_[r.key];
+    if (g.requests.empty())
+        g.oldest = r.enqueued;
+    g.requests.push_back(std::move(r));
+    ++depth_;
+    readyCv_.notify_one();
+    return true;
+}
+
+size_t
+BatchQueue::targetLocked() const
+{
+    switch (opts_.policy) {
+    case BatchPolicy::FixedSize:
+    case BatchPolicy::Timeout:
+        return opts_.maxBatch;
+    case BatchPolicy::Adaptive:
+        // Aim to drain the instantaneous backlog in ~2 batches so heavy
+        // traffic gets big amortized batches and light traffic low delay.
+        return std::clamp(depth_ / 2, opts_.adaptiveMin, opts_.maxBatch);
+    }
+    return opts_.maxBatch;
+}
+
+bool
+BatchQueue::readyLocked(const Group &g, Clock::time_point now) const
+{
+    if (g.requests.empty())
+        return false;
+    if (closed_ || flushing_)
+        return true;
+    if (g.requests.size() >= targetLocked())
+        return true;
+    if (opts_.policy == BatchPolicy::FixedSize)
+        return false;
+    return now - g.oldest >= opts_.maxDelay;
+}
+
+std::optional<Batch>
+BatchQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        Clock::time_point now = Clock::now();
+
+        // Oldest ready group first (FIFO fairness across artifacts).
+        auto best = groups_.end();
+        for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+            if (!readyLocked(it->second, now))
+                continue;
+            if (best == groups_.end() ||
+                it->second.oldest < best->second.oldest)
+                best = it;
+        }
+        if (best != groups_.end()) {
+            Batch b;
+            b.key = best->first;
+            auto &reqs = best->second.requests;
+            size_t take = std::min(reqs.size(), opts_.maxBatch);
+            b.requests.reserve(take);
+            std::move(reqs.begin(), reqs.begin() + take,
+                      std::back_inserter(b.requests));
+            reqs.erase(reqs.begin(), reqs.begin() + take);
+            depth_ -= take;
+            if (reqs.empty())
+                groups_.erase(best);
+            else
+                best->second.oldest = reqs.front().enqueued;
+            if (depth_ == 0)
+                flushing_ = false;
+            // Leftovers (or other ready groups) may still be dispatchable.
+            readyCv_.notify_one();
+            return b;
+        }
+
+        if (closed_ && depth_ == 0)
+            return std::nullopt;
+
+        // Sleep until the nearest deadline can fire (or a push/close).
+        if (opts_.policy != BatchPolicy::FixedSize && depth_ > 0) {
+            auto wake = Clock::time_point::max();
+            for (const auto &[key, g] : groups_)
+                if (!g.requests.empty())
+                    wake = std::min(wake, g.oldest + opts_.maxDelay);
+            readyCv_.wait_until(lock, wake);
+        } else {
+            readyCv_.wait(lock);
+        }
+    }
+}
+
+void
+BatchQueue::flush()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (depth_ > 0)
+        flushing_ = true;
+    readyCv_.notify_all();
+}
+
+void
+BatchQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    readyCv_.notify_all();
+}
+
+size_t
+BatchQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return depth_;
+}
+
+bool
+BatchQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+} // namespace gcod::serve

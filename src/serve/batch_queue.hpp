@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deadline-driven batching queue.
+ *
+ * Requests accumulate per ArtifactKey; a group flushes as one Batch when
+ * the configured policy fires:
+ *
+ *   FixedSize — only when maxBatch requests are waiting (or on
+ *               flush()/close(), which release partial groups);
+ *   Timeout   — when maxBatch is reached OR the group's oldest request
+ *               has waited maxDelay;
+ *   Adaptive  — Timeout, but the size target tracks the instantaneous
+ *               queue depth (deep queue -> bigger batches amortize more;
+ *               idle queue -> small batches keep latency low).
+ *
+ * Ready groups are released oldest-first (FIFO across artifacts), so one
+ * hot dataset cannot starve a cold one.
+ */
+#ifndef GCOD_SERVE_BATCH_QUEUE_HPP
+#define GCOD_SERVE_BATCH_QUEUE_HPP
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "serve/request.hpp"
+
+namespace gcod::serve {
+
+/** When a per-artifact group becomes a dispatchable batch. */
+enum class BatchPolicy { FixedSize, Timeout, Adaptive };
+
+const char *batchPolicyName(BatchPolicy p);
+
+/** Batching knobs. */
+struct BatchOptions
+{
+    BatchPolicy policy = BatchPolicy::Timeout;
+    /** Hard batch-size cap (and the FixedSize trigger). */
+    size_t maxBatch = 32;
+    /** Deadline for Timeout/Adaptive: max wait of the oldest request. */
+    std::chrono::microseconds maxDelay{2000};
+    /** Smallest size target Adaptive will aim for. */
+    size_t adaptiveMin = 2;
+};
+
+/**
+ * MPMC queue grouping requests by artifact. Producers push(); worker
+ * threads block in pop() until a batch is ready or the queue closes.
+ */
+class BatchQueue
+{
+  public:
+    explicit BatchQueue(BatchOptions opts = {});
+
+    /**
+     * Enqueue one request. Returns false (leaving @p r intact) when the
+     * queue is already closed — callers decide how to reject.
+     */
+    bool push(PendingRequest &r);
+
+    /**
+     * Block until a batch is ready and return it. Returns nullopt once
+     * the queue is closed and fully drained.
+     */
+    std::optional<Batch> pop();
+
+    /**
+     * Release partial groups immediately (ignoring policy triggers) until
+     * the queue is empty; new pushes then batch normally again.
+     */
+    void flush();
+
+    /** Stop accepting requests; pop() drains leftovers then ends. */
+    void close();
+
+    /** Queued (not yet popped) requests across all groups. */
+    size_t depth() const;
+    bool closed() const;
+
+  private:
+    struct Group
+    {
+        std::vector<PendingRequest> requests;
+        Clock::time_point oldest{};
+    };
+
+    /** Current size target for a group under the active policy. */
+    size_t targetLocked() const;
+    bool readyLocked(const Group &g, Clock::time_point now) const;
+
+    BatchOptions opts_;
+
+    mutable std::mutex mu_;
+    std::condition_variable readyCv_;
+    std::map<ArtifactKey, Group> groups_;
+    size_t depth_ = 0;
+    bool closed_ = false;
+    bool flushing_ = false;
+};
+
+} // namespace gcod::serve
+
+#endif // GCOD_SERVE_BATCH_QUEUE_HPP

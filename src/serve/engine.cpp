@@ -1,0 +1,147 @@
+#include "serve/engine.hpp"
+
+#include "sim/logging.hpp"
+
+namespace gcod::serve {
+
+ServingEngine::ServingEngine(ServeOptions opts)
+    : opts_(std::move(opts)), optionsHash_(hashGcodOptions(opts_.gcod)),
+      cache_(opts_.cacheCapacity,
+             makeArtifactBuilder(opts_.gcod, opts_.artifactScale,
+                                 opts_.artifactSeed)),
+      router_(opts_.backends), queue_(opts_.batching)
+{
+    GCOD_ASSERT(opts_.workers >= 1, "engine needs at least one worker");
+    workers_.reserve(opts_.workers);
+    for (size_t i = 0; i < opts_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ServingEngine::~ServingEngine()
+{
+    shutdown();
+}
+
+std::future<InferenceReply>
+ServingEngine::submit(InferenceRequest req)
+{
+    if (req.id == 0)
+        req.id = nextId_.fetch_add(1);
+    PendingRequest p;
+    p.key = ArtifactKey{req.dataset, req.model, optionsHash_};
+    p.req = std::move(req);
+    p.enqueued = Clock::now();
+    std::future<InferenceReply> fut = p.promise.get_future();
+    pending_.fetch_add(1);
+    if (!queue_.push(p)) {
+        // Shut down (or racing with shutdown): reject through the future
+        // rather than throwing into the client thread.
+        pending_.fetch_sub(1);
+        InferenceReply reply;
+        reply.id = p.req.id;
+        reply.error = "serving engine is shut down";
+        p.promise.set_value(std::move(reply));
+    }
+    return fut;
+}
+
+void
+ServingEngine::workerLoop()
+{
+    while (auto batch = queue_.pop())
+        runBatch(std::move(*batch));
+}
+
+void
+ServingEngine::runBatch(Batch &&batch)
+{
+    // Stamped after the cache lookup so a cold-start artifact build
+    // counts as queueing delay in the reported latency.
+    Clock::time_point dispatched;
+    InferenceReply base;
+    base.batchSize = batch.size();
+
+    RouteDecision route;
+    DetailedResult result;
+    try {
+        ArtifactCache::Lookup found = cache_.get(batch.key);
+        dispatched = Clock::now();
+        base.cacheHit = found.hit;
+        const ArtifactBundle &bundle = *found.bundle;
+        route = router_.choose(bundle);
+        router_.beginDispatch(route.backend, route.estimatedSeconds);
+        try {
+            result = router_.model(route.backend)
+                         .simulate(bundle.spec,
+                                   router_.inputFor(route.backend, bundle));
+        } catch (...) {
+            router_.endDispatch(route.backend);
+            throw;
+        }
+        router_.endDispatch(route.backend);
+        base.backend = route.name;
+        base.serviceSeconds = result.latencySeconds;
+        stats_.recordBatch(route.name, batch.size(),
+                           route.estimatedSeconds, result.latencySeconds);
+    } catch (const std::runtime_error &e) {
+        // Fatal (user-level) errors fail the batch's requests; panics and
+        // assertion failures (logic_error) signal internal bugs and
+        // propagate, per the sim/logging severity model.
+        base.error = e.what();
+        dispatched = Clock::now();
+    }
+
+    for (PendingRequest &p : batch.requests) {
+        InferenceReply reply = base;
+        reply.id = p.req.id;
+        reply.queueSeconds =
+            std::chrono::duration<double>(dispatched - p.enqueued).count();
+        reply.latencySeconds = reply.queueSeconds + reply.serviceSeconds;
+        stats_.recordReply(reply);
+        p.promise.set_value(std::move(reply));
+    }
+
+    uint64_t left = pending_.fetch_sub(batch.size()) - batch.size();
+    if (left == 0) {
+        std::lock_guard<std::mutex> lock(drainMu_);
+        drainCv_.notify_all();
+    }
+}
+
+void
+ServingEngine::drain()
+{
+    // Re-flush on a short period: a submit() may have counted itself in
+    // pending_ but not yet landed in the queue when flush() ran, and
+    // under FixedSize batching its partial group would otherwise wait
+    // for a full batch that never comes.
+    std::unique_lock<std::mutex> lock(drainMu_);
+    while (pending_.load() != 0) {
+        lock.unlock();
+        queue_.flush();
+        lock.lock();
+        drainCv_.wait_for(lock, std::chrono::milliseconds(1),
+                          [this] { return pending_.load() == 0; });
+    }
+}
+
+void
+ServingEngine::shutdown()
+{
+    if (stopped_.exchange(true))
+        return;
+    queue_.close();
+    for (auto &w : workers_)
+        w.join();
+    // pending_ may transiently be nonzero here: a racing submit() that
+    // counted itself before the close rejects its own request (push
+    // returns false) and decrements on its own thread.
+}
+
+size_t
+ServingEngine::pending() const
+{
+    return pending_.load();
+}
+
+} // namespace gcod::serve

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The batched multi-backend GCN inference serving engine.
+ *
+ * Request lifecycle:
+ *
+ *   submit() -> BatchQueue (grouped per artifact, deadline-batched)
+ *            -> worker thread: ArtifactCache::get (LRU, build-on-miss)
+ *            -> BackendRouter::choose (cost models + queue depth)
+ *            -> AcceleratorModel::simulate (one pass serves the batch)
+ *            -> promises fulfilled, ServerStats updated
+ *
+ * GCN inference is full-batch, so every request in a batch rides one
+ * accelerator pass: the co-design artifact AND the execution cost are
+ * both amortized. Reported latency combines the real wall-clock batching
+ * delay with the simulated accelerator latency of the pass.
+ */
+#ifndef GCOD_SERVE_ENGINE_HPP
+#define GCOD_SERVE_ENGINE_HPP
+
+#include <thread>
+
+#include "serve/artifact_cache.hpp"
+#include "serve/backend_router.hpp"
+#include "serve/batch_queue.hpp"
+#include "serve/server_stats.hpp"
+
+namespace gcod::serve {
+
+/** Engine configuration. */
+struct ServeOptions
+{
+    /** Platform names (accel registry) to route across. */
+    std::vector<std::string> backends = {"GCoD", "HyGCN", "AWB-GCN",
+                                         "DGL-GPU"};
+    /** Worker threads draining the batch queue. */
+    size_t workers = 2;
+    /** Max resident artifacts in the LRU cache. */
+    size_t cacheCapacity = 8;
+    BatchOptions batching;
+    /** Pipeline knobs baked into every artifact (and its cache key). */
+    GcodOptions gcod;
+    /** Synthesis scale override; 0 = per-dataset serving default. */
+    double artifactScale = 0.0;
+    /** Seed for graph synthesis (fixed seed => deterministic serving). */
+    uint64_t artifactSeed = 42;
+};
+
+class ServingEngine
+{
+  public:
+    explicit ServingEngine(ServeOptions opts = {});
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /**
+     * Enqueue one request; the future resolves when its batch completes.
+     * Failures (e.g. unknown dataset) resolve the future with a reply
+     * whose error is set — submit() itself never throws on bad input.
+     */
+    std::future<InferenceReply> submit(InferenceRequest req);
+
+    /** Flush partial batches and block until every request completed. */
+    void drain();
+
+    /** Drain, stop the workers, and reject further submissions. */
+    void shutdown();
+
+    ArtifactCache &cache() { return cache_; }
+    BackendRouter &router() { return router_; }
+    ServerStats &stats() { return stats_; }
+    const ServeOptions &options() const { return opts_; }
+
+    /** Requests submitted but not yet replied to. */
+    size_t pending() const;
+
+  private:
+    void workerLoop();
+    void runBatch(Batch &&batch);
+
+    ServeOptions opts_;
+    uint64_t optionsHash_;
+    ArtifactCache cache_;
+    BackendRouter router_;
+    ServerStats stats_;
+    BatchQueue queue_;
+
+    std::atomic<uint64_t> nextId_{1};
+    std::atomic<uint64_t> pending_{0};
+    std::mutex drainMu_;
+    std::condition_variable drainCv_;
+
+    std::vector<std::thread> workers_;
+    std::atomic<bool> stopped_{false};
+};
+
+} // namespace gcod::serve
+
+#endif // GCOD_SERVE_ENGINE_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Request/reply types of the serving engine.
+ *
+ * A request names a dataset/model pair (resolved to an ArtifactKey by the
+ * engine) and the node whose embedding/prediction the client wants. GCN
+ * inference is full-batch, so any number of same-artifact requests ride
+ * one accelerator pass; the reply records the batch they rode with and
+ * both latency components (wall-clock queueing + simulated execution).
+ */
+#ifndef GCOD_SERVE_REQUEST_HPP
+#define GCOD_SERVE_REQUEST_HPP
+
+#include <chrono>
+#include <future>
+#include <string>
+
+#include "serve/artifact.hpp"
+
+namespace gcod::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/** One client inference request. */
+struct InferenceRequest
+{
+    /** 0 = let the engine assign one. */
+    uint64_t id = 0;
+    std::string dataset = "Cora";
+    std::string model = "GCN";
+    /** Target node (in the dataset's published node space). */
+    NodeId node = 0;
+};
+
+/** Completion record handed back through the submit() future. */
+struct InferenceReply
+{
+    uint64_t id = 0;
+    /** Backend platform that executed the batch ("" on error). */
+    std::string backend;
+    /** Number of requests that shared the accelerator pass. */
+    size_t batchSize = 0;
+    /** Wall-clock seconds spent queued before dispatch. */
+    double queueSeconds = 0.0;
+    /** Simulated accelerator latency of the (shared) inference pass. */
+    double serviceSeconds = 0.0;
+    /** End-to-end latency: queueing + simulated execution. */
+    double latencySeconds = 0.0;
+    /** Whether the artifact was already resident when dispatched. */
+    bool cacheHit = false;
+    /** Non-empty when the request failed (unknown dataset/model, ...). */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** A queued request: client payload + routing key + completion plumbing. */
+struct PendingRequest
+{
+    InferenceRequest req;
+    ArtifactKey key;
+    Clock::time_point enqueued;
+    std::promise<InferenceReply> promise;
+};
+
+/** A flushed group of same-artifact requests, executed as one pass. */
+struct Batch
+{
+    ArtifactKey key;
+    std::vector<PendingRequest> requests;
+
+    size_t size() const { return requests.size(); }
+};
+
+} // namespace gcod::serve
+
+#endif // GCOD_SERVE_REQUEST_HPP

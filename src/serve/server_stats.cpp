@@ -1,0 +1,165 @@
+#include "serve/server_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcod::serve {
+
+namespace {
+
+/** Nearest-rank percentile of an already-sorted sample set. */
+double
+sortedPercentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    size_t rank = size_t(std::ceil(p / 100.0 * double(sorted.size())));
+    rank = std::clamp<size_t>(rank, 1, sorted.size());
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    std::sort(samples.begin(), samples.end());
+    return sortedPercentile(samples, p);
+}
+
+ServerStats::ServerStats() : group_("serve"), start_(Clock::now())
+{
+    // Pre-register so print() shows the full schema even before traffic.
+    group_.scalar("requests_completed", "successfully served requests");
+    group_.scalar("requests_failed", "requests completed with an error");
+    group_.scalar("batches_dispatched", "accelerator passes executed");
+    group_.distribution("batch_size", "requests per accelerator pass");
+    group_.distribution("latency_seconds", "end-to-end request latency");
+    group_.distribution("queue_seconds", "wall-clock batching delay");
+    group_.distribution("service_seconds", "simulated accelerator latency");
+    // Serving traffic is unbounded; keep retained samples (and the cost
+    // of percentile sorts) bounded via reservoir subsampling.
+    constexpr size_t kSampleCap = 65536;
+    group_.distribution("batch_size").setSampleCap(kSampleCap);
+    group_.distribution("latency_seconds").setSampleCap(kSampleCap);
+    group_.distribution("queue_seconds").setSampleCap(kSampleCap);
+    group_.distribution("service_seconds").setSampleCap(kSampleCap);
+}
+
+void
+ServerStats::recordReply(const InferenceReply &reply)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!reply.ok()) {
+        group_.scalar("requests_failed").inc();
+        return;
+    }
+    group_.scalar("requests_completed").inc();
+    group_.distribution("latency_seconds").sample(reply.latencySeconds);
+    group_.distribution("queue_seconds").sample(reply.queueSeconds);
+    group_.distribution("service_seconds").sample(reply.serviceSeconds);
+    ++perBackend_[reply.backend];
+}
+
+void
+ServerStats::recordBatch(const std::string &backend, size_t size,
+                         double estimated_seconds, double service_seconds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    group_.scalar("batches_dispatched").inc();
+    group_.distribution("batch_size").sample(double(size));
+    group_.scalar("backend." + backend + ".batches").inc();
+    group_.scalar("backend." + backend + ".requests").inc(double(size));
+    // Signed estimator error accumulates toward a bias diagnostic.
+    group_.scalar("router_estimate_error_seconds",
+                  "sum of (estimated - simulated) batch latency")
+        .inc(estimated_seconds - service_seconds);
+}
+
+uint64_t
+ServerStats::completed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar("requests_completed")->value());
+}
+
+uint64_t
+ServerStats::failed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar("requests_failed")->value());
+}
+
+uint64_t
+ServerStats::batches() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar("batches_dispatched")->value());
+}
+
+double
+ServerStats::meanBatchSize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return group_.findDistribution("batch_size")->mean();
+}
+
+double
+ServerStats::latencyPercentile(double p) const
+{
+    std::vector<double> samples;
+    {
+        // Copy under the lock, sort outside it: percentile queries must
+        // not stall the workers recording replies.
+        std::lock_guard<std::mutex> lock(mu_);
+        samples = group_.findDistribution("latency_seconds")->samples();
+    }
+    return percentile(std::move(samples), p);
+}
+
+double
+ServerStats::meanLatency() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return group_.findDistribution("latency_seconds")->mean();
+}
+
+double
+ServerStats::throughput() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    double wall =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    double done = group_.findScalar("requests_completed")->value();
+    return wall > 0.0 ? done / wall : 0.0;
+}
+
+std::map<std::string, uint64_t>
+ServerStats::backendCounts() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return perBackend_;
+}
+
+void
+ServerStats::print(std::ostream &os, double cache_hit_rate) const
+{
+    std::vector<double> lat;
+    {
+        // Copy out under the lock; the sort below must not stall the
+        // workers recording replies.
+        std::lock_guard<std::mutex> lock(mu_);
+        group_.print(os);
+        lat = group_.findDistribution("latency_seconds")->samples();
+    }
+    std::sort(lat.begin(), lat.end());
+    os << "serve.latency_p50_ms " << sortedPercentile(lat, 50.0) * 1e3
+       << '\n';
+    os << "serve.latency_p99_ms " << sortedPercentile(lat, 99.0) * 1e3
+       << '\n';
+    if (cache_hit_rate >= 0.0)
+        os << "serve.artifact_cache_hit_rate " << cache_hit_rate << '\n';
+}
+
+} // namespace gcod::serve

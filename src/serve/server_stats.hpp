@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Serving-side accounting, reported through the sim::stats package the
+ * accelerator simulators already use: request/batch counters and latency
+ * distributions land in a StatGroup (printable gem5-style). Percentile
+ * queries (p50/p99) are nearest-rank over the retained samples, which
+ * are reservoir-capped at 64Ki — exact up to the cap, a uniform
+ * subsample beyond it, so memory stays bounded under serving traffic.
+ */
+#ifndef GCOD_SERVE_SERVER_STATS_HPP
+#define GCOD_SERVE_SERVER_STATS_HPP
+
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "serve/request.hpp"
+#include "sim/stats.hpp"
+
+namespace gcod::serve {
+
+/** Exact percentile (nearest-rank) of a sample set; 0 when empty. */
+double percentile(std::vector<double> samples, double p);
+
+class ServerStats
+{
+  public:
+    ServerStats();
+
+    /** Record one completed (or failed) request. */
+    void recordReply(const InferenceReply &reply);
+
+    /** Record one dispatched batch. */
+    void recordBatch(const std::string &backend, size_t size,
+                     double estimated_seconds, double service_seconds);
+
+    uint64_t completed() const;
+    uint64_t failed() const;
+    uint64_t batches() const;
+    double meanBatchSize() const;
+
+    /** End-to-end latency percentile over all completed requests. */
+    double latencyPercentile(double p) const;
+    double meanLatency() const;
+
+    /** Requests completed per wall-clock second since construction. */
+    double throughput() const;
+
+    /** Per-backend completed-request counts. */
+    std::map<std::string, uint64_t> backendCounts() const;
+
+    /**
+     * Dump the underlying StatGroup plus derived percentiles. Cache
+     * counters are passed in by the caller (the cache owns them).
+     */
+    void print(std::ostream &os, double cache_hit_rate = -1.0) const;
+
+    /** Underlying group (tests assert on individual stats). */
+    const StatGroup &group() const { return group_; }
+
+  private:
+    mutable std::mutex mu_;
+    StatGroup group_;
+    Clock::time_point start_;
+    std::map<std::string, uint64_t> perBackend_;
+};
+
+} // namespace gcod::serve
+
+#endif // GCOD_SERVE_SERVER_STATS_HPP

@@ -16,7 +16,29 @@ StatDistribution::sample(double v)
     double delta = v - mean_;
     mean_ += delta / double(count_);
     m2_ += delta * (v - mean_);
-    samples_.push_back(v);
+    if (sampleCap_ == 0 || samples_.size() < sampleCap_) {
+        samples_.push_back(v);
+    } else {
+        // Algorithm R: replace a random slot with probability cap/count.
+        reservoirRng_ ^= reservoirRng_ << 13;
+        reservoirRng_ ^= reservoirRng_ >> 7;
+        reservoirRng_ ^= reservoirRng_ << 17;
+        uint64_t slot = reservoirRng_ % count_;
+        if (slot < sampleCap_)
+            samples_[size_t(slot)] = v;
+    }
+}
+
+void
+StatDistribution::resetSamples()
+{
+    count_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    sum_ = 0.0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    samples_.clear();
 }
 
 double
@@ -48,7 +70,9 @@ StatDistribution::histogram() const
     double lo = min(), hi = max();
     double width = (hi - lo) / double(binCount_);
     if (width <= 0.0) {
-        bins[0] = count_;
+        // Count retained samples (== count_ when uncapped) so both paths
+        // report the same histogram mass under a sample cap.
+        bins[0] = samples_.size();
         return bins;
     }
     for (double v : samples_) {
@@ -119,7 +143,7 @@ StatGroup::reset()
     for (auto &[key, s] : scalars_)
         s = 0.0;
     for (auto &[key, d] : dists_)
-        d = StatDistribution(d.name(), d.desc());
+        d.resetSamples();
 }
 
 } // namespace gcod

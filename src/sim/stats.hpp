@@ -58,6 +58,27 @@ class StatDistribution
     /** Record one sample. */
     void sample(double v);
 
+    /**
+     * Bound retained samples to @p cap via reservoir sampling
+     * (Algorithm R): moments/min/max stay exact, while samples() and
+     * histogram() become a uniform subsample once count() exceeds the
+     * cap. 0 (the default) retains everything. Long-running components
+     * (the serving engine) set a cap so memory stays bounded under
+     * millions of samples. Set the cap before sampling for an unbiased
+     * reservoir; a late call truncates already-retained samples to the
+     * cap (bounded, but biased toward early history).
+     */
+    void
+    setSampleCap(size_t cap)
+    {
+        sampleCap_ = cap;
+        if (cap != 0 && samples_.size() > cap)
+            samples_.resize(cap);
+    }
+
+    /** Drop all samples and moments; bin count and sample cap persist. */
+    void resetSamples();
+
     size_t count() const { return count_; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
@@ -94,6 +115,9 @@ class StatDistribution
     double mean_ = 0.0;
     double m2_ = 0.0;
     std::vector<double> samples_;
+    size_t sampleCap_ = 0;
+    /** xorshift64 state for reservoir replacement (deterministic). */
+    uint64_t reservoirRng_ = 0x9e3779b97f4a7c15ull;
 };
 
 /**
