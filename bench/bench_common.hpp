@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "accel/accelerator.hpp"
+#include "accel/registry.hpp"
 #include "gcod/pipeline.hpp"
 #include "sim/config.hpp"
 #include "sim/table.hpp"
@@ -94,6 +95,18 @@ prepare(const std::string &dataset, double scale = 0.0,
     p.synth = synthesize(p.profile, p.scaleUsed, rng);
     p.outcome = runGcodStructureOnly(p.synth, opts);
     return p;
+}
+
+/**
+ * The simulator input @p platform wants for @p p: platforms whose
+ * descriptor consumes the GCoD workload get the processed adjacency,
+ * everything else the raw one.
+ */
+inline GraphInput
+inputFor(const std::string &platform, const Prepared &p)
+{
+    return platformConsumesWorkload(platform) ? p.gcodInput()
+                                              : p.rawInput();
 }
 
 /** Model spec at the dataset's *published* dimensions (Tab. IV). */

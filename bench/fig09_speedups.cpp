@@ -37,11 +37,10 @@ printFigure9(Config &cfg)
         std::map<std::string, double> cpu_latency;
         for (const auto &platform : allPlatformNames()) {
             auto accel = makeAccelerator(platform);
-            bool is_gcod = platform.rfind("GCoD", 0) == 0;
             std::vector<std::string> row = {platform};
             for (const auto &d : datasets) {
                 const Prepared &p = prep.at(d);
-                GraphInput in = is_gcod ? p.gcodInput() : p.rawInput();
+                GraphInput in = inputFor(platform, p);
                 DetailedResult res = accel->simulate(specFor(model, p), in);
                 if (platform == "PyG-CPU") {
                     cpu_latency[d] = res.latencySeconds;
@@ -71,9 +70,9 @@ BM_SimulateAllPlatformsCora(benchmark::State &state)
     for (auto _ : state) {
         for (const auto &name : allPlatformNames()) {
             auto accel = makeAccelerator(name);
-            bool is_gcod = name.rfind("GCoD", 0) == 0;
+            bool wants_workload = platformConsumesWorkload(name);
             benchmark::DoNotOptimize(
-                accel->simulate(spec, is_gcod ? proc : raw));
+                accel->simulate(spec, wants_workload ? proc : raw));
         }
     }
 }

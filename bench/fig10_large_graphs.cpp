@@ -51,11 +51,10 @@ printFigure10(Config &cfg)
         std::map<std::string, double> cpu_latency;
         for (const auto &platform : platforms) {
             auto accel = makeAccelerator(platform);
-            bool is_gcod = platform.rfind("GCoD", 0) == 0;
             std::vector<std::string> cells = {platform};
             for (const auto &d : r.datasets) {
                 const Prepared &p = prep.at(d);
-                GraphInput in = is_gcod ? p.gcodInput() : p.rawInput();
+                GraphInput in = inputFor(platform, p);
                 DetailedResult res =
                     accel->simulate(specFor(r.model, p), in);
                 if (platform == "PyG-CPU") {

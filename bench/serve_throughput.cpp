@@ -11,6 +11,11 @@
  *   requests=4000 rate=50000 workers=4 maxbatch=32 delay_us=2000
  *   policy=adaptive|timeout|fixed backends=GCoD,HyGCN,AWB-GCN,DGL-GPU
  *   scale=0 seed=42
+ *
+ * Backends accept registry spec strings ("GCoD@bits=8"). Separate the
+ * list with ';' when a spec itself contains commas, e.g.
+ * backends=GCoD@freq=0.5,onchip=16MiB;HyGCN — a ',' only splits the
+ * list when no ';' is present.
  */
 #include "bench_common.hpp"
 
@@ -29,15 +34,29 @@ namespace {
 std::vector<std::string>
 splitList(const std::string &csv)
 {
+    // Spec strings may contain commas ("GCoD@freq=0.5,onchip=16MiB"),
+    // so ';' takes over as the list separator as soon as it appears.
+    char sep = csv.find(';') != std::string::npos ? ';' : ',';
     std::vector<std::string> out;
     size_t pos = 0;
     while (pos < csv.size()) {
-        size_t comma = csv.find(',', pos);
-        if (comma == std::string::npos)
-            comma = csv.size();
-        if (comma > pos)
-            out.push_back(csv.substr(pos, comma - pos));
-        pos = comma + 1;
+        size_t next = csv.find(sep, pos);
+        if (next == std::string::npos)
+            next = csv.size();
+        if (next > pos)
+            out.push_back(csv.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    for (const auto &b : out) {
+        // A comma-split token like "onchip=16MiB" is a spec fragment,
+        // not a platform; fail with the remedy instead of an opaque
+        // unknown-platform error downstream.
+        if (b.find('@') == std::string::npos &&
+            b.find('=') != std::string::npos)
+            GCOD_FATAL("backend '", b, "' looks like a fragment of a "
+                       "comma-containing spec; separate backends with "
+                       "';' (e.g. backends=GCoD@freq=0.5,onchip=16MiB;"
+                       "HyGCN)");
     }
     return out;
 }
@@ -84,8 +103,10 @@ serveTraffic(Config &cfg)
     opts.batching.maxBatch = size_t(cfg.getInt("maxbatch", 32));
     opts.batching.maxDelay =
         std::chrono::microseconds(cfg.getInt("delay_us", 2000));
+    // The default mix includes a parameterized GCoD variant built from a
+    // spec string — no dedicated class or registry edit behind it.
     std::string backends =
-        cfg.getString("backends", "GCoD,HyGCN,AWB-GCN,DGL-GPU");
+        cfg.getString("backends", "GCoD,GCoD@bits=8,HyGCN,AWB-GCN,DGL-GPU");
     opts.backends = splitList(backends);
 
     int64_t requests = cfg.getInt("requests", 4000);

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "accel/accelerator.hpp"
+#include "accel/registry.hpp"
 #include "gcod/pipeline.hpp"
 #include "sim/config.hpp"
 #include "sim/table.hpp"
@@ -68,8 +69,9 @@ main(int argc, char **argv)
     double cpu_latency = 0.0;
     for (const auto &name : allPlatformNames()) {
         auto accel = makeAccelerator(name);
-        bool is_gcod = name.rfind("GCoD", 0) == 0;
-        DetailedResult res = accel->simulate(spec, is_gcod ? processed : raw);
+        bool wants_workload = platformConsumesWorkload(name);
+        DetailedResult res =
+            accel->simulate(spec, wants_workload ? processed : raw);
         if (name == "PyG-CPU")
             cpu_latency = res.latencySeconds;
         table.row({name, formatNumber(res.latencySeconds * 1e3),

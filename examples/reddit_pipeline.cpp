@@ -14,6 +14,7 @@
 
 #include "accel/accelerator.hpp"
 #include "accel/gcod_accel.hpp"
+#include "accel/registry.hpp"
 #include "gcod/pipeline.hpp"
 #include "sim/config.hpp"
 #include "sim/table.hpp"
@@ -74,8 +75,8 @@ main(int argc, char **argv)
     for (const auto &name : {"PyG-CPU", "DGL-GPU", "HyGCN", "AWB-GCN",
                              "GCoD", "GCoD(8-bit)"}) {
         auto accel = makeAccelerator(name);
-        bool is_gcod = std::string(name).rfind("GCoD", 0) == 0;
-        DetailedResult r = accel->simulate(spec, is_gcod ? proc : raw);
+        bool wants_workload = platformConsumesWorkload(name);
+        DetailedResult r = accel->simulate(spec, wants_workload ? proc : raw);
         if (std::string(name) == "PyG-CPU")
             cpu = r.latencySeconds;
         t.row({name,

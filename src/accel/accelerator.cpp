@@ -1,45 +1,19 @@
 #include "accelerator.hpp"
 
-#include "accel/awb_gcn.hpp"
-#include "accel/cpu_gpu.hpp"
-#include "accel/fpga.hpp"
-#include "accel/gcod_accel.hpp"
-#include "accel/hygcn.hpp"
-#include "sim/logging.hpp"
+#include "accel/registry.hpp"
 
 namespace gcod {
 
 std::unique_ptr<AcceleratorModel>
 makeAccelerator(const std::string &name)
 {
-    if (name == "PyG-CPU")
-        return std::make_unique<FrameworkModel>(makePygCpuConfig());
-    if (name == "PyG-GPU")
-        return std::make_unique<FrameworkModel>(makePygGpuConfig());
-    if (name == "DGL-CPU")
-        return std::make_unique<FrameworkModel>(makeDglCpuConfig());
-    if (name == "DGL-GPU")
-        return std::make_unique<FrameworkModel>(makeDglGpuConfig());
-    if (name == "HyGCN")
-        return std::make_unique<HyGcnModel>(makeHyGcnConfig());
-    if (name == "AWB-GCN")
-        return std::make_unique<AwbGcnModel>(makeAwbGcnConfig());
-    if (name == "ZC706" || name == "KCU1500" || name == "AlveoU50")
-        return std::make_unique<DeepburningModel>(
-            makeDeepburningConfig(name));
-    if (name == "GCoD")
-        return std::make_unique<GcodAccelModel>(makeGcodConfig(32));
-    if (name == "GCoD(8-bit)")
-        return std::make_unique<GcodAccelModel>(makeGcodConfig(8));
-    GCOD_FATAL("unknown platform '", name, "'");
+    return PlatformRegistry::instance().create(name);
 }
 
 std::vector<std::string>
 allPlatformNames()
 {
-    return {"PyG-CPU", "PyG-GPU", "DGL-CPU",  "DGL-GPU",
-            "HyGCN",   "AWB-GCN", "ZC706",    "KCU1500",
-            "AlveoU50", "GCoD",   "GCoD(8-bit)"};
+    return PlatformRegistry::instance().listedNames();
 }
 
 } // namespace gcod

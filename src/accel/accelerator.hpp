@@ -75,13 +75,18 @@ class AcceleratorModel
 };
 
 /**
- * Build a platform simulator by name. Names: "PyG-CPU", "PyG-GPU",
- * "DGL-CPU", "DGL-GPU", "HyGCN", "AWB-GCN", "ZC706", "KCU1500",
- * "AlveoU50", "GCoD", "GCoD(8-bit)".
+ * Build a platform simulator by registry name, alias, or spec string
+ * (accel/registry.hpp): "PyG-CPU", "HyGCN", "GCoD(8-bit)",
+ * "GCoD@freq=0.5,onchip=16MiB,bits=8", ... Unknown names fail with the
+ * list of registered platforms and a nearest-match suggestion. Thin shim
+ * over PlatformRegistry::create(), kept for source compatibility.
  */
 std::unique_ptr<AcceleratorModel> makeAccelerator(const std::string &name);
 
-/** All platform names, in the paper's presentation order. */
+/**
+ * Registered platform names (canonical + listed aliases) in the paper's
+ * presentation order. Shim over PlatformRegistry::listedNames().
+ */
 std::vector<std::string> allPlatformNames();
 
 } // namespace gcod

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "accel/registry.hpp"
+
 namespace gcod {
 
 DetailedResult
@@ -64,5 +66,30 @@ AwbGcnModel::simulate(const ModelSpec &spec, const GraphInput &in) const
     finalize(r, cfg_);
     return r;
 }
+
+namespace {
+
+PlatformDescriptor
+awbGcnDescriptor()
+{
+    PlatformDescriptor d;
+    d.name = "AWB-GCN";
+    d.family = "awb-gcn";
+    d.summary = "AWB-GCN on a Stratix-10 FPGA: distributed aggregation "
+                "with runtime workload rebalancing";
+    d.phaseOrder = PhaseOrder::CombThenAggr;
+    d.consumesWorkload = false;
+    d.deviceClass = DeviceClass::Fpga;
+    d.presentationRank = 30;
+    d.defaultConfig = makeAwbGcnConfig();
+    d.build = [](PlatformConfig c) {
+        return std::make_unique<AwbGcnModel>(std::move(c));
+    };
+    return d;
+}
+
+const PlatformRegistrar kAwbGcn{awbGcnDescriptor()};
+
+} // namespace
 
 } // namespace gcod

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "accel/registry.hpp"
+
 namespace gcod {
 
 DetailedResult
@@ -67,5 +69,41 @@ FrameworkModel::simulate(const ModelSpec &spec, const GraphInput &in) const
     finalize(r, cfg_);
     return r;
 }
+
+namespace {
+
+PlatformDescriptor
+frameworkDescriptor(PlatformConfig cfg, DeviceClass dc, int rank,
+                    std::string summary)
+{
+    PlatformDescriptor d;
+    d.name = cfg.name;
+    d.family = "framework";
+    d.summary = std::move(summary);
+    d.phaseOrder = PhaseOrder::CombThenAggr;
+    d.consumesWorkload = false;
+    d.deviceClass = dc;
+    d.presentationRank = rank;
+    d.defaultConfig = std::move(cfg);
+    d.build = [](PlatformConfig c) {
+        return std::make_unique<FrameworkModel>(std::move(c));
+    };
+    return d;
+}
+
+const PlatformRegistrar kPygCpu{frameworkDescriptor(
+    makePygCpuConfig(), DeviceClass::Cpu, 10,
+    "PyTorch Geometric on a Xeon E5-2680 v3 (scatter-based aggregation)")};
+const PlatformRegistrar kPygGpu{frameworkDescriptor(
+    makePygGpuConfig(), DeviceClass::Gpu, 11,
+    "PyTorch Geometric on an RTX 8000 (edge-tensor materialization)")};
+const PlatformRegistrar kDglCpu{frameworkDescriptor(
+    makeDglCpuConfig(), DeviceClass::Cpu, 12,
+    "Deep Graph Library on a Xeon E5-2680 v3 (fused SpMM kernels)")};
+const PlatformRegistrar kDglGpu{frameworkDescriptor(
+    makeDglGpuConfig(), DeviceClass::Gpu, 13,
+    "Deep Graph Library on an RTX 8000 (fused SpMM kernels)")};
+
+} // namespace
 
 } // namespace gcod

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "accel/registry.hpp"
+
 namespace gcod {
 
 DetailedResult
@@ -58,5 +60,32 @@ DeepburningModel::simulate(const ModelSpec &spec, const GraphInput &in) const
     finalize(r, cfg_);
     return r;
 }
+
+namespace {
+
+PlatformDescriptor
+deepburningDescriptor(const char *board, int rank)
+{
+    PlatformDescriptor d;
+    d.name = board;
+    d.family = "deepburning";
+    d.summary = std::string("Deepburning-GL generated design on the ") +
+                board + " board";
+    d.phaseOrder = PhaseOrder::CombThenAggr;
+    d.consumesWorkload = false;
+    d.deviceClass = DeviceClass::Fpga;
+    d.presentationRank = rank;
+    d.defaultConfig = makeDeepburningConfig(board);
+    d.build = [](PlatformConfig c) {
+        return std::make_unique<DeepburningModel>(std::move(c));
+    };
+    return d;
+}
+
+const PlatformRegistrar kZc706{deepburningDescriptor("ZC706", 40)};
+const PlatformRegistrar kKcu1500{deepburningDescriptor("KCU1500", 41)};
+const PlatformRegistrar kAlveoU50{deepburningDescriptor("AlveoU50", 42)};
+
+} // namespace
 
 } // namespace gcod

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "accel/registry.hpp"
 #include "sim/logging.hpp"
 
 namespace gcod {
@@ -213,5 +214,42 @@ makeGcodAccelerator(int bits, PipelineForce force)
     m->pipelineForce = force;
     return m;
 }
+
+namespace {
+
+PlatformDescriptor
+gcodDescriptor()
+{
+    PlatformDescriptor d;
+    d.name = "GCoD";
+    d.family = "gcod";
+    d.summary = "GCoD two-pronged accelerator on a VCU128 (requires the "
+                "co-designed workload descriptor)";
+    d.phaseOrder = PhaseOrder::CombThenAggr;
+    d.consumesWorkload = true;
+    d.deviceClass = DeviceClass::Fpga;
+    d.presentationRank = 50;
+    d.aliases = {{"GCoD(8-bit)", "bits=8", true}};
+    d.defaultConfig = makeGcodConfig(32);
+    // `bits` selects the published design point (Tab. V: 8-bit packs
+    // 2.5x the PEs), so consume it before the generic dataBits patch.
+    d.configure = [](PlatformConfig &cfg, PlatformParams &p) {
+        if (!p.has("bits"))
+            return;
+        int bits = p.takeInt("bits", cfg.dataBits);
+        if (bits != 8 && bits != 32)
+            GCOD_FATAL("GCoD supports bits=8 or bits=32, got bits=", bits);
+        cfg = makeGcodConfig(bits); // registry reassigns cfg.name after
+
+    };
+    d.build = [](PlatformConfig c) {
+        return std::make_unique<GcodAccelModel>(std::move(c));
+    };
+    return d;
+}
+
+const PlatformRegistrar kGcod{gcodDescriptor()};
+
+} // namespace
 
 } // namespace gcod

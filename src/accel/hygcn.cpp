@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "accel/registry.hpp"
+
 namespace gcod {
 
 DetailedResult
@@ -78,5 +80,31 @@ HyGcnModel::simulate(const ModelSpec &spec, const GraphInput &in) const
     finalize(r, cfg_);
     return r;
 }
+
+namespace {
+
+PlatformDescriptor
+hygcnDescriptor()
+{
+    PlatformDescriptor d;
+    d.name = "HyGCN";
+    d.family = "hygcn";
+    d.summary = "HyGCN hybrid ASIC: gathered aggregation feeding a "
+                "systolic combination engine";
+    // HyGCN aggregates the raw (wider) input features first (Fig. 7(b)).
+    d.phaseOrder = PhaseOrder::AggrThenComb;
+    d.consumesWorkload = false;
+    d.deviceClass = DeviceClass::Asic;
+    d.presentationRank = 20;
+    d.defaultConfig = makeHyGcnConfig();
+    d.build = [](PlatformConfig c) {
+        return std::make_unique<HyGcnModel>(std::move(c));
+    };
+    return d;
+}
+
+const PlatformRegistrar kHyGcn{hygcnDescriptor()};
+
+} // namespace
 
 } // namespace gcod

@@ -1,0 +1,409 @@
+#include "registry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+namespace {
+
+/** Levenshtein distance, for nearest-match suggestions in errors. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+double
+parseNumber(const std::string &key, const std::string &value,
+            const char **rest = nullptr)
+{
+    const char *begin = value.c_str();
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(begin, &end);
+    if (end == begin || errno == ERANGE)
+        GCOD_FATAL("platform override '", key, "=", value,
+                   "': expected a number");
+    if (rest)
+        *rest = end;
+    else if (*end != '\0')
+        GCOD_FATAL("platform override '", key, "=", value,
+                   "': trailing characters after number");
+    return v;
+}
+
+/**
+ * Apply the overrides every family understands. Runs after the family's
+ * own configure() hook, so a family may reinterpret a key (consuming it)
+ * before the generic treatment sees it.
+ */
+void
+applyCommonOverrides(PlatformConfig &cfg, PlatformParams &p)
+{
+    cfg.freqGHz = p.takeDouble("freq", cfg.freqGHz);
+    cfg.numPEs = p.takeDouble("pes", cfg.numPEs);
+    cfg.onChipBytes = p.takeBytes("onchip", cfg.onChipBytes);
+    cfg.offChipGBs = p.takeDouble("bw", cfg.offChipGBs);
+    cfg.dataBits = p.takeInt("bits", cfg.dataBits);
+    cfg.boardPowerW = p.takeDouble("power", cfg.boardPowerW);
+    cfg.denseEfficiency = p.takeDouble("dense_eff", cfg.denseEfficiency);
+    cfg.sparseEfficiency = p.takeDouble("sparse_eff", cfg.sparseEfficiency);
+    if (cfg.freqGHz <= 0.0 || cfg.numPEs <= 0.0 || cfg.offChipGBs <= 0.0)
+        GCOD_FATAL("platform overrides must keep freq, pes, and bw "
+                   "positive");
+    if (cfg.onChipBytes < 0.0 || cfg.boardPowerW < 0.0)
+        GCOD_FATAL("platform overrides must keep onchip and power "
+                   "non-negative");
+    if (cfg.dataBits <= 0 || cfg.dataBits > 64)
+        GCOD_FATAL("platform override 'bits' must be in (0, 64]");
+    if (cfg.denseEfficiency <= 0.0 || cfg.denseEfficiency > 1.0 ||
+        cfg.sparseEfficiency <= 0.0 || cfg.sparseEfficiency > 1.0)
+        GCOD_FATAL("platform efficiency overrides must be in (0, 1]");
+}
+
+constexpr const char *kCommonKeys =
+    "freq, pes, onchip, bw, bits, power, dense_eff, sparse_eff";
+
+} // namespace
+
+const char *
+deviceClassName(DeviceClass c)
+{
+    switch (c) {
+    case DeviceClass::Cpu:
+        return "cpu";
+    case DeviceClass::Gpu:
+        return "gpu";
+    case DeviceClass::Asic:
+        return "asic";
+    case DeviceClass::Fpga:
+        return "fpga";
+    }
+    return "unknown";
+}
+
+// ------------------------------------------------------- PlatformParams
+std::string
+PlatformParams::tryParse(const std::string &overrides, PlatformParams &out)
+{
+    if (overrides.empty())
+        return "";
+    size_t pos = 0;
+    while (pos <= overrides.size()) {
+        size_t comma = overrides.find(',', pos);
+        if (comma == std::string::npos)
+            comma = overrides.size();
+        std::string tok = overrides.substr(pos, comma - pos);
+        size_t eq = tok.find('=');
+        if (tok.empty() || eq == std::string::npos || eq == 0 ||
+            eq + 1 == tok.size())
+            return "malformed platform override '" + tok +
+                   "': expected key=value";
+        std::string key = tok.substr(0, eq);
+        if (out.entries_.count(key))
+            return "duplicate platform override key '" + key + "'";
+        out.entries_[key] = Entry{tok.substr(eq + 1), false};
+        pos = comma + 1;
+    }
+    return "";
+}
+
+PlatformParams
+PlatformParams::parse(const std::string &overrides)
+{
+    PlatformParams p;
+    std::string err = tryParse(overrides, p);
+    if (!err.empty())
+        GCOD_FATAL(err);
+    return p;
+}
+
+const PlatformParams::Entry *
+PlatformParams::find(const std::string &key) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool
+PlatformParams::has(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+double
+PlatformParams::takeDouble(const std::string &key, double def)
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.consumed)
+        return def;
+    it->second.consumed = true;
+    return parseNumber(key, it->second.value);
+}
+
+int
+PlatformParams::takeInt(const std::string &key, int def)
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.consumed)
+        return def;
+    it->second.consumed = true;
+    double v = parseNumber(key, it->second.value);
+    int i = int(v);
+    if (double(i) != v)
+        GCOD_FATAL("platform override '", key, "=", it->second.value,
+                   "': expected an integer");
+    return i;
+}
+
+double
+PlatformParams::takeBytes(const std::string &key, double def)
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.consumed)
+        return def;
+    it->second.consumed = true;
+    const char *rest = nullptr;
+    double v = parseNumber(key, it->second.value, &rest);
+    std::string suffix(rest);
+    double mult = 1.0;
+    if (suffix.empty() || suffix == "B")
+        mult = 1.0;
+    else if (suffix == "KiB")
+        mult = 1024.0;
+    else if (suffix == "MiB")
+        mult = 1024.0 * 1024.0;
+    else if (suffix == "GiB")
+        mult = 1024.0 * 1024.0 * 1024.0;
+    else if (suffix == "KB")
+        mult = 1e3;
+    else if (suffix == "MB")
+        mult = 1e6;
+    else if (suffix == "GB")
+        mult = 1e9;
+    else
+        GCOD_FATAL("platform override '", key, "=", it->second.value,
+                   "': unknown byte suffix '", suffix,
+                   "' (use B, KB, MB, GB, KiB, MiB, or GiB)");
+    return v * mult;
+}
+
+void
+PlatformParams::merge(const PlatformParams &higher)
+{
+    for (const auto &[key, entry] : higher.entries_)
+        entries_[key] = entry;
+}
+
+std::vector<std::string>
+PlatformParams::unconsumedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, entry] : entries_)
+        if (!entry.consumed)
+            out.push_back(key);
+    return out;
+}
+
+// ----------------------------------------------------- PlatformRegistry
+PlatformRegistry &
+PlatformRegistry::instance()
+{
+    static PlatformRegistry registry;
+    return registry;
+}
+
+void
+PlatformRegistry::add(PlatformDescriptor desc)
+{
+    GCOD_ASSERT(!desc.name.empty(), "platform descriptor needs a name");
+    GCOD_ASSERT(desc.build != nullptr, "platform descriptor '", desc.name,
+                "' needs a build function");
+    if (index_.count(desc.name))
+        GCOD_FATAL("platform '", desc.name, "' is already registered");
+    for (const auto &a : desc.aliases)
+        if (index_.count(a.name) || a.name.compare(desc.name) == 0)
+            GCOD_FATAL("platform alias '", a.name,
+                       "' is already registered");
+
+    size_t idx = platforms_.size();
+    platforms_.push_back(
+        std::make_unique<PlatformDescriptor>(std::move(desc)));
+    const PlatformDescriptor &d = *platforms_.back();
+    index_[d.name] = {idx, ""};
+    for (const auto &a : d.aliases) {
+        // Validate bound overrides at registration, not first use.
+        PlatformParams::parse(a.overrides);
+        index_[a.name] = {idx, a.overrides};
+    }
+}
+
+bool
+PlatformRegistry::contains(const std::string &spec) const
+{
+    if (index_.count(spec))
+        return true;
+    size_t at = spec.find('@');
+    if (at == std::string::npos)
+        return false;
+    std::string base = spec.substr(0, at);
+    std::string overrides = spec.substr(at + 1);
+    if (base.empty() || overrides.empty() || !index_.count(base))
+        return false;
+    PlatformParams ignored;
+    return PlatformParams::tryParse(overrides, ignored).empty();
+}
+
+ResolvedPlatform
+PlatformRegistry::resolve(const std::string &spec) const
+{
+    std::string base = spec;
+    std::string overrides;
+    // Exact names/aliases win even if they contain '@'; otherwise the
+    // first '@' separates the platform name from its overrides.
+    if (!index_.count(base)) {
+        size_t at = spec.find('@');
+        if (at != std::string::npos) {
+            base = spec.substr(0, at);
+            overrides = spec.substr(at + 1);
+            if (base.empty() || overrides.empty())
+                GCOD_FATAL("malformed platform spec '", spec,
+                           "': expected name@key=value[,key=value...]");
+        }
+    }
+
+    auto it = index_.find(base);
+    if (it == index_.end()) {
+        std::ostringstream os;
+        os << "unknown platform '" << base << "'; registered platforms: ";
+        auto names = listedNames();
+        for (size_t i = 0; i < names.size(); ++i)
+            os << (i ? ", " : "") << names[i];
+        std::string nearest;
+        size_t best = std::string::npos;
+        for (const auto &[name, entry] : index_) {
+            (void)entry;
+            size_t d = editDistance(base, name);
+            if (best == std::string::npos || d < best) {
+                best = d;
+                nearest = name;
+            }
+        }
+        if (!nearest.empty() && best <= std::max<size_t>(2, base.size() / 3))
+            os << "; did you mean '" << nearest << "'?";
+        GCOD_FATAL(os.str());
+    }
+
+    ResolvedPlatform rp;
+    rp.descriptor = platforms_[it->second.first].get();
+    rp.displayName = spec;
+    rp.params = PlatformParams::parse(it->second.second);
+    if (!overrides.empty())
+        rp.params.merge(PlatformParams::parse(overrides));
+    return rp;
+}
+
+std::unique_ptr<AcceleratorModel>
+PlatformRegistry::build(ResolvedPlatform rp) const
+{
+    GCOD_ASSERT(rp.descriptor != nullptr, "build() needs a resolved platform");
+    const PlatformDescriptor &d = *rp.descriptor;
+    PlatformConfig cfg = d.defaultConfig;
+    if (d.configure)
+        d.configure(cfg, rp.params);
+    applyCommonOverrides(cfg, rp.params);
+    auto leftover = rp.params.unconsumedKeys();
+    if (!leftover.empty()) {
+        std::ostringstream os;
+        for (size_t i = 0; i < leftover.size(); ++i)
+            os << (i ? ", " : "") << leftover[i];
+        GCOD_FATAL("platform '", d.name, "' does not understand override",
+                   leftover.size() > 1 ? "s" : "", " '", os.str(),
+                   "'; supported keys: ", kCommonKeys,
+                   " (plus family-specific keys)");
+    }
+    cfg.name = rp.displayName;
+    return d.build(std::move(cfg));
+}
+
+std::unique_ptr<AcceleratorModel>
+PlatformRegistry::create(const std::string &spec) const
+{
+    return build(resolve(spec));
+}
+
+const PlatformDescriptor &
+PlatformRegistry::at(const std::string &canonical) const
+{
+    auto it = index_.find(canonical);
+    if (it == index_.end() || !it->second.second.empty() ||
+        platforms_[it->second.first]->name.compare(canonical) != 0)
+        GCOD_FATAL("no platform with canonical name '", canonical, "'");
+    return *platforms_[it->second.first];
+}
+
+std::vector<const PlatformDescriptor *>
+PlatformRegistry::descriptors() const
+{
+    std::vector<const PlatformDescriptor *> out;
+    out.reserve(platforms_.size());
+    for (const auto &p : platforms_)
+        out.push_back(p.get());
+    // Stable: equal ranks keep registration order.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const PlatformDescriptor *a,
+                        const PlatformDescriptor *b) {
+                         return a->presentationRank < b->presentationRank;
+                     });
+    return out;
+}
+
+std::vector<std::string>
+PlatformRegistry::listedNames() const
+{
+    std::vector<std::string> out;
+    for (const PlatformDescriptor *d : descriptors()) {
+        out.push_back(d->name);
+        for (const auto &a : d->aliases)
+            if (a.listed)
+                out.push_back(a.name);
+    }
+    return out;
+}
+
+PlatformRegistrar::PlatformRegistrar(PlatformDescriptor desc)
+{
+    PlatformRegistry::instance().add(std::move(desc));
+}
+
+const PlatformDescriptor &
+platformDescriptor(const std::string &spec)
+{
+    return *PlatformRegistry::instance().resolve(spec).descriptor;
+}
+
+bool
+platformConsumesWorkload(const std::string &spec)
+{
+    return platformDescriptor(spec).consumesWorkload;
+}
+
+} // namespace gcod

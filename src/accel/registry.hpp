@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The platform registry: self-registering simulators described by typed
+ * capability metadata.
+ *
+ * Every platform simulator registers one PlatformDescriptor — canonical
+ * name, aliases, family, phase order, workload consumption, precision,
+ * device class, and a default PlatformConfig — plus a factory. Consumers
+ * (the serving router, benches, examples) construct platforms by name,
+ * alias, or *spec string* and query capabilities from the descriptor
+ * instead of matching name strings.
+ *
+ * Spec-string grammar (see docs/platforms.md):
+ *
+ *   spec     := name [ '@' override ( ',' override )* ]
+ *   override := key '=' value
+ *
+ * e.g. "GCoD@freq=0.5,onchip=16MiB,bits=8". Common keys (freq, pes,
+ * onchip, bw, bits, power, dense_eff, sparse_eff) patch the
+ * PlatformConfig; families may consume extra keys first (GCoD maps `bits`
+ * to its published PE count). Aliases may bind overrides, so
+ * "GCoD(8-bit)" is simply "GCoD" + "bits=8".
+ *
+ * Registration normally happens from static registrars in each
+ * simulator's translation unit (the library is linked as a CMake OBJECT
+ * library precisely so those initializers always run); it is expected to
+ * finish before threads start querying the registry.
+ */
+#ifndef GCOD_ACCEL_REGISTRY_HPP
+#define GCOD_ACCEL_REGISTRY_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "accel/layer_cost.hpp"
+#include "accel/platform.hpp"
+
+namespace gcod {
+
+/** Broad hardware category of a platform (for reporting/selection). */
+enum class DeviceClass { Cpu, Gpu, Asic, Fpga };
+
+/** Human-readable device-class label ("cpu", "gpu", "asic", "fpga"). */
+const char *deviceClassName(DeviceClass c);
+
+/**
+ * Structured parameter overrides parsed from a spec string (or bound to
+ * an alias). Typed getters *consume* their key so the registry can report
+ * unrecognized keys after every interested party has had its turn.
+ */
+class PlatformParams
+{
+  public:
+    /** Parse "key=value,key=value"; malformed input is fatal. */
+    static PlatformParams parse(const std::string &overrides);
+
+    /**
+     * Non-throwing parse into @p out: returns an empty string on
+     * success, the error message otherwise (used by probing callers
+     * like PlatformRegistry::contains()).
+     */
+    static std::string tryParse(const std::string &overrides,
+                                PlatformParams &out);
+
+    bool empty() const { return entries_.empty(); }
+    bool has(const std::string &key) const;
+
+    /**
+     * Consume @p key as a double; @p def when absent. A key an earlier
+     * getter consumed reads as absent, so a family configure() hook
+     * that reinterprets a common key shadows the generic treatment.
+     */
+    double takeDouble(const std::string &key, double def);
+    /** Consume @p key as an integer; @p def when absent/consumed. */
+    int takeInt(const std::string &key, int def);
+    /**
+     * Consume @p key as a byte count with an optional binary/decimal
+     * suffix (KiB/MiB/GiB or KB/MB/GB); @p def when absent/consumed.
+     */
+    double takeBytes(const std::string &key, double def);
+
+    /** Overlay @p higher on top of this (higher-priority wins). */
+    void merge(const PlatformParams &higher);
+
+    /** Keys no getter has consumed yet (malformed-spec reporting). */
+    std::vector<std::string> unconsumedKeys() const;
+
+  private:
+    struct Entry
+    {
+        std::string value;
+        bool consumed = false;
+    };
+    const Entry *find(const std::string &key) const;
+
+    std::map<std::string, Entry> entries_;
+};
+
+/** Typed capability metadata + factory for one registered platform. */
+struct PlatformDescriptor
+{
+    /** Alternate lookup name, optionally binding parameter overrides. */
+    struct Alias
+    {
+        std::string name;
+        /** Overrides bound to the alias, e.g. "bits=8". */
+        std::string overrides;
+        /** Whether the alias appears in allPlatformNames(). */
+        bool listed = false;
+    };
+
+    std::string name;    ///< canonical name, e.g. "GCoD"
+    std::string family;  ///< e.g. "framework", "deepburning", "gcod"
+    std::string summary; ///< one-line description for docs and errors
+    std::vector<Alias> aliases;
+
+    /** Execution-phase order of the platform's dataflow (Fig. 7(b)). */
+    PhaseOrder phaseOrder = PhaseOrder::CombThenAggr;
+    /** True when simulate() needs GraphInput::workload (GCoD family). */
+    bool consumesWorkload = false;
+    DeviceClass deviceClass = DeviceClass::Asic;
+    /** Sort key reproducing the paper's presentation order. */
+    int presentationRank = 1000;
+
+    /** Canonical configuration (also the capability source of truth). */
+    PlatformConfig defaultConfig;
+
+    /**
+     * Family-specific override hook, run before the common keys so the
+     * family may reinterpret them (GCoD's `bits` selects the PE count).
+     * Optional.
+     */
+    std::function<void(PlatformConfig &, PlatformParams &)> configure;
+
+    /** Construct the simulator from a finished configuration. */
+    std::function<std::unique_ptr<AcceleratorModel>(PlatformConfig)> build;
+
+    /** Operand precision of the default configuration, bits. */
+    int dataBits() const { return defaultConfig.dataBits; }
+};
+
+/** A resolved lookup: descriptor + display name + merged overrides. */
+struct ResolvedPlatform
+{
+    const PlatformDescriptor *descriptor = nullptr;
+    /** The exact string the caller asked for (becomes config().name). */
+    std::string displayName;
+    /** Alias-bound overrides overlaid with spec-string overrides. */
+    PlatformParams params;
+};
+
+/**
+ * Process-wide registry of platform simulators. Lookup accepts canonical
+ * names, aliases, and spec strings; unknown names fail with the list of
+ * registered platforms and a nearest-match suggestion.
+ */
+class PlatformRegistry
+{
+  public:
+    static PlatformRegistry &instance();
+
+    /** Register a platform; duplicate names/aliases are fatal. */
+    void add(PlatformDescriptor desc);
+
+    /**
+     * True when the platform name resolves and the override list
+     * parses. Override *keys* are only validated by build()/create(),
+     * so contains() == true does not guarantee create() succeeds.
+     */
+    bool contains(const std::string &spec) const;
+
+    /** Resolve a name/alias/spec string; unknown names are fatal. */
+    ResolvedPlatform resolve(const std::string &spec) const;
+
+    /** Apply overrides to the default config and build the simulator. */
+    std::unique_ptr<AcceleratorModel> build(ResolvedPlatform rp) const;
+
+    /** resolve() + build() in one step. */
+    std::unique_ptr<AcceleratorModel> create(const std::string &spec) const;
+
+    /** Descriptor by canonical name only (no aliases, no specs). */
+    const PlatformDescriptor &at(const std::string &canonical) const;
+
+    /** All descriptors in presentation order. */
+    std::vector<const PlatformDescriptor *> descriptors() const;
+
+    /**
+     * Canonical names plus *listed* aliases, in presentation order —
+     * the paper's platform lineup (Tab. V).
+     */
+    std::vector<std::string> listedNames() const;
+
+  private:
+    PlatformRegistry() = default;
+
+    /** Registered platforms in registration order. */
+    std::vector<std::unique_ptr<PlatformDescriptor>> platforms_;
+    /** name/alias -> (descriptor index, alias overrides). */
+    std::map<std::string, std::pair<size_t, std::string>> index_;
+};
+
+/** Registers a descriptor at static-initialization time. */
+struct PlatformRegistrar
+{
+    explicit PlatformRegistrar(PlatformDescriptor desc);
+};
+
+/**
+ * Descriptor behind a name/alias/spec string — the capability query used
+ * where code previously matched name prefixes. Unknown names are fatal.
+ */
+const PlatformDescriptor &platformDescriptor(const std::string &spec);
+
+/** True when the platform behind @p spec consumes a GCoD workload. */
+bool platformConsumesWorkload(const std::string &spec);
+
+} // namespace gcod
+
+#endif // GCOD_ACCEL_REGISTRY_HPP

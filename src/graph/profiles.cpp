@@ -30,10 +30,19 @@ allProfiles()
 const DatasetProfile &
 profileByName(const std::string &name)
 {
-    for (const auto &p : allProfiles())
-        if (p.name == name)
-            return p;
-    GCOD_FATAL("unknown dataset profile '", name, "'");
+    const auto &profiles = allProfiles();
+    auto it = std::find_if(profiles.begin(), profiles.end(),
+                           [&name](const DatasetProfile &p) {
+                               return p.name.compare(name) == 0;
+                           });
+    if (it == profiles.end()) {
+        std::string known;
+        for (const auto &p : profiles)
+            known += known.empty() ? p.name : ", " + p.name;
+        GCOD_FATAL("unknown dataset profile '", name, "' (known: ", known,
+                   ")");
+    }
+    return *it;
 }
 
 std::vector<std::string>

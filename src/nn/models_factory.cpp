@@ -1,5 +1,7 @@
 #include "models.hpp"
 
+#include <map>
+
 #include "nn/gat.hpp"
 #include "nn/gcn.hpp"
 #include "nn/gin.hpp"
@@ -8,23 +10,57 @@
 
 namespace gcod {
 
+namespace {
+
+using ModelBuilder = std::unique_ptr<GnnModel> (*)(int features, int classes,
+                                                   bool large, Rng &rng);
+
+const std::map<std::string, ModelBuilder> &
+modelBuilders()
+{
+    static const std::map<std::string, ModelBuilder> builders = {
+        {"GCN",
+         [](int f, int c, bool large, Rng &rng) -> std::unique_ptr<GnnModel> {
+             return std::make_unique<GcnModel>(f, large ? 64 : 16, c, rng);
+         }},
+        {"GIN",
+         [](int f, int c, bool large, Rng &rng) -> std::unique_ptr<GnnModel> {
+             return std::make_unique<GinModel>(f, large ? 64 : 16, c, rng);
+         }},
+        {"GAT",
+         [](int f, int c, bool, Rng &rng) -> std::unique_ptr<GnnModel> {
+             return std::make_unique<GatModel>(f, 8, 8, c, rng);
+         }},
+        {"GraphSAGE",
+         [](int f, int c, bool large, Rng &rng) -> std::unique_ptr<GnnModel> {
+             return std::make_unique<SageModel>(f, large ? 64 : 16, c, 25,
+                                                10, rng);
+         }},
+        {"ResGCN",
+         [](int f, int c, bool, Rng &rng) -> std::unique_ptr<GnnModel> {
+             return std::make_unique<ResGcnModel>(f, 128, c, 28, rng);
+         }},
+    };
+    return builders;
+}
+
+} // namespace
+
 std::unique_ptr<GnnModel>
 makeModel(const std::string &name, int features, int classes, bool large,
           Rng &rng)
 {
-    int hidden = large ? 64 : 16;
-    if (name == "GCN")
-        return std::make_unique<GcnModel>(features, hidden, classes, rng);
-    if (name == "GIN")
-        return std::make_unique<GinModel>(features, hidden, classes, rng);
-    if (name == "GAT")
-        return std::make_unique<GatModel>(features, 8, 8, classes, rng);
-    if (name == "GraphSAGE")
-        return std::make_unique<SageModel>(features, hidden, classes, 25, 10,
-                                           rng);
-    if (name == "ResGCN")
-        return std::make_unique<ResGcnModel>(features, 128, classes, 28, rng);
-    GCOD_FATAL("unknown model '", name, "'");
+    const auto &builders = modelBuilders();
+    auto it = builders.find(name);
+    if (it == builders.end()) {
+        std::string known;
+        for (const auto &[model, builder] : builders) {
+            (void)builder;
+            known += known.empty() ? model : ", " + model;
+        }
+        GCOD_FATAL("unknown model '", name, "' (known: ", known, ")");
+    }
+    return it->second(features, classes, large, rng);
 }
 
 } // namespace gcod

@@ -12,11 +12,13 @@ namespace gcod::serve {
 BackendRouter::BackendRouter(const std::vector<std::string> &names)
 {
     GCOD_ASSERT(!names.empty(), "BackendRouter needs at least one backend");
+    PlatformRegistry &registry = PlatformRegistry::instance();
     for (const auto &n : names) {
         auto b = std::make_unique<Backend>();
-        b->name = n;
-        b->model = makeAccelerator(n);
-        b->wantsWorkload = n.rfind("GCoD", 0) == 0;
+        ResolvedPlatform rp = registry.resolve(n);
+        b->name = rp.displayName;
+        b->descriptor = rp.descriptor;
+        b->model = registry.build(std::move(rp));
         backends_.push_back(std::move(b));
     }
 }
@@ -34,8 +36,7 @@ BackendRouter::estimateSeconds(int i, const ArtifactBundle &bundle)
     const Backend &b = *backends_[i];
     const PlatformConfig &cfg = b.model->config();
     const GraphInput &in = inputFor(i, bundle);
-    PhaseOrder order = b.name == "HyGCN" ? PhaseOrder::AggrThenComb
-                                         : PhaseOrder::CombThenAggr;
+    PhaseOrder order = b.descriptor->phaseOrder;
     auto works = modelWork(bundle.spec, double(in.adj.rows),
                            double(in.adj.nnz), order, in.featureDensity);
 
@@ -50,7 +51,8 @@ BackendRouter::estimateSeconds(int i, const ArtifactBundle &bundle)
         agg_width_sum += w.aggWidth;
     }
 
-    if (b.wantsWorkload && in.workload != nullptr && !works.empty()) {
+    if (b.descriptor->consumesWorkload && in.workload != nullptr &&
+        !works.empty()) {
         // Replace the closed-form aggregation estimate with the
         // two-pronged schedule simulation at the mean aggregation width
         // (one representative layer, scaled by depth): it sees the

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "accel/accelerator.hpp"
+#include "accel/registry.hpp"
 #include "serve/artifact.hpp"
 
 namespace gcod::serve {
@@ -49,7 +50,10 @@ struct RouteDecision
 class BackendRouter
 {
   public:
-    /** @param names platform names accepted by makeAccelerator(). */
+    /**
+     * @param names platform registry names, aliases, or spec strings
+     * (e.g. "GCoD@bits=8"); see accel/registry.hpp for the grammar.
+     */
     explicit BackendRouter(const std::vector<std::string> &names);
 
     size_t numBackends() const { return backends_.size(); }
@@ -59,8 +63,17 @@ class BackendRouter
         return *backends_[i]->model;
     }
 
+    /** Capability metadata of backend @p i's platform. */
+    const PlatformDescriptor &descriptor(int i) const
+    {
+        return *backends_[i]->descriptor;
+    }
+
     /** True when backend @p i consumes the GCoD workload descriptor. */
-    bool usesWorkload(int i) const { return backends_[i]->wantsWorkload; }
+    bool usesWorkload(int i) const
+    {
+        return backends_[i]->descriptor->consumesWorkload;
+    }
 
     /** Simulator input of @p bundle appropriate for backend @p i. */
     const GraphInput &
@@ -97,8 +110,9 @@ class BackendRouter
     struct Backend
     {
         std::string name;
+        /** Registry-owned capability metadata (outlives the router). */
+        const PlatformDescriptor *descriptor = nullptr;
         std::unique_ptr<AcceleratorModel> model;
-        bool wantsWorkload = false;
         std::atomic<int> inflight{0};
         std::atomic<uint64_t> dispatched{0};
         std::atomic<double> assignedWork{0.0};

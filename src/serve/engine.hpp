@@ -30,7 +30,11 @@ namespace gcod::serve {
 /** Engine configuration. */
 struct ServeOptions
 {
-    /** Platform names (accel registry) to route across. */
+    /**
+     * Platform registry names, aliases, or spec strings to route
+     * across; "GCoD@bits=8,freq=0.25" style specs let one deployment
+     * mix parameterized variants of the same platform.
+     */
     std::vector<std::string> backends = {"GCoD", "HyGCN", "AWB-GCN",
                                          "DGL-GPU"};
     /** Worker threads draining the batch queue. */

@@ -8,6 +8,7 @@
 
 #include "accel/accelerator.hpp"
 #include "accel/gcod_accel.hpp"
+#include "accel/registry.hpp"
 #include "gcod/pipeline.hpp"
 
 using namespace gcod;
@@ -135,8 +136,9 @@ TEST(Simulators, EveryPlatformProducesFiniteCosts)
     Fixture &f = fixture();
     for (const auto &name : allPlatformNames()) {
         auto a = makeAccelerator(name);
-        bool is_gcod = name.rfind("GCoD", 0) == 0;
-        DetailedResult r = a->simulate(f.gcn, is_gcod ? f.processed : f.raw);
+        bool wants_workload = platformConsumesWorkload(name);
+        DetailedResult r =
+            a->simulate(f.gcn, wants_workload ? f.processed : f.raw);
         EXPECT_GT(r.latencySeconds, 0.0) << name;
         EXPECT_GT(r.totalCycles, 0.0) << name;
         EXPECT_GT(r.offChipBytes(), 0.0) << name;
@@ -334,8 +336,8 @@ TEST_P(PlatformSweep, DeterministicResults)
 {
     Fixture &f = fixture();
     std::string name = GetParam();
-    bool is_gcod = name.rfind("GCoD", 0) == 0;
-    const GraphInput &in = is_gcod ? f.processed : f.raw;
+    const GraphInput &in =
+        platformConsumesWorkload(name) ? f.processed : f.raw;
     auto a = makeAccelerator(name);
     DetailedResult r1 = a->simulate(f.gcn, in);
     DetailedResult r2 = a->simulate(f.gcn, in);
@@ -347,8 +349,8 @@ TEST_P(PlatformSweep, MoreLayersCostMore)
 {
     Fixture &f = fixture();
     std::string name = GetParam();
-    bool is_gcod = name.rfind("GCoD", 0) == 0;
-    const GraphInput &in = is_gcod ? f.processed : f.raw;
+    const GraphInput &in =
+        platformConsumesWorkload(name) ? f.processed : f.raw;
     auto a = makeAccelerator(name);
     ModelSpec gcn = makeModelSpec("GCN", 1433, 7, false);
     ModelSpec gin = makeModelSpec("GIN", 1433, 7, false); // 3 layers, MLPs

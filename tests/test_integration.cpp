@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "accel/accelerator.hpp"
+#include "accel/registry.hpp"
 #include "compress/compress.hpp"
 #include "gcod/pipeline.hpp"
 #include "nn/trainer.hpp"
@@ -94,9 +95,9 @@ TEST(Integration, AllModelsSimulateOnAllPlatformsNell)
     for (const char *model : {"GCN", "GIN", "GAT", "GraphSAGE", "ResGCN"}) {
         ModelSpec spec = makeModelSpec(model, 5414, 210, true);
         for (const auto &platform : allPlatformNames()) {
-            bool is_gcod = platform.rfind("GCoD", 0) == 0;
+            bool wants_workload = platformConsumesWorkload(platform);
             DetailedResult r = makeAccelerator(platform)->simulate(
-                spec, is_gcod ? proc : raw);
+                spec, wants_workload ? proc : raw);
             EXPECT_GT(r.latencySeconds, 0.0)
                 << model << " on " << platform;
         }
