@@ -11,19 +11,173 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <deque>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/accelerator.hpp"
 #include "accel/registry.hpp"
 #include "gcod/pipeline.hpp"
 #include "sim/config.hpp"
+#include "sim/parallel.hpp"
 #include "sim/table.hpp"
 
 namespace gcod::bench {
+
+/**
+ * Tiny machine-readable result emitter: benches record named entries
+ * (parameters, wall time, derived GFLOP/s, ...) and write them as one
+ * JSON document, so perf trajectories can be tracked across commits
+ * instead of scraped from stdout. Used by bench_kernel_throughput
+ * (BENCH_kernels.json) and available to every other bench.
+ */
+class JsonEmitter
+{
+  public:
+    /** One result entry; set() calls chain. */
+    class Entry
+    {
+      public:
+        explicit Entry(std::string name) : name_(std::move(name)) {}
+
+        Entry &
+        set(const std::string &key, const std::string &value)
+        {
+            fields_.emplace_back(key, quote(value));
+            return *this;
+        }
+
+        Entry &
+        set(const std::string &key, const char *value)
+        {
+            return set(key, std::string(value));
+        }
+
+        Entry &
+        set(const std::string &key, double value)
+        {
+            std::ostringstream os;
+            os.precision(9);
+            os << value;
+            fields_.emplace_back(key, os.str());
+            return *this;
+        }
+
+        Entry &
+        set(const std::string &key, int64_t value)
+        {
+            fields_.emplace_back(key, std::to_string(value));
+            return *this;
+        }
+
+        Entry &
+        set(const std::string &key, int value)
+        {
+            return set(key, int64_t(value));
+        }
+
+        void
+        print(std::ostream &os, const std::string &indent) const
+        {
+            os << indent << "{\n";
+            os << indent << "  \"name\": " << quote(name_);
+            for (const auto &[k, v] : fields_)
+                os << ",\n" << indent << "  " << quote(k) << ": " << v;
+            os << "\n" << indent << "}";
+        }
+
+        /** Emit only "key": value pairs, one per line, trailing commas. */
+        void
+        printFields(std::ostream &os, const std::string &indent) const
+        {
+            for (const auto &[k, v] : fields_)
+                os << indent << quote(k) << ": " << v << ",\n";
+        }
+
+      private:
+        static std::string
+        quote(const std::string &s)
+        {
+            std::string out = "\"";
+            for (char c : s) {
+                if (c == '"' || c == '\\') {
+                    out += '\\';
+                    out += c;
+                } else if (c == '\n') {
+                    out += "\\n";
+                } else if (static_cast<unsigned char>(c) < 0x20) {
+                    // All other control characters are invalid raw in
+                    // JSON strings.
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  unsigned(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+            out += '"';
+            return out;
+        }
+
+        std::string name_;
+        std::vector<std::pair<std::string, std::string>> fields_;
+    };
+
+    /** Start a new entry; returned reference stays valid until write. */
+    Entry &
+    add(const std::string &name)
+    {
+        entries_.emplace_back(name);
+        return entries_.back();
+    }
+
+    /** Document-level field (threads, hardware, scale, ...). */
+    Entry &
+    meta()
+    {
+        return meta_;
+    }
+
+    std::string
+    toJson() const
+    {
+        std::ostringstream os;
+        os << "{\n";
+        meta_.printFields(os, "  ");
+        os << "  \"entries\": [\n";
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            entries_[i].print(os, "    ");
+            os << (i + 1 < entries_.size() ? ",\n" : "\n");
+        }
+        os << "  ]\n}\n";
+        return os.str();
+    }
+
+    /** Write the document; returns false (with a warning) on I/O error. */
+    bool
+    writeFile(const std::string &path) const
+    {
+        std::ofstream f(path);
+        if (!f) {
+            warn("cannot write benchmark JSON to '", path, "'");
+            return false;
+        }
+        f << toJson();
+        return bool(f);
+    }
+
+  private:
+    Entry meta_{"meta"};
+    std::deque<Entry> entries_; // deque: add() never invalidates entries
+};
 
 /** Everything a simulator-driven bench needs for one dataset. */
 struct Prepared
@@ -137,6 +291,8 @@ benchMain(int argc, char **argv, const std::function<void(Config &)> &body)
             bench_args.push_back(argv[i]);
         }
     }
+    // "threads=N" sizes the shared kernel pool for every bench.
+    setThreadsFromConfig(cfg);
     body(cfg);
     int bench_argc = int(bench_args.size());
     benchmark::Initialize(&bench_argc, bench_args.data());

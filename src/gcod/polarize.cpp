@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "sim/logging.hpp"
+#include "sim/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace gcod {
@@ -60,7 +61,7 @@ class TunableGcn
         }
         for (NodeId i = 0; i < n_; ++i)
             coo.add(i, i, invSqrt_[size_t(i)] * invSqrt_[size_t(i)]);
-        return coo.toCsr();
+        return std::move(coo).toCsr();
     }
 
     /**
@@ -92,20 +93,24 @@ class TunableGcn
 
         // dA_ij = dY2_i . M1_j + dY1_i . M0_j, chain-ruled through the
         // fixed normalization and symmetrized over both directions.
+        // Each edge's gradient is independent (pruned edges included, so
+        // ADMM can resurrect them if the loss wants them back), so the
+        // edge sweep runs as disjoint ranges on the pool.
         dvalue->assign(edges.size(), 0.0f);
-        for (size_t e = 0; e < edges.size(); ++e) {
-            const auto &ed = edges[e];
-            if (ed.value <= 0.0f) {
-                // Pruned edges get the gradient they would have at 0 so
-                // ADMM can resurrect them if the loss wants them back.
-            }
-            float g = 0.0f;
-            g += rowDot(dy2, ed.u, m1, ed.v);
-            g += rowDot(dy2, ed.v, m1, ed.u);
-            g += rowDot(dy1, ed.u, m0_, ed.v);
-            g += rowDot(dy1, ed.v, m0_, ed.u);
-            (*dvalue)[e] = g * norm(ed.u, ed.v);
-        }
+        parallelFor(
+            0, int64_t(edges.size()),
+            [&](const Range &r, size_t) {
+                for (int64_t e = r.begin; e < r.end; ++e) {
+                    const auto &ed = edges[size_t(e)];
+                    float g = 0.0f;
+                    g += rowDot(dy2, ed.u, m1, ed.v);
+                    g += rowDot(dy2, ed.v, m1, ed.u);
+                    g += rowDot(dy1, ed.u, m0_, ed.v);
+                    g += rowDot(dy1, ed.v, m0_, ed.u);
+                    (*dvalue)[size_t(e)] = g * norm(ed.u, ed.v);
+                }
+            },
+            256);
         return loss;
     }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "sim/logging.hpp"
+#include "sim/parallel.hpp"
 
 namespace gcod {
 
@@ -50,27 +51,31 @@ reorderGraph(const Graph &g, const ReorderOptions &opts)
     }
 
     // --- METIS-like split of each class into balanced subgraphs --------
-    // Subgraphs indexed [class][part] in original node ids.
+    // Subgraphs indexed [class][part] in original node ids. Classes are
+    // independent (each owns split[c] and a per-class partition seed), so
+    // they split concurrently on the pool with a deterministic result.
     std::vector<std::vector<std::vector<NodeId>>> split(static_cast<size_t>(C));
-    for (int c = 0; c < C; ++c) {
-        const auto &nodes = class_nodes[size_t(c)];
-        int parts = std::min<int>(parts_per_class[size_t(c)],
-                                  std::max<int>(1, int(nodes.size())));
-        split[size_t(c)].assign(size_t(parts), {});
-        if (nodes.empty())
-            continue;
-        Graph sub = g.inducedSubgraph(nodes);
-        // Balance edge mass: weight = degree in the *full* graph + 1, so
-        // the subgraphs carry similar aggregate workload.
-        std::vector<double> weights(nodes.size());
-        for (size_t i = 0; i < nodes.size(); ++i)
-            weights[i] = double(g.degrees()[size_t(nodes[i])]) + 1.0;
-        PartitionOptions popts;
-        popts.seed = opts.seed + uint64_t(c);
-        PartitionResult pr = partitionGraph(sub, parts, weights, popts);
-        for (size_t i = 0; i < nodes.size(); ++i)
-            split[size_t(c)][size_t(pr.partOf[i])].push_back(nodes[i]);
-    }
+    parallelFor(0, C, [&](const Range &r, size_t) {
+        for (int64_t c = r.begin; c < r.end; ++c) {
+            const auto &nodes = class_nodes[size_t(c)];
+            int parts = std::min<int>(parts_per_class[size_t(c)],
+                                      std::max<int>(1, int(nodes.size())));
+            split[size_t(c)].assign(size_t(parts), {});
+            if (nodes.empty())
+                continue;
+            Graph sub = g.inducedSubgraph(nodes);
+            // Balance edge mass: weight = degree in the *full* graph + 1,
+            // so the subgraphs carry similar aggregate workload.
+            std::vector<double> weights(nodes.size());
+            for (size_t i = 0; i < nodes.size(); ++i)
+                weights[i] = double(g.degrees()[size_t(nodes[i])]) + 1.0;
+            PartitionOptions popts;
+            popts.seed = opts.seed + uint64_t(c);
+            PartitionResult pr = partitionGraph(sub, parts, weights, popts);
+            for (size_t i = 0; i < nodes.size(); ++i)
+                split[size_t(c)][size_t(pr.partOf[i])].push_back(nodes[i]);
+        }
+    });
 
     // --- Group assignment: round-robin within each class ---------------
     // subgraph k of class c -> group k % G ("uniformly distributed").

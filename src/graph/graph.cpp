@@ -22,7 +22,7 @@ Graph::Graph(NodeId num_nodes,
         coo.add(u, v, 1.0f);
         coo.add(v, u, 1.0f);
     }
-    adj_ = coo.toCsr();
+    adj_ = std::move(coo).toCsr();
     // Coalescing sums duplicates; renormalize the pattern to binary.
     for (auto &v : adj_.values())
         v = 1.0f;
@@ -75,7 +75,7 @@ Graph::normalizedAdjacency() const
     });
     for (NodeId i = 0; i < n; ++i)
         coo.add(i, i, inv_sqrt[size_t(i)] * inv_sqrt[size_t(i)]);
-    return coo.toCsr();
+    return std::move(coo).toCsr();
 }
 
 Graph

@@ -104,7 +104,7 @@ loadMatrixMarket(const std::string &path)
             GCOD_FATAL("truncated MatrixMarket body in '", path, "'");
         coo.add(r - 1, c - 1, v);
     }
-    return coo.toCsr();
+    return std::move(coo).toCsr();
 }
 
 void

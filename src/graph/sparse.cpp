@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "sim/logging.hpp"
 
@@ -28,16 +29,67 @@ CooMatrix::coalesce()
 }
 
 CsrMatrix
-CooMatrix::toCsr() const
+CooMatrix::toCsr() const &
 {
-    CooMatrix sorted = *this;
-    sorted.coalesce();
+    // Sort a permutation of entry indices instead of copying (and
+    // re-sorting) the whole entry vector.
+    std::vector<size_t> order(entries_.size());
+    std::iota(order.begin(), order.end(), size_t(0));
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const CooEntry &ea = entries_[a];
+        const CooEntry &eb = entries_[b];
+        return ea.row != eb.row ? ea.row < eb.row : ea.col < eb.col;
+    });
+
+    // Count coalesced nonzeros so indices/values reserve exactly.
+    size_t unique = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+        const CooEntry &e = entries_[order[i]];
+        const CooEntry *prev = i ? &entries_[order[i - 1]] : nullptr;
+        if (!prev || prev->row != e.row || prev->col != e.col)
+            ++unique;
+    }
+
     std::vector<EdgeOffset> indptr(size_t(rows_) + 1, 0);
     std::vector<NodeId> indices;
     std::vector<float> values;
-    indices.reserve(sorted.entries().size());
-    values.reserve(sorted.entries().size());
-    for (const auto &e : sorted.entries()) {
+    indices.reserve(unique);
+    values.reserve(unique);
+    for (size_t i = 0; i < order.size(); ++i) {
+        const CooEntry &e = entries_[order[i]];
+        GCOD_ASSERT(e.row >= 0 && e.row < rows_, "COO row out of bounds");
+        GCOD_ASSERT(e.col >= 0 && e.col < cols_, "COO col out of bounds");
+        // Duplicates are adjacent after the sort, so comparing against
+        // the previous sorted entry is enough to coalesce.
+        if (i > 0) {
+            const CooEntry &prev = entries_[order[i - 1]];
+            if (prev.row == e.row && prev.col == e.col) {
+                values.back() += e.value;
+                continue;
+            }
+        }
+        indptr[size_t(e.row) + 1] += 1;
+        indices.push_back(e.col);
+        values.push_back(e.value);
+    }
+    for (size_t r = 0; r < size_t(rows_); ++r)
+        indptr[r + 1] += indptr[r];
+    return CsrMatrix(rows_, cols_, std::move(indptr), std::move(indices),
+                     std::move(values));
+}
+
+CsrMatrix
+CooMatrix::toCsr() &&
+{
+    // Consuming conversion: coalesce in place, then build CSR with
+    // exactly sized arrays and release the entry storage.
+    coalesce();
+    std::vector<EdgeOffset> indptr(size_t(rows_) + 1, 0);
+    std::vector<NodeId> indices;
+    std::vector<float> values;
+    indices.reserve(entries_.size());
+    values.reserve(entries_.size());
+    for (const auto &e : entries_) {
         GCOD_ASSERT(e.row >= 0 && e.row < rows_, "COO row out of bounds");
         GCOD_ASSERT(e.col >= 0 && e.col < cols_, "COO col out of bounds");
         indptr[size_t(e.row) + 1] += 1;
@@ -46,6 +98,8 @@ CooMatrix::toCsr() const
     }
     for (size_t r = 0; r < size_t(rows_); ++r)
         indptr[r + 1] += indptr[r];
+    entries_.clear();
+    entries_.shrink_to_fit();
     return CsrMatrix(rows_, cols_, std::move(indptr), std::move(indices),
                      std::move(values));
 }
@@ -132,7 +186,7 @@ CsrMatrix::permuted(const std::vector<NodeId> &perm) const
     forEach([&](NodeId r, NodeId c, float v) {
         coo.add(perm[size_t(r)], perm[size_t(c)], v);
     });
-    return coo.toCsr();
+    return std::move(coo).toCsr();
 }
 
 CsrMatrix
@@ -144,7 +198,7 @@ CsrMatrix::filtered(
         if (keep(r, c, v))
             coo.add(r, c, v);
     });
-    return coo.toCsr();
+    return std::move(coo).toCsr();
 }
 
 double

@@ -57,8 +57,14 @@ class CooMatrix
     /** Sort by (row, col) and sum duplicate coordinates. */
     void coalesce();
 
-    /** Convert to CSR (coalesces first). */
-    CsrMatrix toCsr() const;
+    /**
+     * Convert to CSR. The lvalue overload leaves this COO untouched by
+     * sorting an index permutation instead of copying the entry vector;
+     * the rvalue overload coalesces in place and consumes the entries
+     * (`std::move(coo).toCsr()`). Both reserve the CSR arrays exactly.
+     */
+    CsrMatrix toCsr() const &;
+    CsrMatrix toCsr() &&;
 
   private:
     NodeId rows_ = 0;

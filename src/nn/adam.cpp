@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/parallel.hpp"
+
 namespace gcod {
 
 Adam::Adam(std::vector<Matrix *> params, AdamOptions opts)
@@ -27,16 +29,26 @@ Adam::step(const std::vector<Matrix *> &grads)
         Matrix &p = *params_[i];
         const Matrix &g = *grads[i];
         GCOD_ASSERT(p.sameShape(g), "param/grad shape mismatch");
-        auto &m = m_[i].data();
-        auto &v = v_[i].data();
-        for (size_t k = 0; k < p.data().size(); ++k) {
-            float gk = g.data()[k] + opts_.weightDecay * p.data()[k];
-            m[k] = opts_.beta1 * m[k] + (1.0f - opts_.beta1) * gk;
-            v[k] = opts_.beta2 * v[k] + (1.0f - opts_.beta2) * gk * gk;
-            float mhat = m[k] / bc1;
-            float vhat = v[k] / bc2;
-            p.data()[k] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
-        }
+        float *m = m_[i].data().data();
+        float *v = v_[i].data().data();
+        float *pd = p.data().data();
+        const float *gd = g.data().data();
+        // Elementwise and write-disjoint, so parallel ranges are exact.
+        parallelFor(
+            0, int64_t(p.data().size()),
+            [&](const Range &r, size_t) {
+                for (int64_t k = r.begin; k < r.end; ++k) {
+                    float gk = gd[k] + opts_.weightDecay * pd[k];
+                    m[k] = opts_.beta1 * m[k] + (1.0f - opts_.beta1) * gk;
+                    v[k] = opts_.beta2 * v[k] +
+                           (1.0f - opts_.beta2) * gk * gk;
+                    float mhat = m[k] / bc1;
+                    float vhat = v[k] / bc2;
+                    pd[k] -=
+                        opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+                }
+            },
+            1 << 14);
     }
 }
 

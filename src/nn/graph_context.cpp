@@ -10,7 +10,7 @@ GraphContext::GraphContext(const Graph &g)
         float d = float(g.degrees()[size_t(r)]);
         coo.add(r, c, d > 0.0f ? 1.0f / d : 0.0f);
     });
-    rowMean_ = coo.toCsr();
+    rowMean_ = std::move(coo).toCsr();
 }
 
 } // namespace gcod

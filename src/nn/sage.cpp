@@ -64,7 +64,7 @@ SageModel::sampleMeanOperator(const Graph &g, int k, Rng &rng)
         for (NodeId j : nbrs)
             coo.add(i, j, wgt);
     }
-    return coo.toCsr();
+    return std::move(coo).toCsr();
 }
 
 void

@@ -6,6 +6,7 @@
 #include "accel/result.hpp"
 #include "accel/schedule.hpp"
 #include "sim/logging.hpp"
+#include "sim/parallel.hpp"
 
 namespace gcod::serve {
 
@@ -79,6 +80,24 @@ BackendRouter::estimateSeconds(int i, const ArtifactBundle &bundle)
 RouteDecision
 BackendRouter::choose(const ArtifactBundle &bundle)
 {
+    // Estimates are independent per backend and memoized per
+    // (key, backend): a cold artifact prices its unpriced backends
+    // concurrently on the kernel pool, while the warm path (every
+    // batch after the first per artifact) stays pool-free — memoized
+    // lookups must not queue behind an unrelated kernel region.
+    std::vector<int> cold;
+    {
+        std::lock_guard<std::mutex> lock(memoMu_);
+        for (int i = 0; i < int(backends_.size()); ++i)
+            if (memo_.find({bundle.key, i}) == memo_.end())
+                cold.push_back(i);
+    }
+    if (!cold.empty())
+        parallelFor(0, int64_t(cold.size()), [&](const Range &r, size_t) {
+            for (int64_t k = r.begin; k < r.end; ++k)
+                estimateSeconds(cold[size_t(k)], bundle);
+        });
+
     RouteDecision best;
     double best_score = 0.0;
     for (int i = 0; i < int(backends_.size()); ++i) {

@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include "sim/logging.hpp"
+#include "sim/parallel.hpp"
 
 namespace gcod::serve {
 
@@ -12,6 +13,11 @@ ServingEngine::ServingEngine(ServeOptions opts)
       router_(opts_.backends), queue_(opts_.batching)
 {
     GCOD_ASSERT(opts_.workers >= 1, "engine needs at least one worker");
+    // Batches execute on the shared kernel pool: artifact builds
+    // (reorder/partition) and the dense/sparse kernels they run all go
+    // through sim/parallel, so one engine-level knob sizes the pool.
+    if (opts_.kernelThreads > 0)
+        setThreads(opts_.kernelThreads);
     workers_.reserve(opts_.workers);
     for (size_t i = 0; i < opts_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });

@@ -39,6 +39,15 @@ struct ServeOptions
                                          "DGL-GPU"};
     /** Worker threads draining the batch queue. */
     size_t workers = 2;
+    /**
+     * Kernel threads for the shared compute pool that artifact builds
+     * and batch execution run on; 0 keeps the current policy
+     * (GCOD_THREADS env, else hardware concurrency). Note the pool is
+     * process-wide: a nonzero value here calls setThreads() and so
+     * applies to every pool user in the process (last writer wins),
+     * not just this engine.
+     */
+    int kernelThreads = 0;
     /** Max resident artifacts in the LRU cache. */
     size_t cacheCapacity = 8;
     BatchOptions batching;

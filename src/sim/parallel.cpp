@@ -1,0 +1,344 @@
+#include "parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "sim/config.hpp"
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+/** setThreads() override; 0 = fall through to env / hardware. */
+std::atomic<int> g_threads{0};
+
+/**
+ * True while this thread is executing ranges of a parallel region; a
+ * nested parallelFor from such a thread runs inline instead of touching
+ * the pool (re-entering run() would deadlock on the region mutex).
+ */
+thread_local bool t_inside_job = false;
+
+int
+envThreads()
+{
+    const char *env = std::getenv("GCOD_THREADS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    long v = std::strtol(env, nullptr, 10);
+    if (v < 1)
+        return 0;
+    return int(std::min<long>(v, kMaxThreads));
+}
+
+} // namespace
+
+int
+hardwareThreads()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : int(hc);
+}
+
+int
+currentThreads()
+{
+    int t = g_threads.load(std::memory_order_relaxed);
+    if (t > 0)
+        return t;
+    int e = envThreads();
+    return e > 0 ? e : hardwareThreads();
+}
+
+void
+setThreads(int n)
+{
+    g_threads.store(std::clamp(n, 1, kMaxThreads),
+                    std::memory_order_relaxed);
+}
+
+void
+setThreadsFromConfig(const Config &cfg)
+{
+    int64_t t = cfg.getInt("threads", 0);
+    if (t > 0)
+        setThreads(int(t));
+}
+
+std::vector<Range>
+staticRanges(int64_t begin, int64_t end, int parts)
+{
+    std::vector<Range> out;
+    int64_t span = end - begin;
+    if (span <= 0)
+        return out;
+    int64_t p = std::clamp<int64_t>(parts, 1, span);
+    int64_t chunk = span / p;
+    int64_t rem = span % p;
+    int64_t at = begin;
+    for (int64_t i = 0; i < p; ++i) {
+        int64_t len = chunk + (i < rem ? 1 : 0);
+        out.push_back({at, at + len});
+        at += len;
+    }
+    return out;
+}
+
+std::vector<Range>
+weightedRanges(const std::vector<int64_t> &cumulative, int parts)
+{
+    std::vector<Range> out;
+    GCOD_ASSERT(!cumulative.empty(), "weightedRanges needs cumulative[0..n]");
+    int64_t n = int64_t(cumulative.size()) - 1;
+    if (n <= 0)
+        return out;
+    int64_t total = cumulative[size_t(n)] - cumulative[0];
+    if (parts <= 1 || total <= 0) {
+        out.push_back({0, n});
+        return out;
+    }
+    int64_t prev = 0;
+    for (int p = 1; p <= parts && prev < n; ++p) {
+        int64_t next;
+        if (p == parts) {
+            next = n;
+        } else {
+            // Last row index whose cumulative cost stays at or below the
+            // p-th equal share; a single over-heavy row still advances by
+            // one so every range makes progress.
+            int64_t target = cumulative[0] + (total / parts) * p +
+                             (total % parts) * p / parts;
+            auto it = std::upper_bound(cumulative.begin() + prev + 1,
+                                       cumulative.end(), target);
+            next = std::clamp<int64_t>(it - cumulative.begin() - 1, prev + 1,
+                                       n);
+        }
+        out.push_back({prev, next});
+        prev = next;
+    }
+    return out;
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+struct ThreadPool::Impl
+{
+    /**
+     * One in-flight parallel region. Owns copies of the ranges and the
+     * body: a worker that wakes after the region already completed (and
+     * the caller's stack frame is gone) still dereferences only this
+     * heap object, which its shared_ptr keeps alive.
+     */
+    struct Job
+    {
+        std::vector<Range> ranges;
+        RangeFn fn;
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> remaining{0};
+        std::mutex mu;
+        std::condition_variable done;
+        std::exception_ptr error; // guarded by mu
+    };
+
+    std::mutex regionMu; // serializes concurrent run() callers
+    std::mutex mu;       // guards job/generation/threads/stop
+    std::condition_variable cv;
+    std::shared_ptr<Job> job;
+    uint64_t generation = 0;
+    bool stop = false;
+    std::vector<std::thread> threads;
+    std::atomic<uint64_t> jobsRun{0};
+
+    static void
+    process(Job &job)
+    {
+        const std::vector<Range> &ranges = job.ranges;
+        const RangeFn &fn = job.fn;
+        for (;;) {
+            size_t i = job.next.fetch_add(1);
+            if (i >= ranges.size())
+                return;
+            try {
+                fn(ranges[i], i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.mu);
+                if (!job.error)
+                    job.error = std::current_exception();
+            }
+            if (job.remaining.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(job.mu);
+                job.done.notify_all();
+            }
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        uint64_t seen = 0;
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+            cv.wait(lock, [&] {
+                return stop || (generation != seen && job != nullptr);
+            });
+            if (stop)
+                return;
+            seen = generation;
+            std::shared_ptr<Job> j = job;
+            lock.unlock();
+            t_inside_job = true;
+            process(*j);
+            t_inside_job = false;
+            j.reset();
+            lock.lock();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int workers) : impl_(new Impl)
+{
+    ensureWorkers(workers);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    for (std::thread &t : impl_->threads)
+        t.join();
+    delete impl_;
+}
+
+int
+ThreadPool::workers() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return int(impl_->threads.size());
+}
+
+void
+ThreadPool::ensureWorkers(int n)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    while (int(impl_->threads.size()) < n && !impl_->stop)
+        impl_->threads.emplace_back([this] { impl_->workerLoop(); });
+}
+
+uint64_t
+ThreadPool::jobsRun() const
+{
+    return impl_->jobsRun.load(std::memory_order_relaxed);
+}
+
+void
+ThreadPool::run(const std::vector<Range> &ranges, const RangeFn &fn)
+{
+    if (ranges.empty())
+        return;
+    impl_->jobsRun.fetch_add(1, std::memory_order_relaxed);
+    if (t_inside_job || ranges.size() == 1 || workers() == 0) {
+        for (size_t i = 0; i < ranges.size(); ++i)
+            fn(ranges[i], i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> region(impl_->regionMu);
+    auto job = std::make_shared<Impl::Job>();
+    job->ranges = ranges;
+    job->fn = fn;
+    job->remaining.store(ranges.size());
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->job = job;
+        ++impl_->generation;
+    }
+    impl_->cv.notify_all();
+
+    t_inside_job = true;
+    Impl::process(*job);
+    t_inside_job = false;
+
+    {
+        std::unique_lock<std::mutex> lock(job->mu);
+        job->done.wait(lock, [&] { return job->remaining.load() == 0; });
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->job.reset();
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+// ------------------------------------------------------------ entry points
+
+void
+parallelForRanges(const std::vector<Range> &ranges, const RangeFn &fn)
+{
+    if (ranges.empty())
+        return;
+    int threads = currentThreads();
+    if (threads <= 1 || ranges.size() <= 1 || t_inside_job) {
+        for (size_t i = 0; i < ranges.size(); ++i)
+            fn(ranges[i], i);
+        return;
+    }
+    ThreadPool &pool = ThreadPool::global();
+    pool.ensureWorkers(threads - 1);
+    pool.run(ranges, fn);
+}
+
+void
+parallelFor(int64_t begin, int64_t end, const RangeFn &fn, int64_t minGrain)
+{
+    int64_t span = end - begin;
+    if (span <= 0)
+        return;
+    int parts = currentThreads();
+    if (minGrain > 1)
+        parts = int(std::min<int64_t>(parts,
+                                      std::max<int64_t>(1, span / minGrain)));
+    if (parts <= 1) {
+        Range all{begin, end};
+        fn(all, 0);
+        return;
+    }
+    parallelForRanges(staticRanges(begin, end, parts), fn);
+}
+
+void
+parallelForWeighted(const std::vector<int64_t> &cumulative, const RangeFn &fn,
+                    int64_t minCost)
+{
+    int64_t n = int64_t(cumulative.size()) - 1;
+    if (n <= 0)
+        return;
+    int64_t total = cumulative[size_t(n)] - cumulative[0];
+    int parts = currentThreads();
+    if (parts <= 1 || total < minCost) {
+        Range all{0, n};
+        fn(all, 0);
+        return;
+    }
+    parallelForRanges(weightedRanges(cumulative, parts), fn);
+}
+
+} // namespace gcod

@@ -1,10 +1,42 @@
 #include "fused.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "sim/logging.hpp"
+#include "sim/parallel.hpp"
 
 namespace gcod {
+
+namespace {
+
+/** Smallest fused-pipeline MAC count worth a multi-range dispatch. */
+constexpr int64_t kMinParallelMacs = 1 << 15;
+
+/**
+ * Output-column ranges for the fused pipelines. Both kernels partition
+ * the W/output column space: each range owns a disjoint column slice of
+ * Y, so there are no write collisions, and for any fixed (row, column)
+ * the accumulation order is exactly the scalar kernel's — results are
+ * bit-identical for any thread count. MACs are counted per range and
+ * summed afterwards (integer, order-free), so FusedStats is invariant
+ * under threading.
+ *
+ * Column slicing makes every range repeat the X sweep and A traversal
+ * (reads scale with the range count even though FLOPs split evenly), so
+ * small problems cap their range count by @p totalMacs rather than
+ * paying that duplicated traffic for sub-threshold work.
+ */
+std::vector<Range>
+fusedColumnRanges(int64_t cols, int64_t totalMacs)
+{
+    int64_t parts = std::min<int64_t>(
+        currentThreads(),
+        std::max<int64_t>(1, totalMacs / kMinParallelMacs));
+    return staticRanges(0, cols, int(parts));
+}
+
+} // namespace
 
 Matrix
 fusedEfficiencyAware(const CscMatrix &a_csc, const Matrix &x,
@@ -14,32 +46,46 @@ fusedEfficiencyAware(const CscMatrix &a_csc, const Matrix &x,
     GCOD_ASSERT(int64_t(a_csc.cols()) == x.rows(), "A/X shape mismatch");
     Matrix y(a_csc.rows(), w.cols(), 0.0f);
     FusedStats s;
-    // One row of XW live at a time; the whole output stays buffered.
-    std::vector<float> xw_row(static_cast<size_t>(w.cols()), 0.0f);
+    // Modeled pipeline footprint (Fig. 7(c)+(d)): one XW row live at a
+    // time, full output buffered. The host-side column slicing below is
+    // an execution detail of the same dataflow and does not change it.
     s.peakIntermediate = w.cols();
     s.peakOutput = y.size();
-    for (NodeId i = 0; i < NodeId(x.rows()); ++i) {
-        // Row-wise combination: row i of XW (Fig. 7(c)).
-        std::fill(xw_row.begin(), xw_row.end(), 0.0f);
-        const float *xrow = x.row(i);
-        for (int64_t k = 0; k < x.cols(); ++k) {
-            float xv = xrow[k];
-            if (xv == 0.0f)
-                continue;
-            const float *wrow = w.row(k);
-            for (int64_t j = 0; j < w.cols(); ++j)
-                xw_row[size_t(j)] += xv * wrow[j];
-            s.macs += w.cols();
+
+    std::vector<Range> ranges = fusedColumnRanges(
+        w.cols(), (x.rows() * x.cols() + a_csc.nnz()) * w.cols());
+    std::vector<int64_t> range_macs(ranges.size(), 0);
+    parallelForRanges(ranges, [&](const Range &jr, size_t idx) {
+        const int64_t jw = jr.size();
+        // This range's slice of the live XW row.
+        std::vector<float> xw_row(size_t(jw), 0.0f);
+        int64_t macs = 0;
+        for (NodeId i = 0; i < NodeId(x.rows()); ++i) {
+            // Row-wise combination: row i of XW (Fig. 7(c)).
+            std::fill(xw_row.begin(), xw_row.end(), 0.0f);
+            const float *xrow = x.row(i);
+            for (int64_t k = 0; k < x.cols(); ++k) {
+                float xv = xrow[k];
+                if (xv == 0.0f)
+                    continue;
+                const float *wrow = w.row(k);
+                for (int64_t j = 0; j < jw; ++j)
+                    xw_row[size_t(j)] += xv * wrow[jr.begin + j];
+                macs += jw;
+            }
+            // Immediate distributed aggregation: the finished XW row
+            // multiplies all nonzeros of A's column i (Fig. 7(d)).
+            a_csc.forEachInCol(i, [&](NodeId r, float av) {
+                float *yrow = y.row(r);
+                for (int64_t j = 0; j < jw; ++j)
+                    yrow[jr.begin + j] += av * xw_row[size_t(j)];
+                macs += jw;
+            });
         }
-        // Immediate distributed aggregation: the finished XW row
-        // multiplies all nonzeros of A's column i (Fig. 7(d)).
-        a_csc.forEachInCol(i, [&](NodeId r, float av) {
-            float *yrow = y.row(r);
-            for (int64_t j = 0; j < w.cols(); ++j)
-                yrow[j] += av * xw_row[size_t(j)];
-            s.macs += w.cols();
-        });
-    }
+        range_macs[idx] = macs;
+    });
+    s.macs = std::accumulate(range_macs.begin(), range_macs.end(),
+                             int64_t(0));
     if (stats)
         *stats = s;
     return y;
@@ -53,37 +99,48 @@ fusedResourceAware(const CscMatrix &a_csc, const Matrix &x, const Matrix &w,
     GCOD_ASSERT(int64_t(a_csc.cols()) == x.rows(), "A/X shape mismatch");
     Matrix y(a_csc.rows(), w.cols(), 0.0f);
     FusedStats s;
-    // One XW column and one output column live at a time (Fig. 7(e)/(f)).
-    std::vector<float> xw_col(static_cast<size_t>(x.rows()), 0.0f);
-    std::vector<float> y_col(static_cast<size_t>(a_csc.rows()), 0.0f);
+    // Modeled footprint (Fig. 7(e)/(f)): one XW column and one output
+    // column live at a time.
     s.peakIntermediate = x.rows();
     s.peakOutput = a_csc.rows();
-    for (int64_t j = 0; j < w.cols(); ++j) {
-        // Column-wise combination: XW[:, j] = X * W[:, j].
-        std::fill(xw_col.begin(), xw_col.end(), 0.0f);
-        for (int64_t i = 0; i < x.rows(); ++i) {
-            const float *xrow = x.row(i);
-            float acc = 0.0f;
-            for (int64_t k = 0; k < x.cols(); ++k)
-                acc += xrow[k] * w(k, j);
-            xw_col[size_t(i)] = acc;
-            s.macs += x.cols();
+
+    std::vector<Range> ranges = fusedColumnRanges(
+        w.cols(), (x.rows() * x.cols() + a_csc.nnz()) * w.cols());
+    std::vector<int64_t> range_macs(ranges.size(), 0);
+    parallelForRanges(ranges, [&](const Range &jr, size_t idx) {
+        std::vector<float> xw_col(static_cast<size_t>(x.rows()), 0.0f);
+        std::vector<float> y_col(static_cast<size_t>(a_csc.rows()), 0.0f);
+        int64_t macs = 0;
+        for (int64_t j = jr.begin; j < jr.end; ++j) {
+            // Column-wise combination: XW[:, j] = X * W[:, j].
+            std::fill(xw_col.begin(), xw_col.end(), 0.0f);
+            for (int64_t i = 0; i < x.rows(); ++i) {
+                const float *xrow = x.row(i);
+                float acc = 0.0f;
+                for (int64_t k = 0; k < x.cols(); ++k)
+                    acc += xrow[k] * w(k, j);
+                xw_col[size_t(i)] = acc;
+                macs += x.cols();
+            }
+            // Column-wise aggregation with full output-column reuse:
+            // Y[:, j] = A * XW[:, j].
+            std::fill(y_col.begin(), y_col.end(), 0.0f);
+            for (NodeId c = 0; c < a_csc.cols(); ++c) {
+                float xv = xw_col[size_t(c)];
+                if (xv == 0.0f)
+                    continue;
+                a_csc.forEachInCol(c, [&](NodeId r, float av) {
+                    y_col[size_t(r)] += av * xv;
+                    macs += 1;
+                });
+            }
+            for (NodeId r = 0; r < a_csc.rows(); ++r)
+                y(r, j) = y_col[size_t(r)];
         }
-        // Column-wise aggregation with full output-column reuse:
-        // Y[:, j] = A * XW[:, j].
-        std::fill(y_col.begin(), y_col.end(), 0.0f);
-        for (NodeId c = 0; c < a_csc.cols(); ++c) {
-            float xv = xw_col[size_t(c)];
-            if (xv == 0.0f)
-                continue;
-            a_csc.forEachInCol(c, [&](NodeId r, float av) {
-                y_col[size_t(r)] += av * xv;
-                s.macs += 1;
-            });
-        }
-        for (NodeId r = 0; r < a_csc.rows(); ++r)
-            y(r, j) = y_col[size_t(r)];
-    }
+        range_macs[idx] = macs;
+    });
+    s.macs = std::accumulate(range_macs.begin(), range_macs.end(),
+                             int64_t(0));
     if (stats)
         *stats = s;
     return y;

@@ -3,26 +3,61 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/parallel.hpp"
+
 namespace gcod {
+
+namespace {
+
+/**
+ * Column-tile width for the dense kernels: a K x kColTile stripe of the
+ * right-hand operand stays cache-resident while every row of the local
+ * range streams against it.
+ */
+constexpr int64_t kColTile = 128;
+
+/** Smallest number of scalar multiply-adds worth shipping to the pool. */
+constexpr int64_t kMinParallelWork = 1 << 15;
+
+/** Rows per range so each range carries at least kMinParallelWork flops. */
+int64_t
+rowGrain(int64_t flopsPerRow)
+{
+    return std::max<int64_t>(1, kMinParallelWork / std::max<int64_t>(
+                                                       1, flopsPerRow));
+}
+
+} // namespace
 
 Matrix
 matmul(const Matrix &a, const Matrix &b)
 {
     GCOD_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
     Matrix c(a.rows(), b.cols(), 0.0f);
-    // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-    for (int64_t i = 0; i < a.rows(); ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (int64_t k = 0; k < a.cols(); ++k) {
-            float av = arow[k];
-            if (av == 0.0f)
-                continue;
-            const float *brow = b.row(k);
-            for (int64_t j = 0; j < b.cols(); ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    // Parallel over disjoint row blocks of C; within a block, i-k-j order
+    // tiled over j so one K x kColTile stripe of B is reused across the
+    // whole block. Accumulation into each c(i, j) stays in ascending-k
+    // order, so the result is bit-identical for any thread count.
+    parallelFor(
+        0, a.rows(),
+        [&](const Range &r, size_t) {
+            for (int64_t jb = 0; jb < b.cols(); jb += kColTile) {
+                int64_t jend = std::min(jb + kColTile, b.cols());
+                for (int64_t i = r.begin; i < r.end; ++i) {
+                    const float *arow = a.row(i);
+                    float *crow = c.row(i);
+                    for (int64_t k = 0; k < a.cols(); ++k) {
+                        float av = arow[k];
+                        if (av == 0.0f)
+                            continue;
+                        const float *brow = b.row(k);
+                        for (int64_t j = jb; j < jend; ++j)
+                            crow[j] += av * brow[j];
+                    }
+                }
+            }
+        },
+        rowGrain(a.cols() * b.cols()));
     return c;
 }
 
@@ -31,18 +66,27 @@ matmulTransposedA(const Matrix &a, const Matrix &b)
 {
     GCOD_ASSERT(a.rows() == b.rows(), "matmulTransposedA shape mismatch");
     Matrix c(a.cols(), b.cols(), 0.0f);
-    for (int64_t k = 0; k < a.rows(); ++k) {
-        const float *arow = a.row(k);
-        const float *brow = b.row(k);
-        for (int64_t i = 0; i < a.cols(); ++i) {
-            float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c.row(i);
-            for (int64_t j = 0; j < b.cols(); ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    // Parallel over disjoint row blocks of C (= column blocks of A); the
+    // k sweep is innermost-outer exactly as in the scalar kernel, so each
+    // c(i, j) accumulates in ascending-k order and the block's C rows
+    // stay cache-resident across the whole sweep.
+    parallelFor(
+        0, a.cols(),
+        [&](const Range &r, size_t) {
+            for (int64_t k = 0; k < a.rows(); ++k) {
+                const float *arow = a.row(k);
+                const float *brow = b.row(k);
+                for (int64_t i = r.begin; i < r.end; ++i) {
+                    float av = arow[i];
+                    if (av == 0.0f)
+                        continue;
+                    float *crow = c.row(i);
+                    for (int64_t j = 0; j < b.cols(); ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        },
+        rowGrain(a.rows() * b.cols()));
     return c;
 }
 
@@ -51,17 +95,28 @@ matmulTransposedB(const Matrix &a, const Matrix &b)
 {
     GCOD_ASSERT(a.cols() == b.cols(), "matmulTransposedB shape mismatch");
     Matrix c(a.rows(), b.rows(), 0.0f);
-    for (int64_t i = 0; i < a.rows(); ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (int64_t j = 0; j < b.rows(); ++j) {
-            const float *brow = b.row(j);
-            float acc = 0.0f;
-            for (int64_t k = 0; k < a.cols(); ++k)
-                acc += arow[k] * brow[k];
-            crow[j] += acc;
-        }
-    }
+    // Parallel over row blocks of C; j tiled so a block of B rows is
+    // reused across every row of the local range. Each c(i, j) is one
+    // ascending-k dot product, identical to the scalar kernel.
+    parallelFor(
+        0, a.rows(),
+        [&](const Range &r, size_t) {
+            for (int64_t jb = 0; jb < b.rows(); jb += kColTile) {
+                int64_t jend = std::min(jb + kColTile, b.rows());
+                for (int64_t i = r.begin; i < r.end; ++i) {
+                    const float *arow = a.row(i);
+                    float *crow = c.row(i);
+                    for (int64_t j = jb; j < jend; ++j) {
+                        const float *brow = b.row(j);
+                        float acc = 0.0f;
+                        for (int64_t k = 0; k < a.cols(); ++k)
+                            acc += arow[k] * brow[k];
+                        crow[j] += acc;
+                    }
+                }
+            }
+        },
+        rowGrain(a.cols() * b.rows()));
     return c;
 }
 
@@ -70,14 +125,25 @@ spmmRowWise(const CsrMatrix &a, const Matrix &x)
 {
     GCOD_ASSERT(int64_t(a.cols()) == x.rows(), "spmm shape mismatch");
     Matrix y(a.rows(), x.cols(), 0.0f);
-    for (NodeId r = 0; r < a.rows(); ++r) {
-        float *yrow = y.row(r);
-        a.forEachInRow(r, [&](NodeId c, float v) {
-            const float *xrow = x.row(c);
-            for (int64_t j = 0; j < x.cols(); ++j)
-                yrow[j] += v * xrow[j];
-        });
-    }
+    // Row ranges are cut by cumulative nnz (the indptr array), not row
+    // count: on power-law graphs equal row counts give wildly unequal
+    // work while equal nnz shares stay balanced — the same imbalance
+    // the paper's accelerators rebalance in hardware. Each output row is
+    // written by exactly one range, so results are thread-count
+    // invariant.
+    parallelForWeighted(
+        a.indptr(),
+        [&](const Range &r, size_t) {
+            for (NodeId row = NodeId(r.begin); row < NodeId(r.end); ++row) {
+                float *yrow = y.row(row);
+                a.forEachInRow(row, [&](NodeId c, float v) {
+                    const float *xrow = x.row(c);
+                    for (int64_t j = 0; j < x.cols(); ++j)
+                        yrow[j] += v * xrow[j];
+                });
+            }
+        },
+        rowGrain(x.cols()));
     return y;
 }
 
@@ -88,6 +154,9 @@ spmmColumnWise(const CscMatrix &a, const Matrix &x)
     Matrix y(a.rows(), x.cols(), 0.0f);
     // Consume one adjacency column per step; each column's entries all
     // multiply the same row of X (distributed aggregation, Fig. 5(b)).
+    // Stays serial: distinct columns scatter into the same output rows,
+    // and this dataflow exists to mirror the accelerator, not to be the
+    // host hot path (spmmRowWise is).
     for (NodeId c = 0; c < a.cols(); ++c) {
         const float *xrow = x.row(c);
         a.forEachInCol(c, [&](NodeId r, float v) {
@@ -109,8 +178,14 @@ Matrix
 relu(const Matrix &x)
 {
     Matrix y = x;
-    for (auto &v : y.data())
-        v = std::max(v, 0.0f);
+    float *d = y.data().data();
+    parallelFor(
+        0, y.size(),
+        [&](const Range &r, size_t) {
+            for (int64_t i = r.begin; i < r.end; ++i)
+                d[i] = std::max(d[i], 0.0f);
+        },
+        kMinParallelWork);
     return y;
 }
 
@@ -119,9 +194,16 @@ reluBackward(const Matrix &grad, const Matrix &x)
 {
     GCOD_ASSERT(grad.sameShape(x), "reluBackward shape mismatch");
     Matrix g = grad;
-    for (size_t i = 0; i < g.data().size(); ++i)
-        if (x.data()[i] <= 0.0f)
-            g.data()[i] = 0.0f;
+    float *gd = g.data().data();
+    const float *xd = x.data().data();
+    parallelFor(
+        0, g.size(),
+        [&](const Range &r, size_t) {
+            for (int64_t i = r.begin; i < r.end; ++i)
+                if (xd[i] <= 0.0f)
+                    gd[i] = 0.0f;
+        },
+        kMinParallelWork);
     return g;
 }
 
@@ -129,9 +211,15 @@ Matrix
 leakyRelu(const Matrix &x, float alpha)
 {
     Matrix y = x;
-    for (auto &v : y.data())
-        if (v < 0.0f)
-            v *= alpha;
+    float *d = y.data().data();
+    parallelFor(
+        0, y.size(),
+        [&](const Range &r, size_t) {
+            for (int64_t i = r.begin; i < r.end; ++i)
+                if (d[i] < 0.0f)
+                    d[i] *= alpha;
+        },
+        kMinParallelWork);
     return y;
 }
 
@@ -139,20 +227,25 @@ Matrix
 softmaxRows(const Matrix &x)
 {
     Matrix y(x.rows(), x.cols());
-    for (int64_t r = 0; r < x.rows(); ++r) {
-        const float *in = x.row(r);
-        float *out = y.row(r);
-        float peak = in[0];
-        for (int64_t c = 1; c < x.cols(); ++c)
-            peak = std::max(peak, in[c]);
-        float sum = 0.0f;
-        for (int64_t c = 0; c < x.cols(); ++c) {
-            out[c] = std::exp(in[c] - peak);
-            sum += out[c];
-        }
-        for (int64_t c = 0; c < x.cols(); ++c)
-            out[c] /= sum;
-    }
+    parallelFor(
+        0, x.rows(),
+        [&](const Range &range, size_t) {
+            for (int64_t r = range.begin; r < range.end; ++r) {
+                const float *in = x.row(r);
+                float *out = y.row(r);
+                float peak = in[0];
+                for (int64_t c = 1; c < x.cols(); ++c)
+                    peak = std::max(peak, in[c]);
+                float sum = 0.0f;
+                for (int64_t c = 0; c < x.cols(); ++c) {
+                    out[c] = std::exp(in[c] - peak);
+                    sum += out[c];
+                }
+                for (int64_t c = 0; c < x.cols(); ++c)
+                    out[c] /= sum;
+            }
+        },
+        rowGrain(4 * x.cols()));
     return y;
 }
 
@@ -197,13 +290,18 @@ softmaxCrossEntropyBackward(const Matrix &probs,
     if (!counted)
         return grad;
     float inv = 1.0f / float(counted);
-    for (int64_t r = 0; r < probs.rows(); ++r) {
-        if (!rowSelected(mask, r))
-            continue;
-        for (int64_t c = 0; c < probs.cols(); ++c)
-            grad(r, c) = probs(r, c) * inv;
-        grad(r, labels[size_t(r)]) -= inv;
-    }
+    parallelFor(
+        0, probs.rows(),
+        [&](const Range &range, size_t) {
+            for (int64_t r = range.begin; r < range.end; ++r) {
+                if (!rowSelected(mask, r))
+                    continue;
+                for (int64_t c = 0; c < probs.cols(); ++c)
+                    grad(r, c) = probs(r, c) * inv;
+                grad(r, labels[size_t(r)]) -= inv;
+            }
+        },
+        rowGrain(probs.cols()));
     return grad;
 }
 

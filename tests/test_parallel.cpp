@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the shared parallel runtime (sim/parallel) and the kernels
+ * rewritten on top of it: exact serial/parallel parity for SpMM and the
+ * three GEMM variants at 1..8 threads, nnz-balanced partitioning on a
+ * power-law graph, pool reuse/teardown, nested-region safety, exception
+ * propagation, and fused-pipeline stats invariance under threading.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "graph/generate.hpp"
+#include "graph/graph.hpp"
+#include "nn/adam.hpp"
+#include "sim/parallel.hpp"
+#include "sim/rng.hpp"
+#include "tensor/fused.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+using namespace gcod;
+
+namespace {
+
+/** Restore the ambient thread policy when a test ends. */
+struct ThreadGuard
+{
+    int saved = currentThreads();
+    ~ThreadGuard() { setThreads(saved); }
+};
+
+Matrix
+randomDense(int64_t r, int64_t c, Rng &rng)
+{
+    Matrix m(r, c);
+    for (auto &v : m.data())
+        v = float(rng.normal(0.0, 1.0));
+    return m;
+}
+
+/** Bitwise equality (not tolerance): parity must be exact. */
+bool
+bitEqual(const Matrix &a, const Matrix &b)
+{
+    return a.sameShape(b) &&
+           std::memcmp(a.data().data(), b.data().data(),
+                       a.data().size() * sizeof(float)) == 0;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- partitioning
+TEST(Ranges, StaticCoverageAndBalance)
+{
+    auto ranges = staticRanges(3, 103, 7);
+    ASSERT_EQ(ranges.size(), 7u);
+    int64_t at = 3;
+    for (const Range &r : ranges) {
+        EXPECT_EQ(r.begin, at);
+        EXPECT_GE(r.size(), 100 / 7);
+        EXPECT_LE(r.size(), 100 / 7 + 1);
+        at = r.end;
+    }
+    EXPECT_EQ(at, 103);
+
+    // Never more ranges than elements; empty span yields nothing.
+    EXPECT_EQ(staticRanges(0, 3, 8).size(), 3u);
+    EXPECT_TRUE(staticRanges(5, 5, 4).empty());
+}
+
+TEST(Ranges, WeightedBalancesNnzOnPowerLawGraph)
+{
+    Rng rng(7);
+    Graph g = barabasiAlbert(4000, 4, rng);
+    const auto &indptr = g.adjacency().indptr();
+    int64_t total = indptr.back();
+    int64_t max_row = 0;
+    for (size_t r = 0; r + 1 < indptr.size(); ++r)
+        max_row = std::max(max_row, indptr[r + 1] - indptr[r]);
+
+    for (int parts : {2, 4, 8}) {
+        auto ranges = weightedRanges(indptr, parts);
+        ASSERT_FALSE(ranges.empty());
+        EXPECT_LE(int(ranges.size()), parts);
+        int64_t at = 0;
+        int64_t heaviest = 0;
+        for (const Range &r : ranges) {
+            EXPECT_EQ(r.begin, at);
+            at = r.end;
+            heaviest = std::max(heaviest,
+                                indptr[size_t(r.end)] -
+                                    indptr[size_t(r.begin)]);
+        }
+        EXPECT_EQ(at, int64_t(indptr.size()) - 1);
+        // Each range carries at most one equal share plus one row's worth
+        // of slack — on a power-law graph a row-count split would be far
+        // outside this bound.
+        EXPECT_LE(heaviest, total / parts + max_row);
+    }
+
+    // Row-count splits really are worse on this graph: preferential
+    // attachment front-loads heavy nodes, so the first quarter of the
+    // rows carries well over a quarter of the nnz.
+    auto byRows = staticRanges(0, int64_t(indptr.size()) - 1, 4);
+    int64_t first = indptr[size_t(byRows[0].end)] - indptr[0];
+    EXPECT_GT(first, (total / 4) * 5 / 4);
+}
+
+// ------------------------------------------------------------------- pool
+TEST(ThreadPool, ReusesWorkersAcrossJobs)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workers(), 3);
+    std::atomic<int64_t> sum{0};
+    auto ranges = staticRanges(0, 1000, 8);
+    for (int job = 0; job < 3; ++job) {
+        pool.run(ranges, [&](const Range &r, size_t) {
+            for (int64_t i = r.begin; i < r.end; ++i)
+                sum.fetch_add(i, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(sum.load(), 3 * (999 * 1000 / 2));
+    EXPECT_EQ(pool.jobsRun(), 3u);
+    EXPECT_EQ(pool.workers(), 3); // persistent, not per-job
+}
+
+TEST(ThreadPool, TeardownJoinsCleanly)
+{
+    for (int i = 0; i < 5; ++i) {
+        ThreadPool pool(2);
+        std::atomic<int> hits{0};
+        pool.run(staticRanges(0, 64, 8),
+                 [&](const Range &r, size_t) { hits += int(r.size()); });
+        EXPECT_EQ(hits.load(), 64);
+        // Destructor joins workers; looping catches teardown races.
+    }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadGuard guard;
+    setThreads(4);
+    std::atomic<int64_t> sum{0};
+    parallelFor(0, 8, [&](const Range &outer, size_t) {
+        for (int64_t i = outer.begin; i < outer.end; ++i) {
+            // A nested region must degrade to inline execution instead
+            // of deadlocking on the pool.
+            parallelFor(0, 100, [&](const Range &inner, size_t) {
+                for (int64_t j = inner.begin; j < inner.end; ++j)
+                    sum.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+    });
+    EXPECT_EQ(sum.load(), 800);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadGuard guard;
+    setThreads(4);
+    EXPECT_THROW(
+        parallelFor(0, 64,
+                    [&](const Range &r, size_t) {
+                        if (r.begin >= 0)
+                            throw std::logic_error("boom");
+                    }),
+        std::logic_error);
+    // The pool survives a throwing job.
+    std::atomic<int> hits{0};
+    parallelFor(0, 64, [&](const Range &r, size_t) { hits += int(r.size()); });
+    EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(Threads, ConfigResolution)
+{
+    ThreadGuard guard;
+    setThreads(6);
+    EXPECT_EQ(currentThreads(), 6);
+    setThreads(0); // clamped up to 1
+    EXPECT_EQ(currentThreads(), 1);
+    EXPECT_GE(hardwareThreads(), 1);
+}
+
+// ----------------------------------------------------------------- parity
+TEST(Parity, GemmExactAcrossThreadCounts)
+{
+    ThreadGuard guard;
+    Rng rng(11);
+    Matrix a = randomDense(137, 91, rng);
+    Matrix b = randomDense(91, 63, rng);
+    Matrix at_b_rhs = randomDense(137, 63, rng); // for A^T * rhs
+    Matrix abt_rhs = randomDense(85, 91, rng);   // for A * rhs^T
+
+    setThreads(1);
+    Matrix c1 = matmul(a, b);
+    Matrix ta1 = matmulTransposedA(a, at_b_rhs);
+    Matrix tb1 = matmulTransposedB(a, abt_rhs);
+    for (int t = 2; t <= 8; ++t) {
+        setThreads(t);
+        EXPECT_TRUE(bitEqual(matmul(a, b), c1)) << t << " threads";
+        EXPECT_TRUE(bitEqual(matmulTransposedA(a, at_b_rhs), ta1))
+            << t << " threads";
+        EXPECT_TRUE(bitEqual(matmulTransposedB(a, abt_rhs), tb1))
+            << t << " threads";
+    }
+}
+
+TEST(Parity, SpmmExactOnPowerLawGraph)
+{
+    ThreadGuard guard;
+    Rng rng(13);
+    Graph g = barabasiAlbert(3000, 3, rng);
+    const CsrMatrix &adj = g.adjacency();
+    Matrix x = randomDense(3000, 33, rng);
+
+    setThreads(1);
+    Matrix y1 = spmmRowWise(adj, x);
+    for (int t = 2; t <= 8; ++t) {
+        setThreads(t);
+        EXPECT_TRUE(bitEqual(spmmRowWise(adj, x), y1)) << t << " threads";
+    }
+}
+
+TEST(Parity, ElementwiseAndAdamExact)
+{
+    ThreadGuard guard;
+    Rng rng(17);
+    Matrix x = randomDense(301, 47, rng);
+    Matrix gin = randomDense(301, 47, rng);
+
+    setThreads(1);
+    Matrix r1 = relu(x);
+    Matrix rb1 = reluBackward(gin, x);
+    Matrix sm1 = softmaxRows(x);
+
+    Matrix w1 = randomDense(64, 48, rng);
+    Matrix gw = randomDense(64, 48, rng);
+    Matrix w_serial = w1;
+    {
+        Adam adam({&w_serial}, {});
+        for (int i = 0; i < 3; ++i)
+            adam.step({&gw});
+    }
+
+    for (int t = 2; t <= 8; ++t) {
+        setThreads(t);
+        EXPECT_TRUE(bitEqual(relu(x), r1)) << t;
+        EXPECT_TRUE(bitEqual(reluBackward(gin, x), rb1)) << t;
+        EXPECT_TRUE(bitEqual(softmaxRows(x), sm1)) << t;
+        Matrix w_par = w1;
+        Adam adam({&w_par}, {});
+        for (int i = 0; i < 3; ++i)
+            adam.step({&gw});
+        EXPECT_TRUE(bitEqual(w_par, w_serial)) << t;
+    }
+}
+
+// ------------------------------------------------------------------ fused
+TEST(Fused, StatsAndResultsInvariantUnderThreading)
+{
+    ThreadGuard guard;
+    Rng rng(19);
+    Graph g = barabasiAlbert(600, 3, rng);
+    CscMatrix csc = g.adjacency().toCsc();
+    Matrix x = randomDense(600, 24, rng);
+    Matrix w = randomDense(24, 12, rng);
+
+    setThreads(1);
+    FusedStats eff1, res1;
+    Matrix ye1 = fusedEfficiencyAware(csc, x, w, &eff1);
+    Matrix yr1 = fusedResourceAware(csc, x, w, &res1);
+
+    for (int t = 2; t <= 8; ++t) {
+        setThreads(t);
+        FusedStats eff, res;
+        Matrix ye = fusedEfficiencyAware(csc, x, w, &eff);
+        Matrix yr = fusedResourceAware(csc, x, w, &res);
+        EXPECT_TRUE(bitEqual(ye, ye1)) << t << " threads";
+        EXPECT_TRUE(bitEqual(yr, yr1)) << t << " threads";
+        // FusedStats models the accelerator pipeline, so host threading
+        // must not perturb it.
+        EXPECT_EQ(eff.macs, eff1.macs) << t;
+        EXPECT_EQ(eff.peakIntermediate, eff1.peakIntermediate) << t;
+        EXPECT_EQ(eff.peakOutput, eff1.peakOutput) << t;
+        EXPECT_EQ(res.macs, res1.macs) << t;
+        EXPECT_EQ(res.peakIntermediate, res1.peakIntermediate) << t;
+        EXPECT_EQ(res.peakOutput, res1.peakOutput) << t;
+    }
+}
+
+// ------------------------------------------------------- conversion paths
+TEST(CooToCsr, LvalueAndRvaluePathsAgree)
+{
+    Rng rng(23);
+    CooMatrix coo(50, 40);
+    for (int i = 0; i < 400; ++i)
+        coo.add(NodeId(rng.uniformInt(0, 49)), NodeId(rng.uniformInt(0, 39)),
+                float(rng.normal(0.0, 1.0)));
+    // Duplicates on purpose: both paths must coalesce identically.
+    coo.add(7, 7, 1.0f);
+    coo.add(7, 7, 2.0f);
+
+    CsrMatrix viaLvalue = coo.toCsr(); // coo untouched
+    EXPECT_EQ(coo.nnz(), 402);
+    CsrMatrix viaRvalue = std::move(coo).toCsr();
+    EXPECT_EQ(coo.nnz(), 0); // consumed
+
+    ASSERT_EQ(viaLvalue.nnz(), viaRvalue.nnz());
+    EXPECT_EQ(viaLvalue.indptr(), viaRvalue.indptr());
+    EXPECT_EQ(viaLvalue.indices(), viaRvalue.indices());
+    EXPECT_EQ(viaLvalue.values(), viaRvalue.values());
+    // Exact reservation: no slack capacity from the duplicate entries
+    // (the old path reserved one slot per raw COO entry).
+    EXPECT_LT(viaLvalue.indices().capacity(), 402u);
+}
