@@ -219,7 +219,7 @@ struct Prepared
         return in;
     }
 
-    bool large() const { return profile.nodes > 20000; }
+    bool large() const { return profile.nodes >= kLargeGraphNodes; }
 };
 
 /** Default benchmark scale per dataset (keeps every bench CI-fast). */

@@ -10,7 +10,11 @@
  * Config overrides (key=value):
  *   requests=4000 rate=50000 workers=4 maxbatch=32 delay_us=2000
  *   policy=adaptive|timeout|fixed backends=GCoD,HyGCN,AWB-GCN,DGL-GPU
- *   scale=0 seed=42
+ *   scale=0 seed=42 out=BENCH_serve.json
+ *
+ * Results are also written as machine-readable JSON (out=...) via the
+ * shared JsonEmitter, so the serving-throughput trajectory is tracked
+ * across commits like the kernel and shard benches.
  *
  * Backends accept registry spec strings ("GCoD@bits=8"). Separate the
  * list with ';' when a spec itself contains commas, e.g.
@@ -176,6 +180,31 @@ serveTraffic(Config &cfg)
     std::cout << "\nFull stats group:\n";
     stats.print(std::cout, engine.cache().hitRate());
     std::cout << '\n';
+
+    JsonEmitter json;
+    json.meta()
+        .set("bench", "serve_throughput")
+        .set("requests", requests)
+        .set("rate_per_sec", rate)
+        .set("workers", int64_t(opts.workers))
+        .set("policy", batchPolicyName(opts.batching.policy))
+        .set("backends", backends);
+    json.add("traffic")
+        .set("completed_ok", int64_t(ok))
+        .set("wall_seconds", wall)
+        .set("throughput_req_per_sec", double(ok) / wall)
+        .set("latency_p50_ms", stats.latencyPercentile(50.0) * 1e3)
+        .set("latency_p99_ms", stats.latencyPercentile(99.0) * 1e3)
+        .set("mean_batch_size", stats.meanBatchSize())
+        .set("accelerator_passes", int64_t(stats.batches()))
+        .set("cache_hit_rate", engine.cache().hitRate())
+        .set("artifact_build_seconds", warm_seconds);
+    for (const auto &[name, n] : counts)
+        json.add("backend_" + name)
+            .set("backend", name)
+            .set("requests", int64_t(n))
+            .set("share", double(n) / total);
+    json.writeFile(cfg.getString("out", "BENCH_serve.json"));
 
     GCOD_ASSERT(ok == size_t(requests), "requests failed during bench");
     GCOD_ASSERT(engine.cache().hitRate() > 0.0,

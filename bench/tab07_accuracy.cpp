@@ -76,7 +76,7 @@ printTable7(Config &cfg)
                 GraphContext ctx(ds.synth.graph);
                 Rng mr(23);
                 auto m = makeModel(model, ds.featureDim(), ds.numClasses(),
-                                   synth.original.nodes > 20000, mr);
+                                   synth.original.nodes >= kLargeGraphNodes, mr);
                 TrainReport tr = train(*m, ctx, ds, topts);
                 rows["Vanilla"].push_back(pct(tr.testAccuracy));
             }

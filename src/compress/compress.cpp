@@ -13,7 +13,7 @@ namespace {
 bool
 isLarge(const Dataset &ds)
 {
-    return ds.synth.original.nodes > 20000;
+    return ds.synth.original.nodes >= kLargeGraphNodes;
 }
 
 /** Dataset copy with a replacement graph. */

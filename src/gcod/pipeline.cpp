@@ -34,7 +34,7 @@ namespace {
 bool
 isLargeDataset(const Dataset &ds)
 {
-    return ds.synth.original.nodes > 20000;
+    return ds.synth.original.nodes >= kLargeGraphNodes;
 }
 
 /** Replace a dataset's graph, keeping features/labels/masks. */

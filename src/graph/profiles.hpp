@@ -16,6 +16,13 @@
 namespace gcod {
 
 /**
+ * Published node count from which a dataset counts as "large": its
+ * model specs use the large-graph hidden dimensions (Tab. IV), and the
+ * serving engine's sharded path treats it as a multi-chip workload.
+ */
+constexpr NodeId kLargeGraphNodes = 20000;
+
+/**
  * Published statistics of one benchmark dataset (paper Tab. III) together
  * with generator knobs that reproduce its structural character.
  */

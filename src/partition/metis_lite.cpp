@@ -11,6 +11,21 @@ namespace gcod {
 
 namespace {
 
+/** Fill maxImbalance from the finished part weights. */
+void
+reportBalance(PartitionResult &res, const PartitionOptions &opts)
+{
+    res.balanceFactorUsed = opts.balanceFactor;
+    double total = std::accumulate(res.partWeights.begin(),
+                                   res.partWeights.end(), 0.0);
+    if (total <= 0.0 || res.parts <= 0)
+        return;
+    double ideal = total / double(res.parts);
+    double max_w = *std::max_element(res.partWeights.begin(),
+                                     res.partWeights.end());
+    res.maxImbalance = max_w / ideal;
+}
+
 /** One level of the multilevel hierarchy: a weighted CSR graph. */
 struct Level
 {
@@ -127,7 +142,13 @@ contract(const Level &fine, NodeId coarse_n)
     return lv;
 }
 
-/** Greedy region growing: seed parts, grow by BFS until weight target. */
+/**
+ * Greedy region growing: seed parts, grow by BFS until the weight
+ * target. A region that saturates before reaching the target (its
+ * connected component ran out) restarts from a fresh unassigned seed,
+ * so disconnected — and fully edgeless — graphs still fill every part
+ * instead of dumping the remainder into the last one.
+ */
 std::vector<int>
 initialPartition(const Level &lv, int parts, Rng &rng)
 {
@@ -140,19 +161,24 @@ initialPartition(const Level &lv, int parts, Rng &rng)
     rng.shuffle(order);
 
     size_t seed_cursor = 0;
-    for (int p = 0; p < parts - 1; ++p) {
-        // Find an unassigned seed.
-        while (seed_cursor < order.size() &&
-               part[size_t(order[seed_cursor])] >= 0)
-            ++seed_cursor;
-        if (seed_cursor >= order.size())
-            break;
-        std::vector<NodeId> frontier{order[seed_cursor]};
+    for (int p = 0; p < parts - 1 && seed_cursor < order.size(); ++p) {
+        std::vector<NodeId> frontier;
         double weight = 0.0;
         size_t head = 0;
-        part[size_t(order[seed_cursor])] = p;
-        weight += lv.vwgt[size_t(order[seed_cursor])];
-        while (weight < target && head < frontier.size()) {
+        while (weight < target) {
+            if (head >= frontier.size()) {
+                // Region empty or saturated: take the next fresh seed.
+                while (seed_cursor < order.size() &&
+                       part[size_t(order[seed_cursor])] >= 0)
+                    ++seed_cursor;
+                if (seed_cursor >= order.size())
+                    break;
+                NodeId s = order[seed_cursor];
+                part[size_t(s)] = p;
+                weight += lv.vwgt[size_t(s)];
+                frontier.push_back(s);
+                continue;
+            }
             NodeId u = frontier[head++];
             for (EdgeOffset k = lv.xadj[size_t(u)];
                  k < lv.xadj[size_t(u) + 1] && weight < target; ++k) {
@@ -249,6 +275,7 @@ partitionGraph(const Graph &g, int parts, const std::vector<double> &weights,
             res.partWeights[0] +=
                 weights.empty() ? 1.0 : weights[size_t(u)];
         res.edgeCut = 0;
+        reportBalance(res, opts);
         return res;
     }
 
@@ -285,6 +312,12 @@ partitionGraph(const Graph &g, int parts, const std::vector<double> &weights,
         res.partWeights[size_t(res.partOf[size_t(u)])] += w;
     }
     res.edgeCut = computeEdgeCut(g, res.partOf);
+    reportBalance(res, opts);
+    if (!res.withinBalance())
+        debugLog("partitionGraph: achieved imbalance ", res.maxImbalance,
+                 " exceeds the requested balance factor ",
+                 opts.balanceFactor, " (", parts, " parts, ",
+                 g.numNodes(), " nodes)");
     return res;
 }
 

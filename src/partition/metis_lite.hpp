@@ -39,6 +39,24 @@ struct PartitionResult
     std::vector<int> partOf;          ///< part id per node
     std::vector<double> partWeights;  ///< total vertex weight per part
     EdgeOffset edgeCut = 0;           ///< edges crossing parts
+
+    /** The balance constraint the partitioner ran with. */
+    double balanceFactorUsed = 0.0;
+    /**
+     * Max part weight over the ideal share (total/parts); 0 on empty
+     * input. Refinement enforces the constraint on *moves* only, so a
+     * lopsided initial assignment (indivisible heavy vertices, k close
+     * to or above the node count) can exceed it — this reports the
+     * achieved value instead of failing.
+     */
+    double maxImbalance = 0.0;
+
+    /** True when the achieved imbalance honours the requested factor. */
+    bool
+    withinBalance() const
+    {
+        return maxImbalance <= balanceFactorUsed + 1e-9;
+    }
 };
 
 /**

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "graph/profiles.hpp"
+#include "shard/scheduler.hpp"
 #include "sim/rng.hpp"
 
 namespace gcod::serve {
@@ -89,7 +90,7 @@ defaultServeScale(const std::string &dataset)
 
 std::shared_ptr<const ArtifactBundle>
 buildArtifact(const ArtifactKey &key, const GcodOptions &opts, double scale,
-              uint64_t seed)
+              uint64_t seed, int shards, NodeId shard_min_nodes)
 {
     auto t0 = std::chrono::steady_clock::now();
     auto bundle = std::make_shared<ArtifactBundle>();
@@ -100,9 +101,9 @@ buildArtifact(const ArtifactKey &key, const GcodOptions &opts, double scale,
     Rng rng(seed);
     bundle->synth = synthesize(bundle->profile, bundle->scaleUsed, rng);
     bundle->outcome = runGcodStructureOnly(bundle->synth, opts);
-    bundle->spec =
-        makeModelSpec(key.model, bundle->profile.features,
-                      bundle->profile.classes, bundle->profile.nodes > 20000);
+    bundle->spec = makeModelSpec(key.model, bundle->profile.features,
+                                 bundle->profile.classes,
+                                 bundle->profile.nodes >= kLargeGraphNodes);
 
     bundle->raw = makeGraphInput(bundle->synth.graph.adjacency());
     bundle->raw.publishedNodes = bundle->profile.nodes;
@@ -112,6 +113,14 @@ buildArtifact(const ArtifactKey &key, const GcodOptions &opts, double scale,
                                     bundle->outcome.workload);
     bundle->gcodIn.publishedNodes = bundle->profile.nodes;
     bundle->gcodIn.featureDensity = bundle->profile.featureDensity;
+
+    // Large-graph artifacts additionally carry the sharded execution
+    // state: the multi-chip runtime executes the raw synthetic graph
+    // cut into shards, so the plan and its per-shard simulator inputs
+    // amortize across requests exactly like the rest of the bundle.
+    if (shards > 1 && bundle->profile.nodes >= shard_min_nodes)
+        bundle->sharded = shard::buildShardedArtifact(
+            bundle->synth.graph, shards, opts.reorder, seed);
 
     bundle->buildSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

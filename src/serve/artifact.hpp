@@ -15,12 +15,17 @@
 #define GCOD_SERVE_ARTIFACT_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <tuple>
 
 #include "accel/graph_input.hpp"
 #include "gcod/pipeline.hpp"
 #include "nn/model_spec.hpp"
+
+namespace gcod::shard {
+struct ShardedArtifact;
+}
 
 namespace gcod::serve {
 
@@ -86,6 +91,14 @@ struct ArtifactBundle
     GraphInput raw;
     /** Prebuilt input for the GCoD accelerator (processed + workload). */
     GraphInput gcodIn;
+
+    /**
+     * Sharded execution state (plan + per-shard simulator inputs), set
+     * when the builder was configured with shards > 1 and the dataset
+     * is large enough; null otherwise. The engine routes batches over
+     * artifacts that carry this through the shard scheduler.
+     */
+    std::shared_ptr<const shard::ShardedArtifact> sharded;
 };
 
 /** Serving-friendly synthesis scale for a dataset (keeps builds fast). */
@@ -96,10 +109,13 @@ double defaultServeScale(const std::string &dataset);
  * GCoD pipeline, and prebuild both simulator inputs.
  *
  * @param scale 0 = the per-dataset default.
+ * @param shards > 1 additionally builds the sharded execution state for
+ *        datasets with at least @p shard_min_nodes published nodes.
  */
 std::shared_ptr<const ArtifactBundle>
 buildArtifact(const ArtifactKey &key, const GcodOptions &opts,
-              double scale = 0.0, uint64_t seed = 42);
+              double scale = 0.0, uint64_t seed = 42, int shards = 0,
+              NodeId shard_min_nodes = kLargeGraphNodes);
 
 } // namespace gcod::serve
 

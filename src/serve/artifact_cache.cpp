@@ -138,10 +138,13 @@ ArtifactCache::clear()
 }
 
 ArtifactCache::Builder
-makeArtifactBuilder(GcodOptions opts, double scale, uint64_t seed)
+makeArtifactBuilder(GcodOptions opts, double scale, uint64_t seed,
+                    int shards, NodeId shard_min_nodes)
 {
-    return [opts, scale, seed](const ArtifactKey &key) {
-        return buildArtifact(key, opts, scale, seed);
+    return [opts, scale, seed, shards, shard_min_nodes](
+               const ArtifactKey &key) {
+        return buildArtifact(key, opts, scale, seed, shards,
+                             shard_min_nodes);
     };
 }
 

@@ -94,10 +94,15 @@ class ArtifactCache
     double buildSeconds_ = 0.0;
 };
 
-/** Builder running the real artifact pipeline with the given options. */
-ArtifactCache::Builder makeArtifactBuilder(GcodOptions opts,
-                                           double scale = 0.0,
-                                           uint64_t seed = 42);
+/**
+ * Builder running the real artifact pipeline with the given options.
+ * @p shards > 1 attaches the sharded execution state to large-dataset
+ * bundles (see buildArtifact).
+ */
+ArtifactCache::Builder
+makeArtifactBuilder(GcodOptions opts, double scale = 0.0,
+                    uint64_t seed = 42, int shards = 0,
+                    NodeId shard_min_nodes = kLargeGraphNodes);
 
 } // namespace gcod::serve
 

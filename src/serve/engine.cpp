@@ -5,19 +5,48 @@
 
 namespace gcod::serve {
 
+namespace {
+
+/**
+ * Last explicit kernelThreads any engine in this process applied. The
+ * kernel pool is process-wide, so two engines with different nonzero
+ * values silently race (last writer wins); surface that instead of
+ * leaving it a debugging surprise. See docs/performance.md.
+ */
+std::atomic<int> lastKernelThreads{0};
+
+} // namespace
+
 ServingEngine::ServingEngine(ServeOptions opts)
     : opts_(std::move(opts)), optionsHash_(hashGcodOptions(opts_.gcod)),
       cache_(opts_.cacheCapacity,
              makeArtifactBuilder(opts_.gcod, opts_.artifactScale,
-                                 opts_.artifactSeed)),
+                                 opts_.artifactSeed, opts_.shards,
+                                 opts_.shardMinNodes)),
       router_(opts_.backends), queue_(opts_.batching)
 {
     GCOD_ASSERT(opts_.workers >= 1, "engine needs at least one worker");
     // Batches execute on the shared kernel pool: artifact builds
     // (reorder/partition) and the dense/sparse kernels they run all go
     // through sim/parallel, so one engine-level knob sizes the pool.
-    if (opts_.kernelThreads > 0)
+    if (opts_.kernelThreads > 0) {
+        int prev = lastKernelThreads.exchange(opts_.kernelThreads);
+        if (prev != 0 && prev != opts_.kernelThreads)
+            warn("ServeOptions.kernelThreads=", opts_.kernelThreads,
+                 " overrides an earlier engine's ", prev,
+                 ": the kernel pool is process-wide and the last writer "
+                 "wins (docs/performance.md)");
         setThreads(opts_.kernelThreads);
+    }
+    if (opts_.shards > 1) {
+        shard::ShardScheduler::Options sopts;
+        sopts.chips = opts_.shardBackends;
+        if (sopts.chips.empty())
+            sopts.chips.assign(size_t(opts_.shards),
+                               opts_.backends.front());
+        shardScheduler_ =
+            std::make_unique<shard::ShardScheduler>(std::move(sopts));
+    }
     workers_.reserve(opts_.workers);
     for (size_t i = 0; i < opts_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -74,21 +103,56 @@ ServingEngine::runBatch(Batch &&batch)
         dispatched = Clock::now();
         base.cacheHit = found.hit;
         const ArtifactBundle &bundle = *found.bundle;
-        route = router_.choose(bundle);
-        router_.beginDispatch(route.backend, route.estimatedSeconds);
-        try {
-            result = router_.model(route.backend)
-                         .simulate(bundle.spec,
-                                   router_.inputFor(route.backend, bundle));
-        } catch (...) {
+        if (bundle.sharded && shardScheduler_) {
+            // Large-graph artifact: one pass over the whole fleet —
+            // every chip works the same batch, so no router competition
+            // and the reply's backend is the fleet label. The fleet
+            // executes the stand-in for real (no extrapolation inside
+            // the scheduler), but serving stats must stay in one unit
+            // system with the single-chip path, which reports costs at
+            // the dataset's published size — so apply the same linear
+            // size extrapolation here.
+            double seconds = -1.0;
+            {
+                std::lock_guard<std::mutex> lock(shardMemoMu_);
+                auto it = shardMemo_.find(batch.key);
+                if (it != shardMemo_.end())
+                    seconds = it->second;
+            }
+            if (seconds < 0.0) {
+                shard::ShardScheduleResult sched =
+                    shardScheduler_->schedule(
+                        bundle.sharded->plan, bundle.sharded->units,
+                        bundle.spec, bundle.profile.featureDensity);
+                seconds = sched.latencySeconds * bundle.raw.sizeScale();
+                // Racing workers recompute the identical value; last
+                // insert wins harmlessly.
+                std::lock_guard<std::mutex> lock(shardMemoMu_);
+                shardMemo_.emplace(batch.key, seconds);
+            }
+            base.backend = shardScheduler_->fleetName();
+            base.serviceSeconds = seconds;
+            stats_.recordBatch(base.backend, batch.size(), seconds,
+                               seconds);
+        } else {
+            route = router_.choose(bundle);
+            router_.beginDispatch(route.backend, route.estimatedSeconds);
+            try {
+                result = router_.model(route.backend)
+                             .simulate(bundle.spec,
+                                       router_.inputFor(route.backend,
+                                                        bundle));
+            } catch (...) {
+                router_.endDispatch(route.backend);
+                throw;
+            }
             router_.endDispatch(route.backend);
-            throw;
+            base.backend = route.name;
+            base.serviceSeconds = result.latencySeconds;
+            stats_.recordBatch(route.name, batch.size(),
+                               route.estimatedSeconds,
+                               result.latencySeconds);
         }
-        router_.endDispatch(route.backend);
-        base.backend = route.name;
-        base.serviceSeconds = result.latencySeconds;
-        stats_.recordBatch(route.name, batch.size(),
-                           route.estimatedSeconds, result.latencySeconds);
     } catch (const std::runtime_error &e) {
         // Fatal (user-level) errors fail the batch's requests; panics and
         // assertion failures (logic_error) signal internal bugs and

@@ -24,6 +24,7 @@
 #include "serve/backend_router.hpp"
 #include "serve/batch_queue.hpp"
 #include "serve/server_stats.hpp"
+#include "shard/scheduler.hpp"
 
 namespace gcod::serve {
 
@@ -57,6 +58,26 @@ struct ServeOptions
     double artifactScale = 0.0;
     /** Seed for graph synthesis (fixed seed => deterministic serving). */
     uint64_t artifactSeed = 42;
+
+    /**
+     * > 1 routes large-graph artifacts through the sharded multi-chip
+     * runtime (src/shard/): the artifact graph is cut into this many
+     * shards and executed data-parallel across `shardBackends`.
+     * 0/1 keeps every artifact on the single-chip path.
+     */
+    int shards = 0;
+    /**
+     * Chip fleet for the sharded path (registry names/aliases/spec
+     * strings, one per chip; mixes allowed, e.g. {"GCoD",
+     * "GCoD@bits=8"}). Empty = `shards` copies of backends.front().
+     */
+    std::vector<std::string> shardBackends;
+    /**
+     * Artifacts whose *published* node count is at least this execute
+     * sharded; smaller graphs stay on the single-chip path where one
+     * accelerator already fits the whole adjacency.
+     */
+    NodeId shardMinNodes = kLargeGraphNodes;
 };
 
 class ServingEngine
@@ -85,6 +106,11 @@ class ServingEngine
     BackendRouter &router() { return router_; }
     ServerStats &stats() { return stats_; }
     const ServeOptions &options() const { return opts_; }
+    /** Shard scheduler of the sharded path; null when shards <= 1. */
+    const shard::ShardScheduler *shardScheduler() const
+    {
+        return shardScheduler_.get();
+    }
 
     /** Requests submitted but not yet replied to. */
     size_t pending() const;
@@ -99,11 +125,22 @@ class ServingEngine
     BackendRouter router_;
     ServerStats stats_;
     BatchQueue queue_;
+    std::unique_ptr<shard::ShardScheduler> shardScheduler_;
 
     std::atomic<uint64_t> nextId_{1};
     std::atomic<uint64_t> pending_{0};
     std::mutex drainMu_;
     std::condition_variable drainCv_;
+
+    /**
+     * Memoized sharded-path latency per artifact: the schedule is
+     * deterministic in (plan, units, spec, density, fleet), all fixed
+     * per bundle, so recomputing the shard-by-chip cost grid every
+     * batch would be pure hot-path waste (mirrors BackendRouter's
+     * estimate memo on the single-chip path).
+     */
+    std::mutex shardMemoMu_;
+    std::map<ArtifactKey, double> shardMemo_;
 
     std::vector<std::thread> workers_;
     std::atomic<bool> stopped_{false};

@@ -1,0 +1,110 @@
+#include "shard/executor.hpp"
+
+#include <cstring>
+
+#include "sim/logging.hpp"
+#include "sim/parallel.hpp"
+#include "tensor/ops.hpp"
+
+namespace gcod::shard {
+
+ShardedModel
+shardedModelFor(GnnModel &model, const GraphContext &ctx)
+{
+    const ModelSpec &spec = model.spec();
+    GCOD_ASSERT(!spec.layers.empty(), "model has no layers");
+    bool concat = spec.layers.front().concatSelf;
+    for (const LayerSpec &l : spec.layers) {
+        if (l.agg != Aggregation::Mean || l.heads != 1 ||
+            l.concatSelf != concat)
+            GCOD_FATAL("sharded execution supports plain-Mean models "
+                       "(GCN, unsampled GraphSAGE); '", spec.name,
+                       "' has a layer the executor cannot replicate");
+    }
+
+    ShardedModel m;
+    m.spec = &spec;
+    m.concatSelf = concat;
+    // GCN's "Mean" is the renormalized \hat A; GraphSAGE's is the
+    // row-mean D^-1 A alongside the self concat.
+    m.op = concat ? &ctx.rowMean() : &ctx.normalized();
+    for (Matrix *w : model.parameters())
+        m.weights.push_back(w);
+    GCOD_ASSERT(m.weights.size() == spec.layers.size(),
+                "one weight matrix per layer expected; model '", spec.name,
+                "' has extra parameters the executor cannot place");
+    return m;
+}
+
+namespace {
+
+/** Copy the rows named by @p ids from @p src into a dense local matrix. */
+Matrix
+gatherRows(const Matrix &src, const std::vector<NodeId> &ids)
+{
+    Matrix out(int64_t(ids.size()), src.cols());
+    for (size_t i = 0; i < ids.size(); ++i)
+        std::memcpy(out.row(int64_t(i)), src.row(ids[i]),
+                    size_t(src.cols()) * sizeof(float));
+    return out;
+}
+
+} // namespace
+
+Matrix
+shardedForward(const ShardPlan &plan, const ShardedModel &m,
+               const std::vector<CsrMatrix> &local_ops, const Matrix &x)
+{
+    GCOD_ASSERT(local_ops.size() == size_t(plan.numShards),
+                "one operator slice per shard expected");
+    GCOD_ASSERT(x.rows() == int64_t(plan.numNodes),
+                "activation rows must match the plan graph");
+
+    const std::vector<LayerSpec> &layers = m.spec->layers;
+    Matrix current = x;
+    for (size_t l = 0; l < layers.size(); ++l) {
+        Matrix next(int64_t(plan.numNodes), layers[l].outDim);
+        bool last = l + 1 == layers.size();
+        // One shard per pool range = one chip per shard; the kernels a
+        // shard calls run inline on that worker (nested regions
+        // degrade serial), so shards progress concurrently without
+        // perturbing any accumulation order.
+        parallelFor(
+            0, plan.numShards,
+            [&](const Range &r, size_t) {
+                for (int64_t s = r.begin; s < r.end; ++s) {
+                    const Shard &sh = plan.shards[size_t(s)];
+                    if (sh.owned.empty())
+                        continue;
+                    Matrix xloc = gatherRows(current, sh.localToGlobal);
+                    Matrix agg = spmm(local_ops[size_t(s)], xloc);
+                    Matrix z;
+                    if (m.concatSelf) {
+                        Matrix xown = gatherRows(current, sh.owned);
+                        z = matmul(hconcat(xown, agg),
+                                   *m.weights[l]);
+                    } else {
+                        z = matmul(agg, *m.weights[l]);
+                    }
+                    if (!last)
+                        z = relu(z);
+                    for (size_t i = 0; i < sh.owned.size(); ++i)
+                        std::memcpy(next.row(sh.owned[i]),
+                                    z.row(int64_t(i)),
+                                    size_t(z.cols()) * sizeof(float));
+                }
+            },
+            1);
+        current = std::move(next);
+    }
+    return current;
+}
+
+Matrix
+shardedForward(const ShardPlan &plan, const ShardedModel &m,
+               const Matrix &x)
+{
+    return shardedForward(plan, m, extractShardOperators(plan, *m.op), x);
+}
+
+} // namespace gcod::shard

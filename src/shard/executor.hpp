@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sharded forward execution: the host-side numerics of the multi-chip
+ * runtime, bit-identical to single-chip execution.
+ *
+ * A layer runs as K independent shard computations. Shard s gathers the
+ * activations of its local node space (owned + halo rows of the global
+ * activation matrix — the halo rows are exactly what the exchange
+ * modeled in halo.hpp delivers), aggregates with its local operator
+ * slice, applies the layer weights, and scatters its owned output rows
+ * back into the global matrix. Because
+ *
+ *  - the local operator slice preserves per-row entry order and values
+ *    (plan.hpp), and
+ *  - every kernel partitions its output space and keeps per-element
+ *    accumulation order (sim/parallel determinism contract),
+ *
+ * each owned output row accumulates in exactly the order the monolithic
+ * forward would use, so the stitched result is bit-identical for any
+ * shard count, any chip mix, and any thread count.
+ *
+ * Supported families: models whose layers are plain Mean aggregations —
+ * GCN (renormalized operator) and GraphSAGE without neighbor sampling
+ * (row-mean operator + self concat). GIN/GAT/ResGCN need per-layer
+ * structure the executor does not yet replicate and are rejected.
+ */
+#ifndef GCOD_SHARD_EXECUTOR_HPP
+#define GCOD_SHARD_EXECUTOR_HPP
+
+#include "nn/graph_context.hpp"
+#include "nn/models.hpp"
+#include "shard/plan.hpp"
+
+namespace gcod::shard {
+
+/** Execution recipe for one supported model over one graph. */
+struct ShardedModel
+{
+    const ModelSpec *spec = nullptr;
+    /** Global aggregation operator (normalized or row-mean). */
+    const CsrMatrix *op = nullptr;
+    /** Layer weight matrices, in layer order. */
+    std::vector<const Matrix *> weights;
+    /** True when layers concatenate self features (GraphSAGE). */
+    bool concatSelf = false;
+};
+
+/**
+ * Resolve a trainable model into its sharded execution recipe, driven by
+ * the model's ModelSpec (aggregation kind + concatSelf per layer), not
+ * by name matching. Fatal for unsupported families.
+ */
+ShardedModel shardedModelFor(GnnModel &model, const GraphContext &ctx);
+
+/**
+ * Run one sharded forward pass; returns logits for every global node.
+ * @p local_ops are the per-shard operator slices
+ * (extractShardOperators(plan, *m.op)); the overload without them builds
+ * the slices on the fly. Shards execute concurrently on the shared
+ * kernel pool (each shard's kernels then run inline on that worker,
+ * mirroring one chip per shard).
+ */
+Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
+                      const std::vector<CsrMatrix> &local_ops,
+                      const Matrix &x);
+Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
+                      const Matrix &x);
+
+} // namespace gcod::shard
+
+#endif // GCOD_SHARD_EXECUTOR_HPP

@@ -1,0 +1,64 @@
+#include "shard/halo.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace gcod::shard {
+
+HaloExchangeCost
+haloExchangeCost(const ShardPlan &plan, int feature_dim,
+                 const HaloExchangeOptions &opts)
+{
+    GCOD_ASSERT(feature_dim >= 0, "negative feature dim");
+    HaloExchangeCost cost;
+    cost.exchanges = 1;
+    if (plan.numShards <= 1)
+        return cost;
+
+    int k = plan.numShards;
+    double row_bytes = double(feature_dim) * opts.bytesPerScalar;
+    double link_bytes_per_sec = opts.linkGBs * 1e9;
+
+    double push_max = 0.0, pull_max = 0.0;
+    for (int s = 0; s < k; ++s) {
+        const Shard &sh = plan.shards[size_t(s)];
+        int consumers = 0, producers = 0;
+        for (int t = 0; t < k; ++t) {
+            consumers += plan.pairRows[size_t(s) * size_t(k) +
+                                       size_t(t)] > 0;
+            producers += plan.pairRows[size_t(t) * size_t(k) +
+                                       size_t(s)] > 0;
+        }
+        double push_bytes = double(sh.boundaryCount) * row_bytes;
+        double pull_bytes = double(sh.haloCount()) * row_bytes;
+        double push = push_bytes / link_bytes_per_sec +
+                      opts.perMessageSeconds * consumers;
+        double pull = pull_bytes / link_bytes_per_sec +
+                      opts.perMessageSeconds * producers;
+        push_max = std::max(push_max, push);
+        pull_max = std::max(pull_max, pull);
+        cost.wireBytes += push_bytes + pull_bytes;
+        cost.messages += consumers + producers;
+    }
+    cost.seconds = push_max + pull_max;
+    return cost;
+}
+
+HaloExchangeCost
+forwardExchangeCost(const ShardPlan &plan, const ModelSpec &spec,
+                    const HaloExchangeOptions &opts)
+{
+    HaloExchangeCost total;
+    for (size_t l = 0; l + 1 < spec.layers.size(); ++l) {
+        HaloExchangeCost one =
+            haloExchangeCost(plan, spec.layers[l].outDim, opts);
+        total.seconds += one.seconds;
+        total.wireBytes += one.wireBytes;
+        total.messages += one.messages;
+        total.exchanges += 1;
+    }
+    return total;
+}
+
+} // namespace gcod::shard

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Two-phase halo-exchange cost model.
+ *
+ * Between consecutive GNN layers every chip must learn the activations
+ * of its halo nodes, which other chips just produced. The model follows
+ * the classic staged all-to-all of multi-chip graph systems:
+ *
+ *   Phase 1 (publish): every chip serializes its *boundary* rows — owned
+ *   rows at least one peer needs — onto the interconnect staging buffer.
+ *   Each boundary row is pushed once, however many peers want it.
+ *
+ *   Phase 2 (collect): every chip drains its *halo* rows from staging.
+ *   Replication is paid here: a hub row wanted by three chips is pulled
+ *   three times.
+ *
+ * Each phase completes when its slowest chip finishes (chips transfer
+ * concurrently but a chip's own transfers serialize on its link), so
+ *
+ *   t_exchange = max_s push(s) + max_t pull(t)
+ *   push(s) = boundaryRows(s) * rowBytes / link + msgLatency * consumers(s)
+ *   pull(t) = haloRows(t)     * rowBytes / link + msgLatency * producers(t)
+ *
+ * A forward pass pays one exchange per layer *transition* (L-1 for an
+ * L-layer model), at the width of the layer just produced. The initial
+ * feature distribution is a preload, not on the timed path — the same
+ * convention the accelerator models use for on-chip-resident operands.
+ */
+#ifndef GCOD_SHARD_HALO_HPP
+#define GCOD_SHARD_HALO_HPP
+
+#include "nn/model_spec.hpp"
+#include "shard/plan.hpp"
+
+namespace gcod::shard {
+
+/** Interconnect parameters. */
+struct HaloExchangeOptions
+{
+    /** Per-chip link bandwidth to the exchange fabric, GB/s. */
+    double linkGBs = 64.0;
+    /** Fixed per-message latency (descriptor + handshake), seconds. */
+    double perMessageSeconds = 1e-6;
+    /** Bytes per activation scalar on the wire. */
+    double bytesPerScalar = 4.0;
+};
+
+/** Cost summary of one or more halo exchanges. */
+struct HaloExchangeCost
+{
+    /** Total exchange seconds across all layer transitions. */
+    double seconds = 0.0;
+    /** Wire bytes moved (push + pull phases). */
+    double wireBytes = 0.0;
+    /** Point-to-point messages issued across both phases. */
+    double messages = 0.0;
+    /** Exchanges accounted (layer transitions). */
+    int exchanges = 0;
+};
+
+/** Cost of a single exchange at @p feature_dim activation width. */
+HaloExchangeCost haloExchangeCost(const ShardPlan &plan, int feature_dim,
+                                  const HaloExchangeOptions &opts = {});
+
+/**
+ * Total exchange cost of one forward pass of @p spec: one exchange per
+ * layer transition, each at the width of the layer just produced.
+ */
+HaloExchangeCost forwardExchangeCost(const ShardPlan &plan,
+                                     const ModelSpec &spec,
+                                     const HaloExchangeOptions &opts = {});
+
+} // namespace gcod::shard
+
+#endif // GCOD_SHARD_HALO_HPP

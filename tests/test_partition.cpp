@@ -178,6 +178,100 @@ TEST(ComputeEdgeCut, CountsCrossEdgesOnce)
     EXPECT_EQ(computeEdgeCut(g, {0, 0, 0, 0}), 0);
 }
 
+TEST(MetisLite, MorePartsThanNodes)
+{
+    Graph g(3, {{0, 1}, {1, 2}});
+    PartitionResult pr = partitionGraph(g, 8);
+    EXPECT_EQ(pr.parts, 8);
+    EXPECT_EQ(pr.partOf.size(), 3u);
+    ASSERT_EQ(pr.partWeights.size(), 8u);
+    for (int p : pr.partOf) {
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, 8);
+    }
+    // 3 nodes cannot fill 8 parts: empty parts are reported, not
+    // invented, and the achieved imbalance reflects the violation.
+    double assigned = 0.0;
+    for (double w : pr.partWeights)
+        assigned += w;
+    EXPECT_DOUBLE_EQ(assigned, 3.0);
+    EXPECT_GE(pr.maxImbalance, 8.0 / 3.0 - 1e-9);
+    EXPECT_FALSE(pr.withinBalance());
+}
+
+TEST(MetisLite, EmptyGraphManyParts)
+{
+    Graph g(0, {});
+    PartitionResult pr = partitionGraph(g, 4);
+    EXPECT_EQ(pr.parts, 4);
+    EXPECT_TRUE(pr.partOf.empty());
+    EXPECT_EQ(pr.edgeCut, 0);
+    EXPECT_DOUBLE_EQ(pr.maxImbalance, 0.0);
+    EXPECT_TRUE(pr.withinBalance());
+}
+
+TEST(MetisLite, SingleNodeParts)
+{
+    // Exactly one node per part: a perfectly balanced edge case.
+    Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+    PartitionResult pr = partitionGraph(g, 4);
+    std::vector<int> seen(4, 0);
+    for (int p : pr.partOf)
+        seen[size_t(p)] += 1;
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+    EXPECT_DOUBLE_EQ(pr.maxImbalance, 1.0);
+    EXPECT_TRUE(pr.withinBalance());
+}
+
+TEST(MetisLite, BalanceViolationIsReportedNotHidden)
+{
+    // One indivisible vertex heavier than the whole balance budget:
+    // no assignment can satisfy the factor, so the result must carry
+    // the achieved imbalance instead of pretending it held.
+    Rng rng(9);
+    Graph g = erdosRenyi(100, 300, rng);
+    std::vector<double> weights(100, 1.0);
+    weights[0] = 500.0;
+    PartitionOptions opts;
+    opts.balanceFactor = 1.05;
+    PartitionResult pr = partitionGraph(g, 4, weights, opts);
+    EXPECT_DOUBLE_EQ(pr.balanceFactorUsed, 1.05);
+    EXPECT_GT(pr.maxImbalance, 1.05);
+    EXPECT_FALSE(pr.withinBalance());
+    // The heavy vertex's part dominates exactly as reported.
+    double total = 599.0, ideal = total / 4.0;
+    double max_w = *std::max_element(pr.partWeights.begin(),
+                                     pr.partWeights.end());
+    EXPECT_DOUBLE_EQ(pr.maxImbalance, max_w / ideal);
+}
+
+TEST(MetisLite, AchievableBalanceIsReportedWithin)
+{
+    Rng rng(10);
+    Graph g = erdosRenyi(400, 1600, rng);
+    PartitionOptions opts;
+    opts.balanceFactor = 1.25;
+    PartitionResult pr = partitionGraph(g, 4, {}, opts);
+    EXPECT_GT(pr.maxImbalance, 0.0);
+    EXPECT_TRUE(pr.withinBalance())
+        << "achieved imbalance " << pr.maxImbalance;
+}
+
+TEST(MetisLite, DisconnectedGraphStaysBalanced)
+{
+    // Many small components (and isolated nodes): region growing must
+    // reseed instead of dumping the remainder into the last part.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId i = 0; i < 100; ++i)
+        edges.push_back({NodeId(2 * i), NodeId(2 * i + 1)});
+    Graph g(250, edges); // 100 dumbbells + 50 isolated nodes
+    PartitionResult pr = partitionGraph(g, 5);
+    for (double w : pr.partWeights)
+        EXPECT_LE(w, 250.0 / 5.0 * 1.5);
+    EXPECT_LE(pr.maxImbalance, 1.5);
+}
+
 class MetisParts : public ::testing::TestWithParam<int>
 {};
 

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Tests for the sharded multi-accelerator runtime: plan invariants,
+ * operator slicing, bit-identical GCN/GraphSAGE forward passes for any
+ * shard count and chip mix, scheduler behaviour, the halo-exchange cost
+ * model, and the serving-engine integration.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "graph/generate.hpp"
+#include "nn/graph_context.hpp"
+#include "nn/models.hpp"
+#include "serve/engine.hpp"
+#include "shard/executor.hpp"
+#include "shard/halo.hpp"
+#include "shard/plan.hpp"
+#include "shard/scheduler.hpp"
+#include "sim/rng.hpp"
+
+using namespace gcod;
+using namespace gcod::shard;
+
+namespace {
+
+Graph
+testGraph(NodeId n = 600, uint64_t seed = 7)
+{
+    Rng rng(seed);
+    std::vector<int> labels;
+    return degreeCorrectedSbm(n, n * 5, 4, 0.9, 2.6, labels, rng);
+}
+
+bool
+bitIdentical(const Matrix &a, const Matrix &b)
+{
+    return a.sameShape(b) &&
+           std::memcmp(a.data().data(), b.data().data(),
+                       a.data().size() * sizeof(float)) == 0;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------- plan
+TEST(ShardPlan, PartitionsAllNodesDisjointly)
+{
+    Graph g = testGraph();
+    ShardPlanOptions opts;
+    opts.shards = 4;
+    ShardPlan plan = buildShardPlan(g, opts);
+
+    EXPECT_EQ(plan.numShards, 4);
+    EXPECT_EQ(plan.shardOf.size(), size_t(g.numNodes()));
+    std::set<NodeId> seen;
+    for (const Shard &sh : plan.shards) {
+        EXPECT_TRUE(std::is_sorted(sh.owned.begin(), sh.owned.end()));
+        for (NodeId u : sh.owned) {
+            EXPECT_TRUE(seen.insert(u).second) << "node owned twice";
+            EXPECT_EQ(plan.shardOf[size_t(u)], sh.id);
+        }
+    }
+    EXPECT_EQ(NodeId(seen.size()), g.numNodes());
+}
+
+TEST(ShardPlan, HaloIsExactlyTheForeignNeighborSet)
+{
+    Graph g = testGraph();
+    ShardPlanOptions opts;
+    opts.shards = 3;
+    ShardPlan plan = buildShardPlan(g, opts);
+
+    for (const Shard &sh : plan.shards) {
+        std::set<NodeId> expected;
+        for (NodeId u : sh.owned)
+            g.adjacency().forEachInRow(u, [&](NodeId v, float) {
+                if (plan.shardOf[size_t(v)] != sh.id)
+                    expected.insert(v);
+            });
+        std::set<NodeId> got(sh.halo.begin(), sh.halo.end());
+        EXPECT_EQ(got, expected);
+        // Local space = owned then halo, both ascending.
+        ASSERT_EQ(sh.localToGlobal.size(),
+                  sh.owned.size() + sh.halo.size());
+        for (size_t i = 0; i < sh.owned.size(); ++i)
+            EXPECT_EQ(sh.localToGlobal[i], sh.owned[i]);
+        for (size_t i = 0; i < sh.halo.size(); ++i)
+            EXPECT_EQ(sh.localToGlobal[sh.owned.size() + i], sh.halo[i]);
+    }
+}
+
+TEST(ShardPlan, ExchangeMatrixMatchesHalos)
+{
+    Graph g = testGraph();
+    ShardPlanOptions opts;
+    opts.shards = 4;
+    ShardPlan plan = buildShardPlan(g, opts);
+
+    int k = plan.numShards;
+    for (int t = 0; t < k; ++t) {
+        EdgeOffset inbound = 0;
+        for (int s = 0; s < k; ++s)
+            inbound += plan.pairRows[size_t(s) * size_t(k) + size_t(t)];
+        EXPECT_EQ(inbound, plan.shards[size_t(t)].haloCount());
+        // A shard never imports its own rows.
+        EXPECT_EQ(plan.pairRows[size_t(t) * size_t(k) + size_t(t)], 0);
+        EXPECT_LE(plan.shards[size_t(t)].boundaryCount,
+                  plan.shards[size_t(t)].ownedCount());
+    }
+    EXPECT_EQ(plan.edgeCut, computeEdgeCut(g, plan.shardOf));
+    EXPECT_GT(plan.maxImbalance, 0.0);
+}
+
+TEST(ShardPlan, SingleShardHasNoHaloOrCut)
+{
+    Graph g = testGraph(200);
+    ShardPlanOptions opts;
+    opts.shards = 1;
+    ShardPlan plan = buildShardPlan(g, opts);
+    EXPECT_EQ(plan.edgeCut, 0);
+    EXPECT_EQ(plan.haloNodes(), 0);
+    EXPECT_EQ(plan.shards[0].ownedCount(), g.numNodes());
+}
+
+TEST(ShardPlan, ShardsInheritBothDegreeClasses)
+{
+    // The GCoD Step-1 reuse: every (non-degenerate) shard should own
+    // nodes from the dense *and* the sparse degree class instead of one
+    // shard swallowing all hubs.
+    Rng rng(3);
+    Graph g = barabasiAlbert(1200, 5, rng);
+    ShardPlanOptions opts;
+    opts.shards = 3;
+    ShardPlan plan = buildShardPlan(g, opts);
+    ASSERT_GE(plan.numClasses, 2);
+    for (const Shard &sh : plan.shards) {
+        std::set<int> classes;
+        for (NodeId u : sh.owned)
+            classes.insert(plan.classOf[size_t(u)]);
+        EXPECT_GE(classes.size(), 2u) << "shard " << sh.id
+                                      << " missed a degree class";
+    }
+}
+
+// -------------------------------------------------------- operator slices
+TEST(ShardOperators, SlicesPreserveRowOrderAndValues)
+{
+    Graph g = testGraph(300);
+    GraphContext ctx(g);
+    ShardPlanOptions opts;
+    opts.shards = 3;
+    ShardPlan plan = buildShardPlan(g, opts);
+    std::vector<CsrMatrix> locals =
+        extractShardOperators(plan, ctx.normalized());
+
+    for (const Shard &sh : plan.shards) {
+        const CsrMatrix &loc = locals[size_t(sh.id)];
+        ASSERT_EQ(loc.rows(), sh.ownedCount());
+        ASSERT_EQ(loc.cols(), sh.localCount());
+        for (NodeId i = 0; i < sh.ownedCount(); ++i) {
+            NodeId u = sh.owned[size_t(i)];
+            ASSERT_EQ(loc.rowNnz(i), ctx.normalized().rowNnz(u));
+            std::vector<std::pair<NodeId, float>> global_row, local_row;
+            ctx.normalized().forEachInRow(u, [&](NodeId v, float w) {
+                global_row.emplace_back(v, w);
+            });
+            loc.forEachInRow(i, [&](NodeId lv, float w) {
+                local_row.emplace_back(
+                    sh.localToGlobal[size_t(lv)], w);
+            });
+            EXPECT_EQ(global_row, local_row);
+        }
+    }
+}
+
+// -------------------------------------------------- bit-identical forward
+class ShardedForwardK : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ShardedForwardK, GcnMatchesMonolithicBitForBit)
+{
+    Graph g = testGraph();
+    GraphContext ctx(g);
+    Rng rng(11);
+    auto model = makeModel("GCN", 24, 5, false, rng);
+    Matrix x(g.numNodes(), 24);
+    x.glorotInit(rng);
+    Matrix mono = model->forward(ctx, x);
+
+    ShardPlanOptions opts;
+    opts.shards = GetParam();
+    ShardPlan plan = buildShardPlan(g, opts);
+    Matrix sharded =
+        shardedForward(plan, shardedModelFor(*model, ctx), x);
+    EXPECT_TRUE(bitIdentical(mono, sharded))
+        << "GCN diverged at K=" << GetParam()
+        << " maxAbsDiff=" << Matrix::maxAbsDiff(mono, sharded);
+}
+
+TEST_P(ShardedForwardK, SageMatchesMonolithicBitForBit)
+{
+    Graph g = testGraph(500, 13);
+    GraphContext ctx(g);
+    Rng rng(17);
+    auto model = makeModel("GraphSAGE", 20, 6, false, rng);
+    Matrix x(g.numNodes(), 20);
+    x.glorotInit(rng);
+    Matrix mono = model->forward(ctx, x);
+
+    ShardPlanOptions opts;
+    opts.shards = GetParam();
+    ShardPlan plan = buildShardPlan(g, opts);
+    Matrix sharded =
+        shardedForward(plan, shardedModelFor(*model, ctx), x);
+    EXPECT_TRUE(bitIdentical(mono, sharded))
+        << "GraphSAGE diverged at K=" << GetParam()
+        << " maxAbsDiff=" << Matrix::maxAbsDiff(mono, sharded);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, ShardedForwardK,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(ShardedForward, UnsupportedFamilyIsRejected)
+{
+    Graph g = testGraph(100);
+    GraphContext ctx(g);
+    Rng rng(5);
+    auto gin = makeModel("GIN", 8, 3, false, rng);
+    EXPECT_THROW(shardedModelFor(*gin, ctx), std::runtime_error);
+}
+
+TEST(ShardedForward, ManyShardsOnTinyGraphStillExact)
+{
+    // More shards than some classes have nodes: empty shards must be
+    // handled, and the stitched result still exact.
+    Graph g(12, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+                 {6, 7}, {7, 8}, {8, 9}, {9, 10}, {10, 11}, {0, 11}});
+    GraphContext ctx(g);
+    Rng rng(23);
+    auto model = makeModel("GCN", 6, 2, false, rng);
+    Matrix x(g.numNodes(), 6);
+    x.glorotInit(rng);
+    Matrix mono = model->forward(ctx, x);
+
+    ShardPlanOptions opts;
+    opts.shards = 8;
+    ShardPlan plan = buildShardPlan(g, opts);
+    Matrix sharded =
+        shardedForward(plan, shardedModelFor(*model, ctx), x);
+    EXPECT_TRUE(bitIdentical(mono, sharded));
+}
+
+// -------------------------------------------------------------- scheduler
+TEST(ShardScheduler, MixedChipFleetRunsExactAndCosts)
+{
+    Graph g = testGraph(800, 29);
+    GraphContext ctx(g);
+    Rng rng(31);
+    auto model = makeModel("GCN", 32, 7, false, rng);
+    Matrix x(g.numNodes(), 32);
+    x.glorotInit(rng);
+    Matrix mono = model->forward(ctx, x);
+
+    ShardPlanOptions popts;
+    popts.shards = 4;
+    ShardPlan plan = buildShardPlan(g, popts);
+    std::vector<ShardExecution> units = buildShardExecutions(g, plan);
+
+    ShardScheduler::Options sopts;
+    sopts.chips = {"GCoD", "GCoD@bits=8", "HyGCN"};
+    ShardScheduler sched(sopts);
+    EXPECT_EQ(sched.fleetName(), "shard[GCoD,GCoD@bits=8,HyGCN]");
+
+    ShardScheduler::RunOutcome out =
+        sched.run(plan, units, shardedModelFor(*model, ctx), x);
+    EXPECT_TRUE(bitIdentical(mono, out.output))
+        << "numerics must not depend on the chip mix";
+
+    const ShardScheduleResult &c = out.cost;
+    ASSERT_EQ(c.chipOf.size(), size_t(plan.numShards));
+    for (int chip : c.chipOf) {
+        EXPECT_GE(chip, 0);
+        EXPECT_LT(chip, sched.numChips());
+    }
+    EXPECT_GT(c.makespanSeconds, 0.0);
+    EXPECT_GT(c.exchange.seconds, 0.0);
+    EXPECT_DOUBLE_EQ(c.latencySeconds,
+                     c.makespanSeconds + c.exchange.seconds);
+    double max_chip = 0.0;
+    for (double s : c.chipSeconds)
+        max_chip = std::max(max_chip, s);
+    EXPECT_DOUBLE_EQ(c.makespanSeconds, max_chip);
+}
+
+TEST(ShardScheduler, DeterministicAssignment)
+{
+    Graph g = testGraph(500, 37);
+    ShardPlanOptions popts;
+    popts.shards = 4;
+    ShardPlan plan = buildShardPlan(g, popts);
+    std::vector<ShardExecution> units = buildShardExecutions(g, plan);
+    ModelSpec spec = makeModelSpec("GCN", 64, 8, false);
+
+    ShardScheduler::Options sopts;
+    sopts.chips = {"GCoD", "GCoD@bits=8"};
+    ShardScheduler sched(sopts);
+    ShardScheduleResult a = sched.schedule(plan, units, spec);
+    ShardScheduleResult b = sched.schedule(plan, units, spec);
+    EXPECT_EQ(a.chipOf, b.chipOf);
+    EXPECT_DOUBLE_EQ(a.latencySeconds, b.latencySeconds);
+}
+
+TEST(ShardScheduler, MakespanDecreasesWithChips)
+{
+    Rng rng(41);
+    Graph g = barabasiAlbert(4000, 6, rng);
+    ModelSpec spec = makeModelSpec("GCN", 128, 16, false);
+
+    double prev = 0.0;
+    for (int k : {1, 2, 4}) {
+        ShardPlanOptions popts;
+        popts.shards = k;
+        ShardPlan plan = buildShardPlan(g, popts);
+        std::vector<ShardExecution> units = buildShardExecutions(g, plan);
+        ShardScheduler::Options sopts;
+        sopts.chips.assign(size_t(k), "GCoD");
+        ShardScheduler sched(sopts);
+        double makespan =
+            sched.schedule(plan, units, spec).makespanSeconds;
+        if (prev > 0.0)
+            EXPECT_LT(makespan, prev)
+                << "makespan must shrink from " << k / 2 << " to " << k
+                << " chips";
+        prev = makespan;
+    }
+}
+
+TEST(FleetSpec, CountsAndMixesParse)
+{
+    std::vector<std::string> fleet =
+        parseFleetSpec("2xGCoD;GCoD@bits=8;HyGCN");
+    ASSERT_EQ(fleet.size(), 4u);
+    EXPECT_EQ(fleet[0], "GCoD");
+    EXPECT_EQ(fleet[1], "GCoD");
+    EXPECT_EQ(fleet[2], "GCoD@bits=8");
+    EXPECT_EQ(fleet[3], "HyGCN");
+    // 'x' inside a platform name is not a count separator.
+    EXPECT_EQ(parseFleetSpec("4xAWB-GCN").size(), 4u);
+}
+
+TEST(FleetSpec, UnknownChipAndEmptySpecAreFatal)
+{
+    EXPECT_THROW(parseFleetSpec("3xNoSuchChip"), std::runtime_error);
+    EXPECT_THROW(parseFleetSpec(";;"), std::runtime_error);
+}
+
+// ---------------------------------------------------------- halo exchange
+TEST(HaloExchange, SingleShardIsFree)
+{
+    Graph g = testGraph(200);
+    ShardPlanOptions opts;
+    opts.shards = 1;
+    ShardPlan plan = buildShardPlan(g, opts);
+    HaloExchangeCost c = haloExchangeCost(plan, 64);
+    EXPECT_DOUBLE_EQ(c.seconds, 0.0);
+    EXPECT_DOUBLE_EQ(c.wireBytes, 0.0);
+}
+
+TEST(HaloExchange, CostsScaleWithWidthAndCountTransitions)
+{
+    Graph g = testGraph();
+    ShardPlanOptions opts;
+    opts.shards = 4;
+    ShardPlan plan = buildShardPlan(g, opts);
+
+    HaloExchangeCost narrow = haloExchangeCost(plan, 16);
+    HaloExchangeCost wide = haloExchangeCost(plan, 64);
+    EXPECT_GT(wide.seconds, narrow.seconds);
+    EXPECT_DOUBLE_EQ(wide.wireBytes, narrow.wireBytes * 4.0);
+
+    // Wire bytes: push boundary rows once, pull halo rows replicated.
+    EdgeOffset boundary = 0;
+    for (const Shard &sh : plan.shards)
+        boundary += sh.boundaryCount;
+    double expected =
+        double(boundary + plan.haloNodes()) * 16.0 * 4.0;
+    EXPECT_DOUBLE_EQ(narrow.wireBytes, expected);
+
+    // A 2-layer model pays exactly one exchange, at hidden width.
+    ModelSpec spec = makeModelSpec("GCN", 500, 7, false);
+    HaloExchangeCost fwd = forwardExchangeCost(plan, spec);
+    EXPECT_EQ(fwd.exchanges, 1);
+    HaloExchangeCost hidden =
+        haloExchangeCost(plan, spec.layers[0].outDim);
+    EXPECT_DOUBLE_EQ(fwd.seconds, hidden.seconds);
+}
+
+// ---------------------------------------------------------------- serving
+TEST(ServeSharded, LargeGraphsRouteThroughTheFleet)
+{
+    serve::ServeOptions opts;
+    opts.backends = {"GCoD", "HyGCN"};
+    opts.shards = 2;
+    opts.shardBackends = {"GCoD", "GCoD@bits=8"};
+    opts.workers = 1;
+    opts.artifactScale = 0.002; // keep the Reddit stand-in test-sized
+    serve::ServingEngine engine(opts);
+
+    auto big = engine.submit({0, "Reddit", "GCN", 0});
+    engine.drain();
+    serve::InferenceReply reply = big.get();
+    ASSERT_TRUE(reply.ok()) << reply.error;
+    EXPECT_EQ(reply.backend, "shard[GCoD,GCoD@bits=8]");
+    EXPECT_GT(reply.serviceSeconds, 0.0);
+}
+
+TEST(ServeSharded, SmallGraphsStayOnTheSingleChipPath)
+{
+    serve::ServeOptions opts;
+    opts.backends = {"GCoD"};
+    opts.shards = 2;
+    opts.workers = 1;
+    serve::ServingEngine engine(opts);
+
+    auto small = engine.submit({0, "Cora", "GCN", 0});
+    engine.drain();
+    serve::InferenceReply reply = small.get();
+    ASSERT_TRUE(reply.ok()) << reply.error;
+    EXPECT_EQ(reply.backend, "GCoD");
+}
