@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Accuracy and throughput of the integer execution path vs precision
+ * (paper Tab. VII flavor): trains a GCN on the Cora stand-in, then runs
+ * the forward pass through the mixed-precision integer kernels
+ * (nn/quant_exec) at dense-branch bits ∈ {4, 8, 16} plus the fp32
+ * reference, emitting accuracy drop, wall time, and GFLOP/s per
+ * precision to BENCH_quant.json.
+ *
+ *   ./bench_quant_accuracy quick=1 check=1 out=BENCH_quant.json
+ *
+ * Keys: dataset (default Cora), scale (synthesis scale), epochs, reps
+ * (best-of timing repetitions), quick (CI smoke sizes), out (JSON
+ * path), check (nonzero: exit 1 unless the int8 accuracy drop is <= 2
+ * percentage points vs fp32 — the release-bench gate).
+ */
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "nn/quant_exec.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+using namespace gcod;
+using gcod::bench::JsonEmitter;
+
+namespace {
+
+/** Best-of-@p reps wall time of fn(), in seconds. */
+template <typename Fn>
+double
+timeBest(int reps, Fn &&fn)
+{
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        if (i == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
+/** MACs-based flop count of one recipe forward pass (x2 for mul+add). */
+double
+forwardFlops(const ForwardRecipe &m, int64_t nnz, int64_t nodes)
+{
+    double flops = 0.0;
+    for (const LayerSpec &l : m.spec->layers) {
+        double in = double(l.inDim);
+        flops += 2.0 * double(nnz) * in;                      // aggregation
+        double comb_in = m.concatSelf ? 2.0 * in : in;        // combination
+        flops += 2.0 * double(nodes) * comb_in * double(l.outDim);
+    }
+    return flops;
+}
+
+int
+runQuantAccuracy(const Config &cfg)
+{
+    bool quick = cfg.getBool("quick", false);
+    std::string dataset = cfg.getString("dataset", "Cora");
+    double scale = cfg.getDouble("scale", quick ? 0.5 : 1.0);
+    int epochs = int(cfg.getInt("epochs", quick ? 40 : 120));
+    int reps = int(cfg.getInt("reps", quick ? 2 : 3));
+    bool check = cfg.getBool("check", false);
+    std::string out = cfg.getString("out", "BENCH_quant.json");
+
+    // Deterministic dataset + training run (fixed seeds throughout).
+    const DatasetProfile &profile = profileByName(dataset);
+    Rng rng(42);
+    SyntheticGraph synth = synthesize(profile, scale, rng);
+    Dataset ds = materialize(synth, rng);
+    GraphContext ctx(ds.synth.graph);
+    Rng mrng(7);
+    auto model = makeModel("GCN", ds.featureDim(), ds.numClasses(),
+                           profile.nodes >= kLargeGraphNodes, mrng);
+    TrainOptions topts;
+    topts.epochs = epochs;
+    TrainReport report = train(*model, ctx, ds, topts);
+
+    ForwardRecipe recipe = forwardRecipeFor(*model, ctx);
+    const std::vector<int32_t> &degrees = ds.synth.graph.degrees();
+    int64_t nnz = ctx.normalized().nnz();
+    int64_t nodes = ds.synth.graph.numNodes();
+    double flops = forwardFlops(recipe, nnz, nodes);
+
+    JsonEmitter json;
+    json.meta()
+        .set("bench", "quant_accuracy")
+        .set("dataset", dataset)
+        .set("scale", scale)
+        .set("nodes", nodes)
+        .set("epochs", epochs)
+        .set("threads", currentThreads())
+        .set("trained_test_accuracy", report.testAccuracy);
+
+    Matrix ref;
+    double fp32_seconds =
+        timeBest(reps, [&] { ref = referenceForward(recipe, ds.features); });
+    double acc32 = accuracy(ref, ds.labels, ds.testMask);
+    json.add("fp32")
+        .set("bits", 32)
+        .set("accuracy", acc32)
+        .set("accuracy_drop_pct", 0.0)
+        .set("seconds", fp32_seconds)
+        .set("gflops", flops / std::max(fp32_seconds, 1e-12) / 1e9);
+    std::printf("%-10s acc=%.4f  %8.3f ms  %7.2f GFLOP/s\n", "fp32",
+                acc32, fp32_seconds * 1e3,
+                flops / std::max(fp32_seconds, 1e-12) / 1e9);
+
+    double drop8 = 0.0;
+    for (int bits : {4, 8, 16}) {
+        MixedPrecisionPolicy pol;
+        pol.denseBits = bits;
+        pol.sparseBits = std::min(2 * bits, 16);
+        pol.operatorBits = pol.sparseBits;
+        QuantizedGnn q = quantizeGnn(recipe, degrees, pol);
+        Matrix logits;
+        double seconds = timeBest(
+            reps, [&] { logits = quantizedForwardMixed(q, ds.features); });
+        double acc = accuracy(logits, ds.labels, ds.testMask);
+        double drop_pct = (acc32 - acc) * 100.0;
+        if (bits == 8)
+            drop8 = drop_pct;
+        json.add("int" + std::to_string(bits))
+            .set("bits", bits)
+            .set("dense_bits", pol.denseBits)
+            .set("sparse_bits", pol.sparseBits)
+            .set("accuracy", acc)
+            .set("accuracy_drop_pct", drop_pct)
+            .set("seconds", seconds)
+            .set("gflops", flops / std::max(seconds, 1e-12) / 1e9)
+            .set("logit_max_abs_error", Matrix::maxAbsDiff(ref, logits))
+            .set("packed_bytes", q.packedBytes())
+            .set("protected_fraction",
+                 double(q.protectedCount) / double(nodes));
+        std::printf("int%-7d acc=%.4f (drop %+.2f%%)  %8.3f ms  "
+                    "%7.2f GFLOP/s\n",
+                    bits, acc, drop_pct, seconds * 1e3,
+                    flops / std::max(seconds, 1e-12) / 1e9);
+    }
+
+    if (json.writeFile(out))
+        std::printf("\nwrote %s\n", out.c_str());
+
+    if (check && drop8 > 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: int8 accuracy drop %.2f%% exceeds the 2%% "
+                     "release gate\n",
+                     drop8);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int rc = 0;
+    gcod::bench::benchMain(argc, argv,
+                           [&](Config &cfg) { rc = runQuantAccuracy(cfg); });
+    return rc;
+}

@@ -1,0 +1,129 @@
+#include "nn/quant_exec.hpp"
+
+#include "sim/logging.hpp"
+
+namespace gcod {
+
+bool
+supportsPlainMeanForward(const ModelSpec &spec)
+{
+    if (spec.layers.empty())
+        return false;
+    bool concat = spec.layers.front().concatSelf;
+    for (const LayerSpec &l : spec.layers)
+        if (l.agg != Aggregation::Mean || l.heads != 1 ||
+            l.concatSelf != concat)
+            return false;
+    return true;
+}
+
+ForwardRecipe
+forwardRecipeFor(GnnModel &model, const GraphContext &ctx)
+{
+    const ModelSpec &spec = model.spec();
+    if (!supportsPlainMeanForward(spec))
+        GCOD_FATAL("stateless execution supports plain-Mean models "
+                   "(GCN, unsampled GraphSAGE); '", spec.name,
+                   "' has a layer the recipe cannot express");
+    ForwardRecipe m;
+    m.spec = &spec;
+    m.concatSelf = spec.layers.front().concatSelf;
+    // GCN's "Mean" is the renormalized \hat A; GraphSAGE's is the
+    // row-mean D^-1 A alongside the self concat.
+    m.op = m.concatSelf ? &ctx.rowMean() : &ctx.normalized();
+    for (Matrix *w : model.parameters())
+        m.weights.push_back(w);
+    GCOD_ASSERT(m.weights.size() == spec.layers.size(),
+                "one weight matrix per layer expected; model '", spec.name,
+                "' has extra parameters the recipe cannot place");
+    return m;
+}
+
+Matrix
+referenceForward(const ForwardRecipe &m, const Matrix &x)
+{
+    GCOD_ASSERT(x.rows() == int64_t(m.op->rows()),
+                "activation rows must match the operator");
+    Matrix cur = x;
+    for (size_t l = 0; l < m.spec->layers.size(); ++l) {
+        Matrix s = spmm(*m.op, cur);
+        Matrix z = m.concatSelf ? matmul(hconcat(cur, s), *m.weights[l])
+                                : matmul(s, *m.weights[l]);
+        if (l + 1 < m.spec->layers.size())
+            z = relu(z);
+        cur = std::move(z);
+    }
+    return cur;
+}
+
+std::vector<uint8_t>
+protectedBranchOf(const std::vector<int32_t> &degrees, double protect_ratio)
+{
+    int32_t threshold = protectionThreshold(degrees, protect_ratio);
+    std::vector<uint8_t> branch(degrees.size());
+    for (size_t i = 0; i < degrees.size(); ++i)
+        branch[i] = degrees[i] >= threshold ? 1 : 0;
+    return branch;
+}
+
+double
+QuantizedGnn::packedBytes() const
+{
+    double total = double(qop.values.size()) * 2.0;
+    for (const QuantizedMatrix &w : wLo)
+        total += w.payloadBytes();
+    for (const QuantizedMatrix &w : wHi)
+        total += w.payloadBytes();
+    return total;
+}
+
+QuantizedGnn
+quantizeGnn(const ForwardRecipe &m, const std::vector<int32_t> &degrees,
+            const MixedPrecisionPolicy &policy)
+{
+    GCOD_ASSERT(degrees.size() == size_t(m.op->rows()),
+                "degree count must match the operator");
+    GCOD_ASSERT(policy.denseBits <= policy.sparseBits,
+                "dense branch must not be wider than the sparse branch");
+    QuantizedGnn q;
+    q.spec = *m.spec;
+    q.concatSelf = m.concatSelf;
+    q.policy = policy;
+    q.branchOf = protectedBranchOf(degrees, policy.protectRatio);
+    q.localIndex = branchLocalIndex(q.branchOf);
+    for (uint8_t b : q.branchOf)
+        q.protectedCount += b != 0;
+    q.qop = quantizeCsr(*m.op, policy.operatorBits);
+    q.wLo.reserve(m.weights.size());
+    q.wHi.reserve(m.weights.size());
+    for (const Matrix *w : m.weights) {
+        q.wLo.emplace_back(*w, policy.denseBits);
+        q.wHi.emplace_back(*w, policy.sparseBits);
+    }
+    return q;
+}
+
+Matrix
+quantizedForwardMixed(const QuantizedGnn &q, const Matrix &x)
+{
+    GCOD_ASSERT(x.rows() == int64_t(q.qop.pattern->rows()),
+                "activation rows must match the operator");
+    Matrix cur = x;
+    for (size_t l = 0; l < q.spec.layers.size(); ++l) {
+        MixedQuantizedMatrix mq =
+            mixedQuantize(cur, q.branchOf, q.localIndex,
+                          q.policy.denseBits, q.policy.sparseBits);
+        Matrix s = qspmmMixed(q.qop, mq);
+        Matrix pre = q.concatSelf ? hconcat(cur, s) : std::move(s);
+        MixedQuantizedMatrix mz =
+            mixedQuantize(pre, q.branchOf, q.localIndex,
+                          q.policy.denseBits, q.policy.sparseBits);
+        Matrix z = qmatmulMixed(mz, q.wLo[l], q.wHi[l]);
+        if (l + 1 < q.spec.layers.size())
+            z = relu(z);
+        cur = std::move(z);
+    }
+    return cur;
+}
+
+} // namespace gcod

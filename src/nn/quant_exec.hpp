@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Mixed-precision integer GNN execution (the "true" GCoD low-bit path).
+ *
+ * Where quantizedForward (models.hpp) only fake-quantizes — float math
+ * over rounded values — this module actually executes integer host
+ * kernels (tensor/qops) over packed operands. Precision placement
+ * follows GCoD's polarized split, using exactly the degree rule of
+ * degreeAwareFakeQuantize: the low-degree community nodes of the dense
+ * branch run at low bits, while the protected high-degree tail (the
+ * nodes quantization hurts most) runs at higher bits. The aggregation
+ * operator itself is quantized once at the higher width.
+ *
+ * Supported families are the plain-Mean models a stateless recipe can
+ * express: GCN (renormalized operator) and unsampled GraphSAGE (row-mean
+ * operator + self concat) — the same set the sharded executor handles.
+ *
+ * Determinism: every kernel partitions output rows and accumulates in
+ * exact integer arithmetic, so logits are bit-identical for any thread
+ * count; shard/executor.hpp reuses the same per-row math (and global
+ * quantization scales) to make sharded execution bit-identical too.
+ */
+#ifndef GCOD_NN_QUANT_EXEC_HPP
+#define GCOD_NN_QUANT_EXEC_HPP
+
+#include "nn/graph_context.hpp"
+#include "nn/models.hpp"
+#include "tensor/qops.hpp"
+
+namespace gcod {
+
+/** Precision placement knobs (defaults mirror GCoD (8-bit) + protection). */
+struct MixedPrecisionPolicy
+{
+    /** Bits of the polarized dense branch (community nodes). */
+    int denseBits = 8;
+    /** Bits of the protected sparse branch (high-degree tail). */
+    int sparseBits = 16;
+    /** Bits of the aggregation operator's values. */
+    int operatorBits = 16;
+    /** Fraction of highest-degree nodes kept in the sparse branch. */
+    double protectRatio = 0.1;
+};
+
+/**
+ * Stateless plain-Mean execution recipe: everything one forward pass
+ * needs, with no mutable caches — safe to run concurrently, unlike
+ * GnnModel::forward. Pointees (spec, operator, weights) must outlive the
+ * recipe; they normally belong to a GnnModel + GraphContext pair.
+ */
+struct ForwardRecipe
+{
+    const ModelSpec *spec = nullptr;
+    const CsrMatrix *op = nullptr;
+    std::vector<const Matrix *> weights;
+    bool concatSelf = false;
+};
+
+/** True when @p spec is a plain-Mean stack a recipe can express. */
+bool supportsPlainMeanForward(const ModelSpec &spec);
+
+/**
+ * Resolve a trainable model into its stateless recipe, driven by the
+ * ModelSpec (aggregation kind + concatSelf), not name matching. Fatal
+ * for unsupported families.
+ */
+ForwardRecipe forwardRecipeFor(GnnModel &model, const GraphContext &ctx);
+
+/** One stateless fp32 forward pass of @p m (the quantization baseline). */
+Matrix referenceForward(const ForwardRecipe &m, const Matrix &x);
+
+/**
+ * Branch assignment per node under @p protect_ratio: 1 for the protected
+ * high-degree (higher-bit) branch, 0 for the dense low-bit branch — the
+ * same threshold rule degreeAwareFakeQuantize applies.
+ */
+std::vector<uint8_t> protectedBranchOf(const std::vector<int32_t> &degrees,
+                                       double protect_ratio);
+
+/**
+ * A model pre-quantized for integer execution: per-layer weight packs at
+ * both branch widths, the quantized aggregation operator, and the node
+ * branch split. The source recipe's operator must outlive this pack
+ * (qop.pattern points at it).
+ */
+struct QuantizedGnn
+{
+    ModelSpec spec;
+    bool concatSelf = false;
+    MixedPrecisionPolicy policy;
+    /** 1 = protected high-degree node (sparse branch, higher bits). */
+    std::vector<uint8_t> branchOf;
+    /** Node -> row within its branch's packed activation matrix. */
+    std::vector<int32_t> localIndex;
+    QuantizedCsr qop;
+    /** Per-layer weights packed at denseBits / sparseBits. */
+    std::vector<QuantizedMatrix> wLo;
+    std::vector<QuantizedMatrix> wHi;
+    /** Protected node count (observability / tests). */
+    int64_t protectedCount = 0;
+
+    /** Packed bytes of both weight packs plus operator values. */
+    double packedBytes() const;
+};
+
+/** Build the integer-execution pack for @p m over @p degrees. */
+QuantizedGnn quantizeGnn(const ForwardRecipe &m,
+                         const std::vector<int32_t> &degrees,
+                         const MixedPrecisionPolicy &policy = {});
+
+/**
+ * One mixed-precision integer forward pass: per layer, activations are
+ * branch-packed, aggregated with the quantized operator, (optionally
+ * self-concatenated,) re-packed, and combined with the branch-matching
+ * weight pack. Returns fp32 logits for every node.
+ */
+Matrix quantizedForwardMixed(const QuantizedGnn &q, const Matrix &x);
+
+} // namespace gcod
+
+#endif // GCOD_NN_QUANT_EXEC_HPP

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "graph/profiles.hpp"
+#include "nn/dataset.hpp"
 #include "shard/scheduler.hpp"
 #include "sim/rng.hpp"
 
@@ -90,7 +91,8 @@ defaultServeScale(const std::string &dataset)
 
 std::shared_ptr<const ArtifactBundle>
 buildArtifact(const ArtifactKey &key, const GcodOptions &opts, double scale,
-              uint64_t seed, int shards, NodeId shard_min_nodes)
+              uint64_t seed, int shards, NodeId shard_min_nodes,
+              const std::vector<int> &quant_bits)
 {
     auto t0 = std::chrono::steady_clock::now();
     auto bundle = std::make_shared<ArtifactBundle>();
@@ -121,6 +123,39 @@ buildArtifact(const ArtifactKey &key, const GcodOptions &opts, double scale,
     if (shards > 1 && bundle->profile.nodes >= shard_min_nodes)
         bundle->sharded = shard::buildShardedArtifact(
             bundle->synth.graph, shards, opts.reorder, seed);
+
+    // Host execution state for plain-Mean families: seeded weights and
+    // materialized features, plus one pre-quantized pack per requested
+    // backend precision. All derived from the fixed artifact seed, so
+    // serving results are deterministic per bundle.
+    if (supportsPlainMeanForward(bundle->spec)) {
+        Rng frng(seed ^ 0x51ed270bull);
+        Dataset ds = materialize(bundle->synth, frng);
+        bundle->hostFeatures = std::move(ds.features);
+        Rng wrng(seed + 17);
+        bundle->hostModel = makeModel(
+            key.model, int(bundle->hostFeatures.cols()),
+            bundle->profile.classes,
+            bundle->profile.nodes >= kLargeGraphNodes, wrng);
+        bundle->hostCtx =
+            std::make_shared<GraphContext>(bundle->synth.graph);
+        bundle->hostRecipe =
+            forwardRecipeFor(*bundle->hostModel, *bundle->hostCtx);
+        for (int bits : quant_bits) {
+            // Packed codes support 2..16 bits; backends outside that
+            // range (e.g. a bits=24 spec) fall back to fp32 execution.
+            if (bits < 2 || bits > 16 || bundle->quantized.count(bits))
+                continue;
+            MixedPrecisionPolicy pol;
+            pol.denseBits = bits;
+            pol.sparseBits = std::min(2 * bits, 16);
+            pol.operatorBits = pol.sparseBits;
+            bundle->quantized.emplace(
+                bits, quantizeGnn(bundle->hostRecipe,
+                                  bundle->synth.graph.degrees(),
+                                  pol));
+        }
+    }
 
     bundle->buildSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

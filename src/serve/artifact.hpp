@@ -15,6 +15,7 @@
 #define GCOD_SERVE_ARTIFACT_HPP
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -22,6 +23,7 @@
 #include "accel/graph_input.hpp"
 #include "gcod/pipeline.hpp"
 #include "nn/model_spec.hpp"
+#include "nn/quant_exec.hpp"
 
 namespace gcod::shard {
 struct ShardedArtifact;
@@ -99,6 +101,31 @@ struct ArtifactBundle
      * artifacts that carry this through the shard scheduler.
      */
     std::shared_ptr<const shard::ShardedArtifact> sharded;
+
+    /**
+     * Host execution state: a deterministically seeded model over the
+     * stand-in graph plus materialized features, present for plain-Mean
+     * models (GCN, unsampled GraphSAGE). The engine runs REAL host
+     * forwards against this — fp32 for full-precision backends,
+     * integer kernels for quantized ones — while cost simulation stays
+     * separate. `hostRecipe` points into hostModel/hostCtx; the
+     * operators in hostCtx reference `synth.graph`, so the whole state
+     * shares the bundle's lifetime.
+     */
+    std::shared_ptr<GnnModel> hostModel;
+    std::shared_ptr<GraphContext> hostCtx;
+    Matrix hostFeatures;
+    ForwardRecipe hostRecipe;
+    /**
+     * Pre-quantized execution packs keyed by backend operand precision
+     * (bits): the PlatformRegistry capability of each sub-32-bit
+     * backend the engine serves selects which pack its batches execute
+     * with (dense branch at `bits`, protected branch at up to 2x).
+     * Each pack's qop points at a hostCtx operator.
+     */
+    std::map<int, QuantizedGnn> quantized;
+
+    bool hasHostExec() const { return hostModel != nullptr; }
 };
 
 /** Serving-friendly synthesis scale for a dataset (keeps builds fast). */
@@ -111,11 +138,16 @@ double defaultServeScale(const std::string &dataset);
  * @param scale 0 = the per-dataset default.
  * @param shards > 1 additionally builds the sharded execution state for
  *        datasets with at least @p shard_min_nodes published nodes.
+ * @param quant_bits sub-32-bit precisions to pre-quantize host
+ *        execution packs for (one per distinct quantized backend the
+ *        engine serves); ignored for model families without host
+ *        execution support.
  */
 std::shared_ptr<const ArtifactBundle>
 buildArtifact(const ArtifactKey &key, const GcodOptions &opts,
               double scale = 0.0, uint64_t seed = 42, int shards = 0,
-              NodeId shard_min_nodes = kLargeGraphNodes);
+              NodeId shard_min_nodes = kLargeGraphNodes,
+              const std::vector<int> &quant_bits = {});
 
 } // namespace gcod::serve
 

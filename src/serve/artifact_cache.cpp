@@ -139,12 +139,13 @@ ArtifactCache::clear()
 
 ArtifactCache::Builder
 makeArtifactBuilder(GcodOptions opts, double scale, uint64_t seed,
-                    int shards, NodeId shard_min_nodes)
+                    int shards, NodeId shard_min_nodes,
+                    std::vector<int> quant_bits)
 {
-    return [opts, scale, seed, shards, shard_min_nodes](
-               const ArtifactKey &key) {
+    return [opts, scale, seed, shards, shard_min_nodes,
+            quant_bits = std::move(quant_bits)](const ArtifactKey &key) {
         return buildArtifact(key, opts, scale, seed, shards,
-                             shard_min_nodes);
+                             shard_min_nodes, quant_bits);
     };
 }
 

@@ -97,12 +97,14 @@ class ArtifactCache
 /**
  * Builder running the real artifact pipeline with the given options.
  * @p shards > 1 attaches the sharded execution state to large-dataset
- * bundles (see buildArtifact).
+ * bundles; @p quant_bits pre-quantizes host execution packs for those
+ * backend precisions (see buildArtifact).
  */
 ArtifactCache::Builder
 makeArtifactBuilder(GcodOptions opts, double scale = 0.0,
                     uint64_t seed = 42, int shards = 0,
-                    NodeId shard_min_nodes = kLargeGraphNodes);
+                    NodeId shard_min_nodes = kLargeGraphNodes,
+                    std::vector<int> quant_bits = {});
 
 } // namespace gcod::serve
 

@@ -60,7 +60,7 @@ BatchQueue::readyLocked(const Group &g, Clock::time_point now) const
 {
     if (g.requests.empty())
         return false;
-    if (closed_ || flushing_)
+    if (closed_ || g.flushPending > 0)
         return true;
     if (g.requests.size() >= targetLocked())
         return true;
@@ -95,12 +95,13 @@ BatchQueue::pop()
                       std::back_inserter(b.requests));
             reqs.erase(reqs.begin(), reqs.begin() + take);
             depth_ -= take;
-            if (reqs.empty())
+            if (reqs.empty()) {
                 groups_.erase(best);
-            else
-                best->second.oldest = reqs.front().enqueued;
-            if (depth_ == 0)
-                flushing_ = false;
+            } else {
+                Group &g = best->second;
+                g.oldest = reqs.front().enqueued;
+                g.flushPending -= std::min(g.flushPending, take);
+            }
             // Leftovers (or other ready groups) may still be dispatchable.
             readyCv_.notify_one();
             return b;
@@ -126,8 +127,10 @@ void
 BatchQueue::flush()
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (depth_ > 0)
-        flushing_ = true;
+    // Scope the flush to what is queued right now; later pushes batch
+    // under the normal policy again.
+    for (auto &[key, g] : groups_)
+        g.flushPending = g.requests.size();
     readyCv_.notify_all();
 }
 

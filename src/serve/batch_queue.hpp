@@ -67,8 +67,11 @@ class BatchQueue
     std::optional<Batch> pop();
 
     /**
-     * Release partial groups immediately (ignoring policy triggers) until
-     * the queue is empty; new pushes then batch normally again.
+     * Release partial groups immediately (ignoring policy triggers).
+     * The flush is scoped to the requests enqueued before the call:
+     * requests pushed afterwards batch normally under the configured
+     * policy again (they may still ride along in a flush batch that has
+     * spare capacity, but they never trigger early dispatch).
      */
     void flush();
 
@@ -84,6 +87,13 @@ class BatchQueue
     {
         std::vector<PendingRequest> requests;
         Clock::time_point oldest{};
+        /**
+         * Head requests covered by a pending flush() call. Only these
+         * force dispatch; requests pushed after the flush wait for the
+         * policy again — a persistent "flushing" flag would dispatch
+         * them as tiny batches until the whole queue drained.
+         */
+        size_t flushPending = 0;
     };
 
     /** Current size target for a group under the active policy. */
@@ -97,7 +107,6 @@ class BatchQueue
     std::map<ArtifactKey, Group> groups_;
     size_t depth_ = 0;
     bool closed_ = false;
-    bool flushing_ = false;
 };
 
 } // namespace gcod::serve

@@ -1,5 +1,7 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
+
 #include "sim/logging.hpp"
 #include "sim/parallel.hpp"
 
@@ -15,14 +17,78 @@ namespace {
  */
 std::atomic<int> lastKernelThreads{0};
 
+/**
+ * Chip list of the sharded fleet (empty when sharding is off): the
+ * configured shardBackends, else `shards` copies of the first backend.
+ * Single source of truth for both the scheduler construction and the
+ * quant-bits derivation, so the precisions artifacts pre-quantize for
+ * always match what the fleet executes.
+ */
+std::vector<std::string>
+fleetChips(const ServeOptions &opts)
+{
+    if (opts.shards <= 1)
+        return {};
+    if (!opts.shardBackends.empty())
+        return opts.shardBackends;
+    if (opts.backends.empty())
+        return {};
+    return std::vector<std::string>(size_t(opts.shards),
+                                    opts.backends.front());
+}
+
+/**
+ * Distinct sub-32-bit operand precisions across the engine's backends
+ * and shard fleet, read from the built platform configurations (the
+ * registry's `bits` overrides land there). These are the precisions
+ * every artifact pre-quantizes host execution packs for.
+ */
+std::vector<int>
+servedQuantBits(const ServeOptions &opts)
+{
+    PlatformRegistry &reg = PlatformRegistry::instance();
+    std::vector<int> bits;
+    for (const auto &s : opts.backends) {
+        int b = reg.create(s)->config().dataBits;
+        if (b > 0 && b < 32)
+            bits.push_back(b);
+    }
+    // The fleet executes at its wire precision (the widest chip), not
+    // per chip — so only that one precision needs a pack; a mixed
+    // full/8-bit fleet runs fp32 and pre-quantizes nothing.
+    int fleet_bits = 0;
+    for (const auto &s : fleetChips(opts))
+        fleet_bits =
+            std::max(fleet_bits, reg.create(s)->config().dataBits);
+    if (fleet_bits > 0 && fleet_bits < 32)
+        bits.push_back(fleet_bits);
+    std::sort(bits.begin(), bits.end());
+    bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+    return bits;
+}
+
+/**
+ * Precision a batch over @p b executes at when the serving backend's
+ * operand width is @p bits: the matching quantized pack when one was
+ * built, fp32 otherwise; 0 when the bundle has no host execution.
+ */
+int
+effectiveExecBits(const ArtifactBundle &b, int bits)
+{
+    if (!b.hasHostExec())
+        return 0;
+    return bits < 32 && b.quantized.count(bits) ? bits : 32;
+}
+
 } // namespace
 
 ServingEngine::ServingEngine(ServeOptions opts)
     : opts_(std::move(opts)), optionsHash_(hashGcodOptions(opts_.gcod)),
+      quantBits_(servedQuantBits(opts_)),
       cache_(opts_.cacheCapacity,
              makeArtifactBuilder(opts_.gcod, opts_.artifactScale,
                                  opts_.artifactSeed, opts_.shards,
-                                 opts_.shardMinNodes)),
+                                 opts_.shardMinNodes, quantBits_)),
       router_(opts_.backends), queue_(opts_.batching)
 {
     GCOD_ASSERT(opts_.workers >= 1, "engine needs at least one worker");
@@ -40,12 +106,12 @@ ServingEngine::ServingEngine(ServeOptions opts)
     }
     if (opts_.shards > 1) {
         shard::ShardScheduler::Options sopts;
-        sopts.chips = opts_.shardBackends;
-        if (sopts.chips.empty())
-            sopts.chips.assign(size_t(opts_.shards),
-                               opts_.backends.front());
+        sopts.chips = fleetChips(opts_);
         shardScheduler_ =
             std::make_unique<shard::ShardScheduler>(std::move(sopts));
+        // The fleet executes (and exchanges halos) at its wire
+        // precision: an all-8-bit fleet runs the artifact's int8 pack.
+        fleetExecBits_ = shardScheduler_->wireBits();
     }
     workers_.reserve(opts_.workers);
     for (size_t i = 0; i < opts_.workers; ++i)
@@ -98,6 +164,7 @@ ServingEngine::runBatch(Batch &&batch)
 
     RouteDecision route;
     DetailedResult result;
+    std::shared_ptr<const Matrix> logits;
     try {
         ArtifactCache::Lookup found = cache_.get(batch.key);
         dispatched = Clock::now();
@@ -132,8 +199,11 @@ ServingEngine::runBatch(Batch &&batch)
             }
             base.backend = shardScheduler_->fleetName();
             base.serviceSeconds = seconds;
+            base.executedBits =
+                effectiveExecBits(bundle, fleetExecBits_);
+            logits = logitsFor(found.bundle, base.executedBits);
             stats_.recordBatch(base.backend, batch.size(), seconds,
-                               seconds);
+                               seconds, base.executedBits);
         } else {
             route = router_.choose(bundle);
             router_.beginDispatch(route.backend, route.estimatedSeconds);
@@ -149,9 +219,18 @@ ServingEngine::runBatch(Batch &&batch)
             router_.endDispatch(route.backend);
             base.backend = route.name;
             base.serviceSeconds = result.latencySeconds;
+            // The route's real host execution: the backend's operand
+            // precision (a PlatformRegistry capability) selects the
+            // artifact's matching quantized pack — a GCoD@bits=8 route
+            // runs int8 kernels, not fp32 with a relabeled cost.
+            base.executedBits = effectiveExecBits(
+                bundle,
+                router_.model(route.backend).config().dataBits);
+            logits = logitsFor(found.bundle, base.executedBits);
             stats_.recordBatch(route.name, batch.size(),
                                route.estimatedSeconds,
-                               result.latencySeconds);
+                               result.latencySeconds,
+                               base.executedBits);
         }
     } catch (const std::runtime_error &e) {
         // Fatal (user-level) errors fail the batch's requests; panics and
@@ -167,6 +246,18 @@ ServingEngine::runBatch(Batch &&batch)
         reply.queueSeconds =
             std::chrono::duration<double>(dispatched - p.enqueued).count();
         reply.latencySeconds = reply.queueSeconds + reply.serviceSeconds;
+        if (logits) {
+            // Requests address the published node space; the stand-in
+            // folds them onto its own rows.
+            int64_t rows = logits->rows();
+            int64_t row = ((int64_t(p.req.node) % rows) + rows) % rows;
+            const float *lrow = logits->row(row);
+            int best = 0;
+            for (int64_t c = 1; c < logits->cols(); ++c)
+                if (lrow[c] > lrow[best])
+                    best = int(c);
+            reply.prediction = best;
+        }
         stats_.recordReply(reply);
         p.promise.set_value(std::move(reply));
     }
@@ -176,6 +267,47 @@ ServingEngine::runBatch(Batch &&batch)
         std::lock_guard<std::mutex> lock(drainMu_);
         drainCv_.notify_all();
     }
+}
+
+std::shared_ptr<const Matrix>
+ServingEngine::logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
+                         int bits)
+{
+    if (bits <= 0 || !bundle->hasHostExec())
+        return nullptr;
+    std::pair<ArtifactKey, int> key{bundle->key, bits};
+    {
+        std::lock_guard<std::mutex> lock(execMemoMu_);
+        auto it = execMemo_.find(key);
+        if (it != execMemo_.end())
+            return it->second;
+    }
+    // Compute outside the lock: racing workers produce bit-identical
+    // matrices (integer kernels + deterministic fp32 path), so a
+    // duplicated cold pass is harmless.
+    Matrix out;
+    if (bits < 32) {
+        const QuantizedGnn &q = bundle->quantized.at(bits);
+        out = bundle->sharded
+                  ? shard::quantizedShardedForward(
+                        bundle->sharded->plan, q, bundle->hostFeatures)
+                  : quantizedForwardMixed(q, bundle->hostFeatures);
+    } else {
+        out = referenceForward(bundle->hostRecipe, bundle->hostFeatures);
+    }
+    auto computed = std::make_shared<const Matrix>(std::move(out));
+    std::lock_guard<std::mutex> lock(execMemoMu_);
+    // Resident artifacts can hold at most capacity x (precisions + 1)
+    // entries; beyond that, everything extra belongs to evicted bundles
+    // and can be dropped (it will be recomputed bit-identically if the
+    // artifact ever returns).
+    size_t cap = std::max<size_t>(8, opts_.cacheCapacity *
+                                         (quantBits_.size() + 1));
+    if (execMemo_.size() >= cap)
+        for (auto it = execMemo_.begin(); it != execMemo_.end();)
+            it = cache_.contains(it->first.first) ? std::next(it)
+                                                  : execMemo_.erase(it);
+    return execMemo_.emplace(key, std::move(computed)).first->second;
 }
 
 void

@@ -112,6 +112,13 @@ class ServingEngine
         return shardScheduler_.get();
     }
 
+    /**
+     * Distinct sub-32-bit backend precisions this engine serves (from
+     * the PlatformRegistry capabilities of its backends and shard
+     * fleet) — the precisions artifacts pre-quantize packs for.
+     */
+    const std::vector<int> &quantBits() const { return quantBits_; }
+
     /** Requests submitted but not yet replied to. */
     size_t pending() const;
 
@@ -119,8 +126,23 @@ class ServingEngine
     void workerLoop();
     void runBatch(Batch &&batch);
 
+    /**
+     * Logits of one host execution pass over @p bundle at @p bits (32 =
+     * fp32 reference; otherwise the bundle's quantized pack). Full-batch
+     * inference over fixed features is request-independent, so the pass
+     * runs once per (artifact, precision) and is memoized; null when the
+     * bundle carries no host execution state or no pack for @p bits.
+     */
+    std::shared_ptr<const Matrix>
+    logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
+              int bits);
+
     ServeOptions opts_;
     uint64_t optionsHash_;
+    /** Distinct sub-32-bit precisions across backends + shard fleet. */
+    std::vector<int> quantBits_;
+    /** Fleet execution precision of the sharded path (32 = fp32). */
+    int fleetExecBits_ = 32;
     ArtifactCache cache_;
     BackendRouter router_;
     ServerStats stats_;
@@ -141,6 +163,17 @@ class ServingEngine
      */
     std::mutex shardMemoMu_;
     std::map<ArtifactKey, double> shardMemo_;
+
+    /**
+     * Memoized host-execution logits per (artifact, precision).
+     * Bounded: when the entry count reaches the cache capacity times
+     * the served precisions, entries whose artifact is no longer
+     * cache-resident are pruned, so the memo cannot outgrow the
+     * ArtifactCache's own memory bound under rotating traffic.
+     */
+    std::mutex execMemoMu_;
+    std::map<std::pair<ArtifactKey, int>, std::shared_ptr<const Matrix>>
+        execMemo_;
 
     std::vector<std::thread> workers_;
     std::atomic<bool> stopped_{false};

@@ -48,6 +48,15 @@ struct InferenceReply
     double latencySeconds = 0.0;
     /** Whether the artifact was already resident when dispatched. */
     bool cacheHit = false;
+    /**
+     * Host-execution precision of the pass that produced `prediction`:
+     * the backend's operand bits when a quantized pack ran (e.g. 8 for
+     * GCoD@bits=8), 32 for fp32, 0 when the artifact carries no host
+     * execution state (unsupported model family or stub bundles).
+     */
+    int executedBits = 0;
+    /** Predicted class of the requested node; -1 without host execution. */
+    int prediction = -1;
     /** Non-empty when the request failed (unknown dataset/model, ...). */
     std::string error;
 

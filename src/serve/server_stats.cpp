@@ -5,9 +5,6 @@
 
 namespace gcod::serve {
 
-namespace {
-
-/** Nearest-rank percentile of an already-sorted sample set. */
 double
 sortedPercentile(const std::vector<double> &sorted, double p)
 {
@@ -18,8 +15,6 @@ sortedPercentile(const std::vector<double> &sorted, double p)
     rank = std::clamp<size_t>(rank, 1, sorted.size());
     return sorted[rank - 1];
 }
-
-} // namespace
 
 double
 percentile(std::vector<double> samples, double p)
@@ -34,6 +29,8 @@ ServerStats::ServerStats() : group_("serve"), start_(Clock::now())
     group_.scalar("requests_completed", "successfully served requests");
     group_.scalar("requests_failed", "requests completed with an error");
     group_.scalar("batches_dispatched", "accelerator passes executed");
+    group_.scalar("batches_quantized",
+                  "passes executed with sub-32-bit host kernels");
     group_.distribution("batch_size", "requests per accelerator pass");
     group_.distribution("latency_seconds", "end-to-end request latency");
     group_.distribution("queue_seconds", "wall-clock batching delay");
@@ -64,10 +61,13 @@ ServerStats::recordReply(const InferenceReply &reply)
 
 void
 ServerStats::recordBatch(const std::string &backend, size_t size,
-                         double estimated_seconds, double service_seconds)
+                         double estimated_seconds, double service_seconds,
+                         int executed_bits)
 {
     std::lock_guard<std::mutex> lock(mu_);
     group_.scalar("batches_dispatched").inc();
+    if (executed_bits > 0 && executed_bits < 32)
+        group_.scalar("batches_quantized").inc();
     group_.distribution("batch_size").sample(double(size));
     group_.scalar("backend." + backend + ".batches").inc();
     group_.scalar("backend." + backend + ".requests").inc(double(size));

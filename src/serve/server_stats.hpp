@@ -22,6 +22,13 @@ namespace gcod::serve {
 /** Exact percentile (nearest-rank) of a sample set; 0 when empty. */
 double percentile(std::vector<double> samples, double p);
 
+/**
+ * Nearest-rank percentile of an already-sorted (non-descending) sample
+ * set; 0 when empty. p is clamped to [0, 100]: p=0 returns the minimum,
+ * p=100 the maximum.
+ */
+double sortedPercentile(const std::vector<double> &sorted, double p);
+
 class ServerStats
 {
   public:
@@ -30,9 +37,15 @@ class ServerStats
     /** Record one completed (or failed) request. */
     void recordReply(const InferenceReply &reply);
 
-    /** Record one dispatched batch. */
+    /**
+     * Record one dispatched batch. @p executed_bits is the host
+     * execution precision of the pass (32 = fp32, 0 = no host
+     * execution); sub-32-bit passes also count toward the
+     * `batches_quantized` scalar.
+     */
     void recordBatch(const std::string &backend, size_t size,
-                     double estimated_seconds, double service_seconds);
+                     double estimated_seconds, double service_seconds,
+                     int executed_bits = 0);
 
     uint64_t completed() const;
     uint64_t failed() const;

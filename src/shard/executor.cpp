@@ -11,28 +11,14 @@ namespace gcod::shard {
 ShardedModel
 shardedModelFor(GnnModel &model, const GraphContext &ctx)
 {
-    const ModelSpec &spec = model.spec();
-    GCOD_ASSERT(!spec.layers.empty(), "model has no layers");
-    bool concat = spec.layers.front().concatSelf;
-    for (const LayerSpec &l : spec.layers) {
-        if (l.agg != Aggregation::Mean || l.heads != 1 ||
-            l.concatSelf != concat)
-            GCOD_FATAL("sharded execution supports plain-Mean models "
-                       "(GCN, unsampled GraphSAGE); '", spec.name,
-                       "' has a layer the executor cannot replicate");
-    }
-
+    // Model resolution (plain-Mean validation, operator choice, weight
+    // collection) is shared with the stateless/quantized execution paths.
+    ForwardRecipe r = forwardRecipeFor(model, ctx);
     ShardedModel m;
-    m.spec = &spec;
-    m.concatSelf = concat;
-    // GCN's "Mean" is the renormalized \hat A; GraphSAGE's is the
-    // row-mean D^-1 A alongside the self concat.
-    m.op = concat ? &ctx.rowMean() : &ctx.normalized();
-    for (Matrix *w : model.parameters())
-        m.weights.push_back(w);
-    GCOD_ASSERT(m.weights.size() == spec.layers.size(),
-                "one weight matrix per layer expected; model '", spec.name,
-                "' has extra parameters the executor cannot place");
+    m.spec = r.spec;
+    m.concatSelf = r.concatSelf;
+    m.op = r.op;
+    m.weights = std::move(r.weights);
     return m;
 }
 
@@ -105,6 +91,54 @@ shardedForward(const ShardPlan &plan, const ShardedModel &m,
                const Matrix &x)
 {
     return shardedForward(plan, m, extractShardOperators(plan, *m.op), x);
+}
+
+Matrix
+quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
+                        const Matrix &x)
+{
+    GCOD_ASSERT(x.rows() == int64_t(plan.numNodes),
+                "activation rows must match the plan graph");
+    GCOD_ASSERT(int64_t(q.qop.pattern->rows()) == x.rows(),
+                "quantization pack must cover the plan graph");
+
+    const std::vector<LayerSpec> &layers = q.spec.layers;
+    Matrix cur = x;
+    for (size_t l = 0; l < layers.size(); ++l) {
+        bool last = l + 1 == layers.size();
+        // Global packing first: branch scales come from the whole
+        // activation matrix, so every shard codes its halo inputs
+        // exactly as the monolithic pass would.
+        MixedQuantizedMatrix mq =
+            mixedQuantize(cur, q.branchOf, q.localIndex,
+                          q.policy.denseBits, q.policy.sparseBits);
+        Matrix s(cur.rows(), int64_t(cur.cols()), 0.0f);
+        parallelFor(
+            0, plan.numShards,
+            [&](const Range &r, size_t) {
+                for (int64_t sh = r.begin; sh < r.end; ++sh)
+                    qspmmMixedRows(q.qop, mq,
+                                   plan.shards[size_t(sh)].owned, s);
+            },
+            1);
+        Matrix pre = q.concatSelf ? hconcat(cur, s) : std::move(s);
+        MixedQuantizedMatrix mz =
+            mixedQuantize(pre, q.branchOf, q.localIndex,
+                          q.policy.denseBits, q.policy.sparseBits);
+        Matrix z(cur.rows(), layers[l].outDim, 0.0f);
+        parallelFor(
+            0, plan.numShards,
+            [&](const Range &r, size_t) {
+                for (int64_t sh = r.begin; sh < r.end; ++sh)
+                    qmatmulMixedRows(mz, q.wLo[l], q.wHi[l],
+                                     plan.shards[size_t(sh)].owned, z);
+            },
+            1);
+        if (!last)
+            z = relu(z);
+        cur = std::move(z);
+    }
+    return cur;
 }
 
 } // namespace gcod::shard

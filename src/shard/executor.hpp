@@ -29,6 +29,7 @@
 
 #include "nn/graph_context.hpp"
 #include "nn/models.hpp"
+#include "nn/quant_exec.hpp"
 #include "shard/plan.hpp"
 
 namespace gcod::shard {
@@ -65,6 +66,20 @@ Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
                       const Matrix &x);
 Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
                       const Matrix &x);
+
+/**
+ * Sharded mixed-precision integer forward (nn/quant_exec numerics): each
+ * shard computes its owned output rows with the per-row integer kernels,
+ * while every quantization scale is derived from the GLOBAL activation
+ * matrix — exactly what the monolithic quantizedForwardMixed uses. With
+ * integer accumulation exact per row, the stitched logits are therefore
+ * bit-identical to the monolithic pass for any shard count, chip mix,
+ * and thread count. Halo activations cross shards at the pack's wire
+ * precision (the packed branch codes), which is what the exchange cost
+ * model prices via HaloExchangeOptions::bytesPerScalar.
+ */
+Matrix quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
+                               const Matrix &x);
 
 } // namespace gcod::shard
 

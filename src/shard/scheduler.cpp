@@ -70,15 +70,24 @@ ShardScheduler::ShardScheduler(Options opts) : opts_(std::move(opts))
 {
     GCOD_ASSERT(!opts_.chips.empty(), "scheduler needs >= 1 chip");
     fleetName_ = "shard[";
+    wireBits_ = 0;
     for (size_t i = 0; i < opts_.chips.size(); ++i) {
         Chip chip;
         chip.name = opts_.chips[i];
         chip.descriptor = &platformDescriptor(chip.name);
         chip.model = makeAccelerator(chip.name);
+        wireBits_ = std::max(wireBits_, chip.model->config().dataBits);
         chips_.push_back(std::move(chip));
         fleetName_ += (i ? "," : "") + opts_.chips[i];
     }
     fleetName_ += "]";
+    if (wireBits_ <= 0)
+        wireBits_ = 32;
+    // Halos travel at the fleet's wire precision: the widest consumer
+    // fixes the scalar coding, so an all-8-bit fleet moves 1-byte
+    // activations instead of fp32 ones.
+    if (opts_.deriveWirePrecision)
+        opts_.halo.bytesPerScalar = double(wireBits_) / 8.0;
 }
 
 ShardScheduleResult

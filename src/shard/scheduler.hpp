@@ -92,11 +92,25 @@ class ShardScheduler
         /** Chip fleet: registry names/aliases/spec strings, one per chip. */
         std::vector<std::string> chips = {"GCoD", "GCoD"};
         HaloExchangeOptions halo;
+        /**
+         * Derive halo.bytesPerScalar from the fleet's wire precision
+         * (max operand bits across chips / 8) instead of using the
+         * configured value: an all-8-bit fleet then exchanges 1-byte
+         * activation scalars, quartering halo traffic. Set false to pin
+         * halo.bytesPerScalar explicitly.
+         */
+        bool deriveWirePrecision = true;
     };
 
     explicit ShardScheduler(Options opts);
 
     int numChips() const { return int(chips_.size()); }
+    /**
+     * Fleet wire precision in bits: the widest chip operand precision —
+     * every consumer can ingest halos coded at it. Also the precision
+     * the serving engine executes homogeneous quantized fleets at.
+     */
+    int wireBits() const { return wireBits_; }
     const std::string &chipName(int i) const
     {
         return chips_[size_t(i)].name;
@@ -136,6 +150,7 @@ class ShardScheduler
     Options opts_;
     std::vector<Chip> chips_;
     std::string fleetName_;
+    int wireBits_ = 32;
 };
 
 /**

@@ -1,10 +1,34 @@
 #include "stats.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <iomanip>
 
 namespace gcod {
+
+namespace {
+
+/** splitmix64 mix step [Vigna]: spreads sequential seeds apart. */
+uint64_t
+splitmix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+uint64_t
+StatDistribution::freshReservoirSeed()
+{
+    static std::atomic<uint64_t> counter{0};
+    uint64_t seed = splitmix64(counter.fetch_add(1));
+    // xorshift64 has a fixed point at 0; sidestep it.
+    return seed ? seed : 0x9e3779b97f4a7c15ull;
+}
 
 void
 StatDistribution::sample(double v)

@@ -48,11 +48,12 @@ class StatScalar
 class StatDistribution
 {
   public:
-    StatDistribution() = default;
+    StatDistribution() : reservoirRng_(freshReservoirSeed()) {}
 
     /** @param bins number of histogram bins laid out lazily on first range */
     StatDistribution(std::string name, std::string desc, size_t bins = 16)
-        : name_(std::move(name)), desc_(std::move(desc)), binCount_(bins)
+        : name_(std::move(name)), desc_(std::move(desc)), binCount_(bins),
+          reservoirRng_(freshReservoirSeed())
     {}
 
     /** Record one sample. */
@@ -116,8 +117,19 @@ class StatDistribution
     double m2_ = 0.0;
     std::vector<double> samples_;
     size_t sampleCap_ = 0;
-    /** xorshift64 state for reservoir replacement (deterministic). */
-    uint64_t reservoirRng_ = 0x9e3779b97f4a7c15ull;
+    /**
+     * xorshift64 state for reservoir replacement. Seeded per instance
+     * (splitmix64 over a process-wide counter): with one shared seed,
+     * distributions sampled in lockstep — e.g. the serving latency
+     * metrics, one sample each per request — would replace the same
+     * reservoir slots every time, correlating their subsamples and
+     * biasing cross-metric percentiles. Deterministic given
+     * construction order.
+     */
+    uint64_t reservoirRng_;
+
+    /** Next per-instance reservoir seed (never zero). */
+    static uint64_t freshReservoirSeed();
 };
 
 /**

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Integer (quantized) dense and sparse kernels — the host execution path
+ * of the GCoD low-bit variants (paper Tab. VI/VII). Where tensor/ops.cpp
+ * computes in fp32, these kernels multiply packed integer codes and
+ * accumulate in exact int64 arithmetic, applying the scales once per
+ * output element.
+ *
+ * Determinism contract (matches sim/parallel): every kernel partitions
+ * its OUTPUT rows, and integer accumulation is associative, so results
+ * are bit-identical for any thread count — and, because each output row
+ * depends only on its own exact integer sums, bit-identical when rows
+ * are computed shard-by-shard and stitched (shard/executor).
+ *
+ * Mixed precision follows GCoD's dense/sparse split: activations are
+ * row-partitioned into a low-bit branch (the polarized dense community
+ * nodes) and a higher-bit branch (the protected high-degree tail), each
+ * packed with its own per-matrix scale; kernels keep one integer
+ * accumulator per branch and combine the two scaled sums per element.
+ */
+#ifndef GCOD_TENSOR_QOPS_HPP
+#define GCOD_TENSOR_QOPS_HPP
+
+#include "tensor/quant.hpp"
+
+namespace gcod {
+
+/** Dense C = deq(A) * deq(B), computed in integer arithmetic. */
+Matrix qmatmul(const QuantizedMatrix &a, const QuantizedMatrix &b);
+
+/** Sparse-dense Y = deq(A) * deq(X), row-wise, integer accumulation. */
+Matrix qspmm(const QuantizedCsr &a, const QuantizedMatrix &x);
+
+/**
+ * Row-partitioned two-branch quantized activation matrix. Global row r
+ * lives in branch branchOf[r] (0 = low-bit dense branch, 1 = higher-bit
+ * protected branch) at row localIndex[r] of that branch's packed matrix.
+ * The referenced vectors must outlive this object (they belong to the
+ * model-level quantization pack, nn/quant_exec).
+ */
+struct MixedQuantizedMatrix
+{
+    const std::vector<uint8_t> *branchOf = nullptr;
+    const std::vector<int32_t> *localIndex = nullptr;
+    QuantizedMatrix lo;
+    QuantizedMatrix hi;
+
+    int64_t rows() const { return int64_t(branchOf->size()); }
+    int64_t cols() const { return lo.rows() ? lo.cols() : hi.cols(); }
+};
+
+/** localIndex companion of a branch assignment: row -> in-branch row. */
+std::vector<int32_t> branchLocalIndex(const std::vector<uint8_t> &branch_of);
+
+/**
+ * Split @p x by @p branch_of and pack each branch at its own bit width
+ * with a fresh per-branch symmetric scale. Scales depend only on the
+ * (global) matrix content, so monolithic and sharded executions that
+ * quantize the same global activations get identical codes.
+ */
+MixedQuantizedMatrix mixedQuantize(const Matrix &x,
+                                   const std::vector<uint8_t> &branch_of,
+                                   const std::vector<int32_t> &local_index,
+                                   int lo_bits, int hi_bits);
+
+/** Y = deq(A) * deq(X) with two-branch X; integer per-branch sums. */
+Matrix qspmmMixed(const QuantizedCsr &a, const MixedQuantizedMatrix &x);
+
+/**
+ * qspmmMixed restricted to the output rows in @p rows, written into the
+ * matching rows of @p y (shape pattern.rows x x.cols). Serial — the
+ * sharded executor calls it from inside a pool worker, one shard per
+ * range. Row math is identical to qspmmMixed's, so stitching the row
+ * sets of a partition reproduces the full kernel bit for bit.
+ */
+void qspmmMixedRows(const QuantizedCsr &a, const MixedQuantizedMatrix &x,
+                    const std::vector<NodeId> &rows, Matrix &y);
+
+/**
+ * Z = deq(X) * deq(W) where row r of X uses the branch-matching weight
+ * pack: W_lo for dense-branch rows, W_hi for protected rows.
+ */
+Matrix qmatmulMixed(const MixedQuantizedMatrix &x, const QuantizedMatrix &w_lo,
+                    const QuantizedMatrix &w_hi);
+
+/** qmatmulMixed restricted to @p rows, written into @p z (serial). */
+void qmatmulMixedRows(const MixedQuantizedMatrix &x,
+                      const QuantizedMatrix &w_lo, const QuantizedMatrix &w_hi,
+                      const std::vector<NodeId> &rows, Matrix &z);
+
+} // namespace gcod
+
+#endif // GCOD_TENSOR_QOPS_HPP

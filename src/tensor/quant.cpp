@@ -5,6 +5,18 @@
 
 namespace gcod {
 
+namespace {
+
+/** Symmetric scale mapping @p peak to the largest b-bit code. */
+float
+symmetricScale(float peak, int bits)
+{
+    float qmax = float((1 << (bits - 1)) - 1);
+    return peak > 0.0f ? peak / qmax : 1.0f;
+}
+
+} // namespace
+
 QuantParams
 chooseQuantParams(const Matrix &x, int bits)
 {
@@ -14,16 +26,18 @@ chooseQuantParams(const Matrix &x, int bits)
         peak = std::max(peak, std::fabs(v));
     QuantParams qp;
     qp.bits = bits;
-    float qmax = float((1 << (bits - 1)) - 1);
-    qp.scale = peak > 0.0f ? peak / qmax : 1.0f;
+    qp.scale = symmetricScale(peak, bits);
     return qp;
 }
 
 std::vector<int32_t>
 quantize(const Matrix &x, const QuantParams &qp)
 {
-    int32_t lo = -(1 << (qp.bits - 1));
+    // Symmetric clamp: chooseQuantParams scales the peak to +qmax, so the
+    // two's-complement extra negative code -(qmax+1) must stay unused or
+    // shared-scale callers get an asymmetric range.
     int32_t hi = (1 << (qp.bits - 1)) - 1;
+    int32_t lo = -hi;
     std::vector<int32_t> q(x.data().size());
     for (size_t i = 0; i < q.size(); ++i) {
         auto v = int32_t(std::lround(x.data()[i] / qp.scale));
@@ -56,19 +70,27 @@ quantizationError(const Matrix &x, int bits)
     return Matrix::maxAbsDiff(x, fakeQuantize(x, bits));
 }
 
-Matrix
-degreeAwareFakeQuantize(const Matrix &x, const std::vector<int32_t> &degrees,
-                        int bits, double protect_ratio)
+int32_t
+protectionThreshold(const std::vector<int32_t> &degrees,
+                    double protect_ratio)
 {
-    GCOD_ASSERT(degrees.size() == size_t(x.rows()),
-                "degree count must match rows");
+    GCOD_ASSERT(!degrees.empty(), "protectionThreshold needs degrees");
     std::vector<int32_t> sorted = degrees;
     std::sort(sorted.begin(), sorted.end());
     size_t cut = size_t(double(sorted.size()) *
                         std::clamp(1.0 - protect_ratio, 0.0, 1.0));
     if (cut >= sorted.size())
         cut = sorted.size() - 1;
-    int32_t threshold = sorted[cut];
+    return sorted[cut];
+}
+
+Matrix
+degreeAwareFakeQuantize(const Matrix &x, const std::vector<int32_t> &degrees,
+                        int bits, double protect_ratio)
+{
+    GCOD_ASSERT(degrees.size() == size_t(x.rows()),
+                "degree count must match rows");
+    int32_t threshold = protectionThreshold(degrees, protect_ratio);
 
     Matrix q = fakeQuantize(x, bits);
     Matrix out = q;
@@ -79,6 +101,69 @@ degreeAwareFakeQuantize(const Matrix &x, const std::vector<int32_t> &degrees,
         }
     }
     return out;
+}
+
+QuantizedMatrix::QuantizedMatrix(const Matrix &x, int bits)
+    : QuantizedMatrix(x, chooseQuantParams(x, bits))
+{}
+
+QuantizedMatrix::QuantizedMatrix(const Matrix &x, const QuantParams &qp)
+    : rows_(x.rows()), cols_(x.cols()), qp_(qp)
+{
+    GCOD_ASSERT(qp_.bits >= 2 && qp_.bits <= 16,
+                "packed quantization supports 2..16 bits");
+    GCOD_ASSERT(qp_.scale > 0.0f, "quantization scale must be positive");
+    int32_t hi = (1 << (qp_.bits - 1)) - 1;
+    float inv = 1.0f / qp_.scale;
+    size_t n = x.data().size();
+    if (narrow()) {
+        q8_.resize(n);
+        for (size_t i = 0; i < n; ++i)
+            q8_[i] = int8_t(std::clamp(
+                int32_t(std::lround(x.data()[i] * inv)), -hi, hi));
+    } else {
+        q16_.resize(n);
+        for (size_t i = 0; i < n; ++i)
+            q16_[i] = int16_t(std::clamp(
+                int32_t(std::lround(x.data()[i] * inv)), -hi, hi));
+    }
+}
+
+Matrix
+QuantizedMatrix::toMatrix() const
+{
+    Matrix x(rows_, cols_);
+    for (int64_t i = 0; i < rows_ * cols_; ++i)
+        x.data()[size_t(i)] =
+            float(at(i / cols_, i % cols_)) * qp_.scale;
+    return x;
+}
+
+double
+QuantizedMatrix::payloadBytes() const
+{
+    return double(rows_ * cols_) * (narrow() ? 1.0 : 2.0);
+}
+
+QuantizedCsr
+quantizeCsr(const CsrMatrix &a, int bits)
+{
+    GCOD_ASSERT(bits >= 2 && bits <= 16,
+                "packed operator quantization supports 2..16 bits");
+    QuantizedCsr q;
+    q.pattern = &a;
+    q.qp.bits = bits;
+    float peak = 0.0f;
+    for (float v : a.values())
+        peak = std::max(peak, std::fabs(v));
+    q.qp.scale = symmetricScale(peak, bits);
+    int32_t hi = (1 << (bits - 1)) - 1;
+    float inv = 1.0f / q.qp.scale;
+    q.values.resize(a.values().size());
+    for (size_t i = 0; i < q.values.size(); ++i)
+        q.values[i] = int16_t(std::clamp(
+            int32_t(std::lround(a.values()[i] * inv)), -hi, hi));
+    return q;
 }
 
 } // namespace gcod

@@ -3,10 +3,14 @@
  * Integer quantization support for the GCoD (8-bit) variant and the
  * QAT / Degree-Quant compression baselines (paper Tab. VII, Tab. VI).
  *
- * Symmetric per-tensor quantization: q = clamp(round(x / s), -2^{b-1},
+ * Symmetric per-tensor quantization: q = clamp(round(x / s), -(2^{b-1}-1),
  * 2^{b-1}-1), dequant x' = q * s, with s chosen from the max-abs range.
- * Fake-quantization (quantize-dequantize in float) is what QAT inserts in
- * the forward pass while keeping float gradients (straight-through).
+ * The clamp is symmetric (GCoD-style): the two's-complement most-negative
+ * code is never emitted, so +peak and -peak map to codes of equal
+ * magnitude even when the params came from another tensor (shared-scale
+ * callers like the sharded executor). Fake-quantization
+ * (quantize-dequantize in float) is what QAT inserts in the forward pass
+ * while keeping float gradients (straight-through).
  */
 #ifndef GCOD_TENSOR_QUANT_HPP
 #define GCOD_TENSOR_QUANT_HPP
@@ -14,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/sparse.hpp"
 #include "tensor/matrix.hpp"
 
 namespace gcod {
@@ -54,6 +59,82 @@ double quantizationError(const Matrix &x, int bits);
 Matrix degreeAwareFakeQuantize(const Matrix &x,
                                const std::vector<int32_t> &degrees, int bits,
                                double protect_ratio);
+
+/**
+ * The degree threshold degreeAwareFakeQuantize protects at: nodes with
+ * degree >= the (1 - protect_ratio) quantile stay at higher precision.
+ * Exposed so the integer execution path (nn/quant_exec) splits nodes into
+ * branches by exactly the same rule.
+ */
+int32_t protectionThreshold(const std::vector<int32_t> &degrees,
+                            double protect_ratio);
+
+/**
+ * Packed integer matrix: row-major quantized codes stored at the
+ * narrowest standard width that fits the configured bits (int8 for
+ * bits <= 8, int16 up to 16) plus the per-matrix QuantParams mapping
+ * codes back to floats. Unlike fakeQuantize — which only *models*
+ * quantization in float — a QuantizedMatrix actually shrinks the bytes
+ * held and moved; it is the operand format of the integer kernels in
+ * tensor/qops.hpp.
+ */
+class QuantizedMatrix
+{
+  public:
+    QuantizedMatrix() = default;
+    /** Quantize @p x at @p bits with a fresh symmetric per-matrix scale. */
+    QuantizedMatrix(const Matrix &x, int bits);
+    /** Quantize @p x with explicit params (shared-scale callers). */
+    QuantizedMatrix(const Matrix &x, const QuantParams &qp);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    const QuantParams &params() const { return qp_; }
+    /** True when codes are stored as int8 (bits <= 8). */
+    bool narrow() const { return qp_.bits <= 8; }
+
+    const int8_t *row8(int64_t r) const { return q8_.data() + r * cols_; }
+    const int16_t *row16(int64_t r) const
+    {
+        return q16_.data() + r * cols_;
+    }
+
+    /** Single code, widened. */
+    int32_t
+    at(int64_t r, int64_t c) const
+    {
+        return narrow() ? q8_[size_t(r * cols_ + c)]
+                        : q16_[size_t(r * cols_ + c)];
+    }
+
+    /** Map every code back to float (q * scale). */
+    Matrix toMatrix() const;
+
+    /** Packed code bytes — the memory/wire footprint of the payload. */
+    double payloadBytes() const;
+
+  private:
+    int64_t rows_ = 0;
+    int64_t cols_ = 0;
+    QuantParams qp_;
+    std::vector<int8_t> q8_;
+    std::vector<int16_t> q16_;
+};
+
+/**
+ * Quantized values of a sparse operator. The pattern (indptr/indices)
+ * stays in the source CsrMatrix, which must outlive this object; only
+ * the value array is re-coded (int16 storage covers every bits <= 16).
+ */
+struct QuantizedCsr
+{
+    const CsrMatrix *pattern = nullptr;
+    QuantParams qp;
+    std::vector<int16_t> values;
+};
+
+/** Quantize a sparse operator's values at @p bits (pattern by pointer). */
+QuantizedCsr quantizeCsr(const CsrMatrix &a, int bits);
 
 } // namespace gcod
 

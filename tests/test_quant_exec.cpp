@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for the integer (quantized) execution path: packed matrix round
+ * trips, integer kernels vs their fp32 counterparts, the mixed-precision
+ * forward's error bound against fp32 logits, bit-identity across thread
+ * counts and shard counts, and the serving route that executes an
+ * artifact's int8 pack when the backend's registry capability says
+ * bits=8.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "graph/generate.hpp"
+#include "nn/quant_exec.hpp"
+#include "serve/engine.hpp"
+#include "shard/executor.hpp"
+#include "sim/parallel.hpp"
+
+using namespace gcod;
+using namespace gcod::serve;
+
+namespace {
+
+/**
+ * Documented bound for the default mixed policy (int8 dense branch,
+ * int16 protected branch, int16 operator): quantized logits stay within
+ * 5% of the fp32 logit peak (docs/quantization.md).
+ */
+constexpr double kLogitErrorFraction = 0.05;
+
+Matrix
+randomDense(int64_t r, int64_t c, Rng &rng)
+{
+    Matrix m(r, c);
+    for (auto &v : m.data())
+        v = float(rng.normal(0.0, 1.0));
+    return m;
+}
+
+double
+peakAbs(const Matrix &m)
+{
+    double peak = 0.0;
+    for (float v : m.data())
+        peak = std::max(peak, double(std::fabs(v)));
+    return peak;
+}
+
+bool
+bitIdentical(const Matrix &a, const Matrix &b)
+{
+    return a.sameShape(b) &&
+           std::memcmp(a.data().data(), b.data().data(),
+                       a.data().size() * sizeof(float)) == 0;
+}
+
+/** A small GCN + context + pack over a power-law graph. */
+struct QuantFixture
+{
+    Graph graph;
+    GraphContext ctx;
+    std::unique_ptr<GnnModel> model;
+    Matrix x;
+    ForwardRecipe recipe;
+
+    explicit QuantFixture(NodeId nodes = 400, int features = 48,
+                          uint64_t seed = 11)
+        : graph([&] {
+              Rng grng(seed);
+              return barabasiAlbert(nodes, 4, grng);
+          }()),
+          ctx(graph)
+    {
+        Rng rng(seed + 1);
+        model = makeModel("GCN", features, 7, false, rng);
+        x = randomDense(nodes, features, rng);
+        recipe = forwardRecipeFor(*model, ctx);
+    }
+};
+
+} // namespace
+
+// --------------------------------------------------------------- packing
+TEST(QuantizedMatrixTest, PacksAtNarrowWidths)
+{
+    Rng rng(3);
+    Matrix x = randomDense(20, 30, rng);
+    QuantizedMatrix q8(x, 8);
+    QuantizedMatrix q16(x, 16);
+    EXPECT_TRUE(q8.narrow());
+    EXPECT_FALSE(q16.narrow());
+    EXPECT_DOUBLE_EQ(q8.payloadBytes(), 20.0 * 30.0);
+    EXPECT_DOUBLE_EQ(q16.payloadBytes(), 2.0 * 20.0 * 30.0);
+    // Round trip within half a quantization step.
+    EXPECT_LE(Matrix::maxAbsDiff(x, q8.toMatrix()),
+              q8.params().scale * 0.5 + 1e-6);
+    EXPECT_LE(Matrix::maxAbsDiff(x, q16.toMatrix()),
+              q16.params().scale * 0.5 + 1e-6);
+}
+
+TEST(QuantizedMatrixTest, SharedScaleCodesStaySymmetric)
+{
+    // The packed ctor must honor the symmetric clamp for values beyond
+    // the scale-defining peak (shared-scale callers).
+    QuantParams qp;
+    qp.scale = 1.0f;
+    qp.bits = 8;
+    Matrix x(1, 2);
+    x(0, 0) = -1000.0f;
+    x(0, 1) = 1000.0f;
+    QuantizedMatrix q(x, qp);
+    EXPECT_EQ(q.at(0, 0), -127);
+    EXPECT_EQ(q.at(0, 1), 127);
+}
+
+// --------------------------------------------------------------- kernels
+TEST(QuantKernelsTest, QmatmulMatchesDequantizedFloatProduct)
+{
+    Rng rng(5);
+    Matrix a = randomDense(40, 30, rng);
+    Matrix b = randomDense(30, 20, rng);
+    QuantizedMatrix qa(a, 8), qb(b, 8);
+    Matrix ref = matmul(qa.toMatrix(), qb.toMatrix());
+    Matrix got = qmatmul(qa, qb);
+    EXPECT_LE(Matrix::maxAbsDiff(ref, got), 1e-3);
+}
+
+TEST(QuantKernelsTest, QspmmMatchesDequantizedFloatProduct)
+{
+    Rng rng(6);
+    Graph g = barabasiAlbert(300, 3, rng);
+    GraphContext ctx(g);
+    const CsrMatrix &op = ctx.normalized();
+    Matrix x = randomDense(g.numNodes(), 24, rng);
+    QuantizedCsr qop = quantizeCsr(op, 16);
+    QuantizedMatrix qx(x, 8);
+    // Dequantized operator for the float reference.
+    std::vector<float> deq(qop.values.size());
+    for (size_t i = 0; i < deq.size(); ++i)
+        deq[i] = float(qop.values[i]) * qop.qp.scale;
+    CsrMatrix dop(op.rows(), op.cols(), op.indptr(), op.indices(), deq);
+    Matrix ref = spmm(dop, qx.toMatrix());
+    Matrix got = qspmm(qop, qx);
+    EXPECT_LE(Matrix::maxAbsDiff(ref, got), 1e-3);
+}
+
+// --------------------------------------------------- mixed-precision GNN
+TEST(QuantExecTest, BranchSplitFollowsDegreeProtectionRule)
+{
+    QuantFixture f;
+    MixedPrecisionPolicy pol;
+    QuantizedGnn q = quantizeGnn(f.recipe, f.graph.degrees(), pol);
+    ASSERT_EQ(q.branchOf.size(), size_t(f.graph.numNodes()));
+    EXPECT_GT(q.protectedCount, 0);
+    EXPECT_LT(q.protectedCount, int64_t(f.graph.numNodes()));
+    int32_t threshold =
+        protectionThreshold(f.graph.degrees(), pol.protectRatio);
+    for (NodeId v = 0; v < f.graph.numNodes(); ++v)
+        EXPECT_EQ(q.branchOf[size_t(v)] != 0,
+                  f.graph.degrees()[size_t(v)] >= threshold);
+}
+
+TEST(QuantExecTest, MixedForwardWithinDocumentedLogitBound)
+{
+    QuantFixture f;
+    Matrix ref = referenceForward(f.recipe, f.x);
+    QuantizedGnn q = quantizeGnn(f.recipe, f.graph.degrees());
+    Matrix got = quantizedForwardMixed(q, f.x);
+    double err = Matrix::maxAbsDiff(ref, got);
+    EXPECT_GT(err, 0.0) << "quantization must actually change numerics";
+    EXPECT_LE(err, kLogitErrorFraction * peakAbs(ref));
+}
+
+TEST(QuantExecTest, WiderBitsShrinkLogitError)
+{
+    QuantFixture f;
+    Matrix ref = referenceForward(f.recipe, f.x);
+    double last = 1e30;
+    for (int bits : {4, 8, 16}) {
+        MixedPrecisionPolicy pol;
+        pol.denseBits = bits;
+        pol.sparseBits = std::min(2 * bits, 16);
+        pol.operatorBits = pol.sparseBits;
+        QuantizedGnn q = quantizeGnn(f.recipe, f.graph.degrees(), pol);
+        double err =
+            Matrix::maxAbsDiff(ref, quantizedForwardMixed(q, f.x));
+        EXPECT_LT(err, last);
+        last = err;
+    }
+}
+
+TEST(QuantExecTest, BitIdenticalAcrossThreadCounts)
+{
+    QuantFixture f;
+    QuantizedGnn q = quantizeGnn(f.recipe, f.graph.degrees());
+    int before = currentThreads();
+    setThreads(1);
+    Matrix serial = quantizedForwardMixed(q, f.x);
+    for (int t : {2, 3, 5, 8}) {
+        setThreads(t);
+        EXPECT_TRUE(bitIdentical(serial, quantizedForwardMixed(q, f.x)))
+            << "thread count " << t;
+    }
+    setThreads(before);
+}
+
+TEST(QuantExecTest, BitIdenticalAcrossShardCounts)
+{
+    QuantFixture f(600, 32, 21);
+    QuantizedGnn q = quantizeGnn(f.recipe, f.graph.degrees());
+    Matrix mono = quantizedForwardMixed(q, f.x);
+    for (int k : {1, 2, 4}) {
+        shard::ShardPlanOptions popts;
+        popts.shards = k;
+        shard::ShardPlan plan = shard::buildShardPlan(f.graph, popts);
+        Matrix sharded = shard::quantizedShardedForward(plan, q, f.x);
+        EXPECT_TRUE(bitIdentical(mono, sharded)) << "K=" << k;
+    }
+}
+
+// ----------------------------------------------------------------- serve
+TEST(QuantServeTest, GcodBits8RouteExecutesInt8ArtifactPack)
+{
+    ServeOptions opts;
+    opts.backends = {"GCoD@bits=8"};
+    opts.workers = 1;
+    opts.artifactScale = 0.25;
+    opts.batching.maxDelay = std::chrono::microseconds(200);
+    ServingEngine engine(opts);
+    ASSERT_EQ(engine.quantBits(), std::vector<int>{8});
+
+    std::vector<std::future<InferenceReply>> futures;
+    for (NodeId n = 0; n < 5; ++n)
+        futures.push_back(engine.submit({0, "Cora", "GCN", n}));
+    engine.drain();
+
+    ArtifactKey key{"Cora", "GCN", hashGcodOptions(opts.gcod)};
+    auto bundle = engine.cache().get(key).bundle;
+    ASSERT_TRUE(bundle->hasHostExec());
+    ASSERT_EQ(bundle->quantized.count(8), 1u);
+    EXPECT_EQ(bundle->quantized.at(8).policy.denseBits, 8);
+
+    // The served predictions must come from the int8 pack's logits.
+    Matrix qlogits = quantizedForwardMixed(bundle->quantized.at(8),
+                                           bundle->hostFeatures);
+    Matrix ref = referenceForward(bundle->hostRecipe,
+                                  bundle->hostFeatures);
+    double err = Matrix::maxAbsDiff(qlogits, ref);
+    EXPECT_GT(err, 0.0);
+    EXPECT_LE(err, kLogitErrorFraction * peakAbs(ref));
+
+    for (size_t i = 0; i < futures.size(); ++i) {
+        InferenceReply r = futures[i].get();
+        ASSERT_TRUE(r.ok()) << r.error;
+        EXPECT_EQ(r.executedBits, 8);
+        int64_t row = int64_t(i) % qlogits.rows();
+        const float *lrow = qlogits.row(row);
+        int best = 0;
+        for (int64_t c = 1; c < qlogits.cols(); ++c)
+            if (lrow[c] > lrow[best])
+                best = int(c);
+        EXPECT_EQ(r.prediction, best);
+    }
+    const StatScalar *quantized =
+        engine.stats().group().findScalar("batches_quantized");
+    ASSERT_NE(quantized, nullptr);
+    EXPECT_GE(quantized->value(), 1.0);
+}
+
+TEST(QuantServeTest, UnpackableBackendPrecisionFallsBackToFp32)
+{
+    // Packed codes cover 2..16 bits; a backend declaring e.g. bits=24
+    // (legal as a generic registry override) must serve fp32 host math
+    // instead of crashing the artifact build.
+    ServeOptions opts;
+    opts.backends = {"HyGCN@bits=24"};
+    opts.workers = 1;
+    opts.artifactScale = 0.25;
+    opts.batching.maxDelay = std::chrono::microseconds(200);
+    ServingEngine engine(opts);
+    ASSERT_EQ(engine.quantBits(), std::vector<int>{24});
+
+    InferenceReply r = engine.submit({0, "Cora", "GCN", 1}).get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.executedBits, 32);
+    EXPECT_GE(r.prediction, 0);
+}
+
+TEST(QuantServeTest, FullPrecisionRouteReportsFp32)
+{
+    ServeOptions opts;
+    opts.backends = {"GCoD"};
+    opts.workers = 1;
+    opts.artifactScale = 0.25;
+    opts.batching.maxDelay = std::chrono::microseconds(200);
+    ServingEngine engine(opts);
+    EXPECT_TRUE(engine.quantBits().empty());
+
+    InferenceReply r = engine.submit({0, "Cora", "GCN", 3}).get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.executedBits, 32);
+    EXPECT_GE(r.prediction, 0);
+    EXPECT_EQ(
+        engine.stats().group().findScalar("batches_quantized")->value(),
+        0.0);
+}

@@ -183,6 +183,41 @@ TEST(BatchQueueTest, FixedSizeHoldsPartialUntilFlush)
     EXPECT_EQ(batch->size(), 2u);
 }
 
+TEST(BatchQueueTest, FlushIsScopedToPreFlushBacklog)
+{
+    // Regression: a queue-wide flushing flag used to stay set until the
+    // whole queue drained, so requests pushed after flush() were
+    // dispatched immediately as tiny batches until the pre-flush
+    // backlog cleared, defeating batching under sustained traffic.
+    BatchOptions opts;
+    opts.policy = BatchPolicy::FixedSize;
+    opts.maxBatch = 4;
+    BatchQueue q(opts);
+    push(q, pending("Cora", 1));
+    push(q, pending("Cora", 2));
+    q.flush();
+    for (uint64_t i = 3; i <= 7; ++i)
+        push(q, pending("Cora", i));
+
+    // The flush batch releases the pre-flush pair (riders may fill the
+    // spare capacity), leaving post-flush leftovers queued.
+    ASSERT_EQ(q.pop()->size(), 4u);
+    EXPECT_EQ(q.depth(), 3u);
+
+    // Those leftovers must wait for a full batch, not dispatch early.
+    std::atomic<int> second_size{-1};
+    std::thread popper([&] {
+        auto b = q.pop();
+        second_size = b ? int(b->size()) : 0;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(second_size.load(), -1)
+        << "post-flush requests dispatched below the policy target";
+    push(q, pending("Cora", 8));
+    popper.join();
+    EXPECT_EQ(second_size.load(), 4);
+}
+
 TEST(BatchQueueTest, BatchesAreHomogeneousPerArtifact)
 {
     BatchOptions opts;

@@ -311,6 +311,48 @@ TEST(ShardScheduler, DeterministicAssignment)
     EXPECT_DOUBLE_EQ(a.latencySeconds, b.latencySeconds);
 }
 
+TEST(ShardScheduler, HalosTravelAtTheFleetWirePrecision)
+{
+    Graph g = testGraph(500, 37);
+    ShardPlanOptions popts;
+    popts.shards = 4;
+    ShardPlan plan = buildShardPlan(g, popts);
+    std::vector<ShardExecution> units = buildShardExecutions(g, plan);
+    ModelSpec spec = makeModelSpec("GCN", 64, 8, false);
+
+    ShardScheduler::Options full;
+    full.chips = {"GCoD", "GCoD"};
+    ShardScheduler sched32(full);
+    EXPECT_EQ(sched32.wireBits(), 32);
+
+    ShardScheduler::Options low;
+    low.chips = {"GCoD@bits=8", "GCoD@bits=8"};
+    ShardScheduler sched8(low);
+    EXPECT_EQ(sched8.wireBits(), 8);
+
+    // An all-8-bit fleet moves 1-byte activation scalars: exactly a
+    // quarter of the fp32 fleet's halo traffic over the same plan.
+    HaloExchangeCost w32 = sched32.schedule(plan, units, spec).exchange;
+    HaloExchangeCost w8 = sched8.schedule(plan, units, spec).exchange;
+    EXPECT_GT(w8.wireBytes, 0.0);
+    EXPECT_DOUBLE_EQ(w8.wireBytes, w32.wireBytes / 4.0);
+    EXPECT_LT(w8.seconds, w32.seconds);
+
+    // A mixed fleet's widest consumer pins the wire coding at fp32.
+    ShardScheduler::Options mixed;
+    mixed.chips = {"GCoD", "GCoD@bits=8"};
+    EXPECT_EQ(ShardScheduler(mixed).wireBits(), 32);
+
+    // Pinning bytesPerScalar explicitly opts out of the derivation.
+    ShardScheduler::Options pinned;
+    pinned.chips = {"GCoD@bits=8", "GCoD@bits=8"};
+    pinned.deriveWirePrecision = false;
+    pinned.halo.bytesPerScalar = 4.0;
+    HaloExchangeCost wp =
+        ShardScheduler(pinned).schedule(plan, units, spec).exchange;
+    EXPECT_DOUBLE_EQ(wp.wireBytes, w32.wireBytes);
+}
+
 TEST(ShardScheduler, MakespanDecreasesWithChips)
 {
     Rng rng(41);
@@ -413,6 +455,41 @@ TEST(ServeSharded, LargeGraphsRouteThroughTheFleet)
     ASSERT_TRUE(reply.ok()) << reply.error;
     EXPECT_EQ(reply.backend, "shard[GCoD,GCoD@bits=8]");
     EXPECT_GT(reply.serviceSeconds, 0.0);
+}
+
+TEST(ServeSharded, HomogeneousLowBitFleetExecutesQuantizedSharded)
+{
+    serve::ServeOptions opts;
+    opts.backends = {"GCoD"};
+    opts.shards = 2;
+    opts.shardBackends = {"GCoD@bits=8", "GCoD@bits=8"};
+    opts.workers = 1;
+    opts.artifactScale = 0.002; // keep the Reddit stand-in test-sized
+    serve::ServingEngine engine(opts);
+    ASSERT_EQ(engine.quantBits(), std::vector<int>{8});
+    ASSERT_NE(engine.shardScheduler(), nullptr);
+    EXPECT_EQ(engine.shardScheduler()->wireBits(), 8);
+
+    auto big = engine.submit({0, "Reddit", "GCN", 5});
+    engine.drain();
+    serve::InferenceReply reply = big.get();
+    ASSERT_TRUE(reply.ok()) << reply.error;
+    EXPECT_EQ(reply.executedBits, 8);
+    EXPECT_GE(reply.prediction, 0);
+
+    // The fleet's pass must reproduce the monolithic int8 pass exactly
+    // (the bit-identity the quantized executor guarantees).
+    serve::ArtifactKey key{"Reddit", "GCN",
+                           serve::hashGcodOptions(opts.gcod)};
+    auto bundle = engine.cache().get(key).bundle;
+    ASSERT_NE(bundle->sharded, nullptr);
+    ASSERT_EQ(bundle->quantized.count(8), 1u);
+    Matrix mono = quantizedForwardMixed(bundle->quantized.at(8),
+                                        bundle->hostFeatures);
+    Matrix fleet = quantizedShardedForward(
+        bundle->sharded->plan, bundle->quantized.at(8),
+        bundle->hostFeatures);
+    EXPECT_TRUE(bitIdentical(mono, fleet));
 }
 
 TEST(ServeSharded, SmallGraphsStayOnTheSingleChipPath)

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the statistics package's percentile helpers and the
+ * reservoir-capped StatDistribution, including the per-instance
+ * reservoir seeding (one shared seed used to replace the same slots in
+ * lockstep across distributions, correlating their subsamples).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "serve/server_stats.hpp"
+#include "sim/stats.hpp"
+
+using namespace gcod;
+using gcod::serve::percentile;
+using gcod::serve::sortedPercentile;
+
+// ------------------------------------------------------------ percentiles
+TEST(PercentileTest, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(sortedPercentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 100.0), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleAtEveryRank)
+{
+    for (double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(sortedPercentile({42.0}, p), 42.0);
+}
+
+TEST(PercentileTest, ZeroAndHundredHitTheExtremes)
+{
+    std::vector<double> sorted;
+    for (int i = 1; i <= 10; ++i)
+        sorted.push_back(double(i));
+    EXPECT_DOUBLE_EQ(sortedPercentile(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(sortedPercentile(sorted, 100.0), 10.0);
+    // Out-of-range p clamps instead of indexing out of bounds.
+    EXPECT_DOUBLE_EQ(sortedPercentile(sorted, -5.0), 1.0);
+    EXPECT_DOUBLE_EQ(sortedPercentile(sorted, 250.0), 10.0);
+}
+
+TEST(PercentileTest, NearestRankOnKnownLadder)
+{
+    std::vector<double> sorted;
+    for (int i = 1; i <= 100; ++i)
+        sorted.push_back(double(i));
+    EXPECT_DOUBLE_EQ(sortedPercentile(sorted, 50.0), 50.0);
+    EXPECT_DOUBLE_EQ(sortedPercentile(sorted, 99.0), 99.0);
+    EXPECT_DOUBLE_EQ(sortedPercentile(sorted, 99.5), 100.0);
+}
+
+TEST(PercentileTest, UnsortedInputIsSortedByPercentile)
+{
+    std::vector<double> samples = {9.0, 1.0, 5.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentile(samples, 100.0), 9.0);
+    EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 1.0);
+}
+
+// -------------------------------------------------------------- reservoir
+TEST(ReservoirTest, CapBoundsRetainedSamplesButNotMoments)
+{
+    StatDistribution d("lat", "latency", 8);
+    d.setSampleCap(64);
+    for (int i = 1; i <= 1000; ++i)
+        d.sample(double(i));
+    EXPECT_EQ(d.count(), 1000u);
+    EXPECT_EQ(d.samples().size(), 64u);
+    // Moments stay exact under the cap.
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 1000.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 500.5);
+    // Percentiles over the subsample stay inside the true range.
+    std::vector<double> kept = d.samples();
+    std::sort(kept.begin(), kept.end());
+    EXPECT_GE(sortedPercentile(kept, 50.0), 1.0);
+    EXPECT_LE(sortedPercentile(kept, 50.0), 1000.0);
+}
+
+TEST(ReservoirTest, LateCapTruncatesRetainedSamples)
+{
+    StatDistribution d("lat", "latency");
+    for (int i = 0; i < 100; ++i)
+        d.sample(double(i));
+    d.setSampleCap(16);
+    EXPECT_EQ(d.samples().size(), 16u);
+    EXPECT_EQ(d.count(), 100u);
+}
+
+TEST(ReservoirTest, IndependentInstancesDivergeOnIdenticalStreams)
+{
+    // Regression: every distribution used to start from the same
+    // xorshift seed, so distributions sampled in lockstep (the serving
+    // latency metrics) replaced the same reservoir slots every step and
+    // their subsamples were perfectly correlated.
+    StatDistribution a("a", ""), b("b", "");
+    a.setSampleCap(32);
+    b.setSampleCap(32);
+    for (int i = 0; i < 1000; ++i) {
+        a.sample(double(i));
+        b.sample(double(i));
+    }
+    EXPECT_EQ(a.samples().size(), 32u);
+    EXPECT_EQ(b.samples().size(), 32u);
+    EXPECT_NE(a.samples(), b.samples());
+}
+
+TEST(ReservoirTest, GroupDistributionsDivergeToo)
+{
+    // The same property through StatGroup creation (the serving path).
+    StatGroup g("serve");
+    StatDistribution &x = g.distribution("x");
+    StatDistribution &y = g.distribution("y");
+    x.setSampleCap(16);
+    y.setSampleCap(16);
+    for (int i = 0; i < 500; ++i) {
+        x.sample(double(i));
+        y.sample(double(i));
+    }
+    EXPECT_NE(x.samples(), y.samples());
+}

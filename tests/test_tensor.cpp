@@ -286,6 +286,29 @@ TEST(Quant, RoundTripWithinHalfScale)
     EXPECT_LE(Matrix::maxAbsDiff(x, back), qp.scale * 0.5 + 1e-7);
 }
 
+TEST(Quant, SymmetricClampAtTwoBits)
+{
+    // Regression: quantize() used to clamp to the full two's-complement
+    // range [-2^{b-1}, 2^{b-1}-1] while chooseQuantParams scales the
+    // peak to 2^{b-1}-1, leaving an extra, asymmetric most-negative
+    // code reachable for shared-scale callers. At bits=2 the off-by-one
+    // is visible: codes must stay in [-1, 1].
+    QuantParams qp;
+    qp.bits = 2;
+    qp.scale = 1.0f;
+    Matrix x(1, 3);
+    x(0, 0) = -5.0f;
+    x(0, 1) = 5.0f;
+    x(0, 2) = -1.0f;
+    std::vector<int32_t> q = quantize(x, qp);
+    EXPECT_EQ(q[0], -1); // was -2 before the fix
+    EXPECT_EQ(q[1], 1);
+    EXPECT_EQ(q[2], -1);
+    // Saturated negative and positive peaks dequantize symmetrically.
+    Matrix back = dequantize(q, 1, 3, qp);
+    EXPECT_FLOAT_EQ(back(0, 0), -back(0, 1));
+}
+
 TEST(Quant, FakeQuantizeIdempotent)
 {
     Rng rng(8);
