@@ -125,6 +125,15 @@ struct ArtifactBundle
      */
     std::map<int, QuantizedGnn> quantized;
 
+    /**
+     * Memoized host-execution logits restored from the artifact store,
+     * keyed by execution bits (32 = fp32). Empty for freshly built
+     * bundles; the engine consults this before running a host forward,
+     * so a warm-started server skips even the first execution per
+     * precision.
+     */
+    std::map<int, Matrix> storedLogits;
+
     bool hasHostExec() const { return hostModel != nullptr; }
 };
 

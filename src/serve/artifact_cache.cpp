@@ -20,7 +20,7 @@ ArtifactCache::get(const ArtifactKey &key)
             // Hit: move to the MRU front.
             lru_.splice(lru_.begin(), lru_, it->second);
             ++hits_;
-            return {it->second->bundle, true};
+            return {it->second->bundle, true, it->second->version};
         }
         if (building_.count(key) == 0)
             break;
@@ -51,11 +51,72 @@ ArtifactCache::get(const ArtifactKey &key)
         GCOD_PANIC("artifact builder returned null");
     }
     buildSeconds_ += bundle->buildSeconds;
-    lru_.push_front(Entry{key, bundle});
+    if (auto raced = map_.find(key); raced != map_.end()) {
+        // A publish() landed this key while we were building: the
+        // published epoch wins — serving our stale build would travel
+        // backwards in time. Our build is simply dropped.
+        lru_.splice(lru_.begin(), lru_, raced->second);
+        buildDone_.notify_all();
+        return {raced->second->bundle, false, raced->second->version};
+    }
+    lru_.push_front(Entry{key, bundle, ++nextVersion_});
     map_[key] = lru_.begin();
     evictLocked();
     buildDone_.notify_all();
-    return {bundle, false};
+    return {bundle, false, lru_.front().version};
+}
+
+uint64_t
+ArtifactCache::publish(const ArtifactKey &key,
+                       std::shared_ptr<const ArtifactBundle> bundle)
+{
+    GCOD_ASSERT(bundle != nullptr, "cannot publish a null bundle");
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t version = ++nextVersion_;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // Swap in place: retire the old epoch (readers holding it are
+        // untouched), install the new one, and bump to MRU.
+        retired_.push_back(std::move(it->second->bundle));
+        it->second->bundle = std::move(bundle);
+        it->second->version = version;
+        lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+        lru_.push_front(Entry{key, std::move(bundle), version});
+        map_[key] = lru_.begin();
+        evictLocked();
+    }
+    return version;
+}
+
+uint64_t
+ArtifactCache::residentVersion(const ArtifactKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second->version;
+}
+
+size_t
+ArtifactCache::retiredCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return retired_.size();
+}
+
+size_t
+ArtifactCache::reclaimRetired()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t before = retired_.size();
+    retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                  [](const auto &b) {
+                                      // Only the retired list holds it:
+                                      // the grace period has elapsed.
+                                      return b.use_count() == 1;
+                                  }),
+                   retired_.end());
+    return before - retired_.size();
 }
 
 void
@@ -73,6 +134,14 @@ ArtifactCache::contains(const ArtifactKey &key) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return map_.count(key) != 0;
+}
+
+std::shared_ptr<const ArtifactBundle>
+ArtifactCache::peek(const ArtifactKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second->bundle;
 }
 
 size_t

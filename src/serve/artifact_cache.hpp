@@ -1,6 +1,7 @@
 /**
  * @file
- * LRU cache of precompiled serving artifacts.
+ * LRU cache of precompiled serving artifacts, with epoch-based
+ * (RCU-style) hot swap.
  *
  * Keyed by (dataset, model, GcodOptions hash); a hit returns the shared
  * bundle immediately, a miss runs the builder (graph synthesis + the
@@ -8,6 +9,15 @@
  * race on the same key. Eviction is strict LRU over whole bundles;
  * in-flight batches keep their evicted bundle alive through the shared_ptr
  * until they complete.
+ *
+ * Hot swap: every resident bundle carries a monotonically increasing
+ * version (its epoch). publish() atomically installs a new bundle for a
+ * key under the cache lock — readers that already hold the old
+ * shared_ptr finish their batches on the old epoch undisturbed, new
+ * lookups see the new epoch immediately, and nothing blocks. Replaced
+ * bundles park on a retired list; reclaimRetired() frees the ones whose
+ * last outside reader has drained (use_count back to one), which is the
+ * RCU grace period made explicit and testable.
  */
 #ifndef GCOD_SERVE_ARTIFACT_CACHE_HPP
 #define GCOD_SERVE_ARTIFACT_CACHE_HPP
@@ -36,6 +46,12 @@ class ArtifactCache
     {
         std::shared_ptr<const ArtifactBundle> bundle;
         bool hit = false;
+        /**
+         * Epoch of the returned bundle (> 0): bumped every time
+         * publish() swaps the key. Execution memos key on it so results
+         * computed against one epoch are never served for another.
+         */
+        uint64_t version = 0;
     };
 
     /**
@@ -47,8 +63,34 @@ class ArtifactCache
     /** Fetch-or-build. Throws whatever the builder throws on a miss. */
     Lookup get(const ArtifactKey &key);
 
+    /**
+     * Atomically install @p bundle as the new epoch of @p key (hot
+     * swap). The previous resident bundle, if any, is retired: readers
+     * holding it finish undisturbed; reclaimRetired() frees it once the
+     * last one drains. Returns the new version. Publishing never blocks
+     * on in-flight work and never drops requests — a concurrent get()
+     * sees either the old or the new epoch, both fully valid.
+     */
+    uint64_t publish(const ArtifactKey &key,
+                     std::shared_ptr<const ArtifactBundle> bundle);
+
+    /** Current version of @p key (0 when not resident); no recency touch. */
+    uint64_t residentVersion(const ArtifactKey &key) const;
+
+    /** Retired bundles still waiting for their readers to drain. */
+    size_t retiredCount() const;
+
+    /**
+     * Free retired bundles whose reader count has drained (the explicit
+     * RCU grace period). Returns how many were reclaimed.
+     */
+    size_t reclaimRetired();
+
     /** Residency check without building or touching recency. */
     bool contains(const ArtifactKey &key) const;
+
+    /** Resident bundle without building or touching recency; null on miss. */
+    std::shared_ptr<const ArtifactBundle> peek(const ArtifactKey &key) const;
 
     size_t size() const;
     size_t capacity() const { return capacity_; }
@@ -71,6 +113,7 @@ class ArtifactCache
     {
         ArtifactKey key;
         std::shared_ptr<const ArtifactBundle> bundle;
+        uint64_t version = 0;
     };
 
     void evictLocked();
@@ -92,6 +135,11 @@ class ArtifactCache
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
     double buildSeconds_ = 0.0;
+
+    /** Monotonic epoch source shared by inserts and publishes. */
+    uint64_t nextVersion_ = 0;
+    /** Replaced bundles waiting for their last reader to drain. */
+    std::vector<std::shared_ptr<const ArtifactBundle>> retired_;
 };
 
 /**

@@ -80,6 +80,12 @@ BackendRouter::estimateSeconds(int i, const ArtifactBundle &bundle)
 RouteDecision
 BackendRouter::choose(const ArtifactBundle &bundle)
 {
+    return choose(bundle, SloTier::Standard);
+}
+
+RouteDecision
+BackendRouter::choose(const ArtifactBundle &bundle, SloTier tier)
+{
     // Estimates are independent per backend and memoized per
     // (key, backend): a cold artifact prices its unpriced backends
     // concurrently on the kernel pool, while the warm path (every
@@ -98,15 +104,34 @@ BackendRouter::choose(const ArtifactBundle &bundle)
                 estimateSeconds(cold[size_t(k)], bundle);
         });
 
+    // Best-effort work stays off the fastest backend (by base estimate)
+    // so latency traffic always finds the quickest chip uncontended.
+    int fastest = -1;
+    if (tier == SloTier::BestEffort && backends_.size() > 1) {
+        double fastest_base = 0.0;
+        for (int i = 0; i < int(backends_.size()); ++i) {
+            double base = estimateSeconds(i, bundle);
+            if (fastest < 0 || base < fastest_base) {
+                fastest = i;
+                fastest_base = base;
+            }
+        }
+    }
+
     RouteDecision best;
     double best_score = 0.0;
     for (int i = 0; i < int(backends_.size()); ++i) {
+        if (i == fastest)
+            continue;
         double base = estimateSeconds(i, bundle);
         int depth = backends_[i]->inflight.load();
-        // Virtual completion time of this batch on backend i, scaled by
-        // the live queue depth when several workers overlap.
-        double score = (backends_[i]->assignedWork.load() + base) *
-                       double(1 + depth);
+        // Latency tier races to the fastest door now; the other tiers
+        // balance virtual completion time (assigned work + this batch),
+        // both scaled by the live queue depth when workers overlap.
+        double score = tier == SloTier::Latency
+                           ? base * double(1 + depth)
+                           : (backends_[i]->assignedWork.load() + base) *
+                                 double(1 + depth);
         if (best.backend < 0 || score < best_score) {
             best_score = score;
             best.backend = i;

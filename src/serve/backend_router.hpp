@@ -33,6 +33,7 @@
 #include "accel/accelerator.hpp"
 #include "accel/registry.hpp"
 #include "serve/artifact.hpp"
+#include "serve/request.hpp"
 
 namespace gcod::serve {
 
@@ -87,8 +88,21 @@ class BackendRouter
      * (no state mutated) given the current virtual-work accumulators and
      * queue depths; ties break toward the earlier platform in
      * construction order, so routing is deterministic under one worker.
+     * Equivalent to choose(bundle, SloTier::Standard).
      */
     RouteDecision choose(const ArtifactBundle &bundle);
+
+    /**
+     * Tier-aware routing:
+     *  - Latency: the backend with the smallest raw batch estimate
+     *    (scaled by live queue depth) — the fastest door, regardless of
+     *    virtual work already assigned;
+     *  - Standard: least work left in virtual time (the default policy);
+     *  - BestEffort: least work left, but excluding the single fastest
+     *    backend (when more than one exists), keeping the quickest chip
+     *    free for latency traffic.
+     */
+    RouteDecision choose(const ArtifactBundle &bundle, SloTier tier);
 
     /** Cost-model estimate (seconds) of one pass, ignoring load. */
     double estimateSeconds(int i, const ArtifactBundle &bundle);

@@ -31,9 +31,10 @@ BatchQueue::push(PendingRequest &r)
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_)
         return false;
-    Group &g = groups_[r.key];
+    Group &g = groups_[GroupKey{r.key, r.req.tier}];
     if (g.requests.empty())
         g.oldest = r.enqueued;
+    ++tierDepth_[size_t(r.req.tier)];
     g.requests.push_back(std::move(r));
     ++depth_;
     readyCv_.notify_one();
@@ -76,18 +77,32 @@ BatchQueue::pop()
     for (;;) {
         Clock::time_point now = Clock::now();
 
-        // Oldest ready group first (FIFO fairness across artifacts).
+        // Tiered selection over the ready groups: latency beats
+        // standard beats best_effort, oldest-first within a tier (FIFO
+        // fairness across artifacts). The starvation guard promotes any
+        // group that has waited starvationLimit to rank 0, so lower
+        // tiers always make progress under sustained latency traffic.
         auto best = groups_.end();
+        int bestRank = 0;
         for (auto it = groups_.begin(); it != groups_.end(); ++it) {
             if (!readyLocked(it->second, now))
                 continue;
-            if (best == groups_.end() ||
-                it->second.oldest < best->second.oldest)
+            int rank = now - it->second.oldest >= opts_.starvationLimit
+                           ? 0
+                           : int(it->first.tier);
+            bool better =
+                best == groups_.end() || rank < bestRank ||
+                (rank == bestRank &&
+                 it->second.oldest < best->second.oldest);
+            if (better) {
                 best = it;
+                bestRank = rank;
+            }
         }
         if (best != groups_.end()) {
             Batch b;
-            b.key = best->first;
+            b.key = best->first.key;
+            b.tier = best->first.tier;
             auto &reqs = best->second.requests;
             size_t take = std::min(reqs.size(), opts_.maxBatch);
             b.requests.reserve(take);
@@ -95,6 +110,7 @@ BatchQueue::pop()
                       std::back_inserter(b.requests));
             reqs.erase(reqs.begin(), reqs.begin() + take);
             depth_ -= take;
+            tierDepth_[size_t(b.tier)] -= take;
             if (reqs.empty()) {
                 groups_.erase(best);
             } else {
@@ -147,6 +163,13 @@ BatchQueue::depth() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return depth_;
+}
+
+size_t
+BatchQueue::tierDepth(SloTier tier) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tierDepth_[size_t(tier)];
 }
 
 bool

@@ -13,8 +13,13 @@
  *               queue depth (deep queue -> bigger batches amortize more;
  *               idle queue -> small batches keep latency low).
  *
- * Ready groups are released oldest-first (FIFO across artifacts), so one
- * hot dataset cannot starve a cold one.
+ * Groups are keyed by (artifact, SLO tier), so batches are
+ * tier-homogeneous. Among ready groups, higher tiers (latency <
+ * standard < best_effort) dispatch first; within a tier, oldest first
+ * (FIFO across artifacts). A starvation guard promotes any group whose
+ * oldest request has waited at least starvationLimit to top priority,
+ * so sustained latency-tier traffic cannot starve best-effort work
+ * forever.
  */
 #ifndef GCOD_SERVE_BATCH_QUEUE_HPP
 #define GCOD_SERVE_BATCH_QUEUE_HPP
@@ -43,6 +48,12 @@ struct BatchOptions
     std::chrono::microseconds maxDelay{2000};
     /** Smallest size target Adaptive will aim for. */
     size_t adaptiveMin = 2;
+    /**
+     * Starvation guard for tiered dequeue: a ready group whose oldest
+     * request has waited at least this long dispatches ahead of
+     * higher-tier groups regardless of its tier.
+     */
+    std::chrono::microseconds starvationLimit{20000};
 };
 
 /**
@@ -80,9 +91,26 @@ class BatchQueue
 
     /** Queued (not yet popped) requests across all groups. */
     size_t depth() const;
+    /** Queued requests of one SLO tier. */
+    size_t tierDepth(SloTier tier) const;
     bool closed() const;
 
   private:
+    /** Groups are tier-homogeneous: one per (artifact, tier). */
+    struct GroupKey
+    {
+        ArtifactKey key;
+        SloTier tier = SloTier::Standard;
+
+        bool
+        operator<(const GroupKey &o) const
+        {
+            if (tier != o.tier)
+                return tier < o.tier;
+            return key < o.key;
+        }
+    };
+
     struct Group
     {
         std::vector<PendingRequest> requests;
@@ -104,8 +132,9 @@ class BatchQueue
 
     mutable std::mutex mu_;
     std::condition_variable readyCv_;
-    std::map<ArtifactKey, Group> groups_;
+    std::map<GroupKey, Group> groups_;
     size_t depth_ = 0;
+    size_t tierDepth_[kNumSloTiers] = {0, 0, 0};
     bool closed_ = false;
 };
 

@@ -4,6 +4,8 @@
 
 #include "sim/logging.hpp"
 #include "sim/parallel.hpp"
+#include "store/artifact_io.hpp"
+#include "store/file.hpp"
 
 namespace gcod::serve {
 
@@ -80,15 +82,78 @@ effectiveExecBits(const ArtifactBundle &b, int bits)
     return bits < 32 && b.quantized.count(bits) ? bits : 32;
 }
 
+/**
+ * Wrap @p fresh with the persistent-store fast path: try a store load
+ * first (mmap-backed, milliseconds instead of a pipeline build), fall
+ * back to the full build on any integrity failure, and save fresh
+ * builds back so the next process warm-starts. A store file that fails
+ * validation only costs a warning — serving never goes down over a
+ * stale or corrupt artifact file.
+ */
+ArtifactCache::Builder
+storeAwareBuilder(ArtifactCache::Builder fresh, std::string dir,
+                  ReorderOptions shard_reorder)
+{
+    if (dir.empty())
+        return fresh;
+    return [fresh = std::move(fresh), dir = std::move(dir),
+            shard_reorder](const ArtifactKey &key)
+               -> std::shared_ptr<const ArtifactBundle> {
+        std::string path = store::artifactStorePath(dir, key);
+        if (store::fileExists(path)) {
+            try {
+                store::LoadedArtifact loaded =
+                    store::loadArtifactBundle(path);
+                if (loaded.bundle->key == key)
+                    return loaded.bundle;
+                warn("artifact store file ", path,
+                     " holds a different key; rebuilding");
+            } catch (const std::runtime_error &e) {
+                warn("artifact store load of ", path, " failed (",
+                     e.what(), "); rebuilding from the pipeline");
+            }
+        }
+        std::shared_ptr<const ArtifactBundle> bundle = fresh(key);
+        try {
+            store::saveArtifactBundle(path, *bundle, shard_reorder);
+        } catch (const std::runtime_error &e) {
+            // Persistence is an optimization; a full disk or read-only
+            // store directory must not fail the build that succeeded.
+            warn("artifact store save to ", path, " failed: ", e.what());
+        }
+        return bundle;
+    };
+}
+
+/**
+ * True when a request of @p tier must be shed at queue depth @p depth.
+ * Thresholds nest: the global limit sheds everything, the standard
+ * limit spares only Latency, the best-effort limit sheds only
+ * BestEffort — so load pressure always drops the cheapest promise first.
+ */
+bool
+shouldShed(const AdmissionOptions &a, SloTier tier, size_t depth)
+{
+    if (a.maxQueueDepth != 0 && depth >= a.maxQueueDepth)
+        return true;
+    if (tier != SloTier::Latency && a.standardMaxDepth != 0 &&
+        depth >= a.standardMaxDepth)
+        return true;
+    return tier == SloTier::BestEffort && a.bestEffortMaxDepth != 0 &&
+           depth >= a.bestEffortMaxDepth;
+}
+
 } // namespace
 
 ServingEngine::ServingEngine(ServeOptions opts)
     : opts_(std::move(opts)), optionsHash_(hashGcodOptions(opts_.gcod)),
       quantBits_(servedQuantBits(opts_)),
+      freshBuilder_(makeArtifactBuilder(opts_.gcod, opts_.artifactScale,
+                                        opts_.artifactSeed, opts_.shards,
+                                        opts_.shardMinNodes, quantBits_)),
       cache_(opts_.cacheCapacity,
-             makeArtifactBuilder(opts_.gcod, opts_.artifactScale,
-                                 opts_.artifactSeed, opts_.shards,
-                                 opts_.shardMinNodes, quantBits_)),
+             storeAwareBuilder(freshBuilder_, opts_.storeDir,
+                               opts_.gcod.reorder)),
       router_(opts_.backends), queue_(opts_.batching)
 {
     GCOD_ASSERT(opts_.workers >= 1, "engine needs at least one worker");
@@ -128,6 +193,21 @@ ServingEngine::submit(InferenceRequest req)
 {
     if (req.id == 0)
         req.id = nextId_.fetch_add(1);
+    if (shouldShed(opts_.admission, req.tier, queue_.depth())) {
+        // Load shed at the door: resolve immediately, count it in the
+        // shed bucket only (never completed/failed), touch no queue
+        // state. The client sees reply.shed and can back off or retry.
+        InferenceReply reply;
+        reply.id = req.id;
+        reply.tier = req.tier;
+        reply.shed = true;
+        reply.error = "shed by admission control";
+        stats_.recordReply(reply);
+        std::promise<InferenceReply> prom;
+        std::future<InferenceReply> fut = prom.get_future();
+        prom.set_value(std::move(reply));
+        return fut;
+    }
     PendingRequest p;
     p.key = ArtifactKey{req.dataset, req.model, optionsHash_};
     p.req = std::move(req);
@@ -161,6 +241,7 @@ ServingEngine::runBatch(Batch &&batch)
     Clock::time_point dispatched;
     InferenceReply base;
     base.batchSize = batch.size();
+    base.tier = batch.tier;
 
     RouteDecision route;
     DetailedResult result;
@@ -180,9 +261,11 @@ ServingEngine::runBatch(Batch &&batch)
             // the dataset's published size — so apply the same linear
             // size extrapolation here.
             double seconds = -1.0;
+            std::pair<ArtifactKey, uint64_t> skey{batch.key,
+                                                  found.version};
             {
                 std::lock_guard<std::mutex> lock(shardMemoMu_);
-                auto it = shardMemo_.find(batch.key);
+                auto it = shardMemo_.find(skey);
                 if (it != shardMemo_.end())
                     seconds = it->second;
             }
@@ -195,17 +278,18 @@ ServingEngine::runBatch(Batch &&batch)
                 // Racing workers recompute the identical value; last
                 // insert wins harmlessly.
                 std::lock_guard<std::mutex> lock(shardMemoMu_);
-                shardMemo_.emplace(batch.key, seconds);
+                shardMemo_.emplace(skey, seconds);
             }
             base.backend = shardScheduler_->fleetName();
             base.serviceSeconds = seconds;
             base.executedBits =
                 effectiveExecBits(bundle, fleetExecBits_);
-            logits = logitsFor(found.bundle, base.executedBits);
+            logits = logitsFor(found.bundle, found.version,
+                               base.executedBits);
             stats_.recordBatch(base.backend, batch.size(), seconds,
                                seconds, base.executedBits);
         } else {
-            route = router_.choose(bundle);
+            route = router_.choose(bundle, batch.tier);
             router_.beginDispatch(route.backend, route.estimatedSeconds);
             try {
                 result = router_.model(route.backend)
@@ -226,7 +310,8 @@ ServingEngine::runBatch(Batch &&batch)
             base.executedBits = effectiveExecBits(
                 bundle,
                 router_.model(route.backend).config().dataBits);
-            logits = logitsFor(found.bundle, base.executedBits);
+            logits = logitsFor(found.bundle, found.version,
+                               base.executedBits);
             stats_.recordBatch(route.name, batch.size(),
                                route.estimatedSeconds,
                                result.latencySeconds,
@@ -271,11 +356,17 @@ ServingEngine::runBatch(Batch &&batch)
 
 std::shared_ptr<const Matrix>
 ServingEngine::logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
-                         int bits)
+                         uint64_t version, int bits)
 {
     if (bits <= 0 || !bundle->hasHostExec())
         return nullptr;
-    std::pair<ArtifactKey, int> key{bundle->key, bits};
+    if (auto it = bundle->storedLogits.find(bits);
+        it != bundle->storedLogits.end())
+        // Warm start: the store already carries this precision's logits.
+        // The aliasing shared_ptr keeps the whole bundle (and the mmap
+        // behind it) alive for as long as anyone holds the matrix.
+        return std::shared_ptr<const Matrix>(bundle, &it->second);
+    std::tuple<ArtifactKey, uint64_t, int> key{bundle->key, version, bits};
     {
         std::lock_guard<std::mutex> lock(execMemoMu_);
         auto it = execMemo_.find(key);
@@ -305,9 +396,72 @@ ServingEngine::logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
                                          (quantBits_.size() + 1));
     if (execMemo_.size() >= cap)
         for (auto it = execMemo_.begin(); it != execMemo_.end();)
-            it = cache_.contains(it->first.first) ? std::next(it)
-                                                  : execMemo_.erase(it);
+            it = cache_.contains(std::get<0>(it->first))
+                     ? std::next(it)
+                     : execMemo_.erase(it);
     return execMemo_.emplace(key, std::move(computed)).first->second;
+}
+
+uint64_t
+ServingEngine::publishArtifact(const ArtifactKey &key)
+{
+    // Rebuild through the full pipeline — hot swap exists to pick up
+    // state the store copy by definition does not have yet.
+    return publishArtifact(key, freshBuilder_(key));
+}
+
+uint64_t
+ServingEngine::publishArtifact(const ArtifactKey &key,
+                               std::shared_ptr<const ArtifactBundle> bundle)
+{
+    uint64_t version = cache_.publish(key, std::move(bundle));
+    // Results computed against the replaced epoch must never be served
+    // for the new one: drop the key's stale memo entries eagerly.
+    {
+        std::lock_guard<std::mutex> lock(execMemoMu_);
+        for (auto it = execMemo_.begin(); it != execMemo_.end();)
+            it = std::get<0>(it->first) == key &&
+                         std::get<1>(it->first) != version
+                     ? execMemo_.erase(it)
+                     : std::next(it);
+    }
+    {
+        std::lock_guard<std::mutex> lock(shardMemoMu_);
+        for (auto it = shardMemo_.begin(); it != shardMemo_.end();)
+            it = it->first.first == key && it->first.second != version
+                     ? shardMemo_.erase(it)
+                     : std::next(it);
+    }
+    return version;
+}
+
+bool
+ServingEngine::saveArtifact(const ArtifactKey &key)
+{
+    if (opts_.storeDir.empty())
+        return false;
+    std::shared_ptr<const ArtifactBundle> bundle = cache_.peek(key);
+    if (bundle == nullptr)
+        return false;
+    uint64_t version = cache_.residentVersion(key);
+    // Hand the store every logit matrix memoized against the resident
+    // epoch, so the next process skips even the first execution pass.
+    std::map<int, Matrix> logits;
+    {
+        std::lock_guard<std::mutex> lock(execMemoMu_);
+        for (const auto &[k, m] : execMemo_)
+            if (std::get<0>(k) == key && std::get<1>(k) == version)
+                logits.emplace(std::get<2>(k), *m);
+    }
+    store::saveArtifactBundle(store::artifactStorePath(opts_.storeDir, key),
+                              *bundle, opts_.gcod.reorder, logits);
+    return true;
+}
+
+size_t
+ServingEngine::reclaimRetiredArtifacts()
+{
+    return cache_.reclaimRetired();
 }
 
 void

@@ -19,6 +19,7 @@
 #define GCOD_SERVE_ENGINE_HPP
 
 #include <thread>
+#include <tuple>
 
 #include "serve/artifact_cache.hpp"
 #include "serve/backend_router.hpp"
@@ -27,6 +28,25 @@
 #include "shard/scheduler.hpp"
 
 namespace gcod::serve {
+
+/**
+ * Admission-control thresholds, checked against the live batch-queue
+ * depth at submit() time. 0 = unlimited (the default: nothing is ever
+ * shed). Shedding drops the cheapest SLO promise first: best-effort
+ * traffic sheds at `bestEffortMaxDepth`, standard (and best-effort) at
+ * `standardMaxDepth`, and only `maxQueueDepth` sheds latency-tier work.
+ * Shed requests resolve immediately with reply.shed set and are counted
+ * in their own stats bucket — never as completed or failed.
+ */
+struct AdmissionOptions
+{
+    /** Depth at which every tier, including Latency, is shed. */
+    size_t maxQueueDepth = 0;
+    /** Depth at which Standard and BestEffort are shed. */
+    size_t standardMaxDepth = 0;
+    /** Depth at which BestEffort is shed (drop the cheapest first). */
+    size_t bestEffortMaxDepth = 0;
+};
 
 /** Engine configuration. */
 struct ServeOptions
@@ -78,6 +98,18 @@ struct ServeOptions
      * accelerator already fits the whole adjacency.
      */
     NodeId shardMinNodes = kLargeGraphNodes;
+
+    /** Load-shedding thresholds; defaults shed nothing. */
+    AdmissionOptions admission;
+
+    /**
+     * Directory of the persistent artifact store. When non-empty, cache
+     * misses first try loading `<storeDir>/<key>.gcodart` (mmap-backed,
+     * milliseconds) and fall back to a full pipeline build on any
+     * integrity failure; freshly built artifacts are saved back so the
+     * next process warm-starts. Empty = no persistence (the default).
+     */
+    std::string storeDir;
 };
 
 class ServingEngine
@@ -122,6 +154,40 @@ class ServingEngine
     /** Requests submitted but not yet replied to. */
     size_t pending() const;
 
+    /**
+     * Hot-swap: rebuild the artifact for @p key from scratch (through
+     * the full pipeline, bypassing the store) and atomically install it
+     * as the key's new epoch. In-flight batches finish on the epoch they
+     * already hold; no request is dropped or blocked. Returns the new
+     * version.
+     */
+    uint64_t publishArtifact(const ArtifactKey &key);
+
+    /** Hot-swap with a caller-supplied bundle (tests, external builds). */
+    uint64_t publishArtifact(const ArtifactKey &key,
+                             std::shared_ptr<const ArtifactBundle> bundle);
+
+    /**
+     * Persist the resident bundle for @p key — plus every memoized logit
+     * matrix computed against its current epoch — to the store. Returns
+     * false when storeDir is empty or the key is not resident.
+     */
+    bool saveArtifact(const ArtifactKey &key);
+
+    /**
+     * Free retired (replaced) bundles whose in-flight readers have all
+     * drained; returns how many were reclaimed. The explicit RCU grace
+     * period — call it periodically or after drain().
+     */
+    size_t reclaimRetiredArtifacts();
+
+    /** Cache key for (dataset, model) under this engine's options. */
+    ArtifactKey keyFor(const std::string &dataset,
+                       const std::string &model) const
+    {
+        return ArtifactKey{dataset, model, optionsHash_};
+    }
+
   private:
     void workerLoop();
     void runBatch(Batch &&batch);
@@ -130,12 +196,15 @@ class ServingEngine
      * Logits of one host execution pass over @p bundle at @p bits (32 =
      * fp32 reference; otherwise the bundle's quantized pack). Full-batch
      * inference over fixed features is request-independent, so the pass
-     * runs once per (artifact, precision) and is memoized; null when the
-     * bundle carries no host execution state or no pack for @p bits.
+     * runs once per (artifact, version, precision) and is memoized —
+     * keying on the epoch @p version means logits computed against one
+     * published bundle are never served for another. Store-restored
+     * logits (bundle->storedLogits) short-circuit the pass entirely.
+     * Null when the bundle carries no host execution state.
      */
     std::shared_ptr<const Matrix>
     logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
-              int bits);
+              uint64_t version, int bits);
 
     ServeOptions opts_;
     uint64_t optionsHash_;
@@ -143,6 +212,12 @@ class ServingEngine
     std::vector<int> quantBits_;
     /** Fleet execution precision of the sharded path (32 = fp32). */
     int fleetExecBits_ = 32;
+    /**
+     * Builder running the full pipeline unconditionally — what
+     * publishArtifact() uses for hot-swap rebuilds. The cache's own
+     * builder wraps this one with the store load/save fast path.
+     */
+    ArtifactCache::Builder freshBuilder_;
     ArtifactCache cache_;
     BackendRouter router_;
     ServerStats stats_;
@@ -155,24 +230,27 @@ class ServingEngine
     std::condition_variable drainCv_;
 
     /**
-     * Memoized sharded-path latency per artifact: the schedule is
-     * deterministic in (plan, units, spec, density, fleet), all fixed
-     * per bundle, so recomputing the shard-by-chip cost grid every
-     * batch would be pure hot-path waste (mirrors BackendRouter's
-     * estimate memo on the single-chip path).
+     * Memoized sharded-path latency per (artifact, version): the
+     * schedule is deterministic in (plan, units, spec, density, fleet),
+     * all fixed per bundle epoch, so recomputing the shard-by-chip cost
+     * grid every batch would be pure hot-path waste (mirrors
+     * BackendRouter's estimate memo on the single-chip path). Stale
+     * versions are pruned when a new epoch is published.
      */
     std::mutex shardMemoMu_;
-    std::map<ArtifactKey, double> shardMemo_;
+    std::map<std::pair<ArtifactKey, uint64_t>, double> shardMemo_;
 
     /**
-     * Memoized host-execution logits per (artifact, precision).
+     * Memoized host-execution logits per (artifact, version, precision).
      * Bounded: when the entry count reaches the cache capacity times
      * the served precisions, entries whose artifact is no longer
      * cache-resident are pruned, so the memo cannot outgrow the
-     * ArtifactCache's own memory bound under rotating traffic.
+     * ArtifactCache's own memory bound under rotating traffic. Publish
+     * prunes the replaced version's entries eagerly.
      */
     std::mutex execMemoMu_;
-    std::map<std::pair<ArtifactKey, int>, std::shared_ptr<const Matrix>>
+    std::map<std::tuple<ArtifactKey, uint64_t, int>,
+             std::shared_ptr<const Matrix>>
         execMemo_;
 
     std::vector<std::thread> workers_;

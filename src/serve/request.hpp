@@ -21,6 +21,34 @@ namespace gcod::serve {
 
 using Clock = std::chrono::steady_clock;
 
+/**
+ * Service-level objective tier of one request. Tiers shape every stage
+ * of the pipeline: batch-queue dequeue order (latency first, with a
+ * starvation guard for the lower tiers), backend routing (latency work
+ * goes to the fastest estimate, best-effort avoids it), and admission
+ * control under load (best-effort sheds first, then standard; latency
+ * work is only dropped by the global depth cap). See docs/serving.md.
+ */
+enum class SloTier : uint8_t {
+    Latency = 0,    ///< interactive: lowest latency, shed last
+    Standard = 1,   ///< the default tier
+    BestEffort = 2, ///< batch/offline: shed first under load
+};
+
+/** Number of tiers (array sizing). */
+constexpr int kNumSloTiers = 3;
+
+inline const char *
+sloTierName(SloTier t)
+{
+    switch (t) {
+    case SloTier::Latency: return "latency";
+    case SloTier::Standard: return "standard";
+    case SloTier::BestEffort: return "best_effort";
+    }
+    return "?";
+}
+
 /** One client inference request. */
 struct InferenceRequest
 {
@@ -30,6 +58,8 @@ struct InferenceRequest
     std::string model = "GCN";
     /** Target node (in the dataset's published node space). */
     NodeId node = 0;
+    /** SLO tier; Standard unless the client opts into another. */
+    SloTier tier = SloTier::Standard;
 };
 
 /** Completion record handed back through the submit() future. */
@@ -57,6 +87,15 @@ struct InferenceReply
     int executedBits = 0;
     /** Predicted class of the requested node; -1 without host execution. */
     int prediction = -1;
+    /** SLO tier the request was served (or shed) under. */
+    SloTier tier = SloTier::Standard;
+    /**
+     * True when admission control dropped the request instead of
+     * executing it (error is also set). Shed requests are accounted
+     * separately from completed AND failed work, so latency percentiles
+     * never include dropped requests.
+     */
+    bool shed = false;
     /** Non-empty when the request failed (unknown dataset/model, ...). */
     std::string error;
 
@@ -72,10 +111,11 @@ struct PendingRequest
     std::promise<InferenceReply> promise;
 };
 
-/** A flushed group of same-artifact requests, executed as one pass. */
+/** A flushed group of same-artifact, same-tier requests (one pass). */
 struct Batch
 {
     ArtifactKey key;
+    SloTier tier = SloTier::Standard;
     std::vector<PendingRequest> requests;
 
     size_t size() const { return requests.size(); }

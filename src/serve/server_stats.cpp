@@ -23,11 +23,24 @@ percentile(std::vector<double> samples, double p)
     return sortedPercentile(samples, p);
 }
 
+namespace {
+
+std::string
+tierStat(SloTier tier, const char *suffix)
+{
+    return std::string("tier.") + sloTierName(tier) + "." + suffix;
+}
+
+} // namespace
+
 ServerStats::ServerStats() : group_("serve"), start_(Clock::now())
 {
     // Pre-register so print() shows the full schema even before traffic.
     group_.scalar("requests_completed", "successfully served requests");
     group_.scalar("requests_failed", "requests completed with an error");
+    group_.scalar("requests_shed",
+                  "requests dropped by admission control (never counted "
+                  "as completed or failed)");
     group_.scalar("batches_dispatched", "accelerator passes executed");
     group_.scalar("batches_quantized",
                   "passes executed with sub-32-bit host kernels");
@@ -42,18 +55,39 @@ ServerStats::ServerStats() : group_("serve"), start_(Clock::now())
     group_.distribution("latency_seconds").setSampleCap(kSampleCap);
     group_.distribution("queue_seconds").setSampleCap(kSampleCap);
     group_.distribution("service_seconds").setSampleCap(kSampleCap);
+    for (SloTier t :
+         {SloTier::Latency, SloTier::Standard, SloTier::BestEffort}) {
+        group_.scalar(tierStat(t, "completed"),
+                      "completed requests of this SLO tier");
+        group_.scalar(tierStat(t, "shed"),
+                      "admission-dropped requests of this SLO tier");
+        group_.distribution(tierStat(t, "latency_seconds"),
+                            "end-to-end latency of this SLO tier");
+        group_.distribution(tierStat(t, "latency_seconds"))
+            .setSampleCap(kSampleCap);
+    }
 }
 
 void
 ServerStats::recordReply(const InferenceReply &reply)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    if (reply.shed) {
+        // Dropped by admission control: its own counter, no latency
+        // sample — shed work must not skew the served percentiles.
+        group_.scalar("requests_shed").inc();
+        group_.scalar(tierStat(reply.tier, "shed")).inc();
+        return;
+    }
     if (!reply.ok()) {
         group_.scalar("requests_failed").inc();
         return;
     }
     group_.scalar("requests_completed").inc();
+    group_.scalar(tierStat(reply.tier, "completed")).inc();
     group_.distribution("latency_seconds").sample(reply.latencySeconds);
+    group_.distribution(tierStat(reply.tier, "latency_seconds"))
+        .sample(reply.latencySeconds);
     group_.distribution("queue_seconds").sample(reply.queueSeconds);
     group_.distribution("service_seconds").sample(reply.serviceSeconds);
     ++perBackend_[reply.backend];
@@ -92,6 +126,27 @@ ServerStats::failed() const
 }
 
 uint64_t
+ServerStats::shed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar("requests_shed")->value());
+}
+
+uint64_t
+ServerStats::tierCompleted(SloTier tier) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar(tierStat(tier, "completed"))->value());
+}
+
+uint64_t
+ServerStats::tierShed(SloTier tier) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar(tierStat(tier, "shed"))->value());
+}
+
+uint64_t
 ServerStats::batches() const
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -114,6 +169,18 @@ ServerStats::latencyPercentile(double p) const
         // not stall the workers recording replies.
         std::lock_guard<std::mutex> lock(mu_);
         samples = group_.findDistribution("latency_seconds")->samples();
+    }
+    return percentile(std::move(samples), p);
+}
+
+double
+ServerStats::tierLatencyPercentile(SloTier tier, double p) const
+{
+    std::vector<double> samples;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        samples = group_.findDistribution(tierStat(tier, "latency_seconds"))
+                      ->samples();
     }
     return percentile(std::move(samples), p);
 }
@@ -146,18 +213,39 @@ void
 ServerStats::print(std::ostream &os, double cache_hit_rate) const
 {
     std::vector<double> lat;
+    std::vector<double> tierLat[kNumSloTiers];
+    double tierShed[kNumSloTiers];
     {
-        // Copy out under the lock; the sort below must not stall the
+        // Copy out under the lock; the sorts below must not stall the
         // workers recording replies.
         std::lock_guard<std::mutex> lock(mu_);
         group_.print(os);
         lat = group_.findDistribution("latency_seconds")->samples();
+        for (int t = 0; t < kNumSloTiers; ++t) {
+            tierLat[t] =
+                group_
+                    .findDistribution(
+                        tierStat(SloTier(t), "latency_seconds"))
+                    ->samples();
+            tierShed[t] =
+                group_.findScalar(tierStat(SloTier(t), "shed"))->value();
+        }
     }
     std::sort(lat.begin(), lat.end());
     os << "serve.latency_p50_ms " << sortedPercentile(lat, 50.0) * 1e3
        << '\n';
     os << "serve.latency_p99_ms " << sortedPercentile(lat, 99.0) * 1e3
        << '\n';
+    for (int t = 0; t < kNumSloTiers; ++t) {
+        if (tierLat[t].empty() && tierShed[t] == 0.0)
+            continue;
+        std::sort(tierLat[t].begin(), tierLat[t].end());
+        const char *name = sloTierName(SloTier(t));
+        os << "serve.tier." << name << ".latency_p50_ms "
+           << sortedPercentile(tierLat[t], 50.0) * 1e3 << '\n';
+        os << "serve.tier." << name << ".latency_p99_ms "
+           << sortedPercentile(tierLat[t], 99.0) * 1e3 << '\n';
+    }
     if (cache_hit_rate >= 0.0)
         os << "serve.artifact_cache_hit_rate " << cache_hit_rate << '\n';
 }

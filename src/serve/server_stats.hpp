@@ -34,7 +34,12 @@ class ServerStats
   public:
     ServerStats();
 
-    /** Record one completed (or failed) request. */
+    /**
+     * Record one completed, failed, or shed request. The three outcomes
+     * are disjoint counters: shed requests (reply.shed) increment
+     * requests_shed only — they never pollute the failure count or the
+     * latency distributions of work that actually executed.
+     */
     void recordReply(const InferenceReply &reply);
 
     /**
@@ -49,11 +54,20 @@ class ServerStats
 
     uint64_t completed() const;
     uint64_t failed() const;
+    /** Requests dropped by admission control (all tiers). */
+    uint64_t shed() const;
     uint64_t batches() const;
     double meanBatchSize() const;
 
+    /** Completed requests of one SLO tier. */
+    uint64_t tierCompleted(SloTier tier) const;
+    /** Shed requests of one SLO tier. */
+    uint64_t tierShed(SloTier tier) const;
+
     /** End-to-end latency percentile over all completed requests. */
     double latencyPercentile(double p) const;
+    /** Latency percentile over one tier's completed requests. */
+    double tierLatencyPercentile(SloTier tier, double p) const;
     double meanLatency() const;
 
     /** Requests completed per wall-clock second since construction. */

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bundle-level persistence for serving artifacts: serialize everything an
+ * ArtifactBundle holds into one store file, and reconstruct a bundle from
+ * that file orders of magnitude faster than rebuilding it through the
+ * GCoD pipeline.
+ *
+ * Persisted state: the three dataset profiles, the synthesized stand-in
+ * graph + planted labels, the processed final graph + workload descriptor
+ * + outcome scalars, the model spec, host-execution features and
+ * per-layer fp32 weights, every pre-quantized execution pack, the shard
+ * plan (per-shard executions are rebuilt deterministically from it), and
+ * any memoized logits the engine hands over. Pipeline-internal state the
+ * serving path never reads (partitioning permutation, reordered training
+ * dataset, the pre-pruning ablation workload) is intentionally not
+ * stored; a loaded bundle is equivalent to a built one *for serving*.
+ */
+#ifndef GCOD_STORE_ARTIFACT_IO_HPP
+#define GCOD_STORE_ARTIFACT_IO_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "gcod/reorder.hpp"
+#include "serve/artifact.hpp"
+
+namespace gcod::store {
+
+/** File name for @p key inside store directory @p dir. */
+std::string artifactStorePath(const std::string &dir,
+                              const serve::ArtifactKey &key);
+
+/**
+ * Serialize @p bundle to @p path (parent directories created). The write
+ * is atomic (temp file + rename).
+ *
+ * @param shard_reorder the Step-1 reorder options the bundle's shard
+ *        executions were built with; recorded so load can rebuild them
+ *        identically. Ignored for unsharded bundles.
+ * @param logits memoized host-execution logits to persist alongside the
+ *        bundle, keyed by execution bits (32 = fp32); merged with any
+ *        bundle.storedLogits already present.
+ */
+void saveArtifactBundle(const std::string &path,
+                        const serve::ArtifactBundle &bundle,
+                        const ReorderOptions &shard_reorder = {},
+                        const std::map<int, Matrix> &logits = {});
+
+/** Result of loading a bundle from the store. */
+struct LoadedArtifact
+{
+    std::shared_ptr<const serve::ArtifactBundle> bundle;
+    /**
+     * Wall-clock seconds the load took. Also written into
+     * bundle->buildSeconds, so cache-level build-time accounting
+     * reports the warm-start cost for store-loaded artifacts.
+     */
+    double loadSeconds = 0.0;
+};
+
+/**
+ * Reconstruct a bundle from @p path. Every integrity violation (bad
+ * magic, version mismatch, CRC failure, truncation, shape inconsistency)
+ * throws std::runtime_error; nothing is partially applied.
+ */
+LoadedArtifact loadArtifactBundle(const std::string &path);
+
+} // namespace gcod::store
+
+#endif // GCOD_STORE_ARTIFACT_IO_HPP

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Bounds-checked byte-stream codecs for section payloads.
+ *
+ * ByteWriter appends trivially-copyable values, length-prefixed vectors,
+ * and strings to a growing buffer; ByteCursor reads them back from a
+ * read-only span (normally a pointer straight into the store's mmap).
+ * Every read is bounds-checked against the span and every value is
+ * memcpy'd out, so a truncated or corrupted section fails with a clean
+ * error instead of undefined behavior — the property the store's
+ * robustness tests exercise under ASan.
+ */
+#ifndef GCOD_STORE_BYTES_HPP
+#define GCOD_STORE_BYTES_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace gcod::store {
+
+/** Append-only little-endian byte buffer. */
+class ByteWriter
+{
+  public:
+    template <typename T>
+    void
+    put(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "put() takes trivially copyable values");
+        const auto *p = reinterpret_cast<const uint8_t *>(&v);
+        buf_.insert(buf_.end(), p, p + sizeof(T));
+    }
+
+    template <typename T>
+    void
+    putVector(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "putVector() takes trivially copyable elements");
+        put(uint64_t(v.size()));
+        const auto *p = reinterpret_cast<const uint8_t *>(v.data());
+        buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+    }
+
+    void
+    putString(const std::string &s)
+    {
+        put(uint64_t(s.size()));
+        const auto *p = reinterpret_cast<const uint8_t *>(s.data());
+        buf_.insert(buf_.end(), p, p + s.size());
+    }
+
+    /** vector<bool> has no contiguous storage; widen to bytes. */
+    void
+    putBools(const std::vector<bool> &v)
+    {
+        put(uint64_t(v.size()));
+        for (bool b : v)
+            buf_.push_back(b ? 1 : 0);
+    }
+
+    const std::vector<uint8_t> &bytes() const { return buf_; }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Bounds-checked reader over one section payload. */
+class ByteCursor
+{
+  public:
+    ByteCursor(const uint8_t *data, size_t size, const char *what)
+        : data_(data), size_(size), what_(what)
+    {}
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "get() yields trivially copyable values");
+        need(sizeof(T));
+        T v;
+        std::memcpy(&v, data_ + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    template <typename T>
+    std::vector<T>
+    getVector()
+    {
+        uint64_t n = get<uint64_t>();
+        // Bound before multiplying so a corrupt length cannot overflow.
+        if (n > size_ / sizeof(T))
+            GCOD_FATAL("artifact store: ", what_, " declares ", n,
+                       " elements but only ", size_ - pos_,
+                       " bytes remain — corrupt or truncated section");
+        need(size_t(n) * sizeof(T));
+        std::vector<T> v(static_cast<size_t>(n));
+        if (n)
+            std::memcpy(v.data(), data_ + pos_, size_t(n) * sizeof(T));
+        pos_ += size_t(n) * sizeof(T);
+        return v;
+    }
+
+    std::string
+    getString()
+    {
+        uint64_t n = get<uint64_t>();
+        if (n > size_)
+            GCOD_FATAL("artifact store: ", what_, " declares a ", n,
+                       "-byte string beyond the section end");
+        need(size_t(n));
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      size_t(n));
+        pos_ += size_t(n);
+        return s;
+    }
+
+    std::vector<bool>
+    getBools()
+    {
+        std::vector<uint8_t> raw = getVector<uint8_t>();
+        std::vector<bool> v(raw.size());
+        for (size_t i = 0; i < raw.size(); ++i)
+            v[i] = raw[i] != 0;
+        return v;
+    }
+
+    /**
+     * Zero-copy view of @p n elements directly inside the mapped
+     * section; the pointer stays valid as long as the StoreReader lives.
+     */
+    template <typename T>
+    const T *
+    view(size_t n)
+    {
+        need(n * sizeof(T));
+        const T *p = reinterpret_cast<const T *>(data_ + pos_);
+        pos_ += n * sizeof(T);
+        return p;
+    }
+
+    size_t remaining() const { return size_ - pos_; }
+
+    /** Every byte of the section must be consumed (layout drift check). */
+    void
+    expectEnd() const
+    {
+        if (pos_ != size_)
+            GCOD_FATAL("artifact store: ", what_, " has ", size_ - pos_,
+                       " trailing bytes — file written by an "
+                       "incompatible serializer");
+    }
+
+  private:
+    void
+    need(size_t n) const
+    {
+        if (size_ - pos_ < n)
+            GCOD_FATAL("artifact store: ", what_, " truncated (need ", n,
+                       " bytes at offset ", pos_, " of ", size_, ")");
+    }
+
+    const uint8_t *data_;
+    size_t size_;
+    const char *what_;
+    size_t pos_ = 0;
+};
+
+} // namespace gcod::store
+
+#endif // GCOD_STORE_BYTES_HPP

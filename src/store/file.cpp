@@ -1,0 +1,256 @@
+#include "store/file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "sim/logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GCOD_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define GCOD_STORE_HAVE_MMAP 0
+#include <sys/stat.h>
+#endif
+
+namespace gcod::store {
+
+namespace {
+
+/** CRC over header (headerCrc zeroed) followed by the section table. */
+uint32_t
+headerTableCrc(FileHeader header, const std::vector<SectionEntry> &table)
+{
+    header.headerCrc = 0;
+    uint32_t c = crc32(&header, sizeof(header));
+    if (!table.empty())
+        c = crc32(table.data(), table.size() * sizeof(SectionEntry), c);
+    return c;
+}
+
+} // namespace
+
+void
+StoreWriter::addSection(SectionType type, uint32_t tag,
+                        std::vector<uint8_t> payload)
+{
+    if (sections_.size() >= kMaxSections)
+        GCOD_FATAL("artifact store: more than ", kMaxSections,
+                   " sections in one file");
+    sections_.push_back(Pending{type, tag, std::move(payload)});
+}
+
+void
+StoreWriter::write(const std::string &path) const
+{
+    // Lay out the file: header, table, then aligned payloads.
+    FileHeader header;
+    header.sectionCount = uint32_t(sections_.size());
+
+    std::vector<SectionEntry> table(sections_.size());
+    uint64_t offset =
+        alignUp(sizeof(FileHeader) + table.size() * sizeof(SectionEntry));
+    for (size_t i = 0; i < sections_.size(); ++i) {
+        const Pending &s = sections_[i];
+        table[i].type = uint32_t(s.type);
+        table[i].tag = s.tag;
+        table[i].offset = offset;
+        table[i].size = s.payload.size();
+        table[i].crc = crc32(s.payload.data(), s.payload.size());
+        offset = alignUp(offset + s.payload.size());
+    }
+    header.fileSize = offset;
+    header.headerCrc = headerTableCrc(header, table);
+
+    // Write a temporary sibling, then rename over the target so readers
+    // never observe a partially written store.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            GCOD_FATAL("artifact store: cannot open '", tmp,
+                       "' for writing");
+        auto writeBytes = [&](const void *p, size_t n) {
+            out.write(static_cast<const char *>(p),
+                      std::streamsize(n));
+        };
+        auto padTo = [&](uint64_t target) {
+            static const char zeros[kSectionAlign] = {};
+            uint64_t at = uint64_t(out.tellp());
+            while (at < target) {
+                size_t n = size_t(std::min<uint64_t>(target - at,
+                                                     sizeof(zeros)));
+                writeBytes(zeros, n);
+                at += n;
+            }
+        };
+
+        writeBytes(&header, sizeof(header));
+        if (!table.empty())
+            writeBytes(table.data(),
+                       table.size() * sizeof(SectionEntry));
+        for (size_t i = 0; i < sections_.size(); ++i) {
+            padTo(table[i].offset);
+            writeBytes(sections_[i].payload.data(),
+                       sections_[i].payload.size());
+        }
+        padTo(header.fileSize);
+        out.flush();
+        if (!out)
+            GCOD_FATAL("artifact store: short write to '", tmp, "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        GCOD_FATAL("artifact store: cannot rename '", tmp, "' to '",
+                   path, "'");
+    }
+}
+
+StoreReader::StoreReader(const std::string &path)
+{
+#if GCOD_STORE_HAVE_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        GCOD_FATAL("artifact store: cannot open '", path, "'");
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        GCOD_FATAL("artifact store: cannot stat '", path, "'");
+    }
+    size_ = size_t(st.st_size);
+    if (size_ > 0) {
+        void *map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (map != MAP_FAILED) {
+            mapBase_ = map;
+            data_ = static_cast<const uint8_t *>(map);
+        }
+    }
+    ::close(fd);
+#endif
+    if (!mapBase_) {
+        // Fallback: buffered read into an owned vector (still one
+        // sequential read; views then point into fallback_).
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (!in)
+            GCOD_FATAL("artifact store: cannot open '", path, "'");
+        size_ = size_t(in.tellg());
+        in.seekg(0);
+        fallback_.resize(size_);
+        if (size_ > 0)
+            in.read(reinterpret_cast<char *>(fallback_.data()),
+                    std::streamsize(size_));
+        if (!in)
+            GCOD_FATAL("artifact store: short read from '", path, "'");
+        data_ = fallback_.data();
+    }
+    validate(path);
+}
+
+StoreReader::~StoreReader()
+{
+#if GCOD_STORE_HAVE_MMAP
+    if (mapBase_)
+        ::munmap(mapBase_, size_);
+#endif
+}
+
+void
+StoreReader::validate(const std::string &path)
+{
+    if (size_ < sizeof(FileHeader))
+        GCOD_FATAL("artifact store: '", path, "' is ", size_,
+                   " bytes — smaller than the ", sizeof(FileHeader),
+                   "-byte header");
+
+    FileHeader header;
+    std::memcpy(&header, data_, sizeof(header));
+    if (header.magic != kMagic)
+        GCOD_FATAL("artifact store: '", path,
+                   "' is not an artifact store (bad magic)");
+    if (header.version != kFormatVersion)
+        GCOD_FATAL("artifact store: '", path, "' has format version ",
+                   header.version, " but this build reads version ",
+                   kFormatVersion);
+    if (header.sectionCount > kMaxSections)
+        GCOD_FATAL("artifact store: '", path, "' declares ",
+                   header.sectionCount, " sections (limit ",
+                   kMaxSections, ") — corrupt header");
+    if (header.fileSize != size_)
+        GCOD_FATAL("artifact store: '", path, "' declares ",
+                   header.fileSize, " bytes but the file holds ", size_,
+                   " — truncated or grown");
+
+    const uint64_t tableBytes =
+        uint64_t(header.sectionCount) * sizeof(SectionEntry);
+    if (sizeof(FileHeader) + tableBytes > size_)
+        GCOD_FATAL("artifact store: '", path,
+                   "' section table extends past end of file");
+
+    std::vector<SectionEntry> table(header.sectionCount);
+    if (!table.empty())
+        std::memcpy(table.data(), data_ + sizeof(FileHeader),
+                    size_t(tableBytes));
+    if (headerTableCrc(header, table) != header.headerCrc)
+        GCOD_FATAL("artifact store: '", path,
+                   "' header/table checksum mismatch — corrupt file");
+
+    sections_.reserve(table.size());
+    for (const SectionEntry &e : table) {
+        if (e.offset % kSectionAlign != 0)
+            GCOD_FATAL("artifact store: '", path, "' section ",
+                       sectionTypeName(SectionType(e.type)),
+                       " is misaligned (offset ", e.offset, ")");
+        if (e.offset > size_ || e.size > size_ - e.offset)
+            GCOD_FATAL("artifact store: '", path, "' section ",
+                       sectionTypeName(SectionType(e.type)),
+                       " extends past end of file");
+        if (crc32(data_ + e.offset, size_t(e.size)) != e.crc)
+            GCOD_FATAL("artifact store: '", path, "' section ",
+                       sectionTypeName(SectionType(e.type)),
+                       " checksum mismatch — corrupt payload");
+        sections_.push_back(Section{SectionType(e.type), e.tag,
+                                    data_ + e.offset, size_t(e.size)});
+    }
+}
+
+const Section *
+StoreReader::find(SectionType type, uint32_t tag) const
+{
+    for (const Section &s : sections_)
+        if (s.type == type && s.tag == tag)
+            return &s;
+    return nullptr;
+}
+
+const Section &
+StoreReader::require(SectionType type, uint32_t tag) const
+{
+    const Section *s = find(type, tag);
+    if (!s)
+        GCOD_FATAL("artifact store: required section ",
+                   sectionTypeName(type), " (tag ", tag, ") is missing");
+    return *s;
+}
+
+std::vector<const Section *>
+StoreReader::all(SectionType type) const
+{
+    std::vector<const Section *> out;
+    for (const Section &s : sections_)
+        if (s.type == type)
+            out.push_back(&s);
+    return out;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && (st.st_mode & S_IFREG);
+}
+
+} // namespace gcod::store

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Store container I/O: StoreWriter assembles sections and writes one
+ * atomically-replaced file; StoreReader opens a file via mmap (POSIX)
+ * or a buffered read fallback, validates magic/version/CRCs, and hands
+ * out zero-copy section views into the mapping.
+ */
+#ifndef GCOD_STORE_FILE_HPP
+#define GCOD_STORE_FILE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+
+namespace gcod::store {
+
+/** One validated section: a typed view into the reader's memory. */
+struct Section
+{
+    SectionType type;
+    uint32_t tag = 0;
+    const uint8_t *data = nullptr;
+    size_t size = 0;
+};
+
+/** Builds a store file section by section; write() finalizes it. */
+class StoreWriter
+{
+  public:
+    /** Append one section (payload copied; order preserved). */
+    void addSection(SectionType type, uint32_t tag,
+                    std::vector<uint8_t> payload);
+
+    /**
+     * Serialize header + table + aligned payloads to @p path. Writes a
+     * temporary sibling first and renames over the target, so a crashed
+     * writer never leaves a half-written store behind; a concurrent
+     * reader sees either the old file or the new one, never a mix.
+     */
+    void write(const std::string &path) const;
+
+    size_t sectionCount() const { return sections_.size(); }
+
+  private:
+    struct Pending
+    {
+        SectionType type;
+        uint32_t tag;
+        std::vector<uint8_t> payload;
+    };
+    std::vector<Pending> sections_;
+};
+
+/**
+ * Opens and fully validates a store file. All section views point into
+ * the reader's memory (the mmap when available), so the reader must
+ * outlive every view taken from it. Open failures and any integrity
+ * violation throw std::runtime_error (via GCOD_FATAL).
+ */
+class StoreReader
+{
+  public:
+    explicit StoreReader(const std::string &path);
+    ~StoreReader();
+
+    StoreReader(const StoreReader &) = delete;
+    StoreReader &operator=(const StoreReader &) = delete;
+
+    const std::vector<Section> &sections() const { return sections_; }
+
+    /** First section of @p type (+tag); fatal when absent. */
+    const Section &require(SectionType type, uint32_t tag = 0) const;
+
+    /** First section of @p type (+tag); nullptr when absent. */
+    const Section *find(SectionType type, uint32_t tag = 0) const;
+
+    /** Every section of @p type, in file order. */
+    std::vector<const Section *> all(SectionType type) const;
+
+    /** True when the file is memory-mapped (zero-copy views). */
+    bool mapped() const { return mapBase_ != nullptr; }
+
+    /** Base pointer and size of the backing memory (tests). */
+    const uint8_t *base() const { return data_; }
+    size_t fileSize() const { return size_; }
+
+  private:
+    void validate(const std::string &path);
+
+    /** Backing memory: either the mapping or the fallback buffer. */
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    void *mapBase_ = nullptr; ///< non-null when mmap'd
+    std::vector<uint8_t> fallback_;
+    std::vector<Section> sections_;
+};
+
+/** True when @p path exists and is a regular file. */
+bool fileExists(const std::string &path);
+
+} // namespace gcod::store
+
+#endif // GCOD_STORE_FILE_HPP

@@ -1,0 +1,123 @@
+#include "store/format.hpp"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GCOD_STORE_HW_CRC 1
+#include <nmmintrin.h>
+#endif
+
+namespace gcod::store {
+
+namespace {
+
+/**
+ * Slicing-by-8 tables for CRC-32C (Castagnoli, reflected polynomial
+ * 0x82F63B78). Table j holds the CRC of a byte followed by j zero
+ * bytes, so eight table lookups fold a whole 64-bit word per step —
+ * roughly 4x the throughput of the classic one-byte loop, which
+ * matters because every store load checksums the entire file.
+ */
+std::array<std::array<uint32_t, 256>, 8>
+makeCrcTables()
+{
+    std::array<std::array<uint32_t, 256>, 8> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+        t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = t[0][i];
+        for (int j = 1; j < 8; ++j) {
+            c = t[0][c & 0xFFu] ^ (c >> 8);
+            t[j][i] = c;
+        }
+    }
+    return t;
+}
+
+uint32_t
+crcSoftware(const uint8_t *p, size_t n, uint32_t c)
+{
+    static const auto tables = makeCrcTables();
+    while (n >= 8) {
+        uint64_t w;
+        std::memcpy(&w, p, 8);
+        w ^= c;
+        c = tables[7][w & 0xFFu] ^ tables[6][(w >> 8) & 0xFFu] ^
+            tables[5][(w >> 16) & 0xFFu] ^ tables[4][(w >> 24) & 0xFFu] ^
+            tables[3][(w >> 32) & 0xFFu] ^ tables[2][(w >> 40) & 0xFFu] ^
+            tables[1][(w >> 48) & 0xFFu] ^ tables[0][(w >> 56) & 0xFFu];
+        p += 8;
+        n -= 8;
+    }
+    while (n--)
+        c = tables[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+    return c;
+}
+
+#ifdef GCOD_STORE_HW_CRC
+/**
+ * SSE4.2 CRC32 instruction path (same CRC-32C polynomial, in silicon):
+ * an order of magnitude faster than the table walk. Compiled with a
+ * per-function target attribute and selected at runtime, so the binary
+ * still runs on pre-Nehalem hardware.
+ */
+__attribute__((target("sse4.2"))) uint32_t
+crcHardware(const uint8_t *p, size_t n, uint32_t c)
+{
+    uint64_t c64 = c;
+    while (n >= 8) {
+        uint64_t w;
+        std::memcpy(&w, p, 8);
+        c64 = _mm_crc32_u64(c64, w);
+        p += 8;
+        n -= 8;
+    }
+    c = uint32_t(c64);
+    while (n--)
+        c = _mm_crc32_u8(c, *p++);
+    return c;
+}
+#endif
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t n, uint32_t seed)
+{
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    const auto *p = static_cast<const uint8_t *>(data);
+#ifdef GCOD_STORE_HW_CRC
+    static const bool hw = __builtin_cpu_supports("sse4.2");
+    c = hw ? crcHardware(p, n, c) : crcSoftware(p, n, c);
+#else
+    c = crcSoftware(p, n, c);
+#endif
+    return c ^ 0xFFFFFFFFu;
+}
+
+const char *
+sectionTypeName(SectionType t)
+{
+    switch (t) {
+    case SectionType::Meta: return "meta";
+    case SectionType::Profiles: return "profiles";
+    case SectionType::SynthGraph: return "synth_graph";
+    case SectionType::Labels: return "labels";
+    case SectionType::FinalGraph: return "final_graph";
+    case SectionType::Workload: return "workload";
+    case SectionType::ModelSpecSec: return "model_spec";
+    case SectionType::Features: return "features";
+    case SectionType::Weights: return "weights";
+    case SectionType::QuantPack: return "quant_pack";
+    case SectionType::ShardPlanSec: return "shard_plan";
+    case SectionType::Logits: return "logits";
+    }
+    return "?";
+}
+
+} // namespace gcod::store

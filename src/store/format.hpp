@@ -1,0 +1,116 @@
+/**
+ * @file
+ * On-disk layout of the GCoD artifact store: a versioned single-file
+ * binary container in the llama2.c single-checkpoint spirit, extended
+ * with a section table so one file carries every serving-artifact
+ * component (graphs, weights, quantized packs, shard plans, logits).
+ *
+ * Layout (all little-endian, the only byte order the simulator targets):
+ *
+ *   [FileHeader 64 B]
+ *   [SectionEntry x sectionCount]
+ *   [padding to kSectionAlign]
+ *   [section 0 payload][padding] ... [section N-1 payload]
+ *
+ * Every payload starts at a kSectionAlign-byte offset, so a reader that
+ * maps the file can hand out aligned zero-copy pointers directly into
+ * the mapping. Integrity is layered: magic + version reject foreign or
+ * stale files, the header CRC covers the header and the whole section
+ * table, and each section carries its own CRC-32C over the payload bytes
+ * — a truncated, bit-flipped, or mislabeled file fails loudly at open
+ * time instead of producing corrupt artifacts.
+ */
+#ifndef GCOD_STORE_FORMAT_HPP
+#define GCOD_STORE_FORMAT_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gcod::store {
+
+/** "GCODARTS" read as a little-endian u64. */
+constexpr uint64_t kMagic = 0x53545241444F4347ULL;
+
+/** Bumped on any incompatible layout change; readers reject mismatches. */
+constexpr uint32_t kFormatVersion = 1;
+
+/** Alignment of every section payload (cache line; covers SIMD loads). */
+constexpr size_t kSectionAlign = 64;
+
+/** Upper bound on sections per file (sanity check against corruption). */
+constexpr uint32_t kMaxSections = 4096;
+
+/** What one section of an artifact store file holds. */
+enum class SectionType : uint32_t {
+    /** Key, scale, build cost, flags, reorder options (ByteWriter). */
+    Meta = 1,
+    /** The three DatasetProfiles (published, scaled, original). */
+    Profiles = 2,
+    /** Synthesized stand-in graph adjacency (CSR). */
+    SynthGraph = 3,
+    /** Planted labels of the stand-in graph. */
+    Labels = 4,
+    /** GCoD-processed final graph adjacency (CSR). */
+    FinalGraph = 5,
+    /** WorkloadDescriptor of the processed adjacency + outcome scalars. */
+    Workload = 6,
+    /** ModelSpec (name + layer stack). */
+    ModelSpecSec = 7,
+    /** Materialized node features (fp32 Matrix). */
+    Features = 8,
+    /** Per-layer fp32 weight matrices of the host model. */
+    Weights = 9,
+    /** One pre-quantized execution pack; tag = operand bits. */
+    QuantPack = 10,
+    /** K-way shard plan with halos and the pairwise exchange matrix. */
+    ShardPlanSec = 11,
+    /** Memoized host-execution logits; tag = execution bits (32 = fp32). */
+    Logits = 12,
+};
+
+/** Fixed-size file header (64 bytes). */
+struct FileHeader
+{
+    uint64_t magic = kMagic;
+    uint32_t version = kFormatVersion;
+    uint32_t sectionCount = 0;
+    /** Total file size in bytes; must match the actual file exactly. */
+    uint64_t fileSize = 0;
+    /** CRC-32C over the header (this field zeroed) + the section table. */
+    uint32_t headerCrc = 0;
+    uint32_t reserved0 = 0;
+    uint64_t reserved1[4] = {0, 0, 0, 0};
+};
+static_assert(sizeof(FileHeader) == 64, "FileHeader must stay 64 bytes");
+
+/** One section-table entry (32 bytes). */
+struct SectionEntry
+{
+    uint32_t type = 0; ///< SectionType
+    uint32_t tag = 0;  ///< type-specific discriminator (e.g. bits)
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint32_t crc = 0; ///< CRC-32C over the payload bytes
+    uint32_t reserved = 0;
+};
+static_assert(sizeof(SectionEntry) == 32, "SectionEntry must stay 32 bytes");
+
+/**
+ * CRC-32C (Castagnoli, reflected 0x82F63B78), resumable via @p seed.
+ * Uses the SSE4.2 CRC32 instruction when the CPU has it (runtime
+ * detected), a slicing-by-8 table walk otherwise.
+ */
+uint32_t crc32(const void *data, size_t n, uint32_t seed = 0);
+
+/** Round @p n up to the next multiple of kSectionAlign. */
+constexpr uint64_t
+alignUp(uint64_t n)
+{
+    return (n + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+const char *sectionTypeName(SectionType t);
+
+} // namespace gcod::store
+
+#endif // GCOD_STORE_FORMAT_HPP

@@ -25,6 +25,19 @@ class Matrix
         GCOD_ASSERT(rows >= 0 && cols >= 0, "negative matrix shape");
     }
 
+    /**
+     * Adopt an existing buffer (must hold exactly rows*cols values).
+     * Skips the zero-fill pass of the shape constructor — the
+     * deserialization fast path for multi-megabyte feature matrices.
+     */
+    Matrix(int64_t rows, int64_t cols, std::vector<float> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        GCOD_ASSERT(rows >= 0 && cols >= 0, "negative matrix shape");
+        GCOD_ASSERT(data_.size() == size_t(rows * cols),
+                    "matrix buffer does not match its shape");
+    }
+
     int64_t rows() const { return rows_; }
     int64_t cols() const { return cols_; }
     int64_t size() const { return rows_ * cols_; }

@@ -129,6 +129,28 @@ QuantizedMatrix::QuantizedMatrix(const Matrix &x, const QuantParams &qp)
     }
 }
 
+QuantizedMatrix
+QuantizedMatrix::fromCodes(int64_t rows, int64_t cols, const QuantParams &qp,
+                           std::vector<int8_t> q8, std::vector<int16_t> q16)
+{
+    if (qp.bits < 2 || qp.bits > 16 || qp.scale <= 0.0f)
+        GCOD_FATAL("packed codes carry invalid quant params (bits=",
+                   qp.bits, ", scale=", qp.scale, ")");
+    QuantizedMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.qp_ = qp;
+    size_t n = size_t(rows * cols);
+    const size_t have = m.narrow() ? q8.size() : q16.size();
+    const size_t other = m.narrow() ? q16.size() : q8.size();
+    if (rows < 0 || cols < 0 || have != n || other != 0)
+        GCOD_FATAL("packed code payload does not match its ", rows, "x",
+                   cols, " @", qp.bits, "-bit shape");
+    m.q8_ = std::move(q8);
+    m.q16_ = std::move(q16);
+    return m;
+}
+
 Matrix
 QuantizedMatrix::toMatrix() const
 {

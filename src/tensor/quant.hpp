@@ -87,6 +87,17 @@ class QuantizedMatrix
     /** Quantize @p x with explicit params (shared-scale callers). */
     QuantizedMatrix(const Matrix &x, const QuantParams &qp);
 
+    /**
+     * Reassemble from previously packed codes (the artifact store's
+     * deserialization path). Exactly one of @p q8 / @p q16 must be
+     * populated, matching the width @p qp.bits selects, with
+     * rows * cols codes; fatal otherwise.
+     */
+    static QuantizedMatrix fromCodes(int64_t rows, int64_t cols,
+                                     const QuantParams &qp,
+                                     std::vector<int8_t> q8,
+                                     std::vector<int16_t> q16);
+
     int64_t rows() const { return rows_; }
     int64_t cols() const { return cols_; }
     const QuantParams &params() const { return qp_; }
@@ -112,6 +123,10 @@ class QuantizedMatrix
 
     /** Packed code bytes — the memory/wire footprint of the payload. */
     double payloadBytes() const;
+
+    /** Raw packed codes (serialization); the inactive width is empty. */
+    const std::vector<int8_t> &codes8() const { return q8_; }
+    const std::vector<int16_t> &codes16() const { return q16_; }
 
   private:
     int64_t rows_ = 0;
