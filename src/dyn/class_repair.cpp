@@ -1,0 +1,61 @@
+#include "dyn/class_repair.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace gcod::dyn {
+
+DynamicClasses::DynamicClasses(const Graph &g, int num_classes)
+{
+    DegreeClasses dc = classifyBalanced(g, num_classes);
+    thresholds_ = std::move(dc.thresholds);
+    classOf_ = std::move(dc.classOf);
+    classSizes_ = std::move(dc.classSizes);
+}
+
+DynamicClasses::DynamicClasses(const Graph &g,
+                               std::vector<NodeId> thresholds)
+{
+    DegreeClasses dc = classifyByThresholds(g, thresholds);
+    thresholds_ = std::move(thresholds);
+    classOf_ = std::move(dc.classOf);
+    classSizes_ = std::move(dc.classSizes);
+}
+
+int
+DynamicClasses::classFor(NodeId degree) const
+{
+    // Must match classifyByThresholds exactly: class = number of
+    // thresholds <= degree (upper_bound over the ascending list).
+    auto it =
+        std::upper_bound(thresholds_.begin(), thresholds_.end(), degree);
+    return int(it - thresholds_.begin());
+}
+
+std::vector<ClassMigration>
+DynamicClasses::repair(const Graph &g, const std::vector<NodeId> &touched)
+{
+    const NodeId n = g.numNodes();
+    GCOD_ASSERT(size_t(n) >= classOf_.size(),
+                "node space shrank across epochs");
+    classOf_.resize(size_t(n), -1);
+
+    std::vector<ClassMigration> out;
+    for (NodeId v : touched) {
+        GCOD_ASSERT(v >= 0 && v < n, "touched node outside the new epoch");
+        int from = classOf_[size_t(v)];
+        int to = classFor(g.degrees()[size_t(v)]);
+        if (from == to)
+            continue;
+        if (from >= 0)
+            classSizes_[size_t(from)] -= 1;
+        classSizes_[size_t(to)] += 1;
+        classOf_[size_t(v)] = to;
+        out.push_back({v, from, to});
+    }
+    migrations_ += out.size();
+    return out;
+}
+
+} // namespace gcod::dyn

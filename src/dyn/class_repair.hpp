@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Incremental degree-class maintenance (GCoD Step-1 split under updates).
+ *
+ * The dense/sparse split thresholds are frozen when the state boots
+ * (classifyBalanced over the epoch-0 graph); afterwards a node migrates
+ * dense↔sparse the moment its degree crosses a frozen threshold, without
+ * re-running the pipeline. Because a node's class is a pure per-node
+ * function of (degree, thresholds), repairing only the touched nodes is
+ * bit-identical to classifyByThresholds over the final graph — the
+ * equivalence the dyn test suite checks by memcmp.
+ */
+#ifndef GCOD_DYN_CLASS_REPAIR_HPP
+#define GCOD_DYN_CLASS_REPAIR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/degree_classes.hpp"
+
+namespace gcod::dyn {
+
+/** One node crossing a frozen degree threshold. */
+struct ClassMigration
+{
+    NodeId node = -1;
+    int fromClass = -1; ///< -1 for a node new to the graph
+    int toClass = -1;
+};
+
+class DynamicClasses
+{
+  public:
+    DynamicClasses() = default;
+
+    /** Freeze thresholds from a balanced split of the boot graph. */
+    DynamicClasses(const Graph &g, int num_classes);
+
+    /** Freeze an explicit threshold list (ascending). */
+    DynamicClasses(const Graph &g, std::vector<NodeId> thresholds);
+
+    int numClasses() const { return int(thresholds_.size()) + 1; }
+    const std::vector<NodeId> &thresholds() const { return thresholds_; }
+    const std::vector<int> &classOf() const { return classOf_; }
+    const std::vector<NodeId> &classSizes() const { return classSizes_; }
+    uint64_t totalMigrations() const { return migrations_; }
+
+    /**
+     * Reclassify the touched nodes against @p g (the new epoch), growing
+     * the node space as needed. Returns the migrations that occurred
+     * (dense↔sparse crossings and newly classified nodes).
+     */
+    std::vector<ClassMigration> repair(const Graph &g,
+                                       const std::vector<NodeId> &touched);
+
+  private:
+    int classFor(NodeId degree) const;
+
+    std::vector<NodeId> thresholds_;
+    std::vector<int> classOf_;
+    std::vector<NodeId> classSizes_;
+    uint64_t migrations_ = 0;
+};
+
+} // namespace gcod::dyn
+
+#endif // GCOD_DYN_CLASS_REPAIR_HPP

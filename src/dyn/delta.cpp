@@ -1,0 +1,98 @@
+#include "dyn/delta.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hpp"
+
+namespace gcod::dyn {
+
+ResolvedDelta
+GraphDelta::resolve(const Graph &snapshot) const
+{
+    const NodeId old_n = snapshot.numNodes();
+    ResolvedDelta out;
+    out.numNodes = old_n;
+
+    auto canon = [](NodeId u, NodeId v) {
+        return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+    };
+
+    // Desired final presence per undirected pair, overriding the
+    // snapshot. Ops replay in submission order so the last write wins.
+    std::map<std::pair<NodeId, NodeId>, bool> want;
+    for (const DeltaOp &op : ops_) {
+        GCOD_ASSERT(op.u >= 0 && op.v >= 0,
+                    "GraphDelta op references a negative node id");
+        out.numNodes = std::max(out.numNodes, std::max(op.u, op.v) + 1);
+        switch (op.kind) {
+        case DeltaOp::InsertEdge:
+            if (op.u == op.v) {
+                ++out.ignoredOps; // self loops never enter the adjacency
+                break;
+            }
+            want[canon(op.u, op.v)] = true;
+            break;
+        case DeltaOp::RemoveEdge:
+            if (op.u == op.v) {
+                ++out.ignoredOps;
+                break;
+            }
+            want[canon(op.u, op.v)] = false;
+            break;
+        case DeltaOp::AddNode:
+            // Node-space growth already folded into numNodes above; the
+            // id still counts as touched so its operator row (diagonal
+            // self loop) materializes downstream.
+            break;
+        case DeltaOp::RemoveNode:
+            // Wipe pending pairs touching v, then every current edge.
+            for (auto &[pair, present] : want)
+                if (pair.first == op.u || pair.second == op.u)
+                    present = false;
+            if (op.u < old_n)
+                snapshot.adjacency().forEachInRow(op.u, [&](NodeId w, float) {
+                    want[canon(op.u, w)] = false;
+                });
+            break;
+        }
+    }
+
+    for (const auto &[pair, present] : want) {
+        auto [u, v] = pair;
+        const bool exists = u < old_n && v < old_n &&
+                            snapshot.adjacency().at(u, v) != 0.0f;
+        if (present && !exists)
+            out.inserts.push_back(pair);
+        else if (!present && exists)
+            out.removes.push_back(pair);
+        else
+            ++out.ignoredOps; // already in the desired state
+    }
+    // std::map iteration is already (u, v)-sorted.
+
+    // Touched = endpoints of applied changes + every newly added id +
+    // explicit AddNode targets (even pre-existing isolated ones are
+    // harmless to re-derive).
+    std::vector<NodeId> touched;
+    for (auto [u, v] : out.inserts) {
+        touched.push_back(u);
+        touched.push_back(v);
+    }
+    for (auto [u, v] : out.removes) {
+        touched.push_back(u);
+        touched.push_back(v);
+    }
+    for (NodeId v = old_n; v < out.numNodes; ++v)
+        touched.push_back(v);
+    for (const DeltaOp &op : ops_)
+        if (op.kind == DeltaOp::AddNode)
+            touched.push_back(op.u);
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    out.touched = std::move(touched);
+    return out;
+}
+
+} // namespace gcod::dyn

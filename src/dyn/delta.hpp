@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Batch-update description for streaming graph mutation (src/dyn/).
+ *
+ * A GraphDelta records edge/node inserts and deletes in submission order.
+ * Nothing is resolved at record time: the delta is normalized against a
+ * concrete graph snapshot when DynamicGraph::apply() runs, producing the
+ * canonical set of edges that actually change plus the touched-node set
+ * downstream incremental stages key off. Sequential semantics: later ops
+ * override earlier ones for the same undirected pair, and removeNode()
+ * wipes every edge (current or pending) incident to the node while the
+ * node id itself stays allocated as an isolated vertex — the node id
+ * space only grows, which keeps row indices stable across epochs.
+ */
+#ifndef GCOD_DYN_DELTA_HPP
+#define GCOD_DYN_DELTA_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcod::dyn {
+
+/** One recorded update operation (resolved at apply time). */
+struct DeltaOp
+{
+    enum Kind : uint8_t
+    {
+        InsertEdge,
+        RemoveEdge,
+        AddNode,
+        RemoveNode,
+    };
+    Kind kind;
+    NodeId u = -1;
+    NodeId v = -1;
+};
+
+/**
+ * The result of resolving a GraphDelta against a graph snapshot: the
+ * canonical (u < v, sorted, deduplicated) edge changes that are real
+ * state transitions, plus bookkeeping for downstream repair.
+ */
+struct ResolvedDelta
+{
+    /** Node count after the delta (>= the snapshot's; never shrinks). */
+    NodeId numNodes = 0;
+    /** Edges to insert that are absent in the snapshot (u < v, sorted). */
+    std::vector<std::pair<NodeId, NodeId>> inserts;
+    /** Edges to remove that are present in the snapshot (u < v, sorted). */
+    std::vector<std::pair<NodeId, NodeId>> removes;
+    /**
+     * Sorted unique node ids whose adjacency row or degree changes:
+     * endpoints of applied inserts/removes plus newly added node ids
+     * (their operator row materializes even when isolated).
+     */
+    std::vector<NodeId> touched;
+    /** Ops that resolved to no-ops (self loops, duplicate state). */
+    size_t ignoredOps = 0;
+
+    bool empty() const { return inserts.empty() && removes.empty() &&
+                                touched.empty(); }
+};
+
+/** Batch of graph mutations, applied atomically by DynamicGraph. */
+class GraphDelta
+{
+  public:
+    /** Insert undirected edge {u, v}; self loops are ignored (counted). */
+    void
+    insertEdge(NodeId u, NodeId v)
+    {
+        ops_.push_back({DeltaOp::InsertEdge, u, v});
+    }
+
+    /** Remove undirected edge {u, v} if present. */
+    void
+    removeEdge(NodeId u, NodeId v)
+    {
+        ops_.push_back({DeltaOp::RemoveEdge, u, v});
+    }
+
+    /**
+     * Ensure node id @p v exists (grows the id space to v + 1). Edge ops
+     * referencing ids beyond the snapshot grow the space implicitly;
+     * addNode() is for introducing a node with no edges yet.
+     */
+    void
+    addNode(NodeId v)
+    {
+        ops_.push_back({DeltaOp::AddNode, v, v});
+    }
+
+    /**
+     * Delete every edge incident to @p v (including ones queued earlier
+     * in this delta). The id stays allocated as an isolated node.
+     */
+    void
+    removeNode(NodeId v)
+    {
+        ops_.push_back({DeltaOp::RemoveNode, v, v});
+    }
+
+    bool empty() const { return ops_.empty(); }
+    size_t size() const { return ops_.size(); }
+    const std::vector<DeltaOp> &ops() const { return ops_; }
+
+    /**
+     * Resolve against @p snapshot: sequential-override semantics per
+     * undirected pair, then keep only real transitions. Panics on
+     * negative node ids.
+     */
+    ResolvedDelta resolve(const Graph &snapshot) const;
+
+  private:
+    std::vector<DeltaOp> ops_;
+};
+
+} // namespace gcod::dyn
+
+#endif // GCOD_DYN_DELTA_HPP

@@ -1,0 +1,73 @@
+#include "dyn/dirty.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace gcod::dyn {
+
+DirtyRegion
+DirtyRegion::of(NodeId num_nodes, std::vector<NodeId> seeds)
+{
+    DirtyRegion d;
+    d.numNodes = num_nodes;
+    d.mask.assign(size_t(num_nodes), 0);
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    for (NodeId v : seeds) {
+        GCOD_ASSERT(v >= 0 && v < num_nodes,
+                    "dirty seed outside the node space");
+        d.mask[size_t(v)] = 1;
+    }
+    d.nodes = std::move(seeds);
+    return d;
+}
+
+DirtyRegion
+DirtyRegion::expanded(const Graph &g) const
+{
+    GCOD_ASSERT(g.numNodes() == numNodes,
+                "dirty region / graph node-space mismatch");
+    std::vector<NodeId> seeds = nodes;
+    for (NodeId v : nodes)
+        g.adjacency().forEachInRow(v, [&](NodeId w, float) {
+            if (!mask[size_t(w)])
+                seeds.push_back(w);
+        });
+    return of(numNodes, std::move(seeds));
+}
+
+DirtyRegion
+operatorDirty(const Graph &old_graph, const Graph &new_graph,
+              const std::vector<NodeId> &touched)
+{
+    const NodeId old_n = old_graph.numNodes();
+    std::vector<NodeId> seeds = touched;
+    for (NodeId v : touched) {
+        if (v < old_n)
+            old_graph.adjacency().forEachInRow(
+                v, [&](NodeId w, float) { seeds.push_back(w); });
+        new_graph.adjacency().forEachInRow(
+            v, [&](NodeId w, float) { seeds.push_back(w); });
+    }
+    return DirtyRegion::of(new_graph.numNodes(), std::move(seeds));
+}
+
+std::vector<DirtyRegion>
+dirtyLevels(const DirtyRegion &d0, const Graph &new_graph, int num_layers)
+{
+    GCOD_ASSERT(num_layers >= 1, "dirtyLevels needs at least one layer");
+    std::vector<DirtyRegion> levels;
+    levels.reserve(size_t(num_layers));
+    levels.push_back(d0);
+    for (int l = 1; l < num_layers; ++l) {
+        // Saturated: once everything is dirty further hops are free.
+        if (levels.back().count() == size_t(levels.back().numNodes))
+            levels.push_back(levels.back());
+        else
+            levels.push_back(levels.back().expanded(new_graph));
+    }
+    return levels;
+}
+
+} // namespace gcod::dyn

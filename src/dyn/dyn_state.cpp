@@ -1,0 +1,214 @@
+#include "dyn/dyn_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hpp"
+
+namespace gcod::dyn {
+
+CsrMatrix
+repairNormalized(const CsrMatrix &old_norm, const Graph &new_graph,
+                 const DirtyRegion &dirty)
+{
+    const NodeId n = new_graph.numNodes();
+    const NodeId old_n = old_norm.rows();
+    GCOD_ASSERT(dirty.numNodes == n,
+                "dirty region does not cover the new epoch");
+    const CsrMatrix &adj = new_graph.adjacency();
+
+    // Same per-node expression as Graph::normalizedAdjacency, so values
+    // of rebuilt entries match the from-scratch build bit for bit.
+    std::vector<float> inv(static_cast<size_t>(n));
+    for (NodeId i = 0; i < n; ++i)
+        inv[size_t(i)] =
+            1.0f / std::sqrt(float(new_graph.degrees()[size_t(i)]) + 1.0f);
+
+    std::vector<EdgeOffset> indptr(size_t(n) + 1, 0);
+    for (NodeId r = 0; r < n; ++r) {
+        EdgeOffset cnt = (r < old_n && !dirty.contains(r))
+                             ? old_norm.rowNnz(r)
+                             : adj.rowNnz(r) + 1; // + the self loop
+        indptr[size_t(r) + 1] = indptr[size_t(r)] + cnt;
+    }
+    std::vector<NodeId> indices(size_t(indptr.back()));
+    std::vector<float> values(size_t(indptr.back()));
+
+    const std::vector<NodeId> &oidx = old_norm.indices();
+    const std::vector<float> &oval = old_norm.values();
+    const std::vector<EdgeOffset> &optr = old_norm.indptr();
+
+    NodeId r = 0;
+    while (r < n) {
+        if (r < old_n && !dirty.contains(r)) {
+            // Copy the whole clean run in two block moves.
+            NodeId run_end = r + 1;
+            while (run_end < old_n && !dirty.contains(run_end))
+                ++run_end;
+            std::copy(oidx.begin() + size_t(optr[size_t(r)]),
+                      oidx.begin() + size_t(optr[size_t(run_end)]),
+                      indices.begin() + size_t(indptr[size_t(r)]));
+            std::copy(oval.begin() + size_t(optr[size_t(r)]),
+                      oval.begin() + size_t(optr[size_t(run_end)]),
+                      values.begin() + size_t(indptr[size_t(r)]));
+            r = run_end;
+            continue;
+        }
+        // Dirty row: adjacency entries with the diagonal merged at its
+        // sorted position, exactly the (row, col)-sorted order the
+        // from-scratch COO build produces.
+        EdgeOffset out = indptr[size_t(r)];
+        bool placed = false;
+        adj.forEachInRow(r, [&](NodeId c, float) {
+            if (!placed && c > r) {
+                indices[size_t(out)] = r;
+                values[size_t(out)] = inv[size_t(r)] * inv[size_t(r)];
+                ++out;
+                placed = true;
+            }
+            indices[size_t(out)] = c;
+            values[size_t(out)] = inv[size_t(r)] * inv[size_t(c)];
+            ++out;
+        });
+        if (!placed) {
+            indices[size_t(out)] = r;
+            values[size_t(out)] = inv[size_t(r)] * inv[size_t(r)];
+            ++out;
+        }
+        GCOD_ASSERT(out == indptr[size_t(r) + 1],
+                    "normalized-operator repair wrote an unexpected "
+                    "entry count");
+        ++r;
+    }
+    return CsrMatrix(n, n, std::move(indptr), std::move(indices),
+                     std::move(values));
+}
+
+CsrMatrix
+repairRowMean(const CsrMatrix &old_rm, const Graph &new_graph,
+              const std::vector<NodeId> &touched)
+{
+    const NodeId n = new_graph.numNodes();
+    const NodeId old_n = old_rm.rows();
+    const CsrMatrix &adj = new_graph.adjacency();
+    std::vector<char> dirty(size_t(n), 0);
+    for (NodeId v : touched)
+        dirty[size_t(v)] = 1;
+
+    std::vector<EdgeOffset> indptr(size_t(n) + 1, 0);
+    for (NodeId r = 0; r < n; ++r) {
+        EdgeOffset cnt = (r < old_n && !dirty[size_t(r)])
+                             ? old_rm.rowNnz(r)
+                             : adj.rowNnz(r);
+        indptr[size_t(r) + 1] = indptr[size_t(r)] + cnt;
+    }
+    std::vector<NodeId> indices(size_t(indptr.back()));
+    std::vector<float> values(size_t(indptr.back()));
+
+    const std::vector<NodeId> &oidx = old_rm.indices();
+    const std::vector<float> &oval = old_rm.values();
+    const std::vector<EdgeOffset> &optr = old_rm.indptr();
+
+    NodeId r = 0;
+    while (r < n) {
+        if (r < old_n && !dirty[size_t(r)]) {
+            NodeId run_end = r + 1;
+            while (run_end < old_n && !dirty[size_t(run_end)])
+                ++run_end;
+            std::copy(oidx.begin() + size_t(optr[size_t(r)]),
+                      oidx.begin() + size_t(optr[size_t(run_end)]),
+                      indices.begin() + size_t(indptr[size_t(r)]));
+            std::copy(oval.begin() + size_t(optr[size_t(r)]),
+                      oval.begin() + size_t(optr[size_t(run_end)]),
+                      values.begin() + size_t(indptr[size_t(r)]));
+            r = run_end;
+            continue;
+        }
+        // Same per-entry expression as the GraphContext build.
+        float d = float(new_graph.degrees()[size_t(r)]);
+        float val = d > 0.0f ? 1.0f / d : 0.0f;
+        EdgeOffset out = indptr[size_t(r)];
+        adj.forEachInRow(r, [&](NodeId c, float) {
+            indices[size_t(out)] = c;
+            values[size_t(out)] = val;
+            ++out;
+        });
+        ++r;
+    }
+    return CsrMatrix(n, n, std::move(indptr), std::move(indices),
+                     std::move(values));
+}
+
+DynState::DynState(Graph initial, const DynStateOptions &opts)
+    : graph_(std::make_shared<const Graph>(std::move(initial)))
+{
+    normalized_ = graph_->normalizedAdjacency();
+    rowMean_ = repairRowMean(CsrMatrix(), *graph_,
+                             [&] {
+                                 std::vector<NodeId> all(
+                                     size_t(graph_->numNodes()));
+                                 std::iota(all.begin(), all.end(), 0);
+                                 return all;
+                             }());
+    classes_ = DynamicClasses(*graph_, opts.degreeClasses);
+    if (opts.trackShards)
+        shards_.emplace(*graph_, opts.shardOpts, opts.rebaseImbalance);
+}
+
+DynState::DynState(std::shared_ptr<const Graph> initial,
+                   const DynStateOptions &opts, shard::ShardPlan base_plan)
+    : graph_(std::move(initial))
+{
+    GCOD_ASSERT(graph_ != nullptr, "DynState needs an initial graph");
+    normalized_ = graph_->normalizedAdjacency();
+    rowMean_ = repairRowMean(CsrMatrix(), *graph_,
+                             [&] {
+                                 std::vector<NodeId> all(
+                                     size_t(graph_->numNodes()));
+                                 std::iota(all.begin(), all.end(), 0);
+                                 return all;
+                             }());
+    classes_ = DynamicClasses(*graph_, opts.degreeClasses);
+    if (opts.trackShards)
+        shards_.emplace(std::move(base_plan), opts.shardOpts,
+                        opts.rebaseImbalance);
+}
+
+DynUpdateStats
+DynState::apply(const GraphDelta &delta)
+{
+    GCOD_ASSERT(graph_ != nullptr, "DynState was never bootstrapped");
+    DynUpdateStats stats;
+    ResolvedDelta rd = delta.resolve(*graph_);
+
+    stats.applied.oldNumNodes = graph_->numNodes();
+    stats.applied.numNodes = rd.numNodes;
+    stats.applied.insertedEdges = rd.inserts;
+    stats.applied.removedEdges = rd.removes;
+    stats.applied.touched = rd.touched;
+    stats.applied.ignoredOps = rd.ignoredOps;
+
+    if (rd.empty()) {
+        stats.applied.graph = graph_;
+        stats.applied.epoch = epoch_;
+        stats.dirty = DirtyRegion::of(graph_->numNodes(), {});
+        return stats;
+    }
+
+    auto next = std::make_shared<const Graph>(mergeAdjacency(*graph_, rd));
+    stats.dirty = operatorDirty(*graph_, *next, rd.touched);
+    normalized_ = repairNormalized(normalized_, *next, stats.dirty);
+    rowMean_ = repairRowMean(rowMean_, *next, rd.touched);
+    stats.migrations = classes_.repair(*next, rd.touched);
+    if (shards_)
+        stats.shardRepair = shards_->repair(
+            *next, rd.touched, classes_.classOf(), classes_.numClasses());
+
+    graph_ = next;
+    stats.applied.graph = graph_;
+    stats.applied.epoch = ++epoch_;
+    return stats;
+}
+
+} // namespace gcod::dyn

@@ -1,0 +1,162 @@
+#include "dyn/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "sim/logging.hpp"
+
+namespace gcod::dyn {
+
+DynamicGraph::DynamicGraph(Graph initial)
+    : cur_(std::make_shared<const Graph>(std::move(initial)))
+{
+}
+
+DynamicGraph::DynamicGraph(std::shared_ptr<const Graph> initial)
+    : cur_(std::move(initial))
+{
+    GCOD_ASSERT(cur_ != nullptr, "DynamicGraph needs an initial graph");
+}
+
+std::shared_ptr<const Graph>
+DynamicGraph::current() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cur_;
+}
+
+uint64_t
+DynamicGraph::epoch() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return epoch_;
+}
+
+CsrMatrix
+mergeAdjacency(const Graph &snapshot, const ResolvedDelta &rd)
+{
+    const CsrMatrix &old = snapshot.adjacency();
+    const NodeId old_n = old.rows();
+    const NodeId n = rd.numNodes;
+
+    // Per-row sorted insert/remove neighbour lists. The pair lists are
+    // (u, v)-sorted, so pushing both directions leaves each row's list
+    // sorted for the first endpoint; one sort fixes the second-endpoint
+    // contributions (lists are tiny relative to the graph).
+    std::unordered_map<NodeId, std::vector<NodeId>> add, del;
+    for (auto [u, v] : rd.inserts) {
+        add[u].push_back(v);
+        add[v].push_back(u);
+    }
+    for (auto [u, v] : rd.removes) {
+        del[u].push_back(v);
+        del[v].push_back(u);
+    }
+    for (auto &[r, lst] : add)
+        std::sort(lst.begin(), lst.end());
+    for (auto &[r, lst] : del)
+        std::sort(lst.begin(), lst.end());
+
+    std::vector<EdgeOffset> indptr(size_t(n) + 1, 0);
+    for (NodeId r = 0; r < n; ++r) {
+        EdgeOffset cnt = r < old_n ? old.rowNnz(r) : 0;
+        if (auto it = add.find(r); it != add.end())
+            cnt += EdgeOffset(it->second.size());
+        if (auto it = del.find(r); it != del.end())
+            cnt -= EdgeOffset(it->second.size());
+        GCOD_ASSERT(cnt >= 0, "row merge produced a negative row count");
+        indptr[size_t(r) + 1] = indptr[size_t(r)] + cnt;
+    }
+
+    std::vector<NodeId> indices(size_t(indptr.back()));
+    std::vector<float> values(size_t(indptr.back()), 1.0f);
+    const std::vector<NodeId> &oidx = old.indices();
+    const std::vector<EdgeOffset> &optr = old.indptr();
+
+    NodeId r = 0;
+    while (r < n) {
+        const bool touched_row = add.count(r) != 0 || del.count(r) != 0;
+        if (!touched_row && r < old_n) {
+            // Extend to the full run of untouched old rows and copy the
+            // whole span in one shot — this is the no-re-sort fast path.
+            NodeId run_end = r + 1;
+            while (run_end < old_n && add.count(run_end) == 0 &&
+                   del.count(run_end) == 0)
+                ++run_end;
+            std::copy(oidx.begin() + size_t(optr[size_t(r)]),
+                      oidx.begin() + size_t(optr[size_t(run_end)]),
+                      indices.begin() + size_t(indptr[size_t(r)]));
+            r = run_end;
+            continue;
+        }
+        // Touched (or brand-new) row: ordered merge old \ del ∪ add.
+        EdgeOffset out = indptr[size_t(r)];
+        static const std::vector<NodeId> kEmpty;
+        const auto ait = add.find(r);
+        const auto dit = del.find(r);
+        const std::vector<NodeId> &adds =
+            ait == add.end() ? kEmpty : ait->second;
+        const std::vector<NodeId> &dels =
+            dit == del.end() ? kEmpty : dit->second;
+        size_t ai = 0, di = 0;
+        EdgeOffset k = r < old_n ? optr[size_t(r)] : 0;
+        const EdgeOffset kend = r < old_n ? optr[size_t(r) + 1] : 0;
+        while (k < kend || ai < adds.size()) {
+            NodeId oldc = k < kend ? oidx[size_t(k)] :
+                                     std::numeric_limits<NodeId>::max();
+            NodeId newc = ai < adds.size() ?
+                              adds[ai] :
+                              std::numeric_limits<NodeId>::max();
+            if (oldc <= newc) {
+                GCOD_ASSERT(oldc != newc,
+                            "insert of an edge already present survived "
+                            "delta resolution");
+                ++k;
+                if (di < dels.size() && dels[di] == oldc) {
+                    ++di; // dropped
+                    continue;
+                }
+                indices[size_t(out++)] = oldc;
+            } else {
+                indices[size_t(out++)] = newc;
+                ++ai;
+            }
+        }
+        GCOD_ASSERT(di == dels.size(),
+                    "remove of an absent edge survived delta resolution");
+        GCOD_ASSERT(out == indptr[size_t(r) + 1],
+                    "row merge wrote an unexpected entry count");
+        ++r;
+    }
+
+    return CsrMatrix(n, n, std::move(indptr), std::move(indices),
+                     std::move(values));
+}
+
+AppliedDelta
+DynamicGraph::apply(const GraphDelta &delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ResolvedDelta rd = delta.resolve(*cur_);
+
+    AppliedDelta out;
+    out.oldNumNodes = cur_->numNodes();
+    out.numNodes = rd.numNodes;
+    out.insertedEdges = rd.inserts;
+    out.removedEdges = rd.removes;
+    out.touched = rd.touched;
+    out.ignoredOps = rd.ignoredOps;
+
+    if (rd.empty()) {
+        out.graph = cur_;
+        out.epoch = epoch_;
+        return out;
+    }
+    cur_ = std::make_shared<const Graph>(mergeAdjacency(*cur_, rd));
+    out.graph = cur_;
+    out.epoch = ++epoch_;
+    return out;
+}
+
+} // namespace gcod::dyn

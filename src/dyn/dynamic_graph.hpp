@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Epoch-versioned mutable graph built on immutable CSR snapshots.
+ *
+ * apply() resolves a GraphDelta against the current snapshot and builds
+ * the next epoch's CSR by merging only the touched rows; untouched row
+ * spans are block-copied verbatim (no re-sort, no per-entry work). The
+ * produced adjacency is canonical — sorted unique columns, unit values —
+ * so each epoch is bit-identical to a Graph built from scratch from the
+ * same final edge list. Readers hold shared_ptr snapshots; epochs retire
+ * naturally when the last reader drops (the same RCU discipline the
+ * serving ArtifactCache uses).
+ */
+#ifndef GCOD_DYN_DYNAMIC_GRAPH_HPP
+#define GCOD_DYN_DYNAMIC_GRAPH_HPP
+
+#include <memory>
+#include <mutex>
+
+#include "dyn/delta.hpp"
+
+namespace gcod::dyn {
+
+/** Result of one applied batch: the new epoch plus change bookkeeping. */
+struct AppliedDelta
+{
+    std::shared_ptr<const Graph> graph;
+    uint64_t epoch = 0;
+    NodeId oldNumNodes = 0;
+    NodeId numNodes = 0;
+    /** Canonical (u < v, sorted) edges actually inserted / removed. */
+    std::vector<std::pair<NodeId, NodeId>> insertedEdges;
+    std::vector<std::pair<NodeId, NodeId>> removedEdges;
+    /** Sorted unique nodes whose row or degree changed (see delta.hpp). */
+    std::vector<NodeId> touched;
+    size_t ignoredOps = 0;
+
+    bool noop() const { return insertedEdges.empty() &&
+                               removedEdges.empty() && touched.empty(); }
+};
+
+class DynamicGraph
+{
+  public:
+    explicit DynamicGraph(Graph initial);
+    explicit DynamicGraph(std::shared_ptr<const Graph> initial);
+
+    /** Current snapshot; safe to hold across later applies. */
+    std::shared_ptr<const Graph> current() const;
+
+    /** Epoch counter: 0 for the initial snapshot, +1 per applied batch. */
+    uint64_t epoch() const;
+
+    /**
+     * Atomically apply one batch and publish the next epoch. Thread-safe
+     * against concurrent current()/apply() calls; readers keep whatever
+     * snapshot they already hold.
+     */
+    AppliedDelta apply(const GraphDelta &delta);
+
+  private:
+    mutable std::mutex mu_;
+    std::shared_ptr<const Graph> cur_;
+    uint64_t epoch_ = 0;
+};
+
+/**
+ * Pure row-merge core (exposed for tests): new adjacency from
+ * @p snapshot and a resolved delta. Untouched rows are copied as whole
+ * spans; touched rows are rebuilt by an ordered merge of the old row,
+ * the per-row insert list, and the per-row remove list.
+ */
+CsrMatrix mergeAdjacency(const Graph &snapshot, const ResolvedDelta &rd);
+
+} // namespace gcod::dyn
+
+#endif // GCOD_DYN_DYNAMIC_GRAPH_HPP

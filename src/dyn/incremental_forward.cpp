@@ -1,0 +1,108 @@
+#include "dyn/incremental_forward.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hpp"
+
+namespace gcod::dyn {
+
+namespace {
+
+/**
+ * Recompute one output row of layer @p l into @p out, mirroring the
+ * batch kernels' per-element accumulation order (see file header).
+ */
+void
+recomputeRow(const ForwardRecipe &m, size_t l, const Matrix &input,
+             Matrix &out, NodeId r)
+{
+    const Matrix &w = *m.weights[l];
+    const int64_t in_cols = input.cols();
+
+    // Aggregated row s = (op · input)[r], in operator-row entry order.
+    std::vector<float> s(size_t(in_cols), 0.0f);
+    m.op->forEachInRow(r, [&](NodeId c, float v) {
+        const float *xrow = input.row(c);
+        for (int64_t j = 0; j < in_cols; ++j)
+            s[size_t(j)] += v * xrow[j];
+    });
+
+    // Dense row z = a · W with a = concat ? [input_r | s] : s; ascending
+    // k with matmul's zero-activation skip keeps the bit pattern.
+    float *zrow = out.row(r);
+    const int64_t out_cols = w.cols();
+    std::fill(zrow, zrow + out_cols, 0.0f);
+    const float *self = input.row(r);
+    const int64_t kdim = w.rows();
+    for (int64_t k = 0; k < kdim; ++k) {
+        float av;
+        if (m.concatSelf)
+            av = k < in_cols ? self[k] : s[size_t(k - in_cols)];
+        else
+            av = s[size_t(k)];
+        if (av == 0.0f)
+            continue;
+        const float *wrow = w.row(k);
+        for (int64_t j = 0; j < out_cols; ++j)
+            zrow[j] += av * wrow[j];
+    }
+
+    if (l + 1 < m.spec->layers.size())
+        for (int64_t j = 0; j < out_cols; ++j)
+            zrow[j] = std::max(zrow[j], 0.0f);
+}
+
+} // namespace
+
+IncrementalForward
+IncrementalForward::fromScratch(const ForwardRecipe &m, const Matrix &x)
+{
+    IncrementalForward st;
+    st.acts_.reserve(m.spec->layers.size());
+    Matrix cur = x;
+    for (size_t l = 0; l < m.spec->layers.size(); ++l) {
+        Matrix s = spmm(*m.op, cur);
+        Matrix z = m.concatSelf ? matmul(hconcat(cur, s), *m.weights[l])
+                                : matmul(s, *m.weights[l]);
+        if (l + 1 < m.spec->layers.size())
+            z = relu(z);
+        st.acts_.push_back(z);
+        cur = std::move(z);
+    }
+    st.lastDirtyRows_ = size_t(x.rows()) * m.spec->layers.size();
+    return st;
+}
+
+IncrementalForward
+IncrementalForward::applied(const ForwardRecipe &m, const Matrix &x,
+                            const std::vector<DirtyRegion> &levels) const
+{
+    const size_t num_layers = m.spec->layers.size();
+    GCOD_ASSERT(!acts_.empty(), "applied() needs a fromScratch state");
+    GCOD_ASSERT(levels.size() == num_layers,
+                "need one dirty level per layer");
+    const int64_t n = x.rows();
+    const int64_t old_n = acts_.front().rows();
+    GCOD_ASSERT(n >= old_n, "node space shrank across epochs");
+
+    IncrementalForward next;
+    next.acts_.reserve(num_layers);
+    const Matrix *input = &x;
+    for (size_t l = 0; l < num_layers; ++l) {
+        const Matrix &prev = acts_[l];
+        Matrix cur(n, prev.cols(), 0.0f);
+        // Clean rows travel verbatim; new rows (>= old_n) are always in
+        // the dirty level, so zero-init is never observed.
+        std::memcpy(cur.row(0), prev.row(0),
+                    size_t(old_n * prev.cols()) * sizeof(float));
+        for (NodeId r : levels[l].nodes)
+            recomputeRow(m, l, *input, cur, r);
+        next.lastDirtyRows_ += levels[l].count();
+        next.acts_.push_back(std::move(cur));
+        input = &next.acts_.back();
+    }
+    return next;
+}
+
+} // namespace gcod::dyn

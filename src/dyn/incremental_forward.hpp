@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dirty-row incremental fp32 forward pass.
+ *
+ * Holds every layer's activation matrix for one epoch. On update, clean
+ * rows are copied forward verbatim and only the dirty rows of each layer
+ * (dirty.hpp level sets) are recomputed — with scalar loops that mirror
+ * the batch kernels' per-element accumulation order exactly:
+ *
+ *  - aggregation: operator-row entry order, += v * x[c][j]  (spmmRowWise)
+ *  - dense:       ascending-k dot products skipping zero activations
+ *                 (matmul's `if (av == 0) continue`)
+ *  - relu:        max(z, 0)
+ *
+ * Since the batch kernels guarantee thread-count-invariant per-element
+ * accumulation (see tensor/ops.cpp), a per-row recompute in the same
+ * order is bit-identical to a full referenceForward over the final
+ * graph — the invariant the dyn test suite memcmp-checks.
+ */
+#ifndef GCOD_DYN_INCREMENTAL_FORWARD_HPP
+#define GCOD_DYN_INCREMENTAL_FORWARD_HPP
+
+#include "dyn/dirty.hpp"
+#include "nn/quant_exec.hpp"
+
+namespace gcod::dyn {
+
+class IncrementalForward
+{
+  public:
+    IncrementalForward() = default;
+
+    /** Full pass (bit-identical to referenceForward), keeping all layers. */
+    static IncrementalForward fromScratch(const ForwardRecipe &m,
+                                          const Matrix &x);
+
+    /** Final-layer logits of the current epoch. */
+    const Matrix &logits() const { return acts_.back(); }
+
+    /** Per-layer outputs (acts()[l] = layer l's post-activation). */
+    const std::vector<Matrix> &activations() const { return acts_; }
+
+    /** Dirty rows recomputed across all layers by the last applied(). */
+    size_t lastDirtyRows() const { return lastDirtyRows_; }
+
+    /**
+     * Next epoch's state: @p m and @p x are the *new* recipe (operator
+     * over the new graph) and feature matrix; @p levels are the
+     * per-layer dirty sets (dirtyLevels, sized to the model depth).
+     * Rows outside levels[l] are copied from this state unchanged.
+     */
+    IncrementalForward applied(const ForwardRecipe &m, const Matrix &x,
+                               const std::vector<DirtyRegion> &levels) const;
+
+  private:
+    std::vector<Matrix> acts_;
+    size_t lastDirtyRows_ = 0;
+};
+
+} // namespace gcod::dyn
+
+#endif // GCOD_DYN_INCREMENTAL_FORWARD_HPP

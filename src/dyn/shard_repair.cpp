@@ -1,0 +1,147 @@
+#include "dyn/shard_repair.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hpp"
+
+namespace gcod::dyn {
+
+using shard::Shard;
+using shard::ShardPlan;
+
+DynamicShardPlan::DynamicShardPlan(const Graph &g,
+                                   shard::ShardPlanOptions opts,
+                                   double rebase_imbalance)
+    : plan_(shard::buildShardPlan(g, opts)), opts_(opts),
+      baseAssign_(plan_.shardOf), baseNodes_(g.numNodes()),
+      rebaseImbalance_(rebase_imbalance)
+{
+}
+
+DynamicShardPlan::DynamicShardPlan(shard::ShardPlan base,
+                                   shard::ShardPlanOptions opts,
+                                   double rebase_imbalance)
+    : plan_(std::move(base)), opts_(opts), baseAssign_(plan_.shardOf),
+      baseNodes_(plan_.numNodes), rebaseImbalance_(rebase_imbalance)
+{
+}
+
+int
+DynamicShardPlan::assignOf(NodeId v, const Graph &g) const
+{
+    if (v < baseNodes_)
+        return baseAssign_[size_t(v)];
+    std::vector<NodeId> votes(size_t(plan_.numShards), 0);
+    bool any = false;
+    g.adjacency().forEachInRow(v, [&](NodeId u, float) {
+        if (u < baseNodes_) {
+            votes[size_t(baseAssign_[size_t(u)])] += 1;
+            any = true;
+        }
+    });
+    if (!any)
+        return int(v % NodeId(plan_.numShards));
+    int best = 0;
+    for (int s = 1; s < plan_.numShards; ++s)
+        if (votes[size_t(s)] > votes[size_t(best)])
+            best = s; // strict > keeps ties on the lower shard id
+    return best;
+}
+
+ShardRepairStats
+DynamicShardPlan::repair(const Graph &new_graph,
+                         const std::vector<NodeId> &touched,
+                         const std::vector<int> &class_of, int num_classes)
+{
+    const NodeId n = new_graph.numNodes();
+    GCOD_ASSERT(n >= plan_.numNodes, "node space shrank across epochs");
+    GCOD_ASSERT(class_of.size() == size_t(n),
+                "class assignment must cover the new epoch");
+    ShardRepairStats stats;
+
+    if (plan_.numShards <= 1) {
+        // Degenerate single-shard plan: everything is owned by shard 0;
+        // re-derive it wholesale (still no partitioner run).
+        plan_.numNodes = n;
+        plan_.shardOf.assign(size_t(n), 0);
+        plan_.classOf = class_of;
+        plan_.numClasses = num_classes;
+        Shard &only = plan_.shards[0];
+        only.owned.resize(size_t(n));
+        std::iota(only.owned.begin(), only.owned.end(), 0);
+        only.localToGlobal = only.owned;
+        only.ownedNnz = new_graph.adjacency().nnz();
+        stats.affectedShards = {0};
+        return stats;
+    }
+
+    // Dirty-node reassignment: base nodes are pinned, so only post-base
+    // nodes can move (their neighbour-majority vote sees the new graph).
+    std::vector<int> assign = plan_.shardOf;
+    assign.resize(size_t(n), -1);
+    std::vector<NodeId> moved;
+    for (NodeId v = baseNodes_; v < n; ++v) {
+        int want = assignOf(v, new_graph);
+        if (assign[size_t(v)] != want) {
+            moved.push_back(v);
+            assign[size_t(v)] = want;
+        }
+    }
+    stats.reassigned = moved.size();
+
+    // Affected shards: owners of touched rows, both sides of every
+    // reassignment, and owners of a reassigned node's neighbours (their
+    // cut/halo classification of that column flips with the move).
+    std::vector<char> affected(size_t(plan_.numShards), 0);
+    for (NodeId v : touched)
+        affected[size_t(assign[size_t(v)])] = 1;
+    for (NodeId v : moved) {
+        if (v < plan_.numNodes)
+            affected[size_t(plan_.shardOf[size_t(v)])] = 1;
+        affected[size_t(assign[size_t(v)])] = 1;
+        new_graph.adjacency().forEachInRow(v, [&](NodeId u, float) {
+            affected[size_t(assign[size_t(u)])] = 1;
+        });
+    }
+
+    plan_.numNodes = n;
+    plan_.shardOf = std::move(assign);
+    plan_.classOf = class_of;
+    plan_.numClasses = num_classes;
+
+    // Rebuild owned lists for affected shards only (one ascending scan
+    // keeps the ascending-global-order invariant), then re-derive their
+    // halo state with the same code path buildShardPlan uses.
+    for (int s = 0; s < plan_.numShards; ++s)
+        if (affected[size_t(s)]) {
+            plan_.shards[size_t(s)].owned.clear();
+            stats.affectedShards.push_back(s);
+        }
+    for (NodeId v = 0; v < n; ++v) {
+        int s = plan_.shardOf[size_t(v)];
+        if (affected[size_t(s)])
+            plan_.shards[size_t(s)].owned.push_back(v);
+    }
+    for (int s : stats.affectedShards)
+        shard::deriveShard(new_graph, plan_.shardOf,
+                           plan_.shards[size_t(s)]);
+
+    shard::finalizePlanStats(new_graph, plan_);
+
+    if (rebaseImbalance_ > 0.0 && plan_.maxImbalance > rebaseImbalance_) {
+        // Past the bound: the frozen base no longer yields a usable
+        // balance — run the full partitioner and freeze a new base.
+        plan_ = shard::buildShardPlan(new_graph, opts_);
+        baseAssign_ = plan_.shardOf;
+        baseNodes_ = n;
+        ++rebases_;
+        stats.rebased = true;
+        stats.affectedShards.resize(size_t(plan_.numShards));
+        std::iota(stats.affectedShards.begin(), stats.affectedShards.end(),
+                  0);
+    }
+    return stats;
+}
+
+} // namespace gcod::dyn

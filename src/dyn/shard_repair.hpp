@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Delta-aware ShardPlan repair.
+ *
+ * The epoch-0 METIS-lite assignment is frozen as the *base*. Afterwards
+ * every node's shard is a pure function of (final graph, base):
+ *
+ *   shardOf(v) = base[v]                       for epoch-0 nodes,
+ *              = argmax over base-anchored     for later nodes (majority
+ *                neighbours' base shards         of neighbour base
+ *                (tie → lower shard id)          shards in the current
+ *              = v mod K if no such neighbour    graph)
+ *
+ * so a repair never depends on the order or batching of updates — N
+ * small batches, one net batch, and a one-shot replay onto the base
+ * graph all land on bit-identical plans (the dyn test suite's memcmp
+ * check). Only shards owning dirty nodes (touched, reassigned, or
+ * adjacent to a reassignment) re-derive their halo state via the same
+ * deriveShard used by buildShardPlan; the exchange matrix, boundary
+ * counts, edge cut, and imbalance re-finalize globally in the same
+ * summation order. When the repaired plan's edge-mass imbalance exceeds
+ * the rebase bound, the repair falls back to a full re-partition
+ * (buildShardPlan) and freezes the result as the new base — an explicit
+ * config change that resets the equivalence baseline.
+ */
+#ifndef GCOD_DYN_SHARD_REPAIR_HPP
+#define GCOD_DYN_SHARD_REPAIR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/plan.hpp"
+
+namespace gcod::dyn {
+
+/** What one repair() call did. */
+struct ShardRepairStats
+{
+    /** Nodes whose shard assignment changed (including new nodes). */
+    size_t reassigned = 0;
+    /** Shards whose per-shard state was re-derived. */
+    std::vector<int> affectedShards;
+    /** True when the imbalance bound forced a full re-partition. */
+    bool rebased = false;
+};
+
+class DynamicShardPlan
+{
+  public:
+    DynamicShardPlan() = default;
+
+    /**
+     * Build the epoch-0 plan and freeze it as the base. A positive
+     * @p rebase_imbalance bounds plan.maxImbalance before a repair
+     * falls back to a full re-partition; 0 never rebases.
+     */
+    DynamicShardPlan(const Graph &g, shard::ShardPlanOptions opts,
+                     double rebase_imbalance = 0.0);
+
+    /** Adopt an existing plan (e.g. a served artifact's) as the base. */
+    DynamicShardPlan(shard::ShardPlan base, shard::ShardPlanOptions opts,
+                     double rebase_imbalance = 0.0);
+
+    const shard::ShardPlan &plan() const { return plan_; }
+    uint64_t rebases() const { return rebases_; }
+    NodeId baseNodes() const { return baseNodes_; }
+
+    /** The pure assignment rule (exposed for the equivalence tests). */
+    int assignOf(NodeId v, const Graph &g) const;
+
+    /**
+     * Repair the plan for the @p new_graph epoch. @p touched is the
+     * applied delta's touched set; @p class_of / @p num_classes carry
+     * the (incrementally maintained) degree-class split the plan
+     * records. Re-derives only affected shards unless a rebase fires.
+     */
+    ShardRepairStats repair(const Graph &new_graph,
+                            const std::vector<NodeId> &touched,
+                            const std::vector<int> &class_of,
+                            int num_classes);
+
+  private:
+    shard::ShardPlan plan_;
+    shard::ShardPlanOptions opts_;
+    std::vector<int> baseAssign_;
+    NodeId baseNodes_ = 0;
+    double rebaseImbalance_ = 0.0;
+    uint64_t rebases_ = 0;
+};
+
+} // namespace gcod::dyn
+
+#endif // GCOD_DYN_SHARD_REPAIR_HPP

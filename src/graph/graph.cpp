@@ -32,6 +32,26 @@ Graph::Graph(NodeId num_nodes,
 Graph::Graph(CsrMatrix adjacency) : adj_(std::move(adjacency))
 {
     GCOD_ASSERT(adj_.rows() == adj_.cols(), "adjacency must be square");
+    // Reject malformed adjacencies loudly: every consumer (normalized
+    // operator, shard halos, incremental row merges) assumes canonical
+    // form, and a silent violation corrupts results far from its source.
+    for (NodeId r = 0; r < adj_.rows(); ++r) {
+        NodeId prev = -1;
+        adj_.forEachInRow(r, [&](NodeId c, float) {
+            GCOD_ASSERT(c != r, "adjacency has a self loop at node " +
+                                    std::to_string(r));
+            GCOD_ASSERT(c > prev,
+                        "adjacency row " + std::to_string(r) +
+                            " has unsorted or duplicate column indices");
+            prev = c;
+        });
+    }
+    // Pattern symmetry: a canonical CSR equals its transpose iff the
+    // offset and index arrays match element-wise (values are ignored —
+    // the pattern is what the graph keeps).
+    CsrMatrix t = adj_.transpose();
+    GCOD_ASSERT(t.indptr() == adj_.indptr() && t.indices() == adj_.indices(),
+                "adjacency pattern is not symmetric");
     computeDegrees();
 }
 

@@ -1,5 +1,7 @@
 #include "graph_context.hpp"
 
+#include "sim/logging.hpp"
+
 namespace gcod {
 
 GraphContext::GraphContext(const Graph &g)
@@ -11,6 +13,18 @@ GraphContext::GraphContext(const Graph &g)
         coo.add(r, c, d > 0.0f ? 1.0f / d : 0.0f);
     });
     rowMean_ = std::move(coo).toCsr();
+}
+
+GraphContext::GraphContext(const Graph &g, CsrMatrix normalized,
+                           CsrMatrix row_mean)
+    : graph_(&g), normalized_(std::move(normalized)),
+      binary_(g.adjacency()), rowMean_(std::move(row_mean))
+{
+    GCOD_ASSERT(normalized_.rows() == g.numNodes() &&
+                    normalized_.cols() == g.numNodes() &&
+                    rowMean_.rows() == g.numNodes() &&
+                    rowMean_.cols() == g.numNodes(),
+                "adopted operators do not match the graph's node space");
 }
 
 } // namespace gcod

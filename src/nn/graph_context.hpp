@@ -20,6 +20,15 @@ class GraphContext
   public:
     explicit GraphContext(const Graph &g);
 
+    /**
+     * Adopt precomputed operators instead of deriving them from @p g —
+     * the incremental-update path (src/dyn/) repairs the operators of
+     * the previous epoch and hands them over here, skipping the full
+     * O(nnz) rebuild. The operators must equal what the deriving
+     * constructor would compute for @p g (asserted on shapes only).
+     */
+    GraphContext(const Graph &g, CsrMatrix normalized, CsrMatrix row_mean);
+
     const Graph &graph() const { return *graph_; }
 
     /** \f$\hat A = D^{-1/2}(A+I)D^{-1/2}\f$, symmetric. */

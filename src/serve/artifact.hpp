@@ -29,6 +29,11 @@ namespace gcod::shard {
 struct ShardedArtifact;
 }
 
+namespace gcod::dyn {
+class DynState;
+class IncrementalForward;
+} // namespace gcod::dyn
+
 namespace gcod::serve {
 
 /** Stable content hash of every pipeline knob that shapes the artifact. */
@@ -133,6 +138,16 @@ struct ArtifactBundle
      * precision.
      */
     std::map<int, Matrix> storedLogits;
+
+    /**
+     * Incremental-update state (src/dyn/), set by applyDeltaToBundle:
+     * the combined dyn repair state over `synth.graph` plus the
+     * per-layer fp32 activations of the last epoch. Null on freshly
+     * built and store-restored bundles; the first streamed delta
+     * bootstraps both. Never persisted.
+     */
+    std::shared_ptr<const dyn::DynState> dynState;
+    std::shared_ptr<const dyn::IncrementalForward> fwdState;
 
     bool hasHostExec() const { return hostModel != nullptr; }
 };

@@ -76,8 +76,12 @@ ArtifactCache::publish(const ArtifactKey &key,
     auto it = map_.find(key);
     if (it != map_.end()) {
         // Swap in place: retire the old epoch (readers holding it are
-        // untouched), install the new one, and bump to MRU.
-        retired_.push_back(std::move(it->second->bundle));
+        // untouched), install the new one, and bump to MRU. Republishing
+        // the bundle that is already resident must not retire it —
+        // the entry would sit on the retired list pinned by the
+        // resident reference and "leak" until the key is evicted.
+        if (it->second->bundle != bundle)
+            retired_.push_back(std::move(it->second->bundle));
         it->second->bundle = std::move(bundle);
         it->second->version = version;
         lru_.splice(lru_.begin(), lru_, it->second);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "serve/incremental.hpp"
 #include "sim/logging.hpp"
 #include "sim/parallel.hpp"
 #include "store/artifact_io.hpp"
@@ -388,6 +389,12 @@ ServingEngine::logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
     }
     auto computed = std::make_shared<const Matrix>(std::move(out));
     std::lock_guard<std::mutex> lock(execMemoMu_);
+    // A publish() may have swapped this key's epoch while we computed
+    // outside the lock: serve the result to the batch that asked (it
+    // holds the old bundle), but don't memoize it — the entry would
+    // outlive publish()'s eager prune and leak until capacity pressure.
+    if (cache_.residentVersion(std::get<0>(key)) != version)
+        return computed;
     // Resident artifacts can hold at most capacity x (precisions + 1)
     // entries; beyond that, everything extra belongs to evicted bundles
     // and can be dropped (it will be recomputed bit-identically if the
@@ -462,6 +469,52 @@ size_t
 ServingEngine::reclaimRetiredArtifacts()
 {
     return cache_.reclaimRetired();
+}
+
+ServingEngine::UpdateResult
+ServingEngine::applyUpdate(const ArtifactKey &key,
+                           const dyn::GraphDelta &delta)
+{
+    // Cold keys build (or store-load) first; the update then applies to
+    // a real epoch instead of special-casing an absent one.
+    ArtifactCache::Lookup found = cache_.get(key);
+
+    UpdateBuildStats bs;
+    std::shared_ptr<const ArtifactBundle> next = applyDeltaToBundle(
+        found.bundle, delta, opts_.artifactSeed, opts_.gcod.reorder,
+        opts_.shardRebaseImbalance, &bs);
+
+    UpdateResult r;
+    r.dynEpoch = bs.dynEpoch;
+    r.seconds = bs.seconds;
+    r.touched = bs.touched;
+    r.dirtyRows = bs.dirtyRows;
+    r.recomputedRows = bs.recomputedRows;
+    r.migrations = bs.migrations;
+    r.reassigned = bs.reassigned;
+    r.affectedShards = bs.affectedShards;
+    r.rebased = bs.rebased;
+    if (next == found.bundle) {
+        r.noop = true;
+        r.version = found.version;
+        return r;
+    }
+    r.version = publishArtifact(key, std::move(next));
+    return r;
+}
+
+size_t
+ServingEngine::execMemoEntries() const
+{
+    std::lock_guard<std::mutex> lock(execMemoMu_);
+    return execMemo_.size();
+}
+
+size_t
+ServingEngine::shardMemoEntries() const
+{
+    std::lock_guard<std::mutex> lock(shardMemoMu_);
+    return shardMemo_.size();
 }
 
 void

@@ -27,6 +27,10 @@
 #include "serve/server_stats.hpp"
 #include "shard/scheduler.hpp"
 
+namespace gcod::dyn {
+class GraphDelta;
+}
+
 namespace gcod::serve {
 
 /**
@@ -103,6 +107,14 @@ struct ServeOptions
     AdmissionOptions admission;
 
     /**
+     * Streamed-update shard repair: when the incrementally repaired
+     * plan's edge-mass imbalance exceeds this bound, applyUpdate()
+     * falls back to a full re-partition and freezes it as the new
+     * base. 0 = repair forever, never re-partition.
+     */
+    double shardRebaseImbalance = 2.0;
+
+    /**
      * Directory of the persistent artifact store. When non-empty, cache
      * misses first try loading `<storeDir>/<key>.gcodart` (mmap-backed,
      * milliseconds) and fall back to a full pipeline build on any
@@ -154,6 +166,11 @@ class ServingEngine
     /** Requests submitted but not yet replied to. */
     size_t pending() const;
 
+    /** Live execution-memo entries (epoch-hygiene tests). */
+    size_t execMemoEntries() const;
+    /** Live sharded-latency-memo entries (epoch-hygiene tests). */
+    size_t shardMemoEntries() const;
+
     /**
      * Hot-swap: rebuild the artifact for @p key from scratch (through
      * the full pipeline, bypassing the store) and atomically install it
@@ -166,6 +183,37 @@ class ServingEngine
     /** Hot-swap with a caller-supplied bundle (tests, external builds). */
     uint64_t publishArtifact(const ArtifactKey &key,
                              std::shared_ptr<const ArtifactBundle> bundle);
+
+    /** What one streamed update did (see UpdateBuildStats). */
+    struct UpdateResult
+    {
+        /** Cache version of the published epoch. */
+        uint64_t version = 0;
+        /** Dyn epoch (updates applied since the bundle's full build). */
+        uint64_t dynEpoch = 0;
+        /** True when the delta resolved to nothing; no swap happened. */
+        bool noop = false;
+        double seconds = 0.0;
+        size_t touched = 0;
+        size_t dirtyRows = 0;
+        size_t recomputedRows = 0;
+        size_t migrations = 0;
+        size_t reassigned = 0;
+        size_t affectedShards = 0;
+        bool rebased = false;
+    };
+
+    /**
+     * Streamed update: apply @p delta to the key's resident bundle
+     * (building it first on a cold key) and hot-swap the incrementally
+     * rebuilt next epoch in. Only delta-dirtied components are rebuilt
+     * (src/serve/incremental.hpp); in-flight batches finish on the
+     * epoch they hold, new lookups see the updated graph — no request
+     * is ever dropped or served a torn graph. No-op deltas publish
+     * nothing.
+     */
+    UpdateResult applyUpdate(const ArtifactKey &key,
+                             const dyn::GraphDelta &delta);
 
     /**
      * Persist the resident bundle for @p key — plus every memoized logit
@@ -237,7 +285,7 @@ class ServingEngine
      * BackendRouter's estimate memo on the single-chip path). Stale
      * versions are pruned when a new epoch is published.
      */
-    std::mutex shardMemoMu_;
+    mutable std::mutex shardMemoMu_;
     std::map<std::pair<ArtifactKey, uint64_t>, double> shardMemo_;
 
     /**
@@ -248,7 +296,7 @@ class ServingEngine
      * ArtifactCache's own memory bound under rotating traffic. Publish
      * prunes the replaced version's entries eagerly.
      */
-    std::mutex execMemoMu_;
+    mutable std::mutex execMemoMu_;
     std::map<std::tuple<ArtifactKey, uint64_t, int>,
              std::shared_ptr<const Matrix>>
         execMemo_;

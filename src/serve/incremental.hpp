@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Incremental serving-artifact updates from streamed graph deltas.
+ *
+ * applyDeltaToBundle() is the serving face of src/dyn/: it takes the
+ * resident bundle of a key, applies one GraphDelta, and produces a NEW
+ * immutable bundle for the next epoch, rebuilding only the components
+ * the delta dirtied:
+ *
+ *  - adjacency: row-merged CSR epoch (dynamic_graph.hpp), untouched
+ *    row spans block-copied;
+ *  - aggregation operators: dirty rows repaired, clean rows copied
+ *    (dyn_state.hpp) — bit-identical to a from-scratch derivation;
+ *  - fp32 logits: only the per-layer dirty level sets recomputed
+ *    (incremental_forward.hpp); clean logit rows travel verbatim, which
+ *    is the "invalidate memoized logits for dirty rows only" contract;
+ *  - shard plan: delta-aware repair of affected shards, with the
+ *    imbalance-bounded rebase fallback (shard_repair.hpp); per-shard
+ *    execution units are re-sliced from the repaired plan;
+ *  - quantized packs + their logits: refreshed whole-pack — the packs'
+ *    calibration (global degree quantile + per-tensor scales) is a
+ *    global function of the graph, so per-row requantization would
+ *    change served bits.
+ *
+ * Deliberately NOT rebuilt: the structure-only GCoD pipeline outcome
+ * (tiles + workload) and therefore `gcodIn`. Those refresh on the next
+ * full publishArtifact(); until then the cost model runs on the
+ * previous epoch's structure — bounded, observable staleness (see
+ * docs/dynamic_graphs.md) in exchange for update latency that is
+ * orders of magnitude below a pipeline rebuild.
+ *
+ * The result is published through the existing ArtifactCache hot swap,
+ * so in-flight batches never observe a torn graph.
+ */
+#ifndef GCOD_SERVE_INCREMENTAL_HPP
+#define GCOD_SERVE_INCREMENTAL_HPP
+
+#include "dyn/dyn_state.hpp"
+#include "serve/artifact.hpp"
+
+namespace gcod::serve {
+
+/** Bookkeeping of one applyDeltaToBundle() call. */
+struct UpdateBuildStats
+{
+    /** Wall-clock cost of the incremental rebuild, seconds. */
+    double seconds = 0.0;
+    /** Dyn epoch of the produced bundle (1 + updates since bootstrap). */
+    uint64_t dynEpoch = 0;
+    /** Nodes whose row or degree the delta changed. */
+    size_t touched = 0;
+    /** Operator-level dirty rows (D0). */
+    size_t dirtyRows = 0;
+    /** Forward rows recomputed across all layers. */
+    size_t recomputedRows = 0;
+    /** Degree-class migrations (dense<->sparse moves). */
+    size_t migrations = 0;
+    /** Shard reassignments / re-derived shards (sharded bundles). */
+    size_t reassigned = 0;
+    size_t affectedShards = 0;
+    /** True when the shard repair hit the imbalance bound and rebased. */
+    bool rebased = false;
+    /** Delta ops dropped by resolution (duplicates, self loops, ...). */
+    size_t ignoredOps = 0;
+};
+
+/**
+ * Apply @p delta to @p prev and build the next epoch's bundle.
+ *
+ * Returns @p prev itself (and leaves @p stats zeroed except `seconds`)
+ * when the delta resolves to a no-op against the current graph —
+ * callers skip the publish in that case. Otherwise the returned bundle
+ * is freshly built, carries the dyn state for the *next* update, and
+ * has `storedLogits` prefilled for fp32 and every quantized precision,
+ * so post-swap serving never runs a cold pass.
+ *
+ * @param prev     resident bundle; must carry host execution state.
+ * @param delta    the update batch.
+ * @param seed     the engine's artifact seed (new-node features/labels
+ *                 and the shard base plan derive from it).
+ * @param reorder  shard execution re-slicing options (the engine's
+ *                 GcodOptions::reorder, matching buildShardedArtifact).
+ * @param rebase_imbalance  shard-plan imbalance bound before a repair
+ *                 falls back to a full re-partition; 0 never rebases.
+ */
+std::shared_ptr<const ArtifactBundle>
+applyDeltaToBundle(const std::shared_ptr<const ArtifactBundle> &prev,
+                   const dyn::GraphDelta &delta, uint64_t seed,
+                   const ReorderOptions &reorder,
+                   double rebase_imbalance = 0.0,
+                   UpdateBuildStats *stats = nullptr);
+
+} // namespace gcod::serve
+
+#endif // GCOD_SERVE_INCREMENTAL_HPP

@@ -91,15 +91,113 @@ assignShards(const Graph &g, const DegreeClasses &dc,
 
 } // namespace
 
+void
+deriveShard(const Graph &g, const std::vector<int> &shard_of, Shard &shard)
+{
+    const CsrMatrix &adj = g.adjacency();
+    shard.halo.clear();
+    shard.localToGlobal.clear();
+    shard.ownedNnz = 0;
+    shard.cutNnz = 0;
+    shard.boundaryCount = 0; // finalizePlanStats fills this in
+    std::vector<char> seen(size_t(g.numNodes()), 0);
+    for (NodeId u : shard.owned) {
+        shard.ownedNnz += adj.rowNnz(u);
+        adj.forEachInRow(u, [&](NodeId v, float) {
+            if (shard_of[size_t(v)] != shard.id) {
+                ++shard.cutNnz;
+                seen[size_t(v)] = 1;
+            }
+        });
+    }
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        if (seen[size_t(v)])
+            shard.halo.push_back(v);
+    shard.localToGlobal = shard.owned;
+    shard.localToGlobal.insert(shard.localToGlobal.end(),
+                               shard.halo.begin(), shard.halo.end());
+}
+
+void
+finalizePlanStats(const Graph &g, ShardPlan &plan)
+{
+    const int shards = plan.numShards;
+    // Exchange matrix + boundary counts (who needs whose rows).
+    plan.pairRows.assign(size_t(shards) * size_t(shards), 0);
+    std::vector<char> boundary(size_t(g.numNodes()), 0);
+    for (int t = 0; t < shards; ++t) {
+        for (NodeId h : plan.shards[size_t(t)].halo) {
+            int owner = plan.shardOf[size_t(h)];
+            plan.pairRows[size_t(owner) * size_t(shards) + size_t(t)] += 1;
+            boundary[size_t(h)] = 1;
+        }
+    }
+    for (Shard &sh : plan.shards) {
+        sh.boundaryCount = 0;
+        for (NodeId u : sh.owned)
+            sh.boundaryCount += boundary[size_t(u)];
+    }
+
+    plan.edgeCut = computeEdgeCut(g, plan.shardOf);
+    plan.edgeCutFraction =
+        g.numEdges() > 0 ? double(plan.edgeCut) / double(g.numEdges()) : 0.0;
+
+    double total_mass = 0.0;
+    double max_mass = 0.0;
+    for (const Shard &sh : plan.shards) {
+        double mass = 0.0;
+        for (NodeId u : sh.owned)
+            mass += double(g.degrees()[size_t(u)]) + 1.0;
+        total_mass += mass;
+        max_mass = std::max(max_mass, mass);
+    }
+    double ideal = total_mass / double(shards);
+    plan.maxImbalance = ideal > 0.0 ? max_mass / ideal : 0.0;
+}
+
+ShardPlan
+derivePlan(const Graph &g, int num_shards, int num_classes,
+           std::vector<int> shard_of, std::vector<int> class_of)
+{
+    GCOD_ASSERT(shard_of.size() == size_t(g.numNodes()) &&
+                    class_of.size() == size_t(g.numNodes()),
+                "assignment arrays must cover every node");
+    ShardPlan plan;
+    plan.numShards = num_shards;
+    plan.numNodes = g.numNodes();
+    plan.numClasses = num_classes;
+    plan.shardOf = std::move(shard_of);
+    plan.classOf = std::move(class_of);
+
+    plan.shards.resize(size_t(num_shards));
+    for (int s = 0; s < num_shards; ++s)
+        plan.shards[size_t(s)].id = s;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        plan.shards[size_t(plan.shardOf[size_t(v)])].owned.push_back(v);
+
+    // Per-shard halo derivation: independent scans over the owned rows,
+    // one shard per pool range (the host-side shard-build parallelism).
+    parallelFor(
+        0, num_shards,
+        [&](const Range &r, size_t) {
+            for (int64_t s = r.begin; s < r.end; ++s)
+                deriveShard(g, plan.shardOf, plan.shards[size_t(s)]);
+        },
+        1);
+
+    finalizePlanStats(g, plan);
+    return plan;
+}
+
 ShardPlan
 buildShardPlan(const Graph &g, const ShardPlanOptions &opts)
 {
     GCOD_ASSERT(opts.shards >= 1, "shard plan needs >= 1 shard");
-    ShardPlan plan;
-    plan.numShards = opts.shards;
-    plan.numNodes = g.numNodes();
 
     if (opts.shards == 1 || g.numNodes() == 0) {
+        ShardPlan plan;
+        plan.numShards = opts.shards;
+        plan.numNodes = g.numNodes();
         plan.numClasses = 1;
         plan.shardOf.assign(size_t(g.numNodes()), 0);
         plan.classOf.assign(size_t(g.numNodes()), 0);
@@ -117,76 +215,9 @@ buildShardPlan(const Graph &g, const ShardPlanOptions &opts)
     }
 
     DegreeClasses dc = classifyBalanced(g, opts.degreeClasses);
-    plan.numClasses = dc.numClasses;
-    plan.classOf = dc.classOf;
-    plan.shardOf = assignShards(g, dc, opts);
-
-    plan.shards.resize(size_t(opts.shards));
-    for (int s = 0; s < opts.shards; ++s)
-        plan.shards[size_t(s)].id = s;
-    for (NodeId v = 0; v < g.numNodes(); ++v)
-        plan.shards[size_t(plan.shardOf[size_t(v)])].owned.push_back(v);
-
-    // Per-shard halo derivation: independent scans over the owned rows,
-    // one shard per pool range (the host-side shard-build parallelism).
-    const CsrMatrix &adj = g.adjacency();
-    parallelFor(
-        0, opts.shards,
-        [&](const Range &r, size_t) {
-            std::vector<char> seen(size_t(g.numNodes()), 0);
-            for (int64_t s = r.begin; s < r.end; ++s) {
-                Shard &sh = plan.shards[size_t(s)];
-                std::fill(seen.begin(), seen.end(), 0);
-                for (NodeId u : sh.owned) {
-                    sh.ownedNnz += adj.rowNnz(u);
-                    adj.forEachInRow(u, [&](NodeId v, float) {
-                        if (plan.shardOf[size_t(v)] != int(s)) {
-                            ++sh.cutNnz;
-                            seen[size_t(v)] = 1;
-                        }
-                    });
-                }
-                for (NodeId v = 0; v < g.numNodes(); ++v)
-                    if (seen[size_t(v)])
-                        sh.halo.push_back(v);
-                sh.localToGlobal = sh.owned;
-                sh.localToGlobal.insert(sh.localToGlobal.end(),
-                                        sh.halo.begin(), sh.halo.end());
-            }
-        },
-        1);
-
-    // Exchange matrix + boundary counts (who needs whose rows).
-    plan.pairRows.assign(size_t(opts.shards) * size_t(opts.shards), 0);
-    std::vector<char> boundary(size_t(g.numNodes()), 0);
-    for (int t = 0; t < opts.shards; ++t) {
-        for (NodeId h : plan.shards[size_t(t)].halo) {
-            int owner = plan.shardOf[size_t(h)];
-            plan.pairRows[size_t(owner) * size_t(opts.shards) +
-                          size_t(t)] += 1;
-            boundary[size_t(h)] = 1;
-        }
-    }
-    for (Shard &sh : plan.shards)
-        for (NodeId u : sh.owned)
-            sh.boundaryCount += boundary[size_t(u)];
-
-    plan.edgeCut = computeEdgeCut(g, plan.shardOf);
-    plan.edgeCutFraction =
-        g.numEdges() > 0 ? double(plan.edgeCut) / double(g.numEdges()) : 0.0;
-
-    double total_mass = 0.0;
-    double max_mass = 0.0;
-    for (const Shard &sh : plan.shards) {
-        double mass = 0.0;
-        for (NodeId u : sh.owned)
-            mass += double(g.degrees()[size_t(u)]) + 1.0;
-        total_mass += mass;
-        max_mass = std::max(max_mass, mass);
-    }
-    double ideal = total_mass / double(opts.shards);
-    plan.maxImbalance = ideal > 0.0 ? max_mass / ideal : 0.0;
-    return plan;
+    std::vector<int> shard_of = assignShards(g, dc, opts);
+    return derivePlan(g, opts.shards, dc.numClasses, std::move(shard_of),
+                      std::move(dc.classOf));
 }
 
 CsrMatrix

@@ -114,6 +114,33 @@ struct ShardPlan
 ShardPlan buildShardPlan(const Graph &g, const ShardPlanOptions &opts = {});
 
 /**
+ * Re-derive one shard's per-shard state (owned nnz, cut nnz, halo,
+ * localToGlobal) from a fixed node→shard assignment. @p shard.owned must
+ * already hold the shard's nodes in ascending global order; everything
+ * else is overwritten. Shared by buildShardPlan and the incremental
+ * delta repair (src/dyn/shard_repair.*) so both produce bit-identical
+ * shard state.
+ */
+void deriveShard(const Graph &g, const std::vector<int> &shard_of,
+                 Shard &shard);
+
+/**
+ * Recompute the plan-level aggregates — exchange matrix, boundary
+ * counts, edge cut, and edge-mass imbalance — from the per-shard state.
+ * Summation order is fixed (shard-ascending, owned-ascending), so a
+ * repair that calls this matches a from-scratch build bit for bit.
+ */
+void finalizePlanStats(const Graph &g, ShardPlan &plan);
+
+/**
+ * Derive a complete plan from a fixed assignment: per-shard owned lists,
+ * halos (pool-parallel), and finalizePlanStats. buildShardPlan is
+ * exactly classify + METIS-lite assign + derivePlan.
+ */
+ShardPlan derivePlan(const Graph &g, int num_shards, int num_classes,
+                     std::vector<int> shard_of, std::vector<int> class_of);
+
+/**
  * Slice a global aggregation operator for one shard: rows are the
  * shard's owned nodes (local order), columns are remapped into the local
  * node space. The operator's pattern must be contained in the plan

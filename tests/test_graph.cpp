@@ -89,6 +89,68 @@ TEST(Graph, ConnectedComponentsLabelsConsistently)
     EXPECT_NE(comp[5], comp[3]);
 }
 
+TEST(Graph, InducedSubgraphEdgeCases)
+{
+    // Empty node set on an empty graph.
+    Graph empty(0, {});
+    Graph esub = empty.inducedSubgraph({});
+    EXPECT_EQ(esub.numNodes(), 0);
+    EXPECT_EQ(esub.numEdges(), 0);
+
+    // All-isolated nodes: any subset induces an edgeless graph.
+    Graph iso(4, {});
+    Graph isub = iso.inducedSubgraph({1, 3});
+    EXPECT_EQ(isub.numNodes(), 2);
+    EXPECT_EQ(isub.numEdges(), 0);
+
+    // Full node set: the induced subgraph is the graph itself.
+    Graph g(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+    Graph full = g.inducedSubgraph({0, 1, 2, 3, 4});
+    EXPECT_EQ(full.numNodes(), g.numNodes());
+    EXPECT_EQ(full.adjacency().indptr(), g.adjacency().indptr());
+    EXPECT_EQ(full.adjacency().indices(), g.adjacency().indices());
+}
+
+TEST(Graph, ConnectedComponentsEdgeCases)
+{
+    // Empty graph: no labels.
+    Graph empty(0, {});
+    EXPECT_TRUE(empty.connectedComponents().empty());
+
+    // All-isolated: every node is its own component.
+    Graph iso(4, {});
+    auto comp = iso.connectedComponents();
+    ASSERT_EQ(comp.size(), 4u);
+    std::set<NodeId> distinct(comp.begin(), comp.end());
+    EXPECT_EQ(distinct.size(), 4u);
+
+    // Fully connected: a single component.
+    Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+    auto one = g.connectedComponents();
+    EXPECT_EQ(std::set<NodeId>(one.begin(), one.end()).size(), 1u);
+}
+
+TEST(Graph, AdoptedCsrAdjacencyIsValidated)
+{
+    // A valid canonical CSR constructs fine.
+    // Pattern: 0-1 undirected.
+    CsrMatrix ok(2, 2, {0, 1, 2}, {1, 0}, {1.0f, 1.0f});
+    EXPECT_NO_THROW({ Graph g(std::move(ok)); });
+
+    // Asymmetric pattern: entry (0,1) without its (1,0) mirror.
+    CsrMatrix asym(2, 2, {0, 1, 1}, {1}, {1.0f});
+    EXPECT_THROW({ Graph g(std::move(asym)); }, std::logic_error);
+
+    // Self loop on the diagonal.
+    CsrMatrix loop(2, 2, {0, 1, 1}, {0}, {1.0f});
+    EXPECT_THROW({ Graph g(std::move(loop)); }, std::logic_error);
+
+    // Unsorted (and duplicate-bearing) column indices within a row.
+    CsrMatrix unsorted(3, 3, {0, 2, 3, 4}, {2, 1, 0, 0},
+                       {1.0f, 1.0f, 1.0f, 1.0f});
+    EXPECT_THROW({ Graph g(std::move(unsorted)); }, std::logic_error);
+}
+
 TEST(Graph, PermutedGraphKeepsDegreesUnderRelabel)
 {
     Rng rng(6);
