@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Fault-injection drill bench: the same mixed-tier traffic is served
+ * twice — once fault-free (the baseline) and once under a deterministic
+ * seeded fault plan injecting per-backend execution failures and latency
+ * spikes — and the recovery machinery (bounded retries with exponential
+ * backoff, circuit-breaker failover, deadline resolution) has to hold
+ * three production promises, gated hard under check=1:
+ *
+ *   1. availability: >= 99% of Standard-tier requests complete despite a
+ *      10% per-attempt backend failure rate,
+ *   2. zero dropped in-flight requests: every submitted future resolves
+ *      (completed, failed loudly, or timed out — never lost), and
+ *   3. byte-identical results: the logits the faulted engine serves are
+ *      memcmp-equal to the fault-free baseline's, and completed replies
+ *      predict identically.
+ *
+ * A third phase drills the corrupt-artifact path: a store whose reads
+ * are injected-corrupt must quarantine every file, rebuild from the
+ * pipeline, republish, and still serve baseline-identical answers.
+ *
+ * Config overrides (key=value):
+ *   requests=2000 workers=2 maxbatch=16 delay_us=500
+ *   backends=GCoD,HyGCN,AWB-GCN fail_rate=0.1 slow_rate=0.05
+ *   attempts=5 seed=7 scale=0 out=BENCH_fault.json check=0
+ *
+ * Results land in BENCH_fault.json (JsonEmitter) so the availability
+ * trajectory is tracked across commits like the other benches; CI runs
+ * with check=1.
+ */
+#include "bench_common.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "serve/engine.hpp"
+#include "sim/rng.hpp"
+
+using namespace gcod;
+using namespace gcod::bench;
+using namespace gcod::serve;
+
+namespace {
+
+/** Mixed-tier assignment: 20% latency / 60% standard / 20% best-effort. */
+SloTier
+pickTier(double u)
+{
+    if (u < 0.2)
+        return SloTier::Latency;
+    return u < 0.8 ? SloTier::Standard : SloTier::BestEffort;
+}
+
+const std::vector<std::string> kDatasets = {"Cora", "CiteSeer", "Pubmed"};
+
+/** One deterministic traffic script, replayed verbatim per phase. */
+struct Script
+{
+    std::vector<InferenceRequest> requests;
+    uint64_t submittedPerTier[kNumSloTiers] = {0, 0, 0};
+
+    Script(int64_t n, uint64_t seed)
+    {
+        Rng rng(seed);
+        requests.reserve(size_t(n));
+        for (int64_t i = 0; i < n; ++i) {
+            InferenceRequest req;
+            req.dataset = kDatasets[size_t(rng.uniformInt(
+                0, int64_t(kDatasets.size()) - 1))];
+            req.node = NodeId(rng.uniformInt(0, 999));
+            req.tier = pickTier(rng.uniformReal());
+            ++submittedPerTier[size_t(req.tier)];
+            requests.push_back(std::move(req));
+        }
+    }
+};
+
+/** What one serve phase produced, request-aligned with the script. */
+struct PhaseResult
+{
+    std::vector<InferenceReply> replies;
+    size_t dropped = 0; ///< futures not ready after drain(): must be 0
+    double seconds = 0.0;
+};
+
+PhaseResult
+servePhase(ServingEngine &engine, const Script &script)
+{
+    auto t0 = Clock::now();
+    std::vector<std::future<InferenceReply>> futures;
+    futures.reserve(script.requests.size());
+    for (const InferenceRequest &req : script.requests)
+        futures.push_back(engine.submit(InferenceRequest(req)));
+    engine.drain();
+
+    PhaseResult out;
+    out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    out.replies.reserve(futures.size());
+    for (auto &f : futures) {
+        if (f.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+            ++out.dropped;
+            out.replies.emplace_back(); // placeholder, never compared
+            continue;
+        }
+        out.replies.push_back(f.get());
+    }
+    return out;
+}
+
+void
+faultDrill(Config &cfg)
+{
+    ServeOptions opts;
+    opts.workers = size_t(cfg.getInt("workers", 2));
+    opts.artifactScale = cfg.getDouble("scale", 0.0);
+    opts.batching.maxBatch = size_t(cfg.getInt("maxbatch", 16));
+    opts.batching.maxDelay =
+        std::chrono::microseconds(cfg.getInt("delay_us", 500));
+    std::string backends = cfg.getString("backends", "GCoD,HyGCN,AWB-GCN");
+    opts.backends.clear();
+    for (size_t pos = 0; pos < backends.size();) {
+        size_t next = backends.find(',', pos);
+        if (next == std::string::npos)
+            next = backends.size();
+        if (next > pos)
+            opts.backends.push_back(backends.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    opts.retry.maxAttempts = int(cfg.getInt("attempts", 5));
+
+    const int64_t requests = cfg.getInt("requests", 2000);
+    const uint64_t seed = uint64_t(cfg.getInt("seed", 7));
+    const double failRate = cfg.getDouble("fail_rate", 0.1);
+    const double slowRate = cfg.getDouble("slow_rate", 0.05);
+    Script script(requests, seed);
+
+    // ------------------------------------------------- phase 1: baseline
+    ServingEngine baseline(opts);
+    PhaseResult clean = servePhase(baseline, script);
+    GCOD_ASSERT(clean.dropped == 0, "baseline dropped in-flight requests");
+
+    // ------------------------------------------------- phase 2: injected
+    ServeOptions drill = opts;
+    drill.fault.seed = seed;
+    drill.fault.backendFailRate = failRate;
+    drill.fault.backendSlowRate = slowRate;
+    ServingEngine engine(drill);
+    PhaseResult faulted = servePhase(engine, script);
+
+    ServerStats &stats = engine.stats();
+    uint64_t mismatched = 0, compared = 0;
+    for (size_t i = 0; i < script.requests.size(); ++i) {
+        const InferenceReply &a = clean.replies[i];
+        const InferenceReply &b = faulted.replies[i];
+        // Predictions are an artifact+precision property, not a routing
+        // property — but failover may legitimately land a request on a
+        // backend of a different operand precision, so compare where the
+        // executed precision matched.
+        if (a.ok() && b.ok() && a.executedBits == b.executedBits) {
+            ++compared;
+            mismatched += a.prediction != b.prediction;
+        }
+    }
+
+    // Byte-identity oracle: the logits each engine serves from, per
+    // dataset, at the fp32 reference precision.
+    bool logitsIdentical = true;
+    for (const std::string &d : kDatasets) {
+        ArtifactKey k = engine.keyFor(d, "GCN");
+        auto a = baseline.peekLogits(k, 32);
+        auto b = engine.peekLogits(k, 32);
+        GCOD_ASSERT(a && b, "missing fp32 logits for ", d);
+        logitsIdentical =
+            logitsIdentical && a->sameShape(*b) &&
+            std::memcmp(a->data().data(), b->data().data(),
+                        a->data().size() * sizeof(float)) == 0;
+    }
+
+    double stdAvail =
+        script.submittedPerTier[size_t(SloTier::Standard)] > 0
+            ? double(stats.tierCompleted(SloTier::Standard)) /
+                  double(script.submittedPerTier[size_t(SloTier::Standard)])
+            : 1.0;
+    double avail = double(stats.completed()) / double(requests);
+
+    uint64_t trips = 0, backendFailures = 0;
+    for (int i = 0; i < int(engine.router().numBackends()); ++i) {
+        trips += engine.router().trips(i);
+        backendFailures += engine.router().failures(i);
+    }
+
+    Table t("Fault drill | " + std::to_string(requests) + " requests, " +
+            formatNumber(failRate * 100.0) + "% injected backend failure "
+            "rate, " + std::to_string(opts.retry.maxAttempts) +
+            " attempts");
+    t.header({"Metric", "Baseline", "Injected"});
+    t.row({"completed", std::to_string(baseline.stats().completed()),
+           std::to_string(stats.completed())});
+    t.row({"failed", std::to_string(baseline.stats().failed()),
+           std::to_string(stats.failed())});
+    t.row({"dropped in-flight", std::to_string(clean.dropped),
+           std::to_string(faulted.dropped)});
+    t.row({"retried", "0", std::to_string(stats.retried())});
+    t.row({"failed over", "0", std::to_string(stats.failedOver())});
+    t.row({"faults injected", "0",
+           std::to_string(engine.faultPlan().injectedCount())});
+    t.row({"breaker trips", "0", std::to_string(trips)});
+    t.row({"availability", "1.0", formatNumber(avail)});
+    t.row({"standard-tier availability", "1.0", formatNumber(stdAvail)});
+    t.row({"logits byte-identical", "-",
+           logitsIdentical ? "yes" : "NO"});
+    t.print(std::cout);
+
+    // --------------------------------------- phase 3: corrupt-store drill
+    std::string storeDir =
+        (std::filesystem::temp_directory_path() / "gcod_fault_bench_store")
+            .string();
+    std::filesystem::remove_all(storeDir);
+    uint64_t quarantines = 0;
+    bool storeOk = true;
+    {
+        ServeOptions warmOpts = opts;
+        warmOpts.storeDir = storeDir;
+        ServingEngine warm(warmOpts);
+        std::vector<std::future<InferenceReply>> futs;
+        for (const std::string &d : kDatasets)
+            futs.push_back(warm.submit({0, d, "GCN", 0}));
+        warm.drain();
+        for (auto &f : futs)
+            storeOk = storeOk && f.get().ok();
+
+        ServeOptions corruptOpts = warmOpts;
+        corruptOpts.fault.seed = seed;
+        corruptOpts.fault.storeCorruptRate = 1.0;
+        ServingEngine recover(corruptOpts);
+        std::vector<std::future<InferenceReply>> futs2;
+        for (const std::string &d : kDatasets)
+            futs2.push_back(recover.submit({0, d, "GCN", 0}));
+        recover.drain();
+        for (auto &f : futs2)
+            storeOk = storeOk && f.get().ok();
+        quarantines = recover.stats().quarantined();
+        for (const std::string &d : kDatasets) {
+            ArtifactKey k = recover.keyFor(d, "GCN");
+            auto a = baseline.peekLogits(k, 32);
+            auto b = recover.peekLogits(k, 32);
+            storeOk = storeOk && a && b && a->sameShape(*b) &&
+                      std::memcmp(a->data().data(), b->data().data(),
+                                  a->data().size() * sizeof(float)) == 0;
+        }
+    }
+    std::filesystem::remove_all(storeDir);
+
+    Table st("Fault drill | corrupt-store quarantine");
+    st.header({"Metric", "Value"});
+    st.row({"artifacts quarantined", std::to_string(quarantines)});
+    st.row({"rebuilt + byte-identical", storeOk ? "yes" : "NO"});
+    st.print(std::cout);
+
+    // ------------------------------------------------------------- JSON
+    JsonEmitter json;
+    json.meta()
+        .set("bench", "fault_injection")
+        .set("requests", requests)
+        .set("backends", backends)
+        .set("fail_rate", failRate)
+        .set("slow_rate", slowRate)
+        .set("attempts", opts.retry.maxAttempts)
+        .set("seed", int64_t(engine.faultPlan().seed()))
+        .set("workers", int64_t(opts.workers));
+    json.add("baseline")
+        .set("completed", int64_t(baseline.stats().completed()))
+        .set("serve_s", clean.seconds)
+        .set("throughput_req_per_sec",
+             double(baseline.stats().completed()) / clean.seconds);
+    json.add("injected")
+        .set("completed", int64_t(stats.completed()))
+        .set("failed", int64_t(stats.failed()))
+        .set("timed_out", int64_t(stats.timedOut()))
+        .set("shed", int64_t(stats.shed()))
+        .set("retried", int64_t(stats.retried()))
+        .set("failed_over", int64_t(stats.failedOver()))
+        .set("dropped_in_flight", int64_t(faulted.dropped))
+        .set("faults_injected",
+             int64_t(engine.faultPlan().injectedCount()))
+        .set("backend_failures", int64_t(backendFailures))
+        .set("breaker_trips", int64_t(trips))
+        .set("availability", avail)
+        .set("serve_s", faulted.seconds)
+        .set("logits_identical", int64_t(logitsIdentical ? 1 : 0))
+        .set("predictions_compared", int64_t(compared))
+        .set("predictions_mismatched", int64_t(mismatched));
+    for (SloTier tier :
+         {SloTier::Latency, SloTier::Standard, SloTier::BestEffort}) {
+        uint64_t submitted = script.submittedPerTier[size_t(tier)];
+        json.add(std::string("tier_") + sloTierName(tier))
+            .set("tier", sloTierName(tier))
+            .set("submitted", int64_t(submitted))
+            .set("completed", int64_t(stats.tierCompleted(tier)))
+            .set("failed", int64_t(stats.tierFailed(tier)))
+            .set("retried", int64_t(stats.tierRetried(tier)))
+            .set("failed_over", int64_t(stats.tierFailedOver(tier)))
+            .set("availability",
+                 submitted > 0
+                     ? double(stats.tierCompleted(tier)) / double(submitted)
+                     : 1.0);
+    }
+    json.add("store_drill")
+        .set("quarantined", int64_t(quarantines))
+        .set("recovered_ok", int64_t(storeOk ? 1 : 0));
+    json.writeFile(cfg.getString("out", "BENCH_fault.json"));
+
+    // --------------------------------------------------------- CI gates
+    if (cfg.getInt("check", 0) != 0) {
+        GCOD_ASSERT(engine.faultPlan().injectedCount() > 0,
+                    "fault drill injected nothing — the gate is vacuous");
+        GCOD_ASSERT(faulted.dropped == 0, "injected run dropped ",
+                    faulted.dropped, " in-flight requests");
+        GCOD_ASSERT(stdAvail >= 0.99,
+                    "standard-tier availability under faults must be >= "
+                    "0.99 (got ", stdAvail, ")");
+        GCOD_ASSERT(logitsIdentical,
+                    "served logits diverged from the fault-free baseline");
+        GCOD_ASSERT(mismatched == 0, "recovered replies predicted "
+                    "differently than the fault-free baseline");
+        GCOD_ASSERT(quarantines == uint64_t(kDatasets.size()),
+                    "corrupt-store drill quarantined ", quarantines,
+                    " of ", kDatasets.size(), " artifacts");
+        GCOD_ASSERT(storeOk, "corrupt-store drill failed to recover "
+                    "byte-identical artifacts");
+    }
+}
+
+/** Microbenchmark: one 16-request burst through the faulted engine. */
+void
+BM_FaultedBurst16(benchmark::State &state)
+{
+    ServeOptions opts;
+    opts.backends = {"GCoD", "HyGCN"};
+    opts.workers = 2;
+    opts.batching.policy = BatchPolicy::FixedSize;
+    opts.batching.maxBatch = 16;
+    opts.fault.seed = 7;
+    opts.fault.backendFailRate = 0.1;
+    ServingEngine engine(opts);
+    engine.submit({0, "Cora", "GCN", 0});
+    engine.drain(); // warm the artifact cache
+    for (auto _ : state) {
+        std::vector<std::future<InferenceReply>> futures;
+        futures.reserve(16);
+        for (int i = 0; i < 16; ++i)
+            futures.push_back(engine.submit({0, "Cora", "GCN", 0}));
+        engine.drain();
+        for (auto &f : futures)
+            benchmark::DoNotOptimize(f.get());
+    }
+}
+BENCHMARK(BM_FaultedBurst16);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, faultDrill);
+}

@@ -1,0 +1,169 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hpp"
+
+namespace gcod::fault {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::BackendFailure: return "backend_failure";
+    case FaultKind::BackendSlow: return "backend_slow";
+    case FaultKind::HaloDrop: return "halo_drop";
+    case FaultKind::StoreCorrupt: return "store_corrupt";
+    }
+    return "?";
+}
+
+uint64_t
+faultSeedFromEnv(uint64_t fallback)
+{
+    const char *env = std::getenv("GCOD_FAULT_SEED");
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+        warn("GCOD_FAULT_SEED='", env,
+             "' is not an unsigned integer; using seed ", fallback);
+        return fallback;
+    }
+    return uint64_t(v);
+}
+
+namespace {
+
+/** splitmix64 finalizer: the avalanche everything below mixes through. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over the site name (stable across processes, unlike std::hash). */
+uint64_t
+siteHash(const std::string &site)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : site) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(FaultConfig cfg)
+    : cfg_(cfg), seed_(faultSeedFromEnv(cfg.seed))
+{
+    GCOD_ASSERT(cfg_.backendFailRate >= 0.0 && cfg_.backendFailRate <= 1.0 &&
+                    cfg_.backendSlowRate >= 0.0 &&
+                    cfg_.backendSlowRate <= 1.0 &&
+                    cfg_.haloDropRate >= 0.0 && cfg_.haloDropRate <= 1.0 &&
+                    cfg_.storeCorruptRate >= 0.0 &&
+                    cfg_.storeCorruptRate <= 1.0,
+                "fault rates must be probabilities in [0, 1]");
+    GCOD_ASSERT(cfg_.slowFactor >= 1.0,
+                "slowFactor < 1 would make injected slowness a speedup");
+}
+
+double
+FaultPlan::rateFor(FaultKind kind) const
+{
+    switch (kind) {
+    case FaultKind::BackendFailure: return cfg_.backendFailRate;
+    case FaultKind::BackendSlow: return cfg_.backendSlowRate;
+    case FaultKind::HaloDrop: return cfg_.haloDropRate;
+    case FaultKind::StoreCorrupt: return cfg_.storeCorruptRate;
+    }
+    return 0.0;
+}
+
+bool
+FaultPlan::wouldInject(FaultKind kind, const std::string &site,
+                       uint64_t k) const
+{
+    double rate = rateFor(kind);
+    if (rate <= 0.0)
+        return false;
+    if (rate >= 1.0)
+        return true;
+    // Pure in (seed, kind, site, k): one avalanche over the combined
+    // identity, mapped to [0, 1) with 53 uniform bits.
+    uint64_t h = mix64(seed_ ^ mix64(siteHash(site)) ^
+                       mix64(uint64_t(kind) * 0x2545f4914f6cdd1dull) ^
+                       mix64(k));
+    double u = double(h >> 11) * (1.0 / 9007199254740992.0);
+    return u < rate;
+}
+
+bool
+FaultPlan::shouldInject(FaultKind kind, const std::string &site)
+{
+    if (rateFor(kind) <= 0.0)
+        return false;
+    uint64_t k;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        k = counters_[{int(kind), site}]++;
+    }
+    return checkIndexed(kind, site, k);
+}
+
+bool
+FaultPlan::checkIndexed(FaultKind kind, const std::string &site, uint64_t k)
+{
+    if (!wouldInject(kind, site, k))
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    trace_.push_back(FaultRecord{kind, site, k});
+    ++injected_[size_t(kind)];
+    return true;
+}
+
+uint64_t
+FaultPlan::invocations(FaultKind kind, const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find({int(kind), site});
+    return it == counters_.end() ? 0 : it->second;
+}
+
+uint64_t
+FaultPlan::injectedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (uint64_t c : injected_)
+        total += c;
+    return total;
+}
+
+uint64_t
+FaultPlan::injectedCount(FaultKind kind) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_[size_t(kind)];
+}
+
+std::vector<FaultRecord>
+FaultPlan::trace() const
+{
+    std::vector<FaultRecord> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out = trace_;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace gcod::fault

@@ -10,9 +10,26 @@
 
 namespace gcod::serve {
 
-BackendRouter::BackendRouter(const std::vector<std::string> &names)
+const char *
+healthStateName(HealthState s)
+{
+    switch (s) {
+    case HealthState::Closed: return "closed";
+    case HealthState::Open: return "open";
+    case HealthState::HalfOpen: return "half_open";
+    }
+    return "?";
+}
+
+BackendRouter::BackendRouter(const std::vector<std::string> &names,
+                             HealthOptions health)
+    : healthOpts_(health)
 {
     GCOD_ASSERT(!names.empty(), "BackendRouter needs at least one backend");
+    GCOD_ASSERT(healthOpts_.tripThreshold >= 1,
+                "a breaker that trips on zero failures never serves");
+    GCOD_ASSERT(healthOpts_.cooldownSeconds >= 0.0,
+                "negative cooldown makes no sense");
     PlatformRegistry &registry = PlatformRegistry::instance();
     for (const auto &n : names) {
         auto b = std::make_unique<Backend>();
@@ -104,12 +121,73 @@ BackendRouter::choose(const ArtifactBundle &bundle, SloTier tier)
                 estimateSeconds(cold[size_t(k)], bundle);
         });
 
+    // Health gate: only Closed backends score. A tripped backend whose
+    // cooldown has elapsed may instead claim this batch as its single
+    // half-open probe — but never a Latency batch while a healthy
+    // alternative exists (interactive traffic is not the guinea pig).
+    std::vector<char> avail(backends_.size(), 0);
+    int navail = 0;
+    int probe_candidate = -1;
+    {
+        std::lock_guard<std::mutex> lock(healthMu_);
+        Clock::time_point now = Clock::now();
+        Clock::time_point oldest{};
+        for (int i = 0; i < int(backends_.size()); ++i) {
+            Backend &b = *backends_[i];
+            if (b.health == HealthState::Closed) {
+                avail[size_t(i)] = 1;
+                ++navail;
+            } else if (b.health == HealthState::Open && !b.probeInFlight &&
+                       std::chrono::duration<double>(now - b.trippedAt)
+                               .count() >= healthOpts_.cooldownSeconds) {
+                if (probe_candidate < 0 || b.trippedAt < oldest) {
+                    probe_candidate = i;
+                    oldest = b.trippedAt;
+                }
+            }
+        }
+        if (probe_candidate >= 0 &&
+            (tier != SloTier::Latency || navail == 0)) {
+            Backend &p = *backends_[probe_candidate];
+            p.health = HealthState::HalfOpen;
+            p.probeInFlight = true;
+        } else {
+            probe_candidate = -1;
+        }
+        if (probe_candidate < 0 && navail == 0) {
+            // Every backend is tripped or mid-probe. Serving never
+            // hard-fails on routing: force the least-recently-tripped
+            // backend (longest since its last trip) back into scoring
+            // and let the dispatch outcome speak for itself.
+            int forced = 0;
+            for (int i = 1; i < int(backends_.size()); ++i)
+                if (backends_[i]->trippedAt < backends_[forced]->trippedAt)
+                    forced = i;
+            avail[size_t(forced)] = 1;
+            navail = 1;
+        }
+    }
+
+    if (probe_candidate >= 0) {
+        RouteDecision d;
+        d.backend = probe_candidate;
+        d.name = backends_[probe_candidate]->name;
+        d.estimatedSeconds = estimateSeconds(probe_candidate, bundle);
+        d.depthAtChoice = backends_[probe_candidate]->inflight.load();
+        d.probe = true;
+        return d;
+    }
+
     // Best-effort work stays off the fastest backend (by base estimate)
-    // so latency traffic always finds the quickest chip uncontended.
+    // so latency traffic always finds the quickest chip uncontended —
+    // among the currently healthy set, and only while that set has an
+    // alternative left.
     int fastest = -1;
-    if (tier == SloTier::BestEffort && backends_.size() > 1) {
+    if (tier == SloTier::BestEffort && navail > 1) {
         double fastest_base = 0.0;
         for (int i = 0; i < int(backends_.size()); ++i) {
+            if (!avail[size_t(i)])
+                continue;
             double base = estimateSeconds(i, bundle);
             if (fastest < 0 || base < fastest_base) {
                 fastest = i;
@@ -121,7 +199,7 @@ BackendRouter::choose(const ArtifactBundle &bundle, SloTier tier)
     RouteDecision best;
     double best_score = 0.0;
     for (int i = 0; i < int(backends_.size()); ++i) {
-        if (i == fastest)
+        if (!avail[size_t(i)] || i == fastest)
             continue;
         double base = estimateSeconds(i, bundle);
         int depth = backends_[i]->inflight.load();
@@ -141,6 +219,70 @@ BackendRouter::choose(const ArtifactBundle &bundle, SloTier tier)
         }
     }
     return best;
+}
+
+void
+BackendRouter::recordSuccess(int i)
+{
+    std::lock_guard<std::mutex> lock(healthMu_);
+    Backend &b = *backends_[i];
+    b.consecFailures = 0;
+    b.probeInFlight = false;
+    b.health = HealthState::Closed;
+}
+
+void
+BackendRouter::recordFailure(int i)
+{
+    std::lock_guard<std::mutex> lock(healthMu_);
+    Backend &b = *backends_[i];
+    ++b.failures;
+    ++b.consecFailures;
+    if (b.health == HealthState::HalfOpen) {
+        // The probe itself failed: straight back to Open for another
+        // full cooldown.
+        b.health = HealthState::Open;
+        b.probeInFlight = false;
+        b.trippedAt = Clock::now();
+        ++b.trips;
+    } else if (b.health == HealthState::Closed &&
+               b.consecFailures >= healthOpts_.tripThreshold) {
+        b.health = HealthState::Open;
+        b.trippedAt = Clock::now();
+        ++b.trips;
+    }
+}
+
+HealthState
+BackendRouter::healthState(int i) const
+{
+    std::lock_guard<std::mutex> lock(healthMu_);
+    return backends_[i]->health;
+}
+
+uint64_t
+BackendRouter::trips(int i) const
+{
+    std::lock_guard<std::mutex> lock(healthMu_);
+    return backends_[i]->trips;
+}
+
+uint64_t
+BackendRouter::failures(int i) const
+{
+    std::lock_guard<std::mutex> lock(healthMu_);
+    return backends_[i]->failures;
+}
+
+int
+BackendRouter::healthyCount() const
+{
+    std::lock_guard<std::mutex> lock(healthMu_);
+    int n = 0;
+    for (const auto &b : backends_)
+        if (b->health == HealthState::Closed)
+            ++n;
+    return n;
 }
 
 void

@@ -37,6 +37,29 @@
 
 namespace gcod::serve {
 
+/**
+ * Circuit-breaker knobs. A backend trips Open after tripThreshold
+ * consecutive execution failures; after cooldownSeconds of wall-clock
+ * quarantine it admits a single half-open probe batch, whose outcome
+ * either closes the breaker or re-opens it for another cooldown.
+ */
+struct HealthOptions
+{
+    /** Consecutive failures before the breaker trips Open. */
+    int tripThreshold = 3;
+    /** Wall-clock seconds a tripped backend sits out before probing. */
+    double cooldownSeconds = 0.05;
+};
+
+/** Circuit-breaker state of one backend. */
+enum class HealthState : uint8_t {
+    Closed = 0,   ///< healthy: scores in routing normally
+    Open = 1,     ///< tripped: excluded until the cooldown elapses
+    HalfOpen = 2, ///< one probe batch in flight decides reopen/close
+};
+
+const char *healthStateName(HealthState s);
+
 /** Outcome of routing one batch. */
 struct RouteDecision
 {
@@ -46,6 +69,8 @@ struct RouteDecision
     double estimatedSeconds = 0.0;
     /** Queue depth the chosen backend had when scored. */
     int depthAtChoice = 0;
+    /** True when this batch is the half-open probe of a tripped backend. */
+    bool probe = false;
 };
 
 class BackendRouter
@@ -55,7 +80,8 @@ class BackendRouter
      * @param names platform registry names, aliases, or spec strings
      * (e.g. "GCoD@bits=8"); see accel/registry.hpp for the grammar.
      */
-    explicit BackendRouter(const std::vector<std::string> &names);
+    explicit BackendRouter(const std::vector<std::string> &names,
+                           HealthOptions health = {});
 
     size_t numBackends() const { return backends_.size(); }
     const std::string &name(int i) const { return backends_[i]->name; }
@@ -120,6 +146,24 @@ class BackendRouter
     /** Simulated seconds of work assigned to backend @p i so far. */
     double assignedWorkSeconds(int i) const;
 
+    /**
+     * Health bookkeeping around one executed batch. recordFailure bumps
+     * the consecutive-failure count and trips the breaker Open at the
+     * threshold (a failed half-open probe re-opens immediately);
+     * recordSuccess resets the count and closes the breaker, ending any
+     * probe. The engine calls exactly one of the two per dispatch.
+     */
+    void recordSuccess(int i);
+    void recordFailure(int i);
+
+    HealthState healthState(int i) const;
+    /** Times the breaker has tripped Open. */
+    uint64_t trips(int i) const;
+    /** Execution failures recorded against backend @p i. */
+    uint64_t failures(int i) const;
+    /** Backends currently Closed (scoring in routing). */
+    int healthyCount() const;
+
   private:
     struct Backend
     {
@@ -130,9 +174,20 @@ class BackendRouter
         std::atomic<int> inflight{0};
         std::atomic<uint64_t> dispatched{0};
         std::atomic<double> assignedWork{0.0};
+
+        // Circuit-breaker state; every field below is guarded by the
+        // router's healthMu_.
+        HealthState health = HealthState::Closed;
+        int consecFailures = 0;
+        bool probeInFlight = false;
+        Clock::time_point trippedAt{};
+        uint64_t trips = 0;
+        uint64_t failures = 0;
     };
 
     std::vector<std::unique_ptr<Backend>> backends_;
+    HealthOptions healthOpts_;
+    mutable std::mutex healthMu_;
 
     std::mutex memoMu_;
     /** (artifact key, backend) -> base estimate, built lazily. */

@@ -153,6 +153,13 @@ BatchQueue::flush()
 void
 BatchQueue::close()
 {
+    // Shutdown-under-load guarantee (tests/test_serve.cpp pins it): a
+    // worker parked in pop()'s deadline wait is woken here, and
+    // readyLocked() treats every non-empty group as dispatchable once
+    // closed_ is set — so the whole backlog, including partial groups
+    // whose policy trigger never fired (FixedSize, unexpired Timeout),
+    // drains as batches before pop() returns nullopt. No queued request
+    // is ever dropped by shutdown.
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
     readyCv_.notify_all();

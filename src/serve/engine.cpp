@@ -87,31 +87,57 @@ effectiveExecBits(const ArtifactBundle &b, int bits)
  * Wrap @p fresh with the persistent-store fast path: try a store load
  * first (mmap-backed, milliseconds instead of a pipeline build), fall
  * back to the full build on any integrity failure, and save fresh
- * builds back so the next process warm-starts. A store file that fails
- * validation only costs a warning — serving never goes down over a
- * stale or corrupt artifact file.
+ * builds back so the next process warm-starts. A corrupt store file
+ * (real CRC/validation failure, or an injected FaultKind::StoreCorrupt)
+ * is quarantined — moved to "<path>.quarantined" — so the rebuild's
+ * re-save publishes a clean file instead of the next load tripping over
+ * the same bytes. Serving never goes down over a stale or corrupt
+ * artifact file; @p stats (when non-null) counts the quarantines.
  */
 ArtifactCache::Builder
 storeAwareBuilder(ArtifactCache::Builder fresh, std::string dir,
-                  ReorderOptions shard_reorder)
+                  ReorderOptions shard_reorder, fault::FaultPlan *faults,
+                  ServerStats *stats)
 {
     if (dir.empty())
         return fresh;
-    return [fresh = std::move(fresh), dir = std::move(dir),
-            shard_reorder](const ArtifactKey &key)
+    return [fresh = std::move(fresh), dir = std::move(dir), shard_reorder,
+            faults, stats](const ArtifactKey &key)
                -> std::shared_ptr<const ArtifactBundle> {
         std::string path = store::artifactStorePath(dir, key);
         if (store::fileExists(path)) {
-            try {
-                store::LoadedArtifact loaded =
-                    store::loadArtifactBundle(path);
-                if (loaded.bundle->key == key)
-                    return loaded.bundle;
-                warn("artifact store file ", path,
-                     " holds a different key; rebuilding");
-            } catch (const std::runtime_error &e) {
-                warn("artifact store load of ", path, " failed (",
-                     e.what(), "); rebuilding from the pipeline");
+            std::string corrupt;
+            if (faults != nullptr &&
+                faults->shouldInject(fault::FaultKind::StoreCorrupt,
+                                     "store.load")) {
+                corrupt = "injected read corruption";
+            } else {
+                try {
+                    store::LoadedArtifact loaded =
+                        store::loadArtifactBundle(path);
+                    if (loaded.bundle->key == key)
+                        return loaded.bundle;
+                    // Not corruption — a stale file for another key
+                    // (hash collision in the file name); the re-save
+                    // below simply overwrites it.
+                    warn("artifact store file ", path,
+                         " holds a different key; rebuilding");
+                } catch (const std::runtime_error &e) {
+                    corrupt = e.what();
+                }
+            }
+            if (!corrupt.empty()) {
+                if (store::quarantineFile(path))
+                    warn("artifact store load of ", path, " failed (",
+                         corrupt, "); quarantined to ",
+                         store::quarantinePath(path),
+                         " and rebuilding from the pipeline");
+                else
+                    warn("artifact store load of ", path, " failed (",
+                         corrupt, ") and the file could not be moved "
+                                  "aside; rebuilding from the pipeline");
+                if (stats != nullptr)
+                    stats->recordQuarantine();
             }
         }
         std::shared_ptr<const ArtifactBundle> bundle = fresh(key);
@@ -152,12 +178,17 @@ ServingEngine::ServingEngine(ServeOptions opts)
       freshBuilder_(makeArtifactBuilder(opts_.gcod, opts_.artifactScale,
                                         opts_.artifactSeed, opts_.shards,
                                         opts_.shardMinNodes, quantBits_)),
+      fault_(std::make_shared<fault::FaultPlan>(opts_.fault)),
       cache_(opts_.cacheCapacity,
              storeAwareBuilder(freshBuilder_, opts_.storeDir,
-                               opts_.gcod.reorder)),
-      router_(opts_.backends), queue_(opts_.batching)
+                               opts_.gcod.reorder, fault_.get(), &stats_)),
+      router_(opts_.backends, opts_.health), queue_(opts_.batching)
 {
     GCOD_ASSERT(opts_.workers >= 1, "engine needs at least one worker");
+    GCOD_ASSERT(opts_.retry.maxAttempts >= 1,
+                "a batch needs at least one dispatch attempt");
+    GCOD_ASSERT(opts_.defaultTimeoutSeconds >= 0.0,
+                "negative default deadline makes no sense");
     // Batches execute on the shared kernel pool: artifact builds
     // (reorder/partition) and the dense/sparse kernels they run all go
     // through sim/parallel, so one engine-level knob sizes the pool.
@@ -240,9 +271,45 @@ ServingEngine::runBatch(Batch &&batch)
     // Stamped after the cache lookup so a cold-start artifact build
     // counts as queueing delay in the reported latency.
     Clock::time_point dispatched;
+    const size_t batchTotal = batch.size();
     InferenceReply base;
-    base.batchSize = batch.size();
+    base.batchSize = batchTotal;
     base.tier = batch.tier;
+
+    // Resolve every request whose wall-clock deadline has expired with a
+    // timedOut reply, individually and immediately — an expired request
+    // never rides a retry it can no longer benefit from, and is never
+    // silently dropped. The survivors stay in the batch. Called at
+    // dispatch and again before each retry.
+    auto expireRequests = [&] {
+        Clock::time_point now = Clock::now();
+        size_t kept = 0;
+        for (size_t i = 0; i < batch.requests.size(); ++i) {
+            PendingRequest &p = batch.requests[i];
+            double limit = p.req.timeoutSeconds > 0.0
+                               ? p.req.timeoutSeconds
+                               : opts_.defaultTimeoutSeconds;
+            double waited =
+                std::chrono::duration<double>(now - p.enqueued).count();
+            if (limit <= 0.0 || waited < limit) {
+                if (kept != i)
+                    batch.requests[kept] = std::move(batch.requests[i]);
+                ++kept;
+                continue;
+            }
+            InferenceReply reply;
+            reply.id = p.req.id;
+            reply.tier = p.req.tier;
+            reply.batchSize = batchTotal;
+            reply.queueSeconds = waited;
+            reply.latencySeconds = waited;
+            reply.timedOut = true;
+            reply.error = "deadline exceeded";
+            stats_.recordReply(reply);
+            p.promise.set_value(std::move(reply));
+        }
+        batch.requests.resize(kept);
+    };
 
     RouteDecision route;
     DetailedResult result;
@@ -251,8 +318,12 @@ ServingEngine::runBatch(Batch &&batch)
         ArtifactCache::Lookup found = cache_.get(batch.key);
         dispatched = Clock::now();
         base.cacheHit = found.hit;
+        expireRequests();
         const ArtifactBundle &bundle = *found.bundle;
-        if (bundle.sharded && shardScheduler_) {
+        if (batch.requests.empty()) {
+            // Every rider timed out (e.g. waiting on a cold build);
+            // nothing left to execute.
+        } else if (bundle.sharded && shardScheduler_) {
             // Large-graph artifact: one pass over the whole fleet —
             // every chip works the same batch, so no router competition
             // and the reply's backend is the fleet label. The fleet
@@ -290,33 +361,101 @@ ServingEngine::runBatch(Batch &&batch)
             stats_.recordBatch(base.backend, batch.size(), seconds,
                                seconds, base.executedBits);
         } else {
+            // Single-chip path with recovery: an attempt whose backend
+            // execution fails (injected BackendFailure, or a real
+            // simulate() throw) feeds the circuit breaker and is
+            // retried after exponential backoff; re-routing through the
+            // health-gated choose() is what fails the batch over to the
+            // next-cheapest healthy backend. Deadlines are re-checked
+            // before every retry so expired riders resolve instead of
+            // burning backoff they cannot use.
             route = router_.choose(bundle, batch.tier);
-            router_.beginDispatch(route.backend, route.estimatedSeconds);
-            try {
-                result = router_.model(route.backend)
-                             .simulate(bundle.spec,
-                                       router_.inputFor(route.backend,
-                                                        bundle));
-            } catch (...) {
-                router_.endDispatch(route.backend);
-                throw;
+            const std::string firstBackend = route.name;
+            int attempts = 0;
+            for (;;) {
+                ++attempts;
+                std::string failure;
+                if (fault_->enabled() &&
+                    fault_->shouldInject(fault::FaultKind::BackendFailure,
+                                         "backend." + route.name)) {
+                    failure = "injected backend failure";
+                    // The failed attempt still occupied the chip:
+                    // charge its virtual work and depth like any pass.
+                    router_.beginDispatch(route.backend,
+                                          route.estimatedSeconds);
+                    router_.endDispatch(route.backend);
+                } else {
+                    router_.beginDispatch(route.backend,
+                                          route.estimatedSeconds);
+                    try {
+                        result =
+                            router_.model(route.backend)
+                                .simulate(bundle.spec,
+                                          router_.inputFor(route.backend,
+                                                           bundle));
+                    } catch (const std::runtime_error &e) {
+                        failure = e.what();
+                    }
+                    router_.endDispatch(route.backend);
+                }
+                if (failure.empty()) {
+                    router_.recordSuccess(route.backend);
+                    break;
+                }
+                stats_.recordBackendFailure(route.name);
+                router_.recordFailure(route.backend);
+                if (attempts >= opts_.retry.maxAttempts) {
+                    base.error = "backend " + route.name + " failed " +
+                                 std::to_string(attempts) +
+                                 " attempts: " + failure;
+                    break;
+                }
+                double backoff = std::min(
+                    opts_.retry.backoffMaxSeconds,
+                    opts_.retry.backoffBaseSeconds *
+                        double(uint64_t(1)
+                               << std::min(attempts - 1, 30)));
+                if (backoff > 0.0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(backoff));
+                expireRequests();
+                if (batch.requests.empty()) {
+                    // Everyone stopped waiting; retrying would serve
+                    // nobody.
+                    base.error = "every rider's deadline expired "
+                                 "during retry";
+                    break;
+                }
+                route = router_.choose(bundle, batch.tier);
             }
-            router_.endDispatch(route.backend);
-            base.backend = route.name;
-            base.serviceSeconds = result.latencySeconds;
-            // The route's real host execution: the backend's operand
-            // precision (a PlatformRegistry capability) selects the
-            // artifact's matching quantized pack — a GCoD@bits=8 route
-            // runs int8 kernels, not fp32 with a relabeled cost.
-            base.executedBits = effectiveExecBits(
-                bundle,
-                router_.model(route.backend).config().dataBits);
-            logits = logitsFor(found.bundle, found.version,
-                               base.executedBits);
-            stats_.recordBatch(route.name, batch.size(),
-                               route.estimatedSeconds,
-                               result.latencySeconds,
-                               base.executedBits);
+            if (base.error.empty() && !batch.requests.empty()) {
+                base.retries = attempts - 1;
+                base.failedOver = route.name != firstBackend;
+                base.backend = route.name;
+                base.serviceSeconds = result.latencySeconds;
+                if (fault_->enabled() &&
+                    fault_->shouldInject(fault::FaultKind::BackendSlow,
+                                         "backend." + route.name)) {
+                    // Latency spike, not an error: the pass completed
+                    // and its payload is untouched — only the simulated
+                    // service time inflates (SLO pressure drill).
+                    base.serviceSeconds *= opts_.fault.slowFactor;
+                }
+                // The route's real host execution: the backend's operand
+                // precision (a PlatformRegistry capability) selects the
+                // artifact's matching quantized pack — a GCoD@bits=8
+                // route runs int8 kernels, not fp32 with a relabeled
+                // cost.
+                base.executedBits = effectiveExecBits(
+                    bundle,
+                    router_.model(route.backend).config().dataBits);
+                logits = logitsFor(found.bundle, found.version,
+                                   base.executedBits);
+                stats_.recordBatch(route.name, batch.size(),
+                                   route.estimatedSeconds,
+                                   base.serviceSeconds,
+                                   base.executedBits);
+            }
         }
     } catch (const std::runtime_error &e) {
         // Fatal (user-level) errors fail the batch's requests; panics and
@@ -348,7 +487,9 @@ ServingEngine::runBatch(Batch &&batch)
         p.promise.set_value(std::move(reply));
     }
 
-    uint64_t left = pending_.fetch_sub(batch.size()) - batch.size();
+    // Timed-out riders were resolved (but not uncounted) along the way;
+    // the whole original batch leaves pending_ here, in one step.
+    uint64_t left = pending_.fetch_sub(batchTotal) - batchTotal;
     if (left == 0) {
         std::lock_guard<std::mutex> lock(drainMu_);
         drainCv_.notify_all();
@@ -380,10 +521,19 @@ ServingEngine::logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
     Matrix out;
     if (bits < 32) {
         const QuantizedGnn &q = bundle->quantized.at(bits);
-        out = bundle->sharded
-                  ? shard::quantizedShardedForward(
-                        bundle->sharded->plan, q, bundle->hostFeatures)
-                  : quantizedForwardMixed(q, bundle->hostFeatures);
+        if (bundle->sharded) {
+            // Sharded execution under the engine's fault plan: injected
+            // halo drops make the affected shards re-execute, which is
+            // invisible in the logits (bit-identical stitch) and visible
+            // in the stats.
+            shard::ShardExecStats sstats;
+            out = shard::quantizedShardedForward(
+                bundle->sharded->plan, q, bundle->hostFeatures,
+                fault_->enabled() ? fault_.get() : nullptr, &sstats);
+            stats_.recordShardReexecutions(sstats.reexecutions);
+        } else {
+            out = quantizedForwardMixed(q, bundle->hostFeatures);
+        }
     } else {
         out = referenceForward(bundle->hostRecipe, bundle->hostFeatures);
     }
@@ -407,6 +557,14 @@ ServingEngine::logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
                      ? std::next(it)
                      : execMemo_.erase(it);
     return execMemo_.emplace(key, std::move(computed)).first->second;
+}
+
+std::shared_ptr<const Matrix>
+ServingEngine::peekLogits(const ArtifactKey &key, int bits)
+{
+    ArtifactCache::Lookup found = cache_.get(key);
+    return logitsFor(found.bundle, found.version,
+                     effectiveExecBits(*found.bundle, bits));
 }
 
 uint64_t

@@ -21,6 +21,7 @@
 #include <thread>
 #include <tuple>
 
+#include "fault/fault.hpp"
 #include "serve/artifact_cache.hpp"
 #include "serve/backend_router.hpp"
 #include "serve/batch_queue.hpp"
@@ -50,6 +51,23 @@ struct AdmissionOptions
     size_t standardMaxDepth = 0;
     /** Depth at which BestEffort is shed (drop the cheapest first). */
     size_t bestEffortMaxDepth = 0;
+};
+
+/**
+ * Retry policy for failed single-chip dispatches. A batch whose backend
+ * execution fails is re-routed (the circuit breaker steers it off the
+ * failing backend) and re-attempted up to maxAttempts times total, with
+ * exponential backoff between attempts. Requests whose deadline expires
+ * mid-retry resolve individually with timedOut set; the rest of the
+ * batch keeps retrying.
+ */
+struct RetryOptions
+{
+    /** Total dispatch attempts per batch (first try included). */
+    int maxAttempts = 3;
+    /** Backoff before retry n is base * 2^(n-1), capped below. */
+    double backoffBaseSeconds = 1e-4;
+    double backoffMaxSeconds = 2e-2;
 };
 
 /** Engine configuration. */
@@ -122,6 +140,24 @@ struct ServeOptions
      * next process warm-starts. Empty = no persistence (the default).
      */
     std::string storeDir;
+
+    /**
+     * Deterministic fault injection (src/fault/): all-zero rates (the
+     * default) inject nothing and add no hot-path work. The effective
+     * seed resolves through GCOD_FAULT_SEED.
+     */
+    fault::FaultConfig fault;
+    /** Retry/backoff policy for failed dispatches. */
+    RetryOptions retry;
+    /**
+     * Wall-clock deadline applied to requests that don't carry their
+     * own timeoutSeconds; 0 = no deadline (the default). Checked at
+     * dispatch and before every retry — an expired request resolves
+     * with timedOut set instead of waiting out further recovery.
+     */
+    double defaultTimeoutSeconds = 0.0;
+    /** Circuit-breaker knobs of the backend router. */
+    HealthOptions health;
 };
 
 class ServingEngine
@@ -149,6 +185,8 @@ class ServingEngine
     ArtifactCache &cache() { return cache_; }
     BackendRouter &router() { return router_; }
     ServerStats &stats() { return stats_; }
+    /** The engine's fault plan (inspect the injected trace in tests). */
+    fault::FaultPlan &faultPlan() { return *fault_; }
     const ServeOptions &options() const { return opts_; }
     /** Shard scheduler of the sharded path; null when shards <= 1. */
     const shard::ShardScheduler *shardScheduler() const
@@ -165,6 +203,16 @@ class ServingEngine
 
     /** Requests submitted but not yet replied to. */
     size_t pending() const;
+
+    /**
+     * Host-execution logits of @p key's resident bundle at @p bits
+     * (building the artifact if cold). The byte-identity oracle of the
+     * fault drills: bench/fault_injection and tests/test_fault.cpp
+     * memcmp these between a fault-free and an injected run. Null when
+     * the bundle has no host execution at that precision.
+     */
+    std::shared_ptr<const Matrix> peekLogits(const ArtifactKey &key,
+                                             int bits);
 
     /** Live execution-memo entries (epoch-hygiene tests). */
     size_t execMemoEntries() const;
@@ -266,6 +314,12 @@ class ServingEngine
      * builder wraps this one with the store load/save fast path.
      */
     ArtifactCache::Builder freshBuilder_;
+    /**
+     * Declared (and so constructed) before cache_: the store-aware
+     * builder handed to the cache captures fault_.get(), which must be
+     * a live pointer by then. Shared so drills outlive the engine.
+     */
+    std::shared_ptr<fault::FaultPlan> fault_;
     ArtifactCache cache_;
     BackendRouter router_;
     ServerStats stats_;

@@ -60,6 +60,13 @@ struct InferenceRequest
     NodeId node = 0;
     /** SLO tier; Standard unless the client opts into another. */
     SloTier tier = SloTier::Standard;
+    /**
+     * Wall-clock deadline in seconds from enqueue; 0 inherits the
+     * engine's ServeOptions::defaultTimeoutSeconds (which defaults to
+     * no deadline). An expired request resolves with timedOut set
+     * instead of retrying further — it is never silently dropped.
+     */
+    double timeoutSeconds = 0.0;
 };
 
 /** Completion record handed back through the submit() future. */
@@ -96,6 +103,12 @@ struct InferenceReply
      * never include dropped requests.
      */
     bool shed = false;
+    /** Dispatch attempts beyond the first that this batch needed. */
+    int retries = 0;
+    /** True when recovery moved the batch off the first-choice backend. */
+    bool failedOver = false;
+    /** True when the request's wall-clock deadline expired (error set). */
+    bool timedOut = false;
     /** Non-empty when the request failed (unknown dataset/model, ...). */
     std::string error;
 

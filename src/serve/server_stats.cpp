@@ -41,6 +41,20 @@ ServerStats::ServerStats() : group_("serve"), start_(Clock::now())
     group_.scalar("requests_shed",
                   "requests dropped by admission control (never counted "
                   "as completed or failed)");
+    group_.scalar("requests_timed_out",
+                  "requests whose wall-clock deadline expired (disjoint "
+                  "from failed)");
+    group_.scalar("requests_retried",
+                  "completed requests that needed at least one retry");
+    group_.scalar("requests_failed_over",
+                  "completed requests recovered on a different backend "
+                  "than first chosen");
+    group_.scalar("backend_failures",
+                  "backend execution failures observed (before recovery)");
+    group_.scalar("artifacts_quarantined",
+                  "corrupt store files moved aside and rebuilt");
+    group_.scalar("shard_reexecutions",
+                  "shard computations re-executed after halo drops");
     group_.scalar("batches_dispatched", "accelerator passes executed");
     group_.scalar("batches_quantized",
                   "passes executed with sub-32-bit host kernels");
@@ -61,6 +75,14 @@ ServerStats::ServerStats() : group_("serve"), start_(Clock::now())
                       "completed requests of this SLO tier");
         group_.scalar(tierStat(t, "shed"),
                       "admission-dropped requests of this SLO tier");
+        group_.scalar(tierStat(t, "failed"),
+                      "failed (non-timeout) requests of this SLO tier");
+        group_.scalar(tierStat(t, "timed_out"),
+                      "deadline-expired requests of this SLO tier");
+        group_.scalar(tierStat(t, "retried"),
+                      "retried-then-completed requests of this SLO tier");
+        group_.scalar(tierStat(t, "failed_over"),
+                      "failed-over-then-completed requests of this tier");
         group_.distribution(tierStat(t, "latency_seconds"),
                             "end-to-end latency of this SLO tier");
         group_.distribution(tierStat(t, "latency_seconds"))
@@ -79,12 +101,29 @@ ServerStats::recordReply(const InferenceReply &reply)
         group_.scalar(tierStat(reply.tier, "shed")).inc();
         return;
     }
+    if (reply.timedOut) {
+        // Deadline expiry is its own disjoint outcome: a timed-out
+        // request was admitted and attempted, but the client stopped
+        // waiting — neither a completion nor a hard failure.
+        group_.scalar("requests_timed_out").inc();
+        group_.scalar(tierStat(reply.tier, "timed_out")).inc();
+        return;
+    }
     if (!reply.ok()) {
         group_.scalar("requests_failed").inc();
+        group_.scalar(tierStat(reply.tier, "failed")).inc();
         return;
     }
     group_.scalar("requests_completed").inc();
     group_.scalar(tierStat(reply.tier, "completed")).inc();
+    if (reply.retries > 0) {
+        group_.scalar("requests_retried").inc();
+        group_.scalar(tierStat(reply.tier, "retried")).inc();
+    }
+    if (reply.failedOver) {
+        group_.scalar("requests_failed_over").inc();
+        group_.scalar(tierStat(reply.tier, "failed_over")).inc();
+    }
     group_.distribution("latency_seconds").sample(reply.latencySeconds);
     group_.distribution(tierStat(reply.tier, "latency_seconds"))
         .sample(reply.latencySeconds);
@@ -111,6 +150,30 @@ ServerStats::recordBatch(const std::string &backend, size_t size,
         .inc(estimated_seconds - service_seconds);
 }
 
+void
+ServerStats::recordBackendFailure(const std::string &backend)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    group_.scalar("backend_failures").inc();
+    group_.scalar("backend." + backend + ".failures").inc();
+}
+
+void
+ServerStats::recordQuarantine()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    group_.scalar("artifacts_quarantined").inc();
+}
+
+void
+ServerStats::recordShardReexecutions(uint64_t n)
+{
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    group_.scalar("shard_reexecutions").inc(double(n));
+}
+
 uint64_t
 ServerStats::completed() const
 {
@@ -133,6 +196,41 @@ ServerStats::shed() const
 }
 
 uint64_t
+ServerStats::timedOut() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar("requests_timed_out")->value());
+}
+
+uint64_t
+ServerStats::retried() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar("requests_retried")->value());
+}
+
+uint64_t
+ServerStats::failedOver() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar("requests_failed_over")->value());
+}
+
+uint64_t
+ServerStats::quarantined() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar("artifacts_quarantined")->value());
+}
+
+uint64_t
+ServerStats::shardReexecutions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar("shard_reexecutions")->value());
+}
+
+uint64_t
 ServerStats::tierCompleted(SloTier tier) const
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -144,6 +242,35 @@ ServerStats::tierShed(SloTier tier) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return uint64_t(group_.findScalar(tierStat(tier, "shed"))->value());
+}
+
+uint64_t
+ServerStats::tierFailed(SloTier tier) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar(tierStat(tier, "failed"))->value());
+}
+
+uint64_t
+ServerStats::tierTimedOut(SloTier tier) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar(tierStat(tier, "timed_out"))->value());
+}
+
+uint64_t
+ServerStats::tierRetried(SloTier tier) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(group_.findScalar(tierStat(tier, "retried"))->value());
+}
+
+uint64_t
+ServerStats::tierFailedOver(SloTier tier) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return uint64_t(
+        group_.findScalar(tierStat(tier, "failed_over"))->value());
 }
 
 uint64_t

@@ -35,10 +35,13 @@ class ServerStats
     ServerStats();
 
     /**
-     * Record one completed, failed, or shed request. The three outcomes
-     * are disjoint counters: shed requests (reply.shed) increment
-     * requests_shed only — they never pollute the failure count or the
-     * latency distributions of work that actually executed.
+     * Record one completed, timed-out, failed, or shed request. The
+     * outcomes are disjoint counters — every reply lands in exactly one
+     * of requests_shed, requests_timed_out, requests_failed, or
+     * requests_completed — so latency distributions only ever see work
+     * that actually executed. Completed replies additionally bump
+     * requests_retried / requests_failed_over when recovery was
+     * involved (those are annotations on completed work, not outcomes).
      */
     void recordReply(const InferenceReply &reply);
 
@@ -52,10 +55,27 @@ class ServerStats
                      double estimated_seconds, double service_seconds,
                      int executed_bits = 0);
 
+    /** One injected/observed backend execution failure (pre-recovery). */
+    void recordBackendFailure(const std::string &backend);
+    /** One corrupt artifact store file moved to quarantine. */
+    void recordQuarantine();
+    /** @p n shard computations re-executed after halo drops. */
+    void recordShardReexecutions(uint64_t n);
+
     uint64_t completed() const;
     uint64_t failed() const;
     /** Requests dropped by admission control (all tiers). */
     uint64_t shed() const;
+    /** Requests whose wall-clock deadline expired before completion. */
+    uint64_t timedOut() const;
+    /** Completed requests that needed at least one retry. */
+    uint64_t retried() const;
+    /** Completed requests that moved off their first-choice backend. */
+    uint64_t failedOver() const;
+    /** Corrupt store files quarantined. */
+    uint64_t quarantined() const;
+    /** Shard computations re-executed after injected halo drops. */
+    uint64_t shardReexecutions() const;
     uint64_t batches() const;
     double meanBatchSize() const;
 
@@ -63,6 +83,14 @@ class ServerStats
     uint64_t tierCompleted(SloTier tier) const;
     /** Shed requests of one SLO tier. */
     uint64_t tierShed(SloTier tier) const;
+    /** Failed (non-timeout) requests of one SLO tier. */
+    uint64_t tierFailed(SloTier tier) const;
+    /** Timed-out requests of one SLO tier. */
+    uint64_t tierTimedOut(SloTier tier) const;
+    /** Retried-then-completed requests of one SLO tier. */
+    uint64_t tierRetried(SloTier tier) const;
+    /** Failed-over-then-completed requests of one SLO tier. */
+    uint64_t tierFailedOver(SloTier tier) const;
 
     /** End-to-end latency percentile over all completed requests. */
     double latencyPercentile(double p) const;

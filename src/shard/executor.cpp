@@ -1,5 +1,6 @@
 #include "shard/executor.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "sim/logging.hpp"
@@ -39,13 +40,15 @@ gatherRows(const Matrix &src, const std::vector<NodeId> &ids)
 
 Matrix
 shardedForward(const ShardPlan &plan, const ShardedModel &m,
-               const std::vector<CsrMatrix> &local_ops, const Matrix &x)
+               const std::vector<CsrMatrix> &local_ops, const Matrix &x,
+               fault::FaultPlan *faults, ShardExecStats *fault_stats)
 {
     GCOD_ASSERT(local_ops.size() == size_t(plan.numShards),
                 "one operator slice per shard expected");
     GCOD_ASSERT(x.rows() == int64_t(plan.numNodes),
                 "activation rows must match the plan graph");
 
+    std::atomic<uint64_t> drops{0};
     const std::vector<LayerSpec> &layers = m.spec->layers;
     Matrix current = x;
     for (size_t l = 0; l < layers.size(); ++l) {
@@ -63,6 +66,29 @@ shardedForward(const ShardPlan &plan, const ShardedModel &m,
                     if (sh.owned.empty())
                         continue;
                     Matrix xloc = gatherRows(current, sh.localToGlobal);
+                    // Injected halo drop: the exchange delivered this
+                    // shard's halo rows corrupted. The attempt keyed by
+                    // (layer, shard) — thread-schedule independent — is
+                    // computed with the bad (zeroed) halo, DISCARDED,
+                    // and the shard re-executes against the re-fetched
+                    // halo below. Only the discard keeps the stitch
+                    // bit-identical; tests assert the corrupt attempt
+                    // really differs.
+                    if (faults != nullptr &&
+                        faults->checkIndexed(
+                            fault::FaultKind::HaloDrop, "halo.fp32",
+                            uint64_t(l) * uint64_t(plan.numShards) +
+                                uint64_t(s))) {
+                        Matrix xbad = xloc;
+                        for (size_t i = sh.owned.size();
+                             i < sh.localToGlobal.size(); ++i)
+                            std::memset(xbad.row(int64_t(i)), 0,
+                                        size_t(xbad.cols()) *
+                                            sizeof(float));
+                        Matrix discarded =
+                            spmm(local_ops[size_t(s)], xbad);
+                        drops.fetch_add(1);
+                    }
                     Matrix agg = spmm(local_ops[size_t(s)], xloc);
                     Matrix z;
                     if (m.concatSelf) {
@@ -83,25 +109,33 @@ shardedForward(const ShardPlan &plan, const ShardedModel &m,
             1);
         current = std::move(next);
     }
+    if (fault_stats != nullptr) {
+        fault_stats->haloDrops += drops.load();
+        fault_stats->reexecutions += drops.load();
+    }
     return current;
 }
 
 Matrix
 shardedForward(const ShardPlan &plan, const ShardedModel &m,
-               const Matrix &x)
+               const Matrix &x, fault::FaultPlan *faults,
+               ShardExecStats *fault_stats)
 {
-    return shardedForward(plan, m, extractShardOperators(plan, *m.op), x);
+    return shardedForward(plan, m, extractShardOperators(plan, *m.op), x,
+                          faults, fault_stats);
 }
 
 Matrix
 quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
-                        const Matrix &x)
+                        const Matrix &x, fault::FaultPlan *faults,
+                        ShardExecStats *fault_stats)
 {
     GCOD_ASSERT(x.rows() == int64_t(plan.numNodes),
                 "activation rows must match the plan graph");
     GCOD_ASSERT(int64_t(q.qop.pattern->rows()) == x.rows(),
                 "quantization pack must cover the plan graph");
 
+    std::atomic<uint64_t> drops{0};
     const std::vector<LayerSpec> &layers = q.spec.layers;
     Matrix cur = x;
     for (size_t l = 0; l < layers.size(); ++l) {
@@ -116,9 +150,26 @@ quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
         parallelFor(
             0, plan.numShards,
             [&](const Range &r, size_t) {
-                for (int64_t sh = r.begin; sh < r.end; ++sh)
+                for (int64_t sh = r.begin; sh < r.end; ++sh) {
+                    // Injected halo drop: the exchange CRC rejected the
+                    // packed halo codes, so the aggregation re-executes
+                    // against re-fetched codes. qspmmMixedRows zeroes
+                    // its accumulators and overwrites the shard's owned
+                    // rows, so re-execution is idempotent and the
+                    // stitched logits stay bit-identical.
+                    if (faults != nullptr &&
+                        faults->checkIndexed(
+                            fault::FaultKind::HaloDrop, "halo.quant",
+                            uint64_t(l) * uint64_t(plan.numShards) +
+                                uint64_t(sh))) {
+                        qspmmMixedRows(q.qop, mq,
+                                       plan.shards[size_t(sh)].owned,
+                                       s);
+                        drops.fetch_add(1);
+                    }
                     qspmmMixedRows(q.qop, mq,
                                    plan.shards[size_t(sh)].owned, s);
+                }
             },
             1);
         Matrix pre = q.concatSelf ? hconcat(cur, s) : std::move(s);
@@ -137,6 +188,10 @@ quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
         if (!last)
             z = relu(z);
         cur = std::move(z);
+    }
+    if (fault_stats != nullptr) {
+        fault_stats->haloDrops += drops.load();
+        fault_stats->reexecutions += drops.load();
     }
     return cur;
 }

@@ -27,12 +27,31 @@
 #ifndef GCOD_SHARD_EXECUTOR_HPP
 #define GCOD_SHARD_EXECUTOR_HPP
 
+#include "fault/fault.hpp"
 #include "nn/graph_context.hpp"
 #include "nn/models.hpp"
 #include "nn/quant_exec.hpp"
 #include "shard/plan.hpp"
 
 namespace gcod::shard {
+
+/**
+ * Fault-recovery accounting of one sharded forward pass. Under an
+ * injected halo drop (fault::FaultKind::HaloDrop), the affected shard's
+ * attempt is discarded and the shard re-executes against the global
+ * activation matrix — the re-fetched halo — on a healthy pool worker.
+ * Because every output row is a pure function of the global activations
+ * and re-execution overwrites (never accumulates into) the shard's owned
+ * rows, the recovered stitch is bit-identical to the fault-free pass;
+ * recovery costs work, never correctness.
+ */
+struct ShardExecStats
+{
+    /** Halo payloads dropped/corrupted by injection. */
+    uint64_t haloDrops = 0;
+    /** Shard-layer computations re-executed to recover. */
+    uint64_t reexecutions = 0;
+};
 
 /** Execution recipe for one supported model over one graph. */
 struct ShardedModel
@@ -60,12 +79,20 @@ ShardedModel shardedModelFor(GnnModel &model, const GraphContext &ctx);
  * the slices on the fly. Shards execute concurrently on the shared
  * kernel pool (each shard's kernels then run inline on that worker,
  * mirroring one chip per shard).
+ *
+ * @p faults (optional) injects halo-exchange drops: shard s at layer l
+ * consults the plan at deterministic index l * numShards + s, so the
+ * injected set is identical at any thread count. Dropped shards
+ * re-execute (see ShardExecStats); @p fault_stats, when non-null,
+ * reports the recovery counts.
  */
 Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
                       const std::vector<CsrMatrix> &local_ops,
-                      const Matrix &x);
+                      const Matrix &x, fault::FaultPlan *faults = nullptr,
+                      ShardExecStats *fault_stats = nullptr);
 Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
-                      const Matrix &x);
+                      const Matrix &x, fault::FaultPlan *faults = nullptr,
+                      ShardExecStats *fault_stats = nullptr);
 
 /**
  * Sharded mixed-precision integer forward (nn/quant_exec numerics): each
@@ -79,7 +106,9 @@ Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
  * model prices via HaloExchangeOptions::bytesPerScalar.
  */
 Matrix quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
-                               const Matrix &x);
+                               const Matrix &x,
+                               fault::FaultPlan *faults = nullptr,
+                               ShardExecStats *fault_stats = nullptr);
 
 } // namespace gcod::shard
 

@@ -137,7 +137,14 @@ StoreReader::StoreReader(const std::string &path)
         std::ifstream in(path, std::ios::binary | std::ios::ate);
         if (!in)
             GCOD_FATAL("artifact store: cannot open '", path, "'");
-        size_ = size_t(in.tellg());
+        std::streamoff end = in.tellg();
+        if (end < 0)
+            // tellg() returns -1 for unseekable targets (pipes, some
+            // special files); casting that through size_t would attempt
+            // a ~2^64-byte allocation (bad_alloc, not a clean error).
+            GCOD_FATAL("artifact store: cannot determine size of '",
+                       path, "'");
+        size_ = size_t(end);
         in.seekg(0);
         fallback_.resize(size_);
         if (size_ > 0)
@@ -251,6 +258,24 @@ fileExists(const std::string &path)
 {
     struct stat st;
     return ::stat(path.c_str(), &st) == 0 && (st.st_mode & S_IFREG);
+}
+
+std::string
+quarantinePath(const std::string &path)
+{
+    return path + ".quarantined";
+}
+
+bool
+quarantineFile(const std::string &path)
+{
+    const std::string dest = quarantinePath(path);
+    // rename() replaces an existing destination atomically on POSIX, so
+    // repeated corruption of the same key keeps exactly one quarantine
+    // file — the most recent bad bytes.
+    if (std::rename(path.c_str(), dest.c_str()) == 0)
+        return true;
+    return std::remove(path.c_str()) == 0 || !fileExists(path);
 }
 
 } // namespace gcod::store

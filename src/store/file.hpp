@@ -100,6 +100,20 @@ class StoreReader
 /** True when @p path exists and is a regular file. */
 bool fileExists(const std::string &path);
 
+/** Quarantine destination for a corrupt store file ("<path>.quarantined"). */
+std::string quarantinePath(const std::string &path);
+
+/**
+ * Move a corrupt store file aside to quarantinePath(path) so the next
+ * load attempt rebuilds from scratch instead of tripping over the same
+ * corruption, while the bad bytes stay on disk for forensics. An
+ * existing quarantine file is replaced (the newest corruption wins).
+ * Falls back to deleting the file when the rename fails (cross-device,
+ * permissions); either way the corrupt file no longer shadows the key.
+ * Returns true when the original path no longer exists afterwards.
+ */
+bool quarantineFile(const std::string &path);
+
 } // namespace gcod::store
 
 #endif // GCOD_STORE_FILE_HPP

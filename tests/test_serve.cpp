@@ -262,6 +262,40 @@ TEST(BatchQueueTest, CloseDrainsLeftoversThenEnds)
     EXPECT_FALSE(q.pop().has_value());
 }
 
+TEST(BatchQueueTest, CloseDuringDeadlineWaitDrainsTheWholeBacklog)
+{
+    // Workers park in pop()'s timed wait (the deadline is a minute out);
+    // close() must wake them and hand over the entire backlog — partial,
+    // unexpired groups included — before pop() returns nullopt.
+    BatchOptions opts;
+    opts.policy = BatchPolicy::Timeout;
+    opts.maxBatch = 8;
+    opts.maxDelay = std::chrono::microseconds(60'000'000); // never fires
+    BatchQueue q(opts);
+
+    std::atomic<size_t> drained{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 3; ++w)
+        workers.emplace_back([&] {
+            while (auto b = q.pop())
+                drained.fetch_add(b->size());
+        });
+
+    constexpr size_t kTotal = 50;
+    for (uint64_t i = 0; i < kTotal; ++i)
+        push(q, pending(i % 2 ? "Cora" : "CiteSeer", i + 1));
+    // Give the workers a moment to park in the deadline wait, then pull
+    // the plug mid-wait.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.close();
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_EQ(drained.load(), kTotal)
+        << "shutdown dropped queued requests";
+    EXPECT_EQ(q.depth(), 0u);
+}
+
 TEST(BatchQueueTest, PushAfterCloseIsRejected)
 {
     BatchQueue q{BatchOptions{}};
@@ -414,6 +448,34 @@ TEST(ServingEngineTest, SubmitAfterShutdownResolvesWithError)
     engine.shutdown();
     InferenceReply r = engine.submit({0, "Cora", "GCN", 0}).get();
     EXPECT_FALSE(r.ok());
+    EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(ServingEngineTest, ShutdownUnderLoadResolvesEveryRequest)
+{
+    ServeOptions opts;
+    opts.backends = {"GCoD"};
+    opts.workers = 2;
+    opts.artifactScale = 0.25;
+    // FixedSize with a large target: the backlog sits as partial groups
+    // that only the shutdown-triggered drain can release.
+    opts.batching.policy = BatchPolicy::FixedSize;
+    opts.batching.maxBatch = 64;
+    ServingEngine engine(opts);
+
+    std::vector<std::future<InferenceReply>> futures;
+    for (int i = 0; i < 20; ++i)
+        futures.push_back(engine.submit({0, "Cora", "GCN", NodeId(i)}));
+    engine.shutdown();
+
+    for (auto &f : futures) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(60)),
+                  std::future_status::ready)
+            << "shutdown left a request unresolved";
+        InferenceReply r = f.get();
+        EXPECT_TRUE(r.ok()) << r.error;
+    }
+    EXPECT_EQ(engine.stats().completed(), 20u);
     EXPECT_EQ(engine.pending(), 0u);
 }
 

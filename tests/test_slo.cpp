@@ -169,6 +169,74 @@ TEST(SloStatsTest, ShedRequestsDoNotPollutePercentiles)
         stats.tierLatencyPercentile(SloTier::BestEffort, 99.0), 0.0);
 }
 
+TEST(SloStatsTest, FailureTaxonomyOutcomesAreDisjointAndTierScoped)
+{
+    ServerStats stats;
+
+    InferenceReply shed;
+    shed.tier = SloTier::BestEffort;
+    shed.shed = true;
+    shed.error = "shed by admission control";
+    stats.recordReply(shed);
+
+    InferenceReply timed;
+    timed.tier = SloTier::Standard;
+    timed.timedOut = true;
+    timed.error = "deadline exceeded";
+    timed.latencySeconds = 9.0; // must not reach the percentiles
+    stats.recordReply(timed);
+
+    InferenceReply failed;
+    failed.tier = SloTier::Latency;
+    failed.error = "boom";
+    stats.recordReply(failed);
+
+    InferenceReply recovered;
+    recovered.tier = SloTier::Standard;
+    recovered.retries = 2;
+    recovered.failedOver = true;
+    recovered.latencySeconds = 0.25;
+    stats.recordReply(recovered);
+
+    InferenceReply clean;
+    clean.tier = SloTier::Standard;
+    clean.latencySeconds = 0.5;
+    stats.recordReply(clean);
+
+    // Every reply landed in exactly one outcome bucket.
+    EXPECT_EQ(stats.shed(), 1u);
+    EXPECT_EQ(stats.timedOut(), 1u);
+    EXPECT_EQ(stats.failed(), 1u);
+    EXPECT_EQ(stats.completed(), 2u);
+    // retried/failed_over annotate completed work; they are not
+    // outcomes and must not double-count anything.
+    EXPECT_EQ(stats.retried(), 1u);
+    EXPECT_EQ(stats.failedOver(), 1u);
+
+    // Tier-scoped views of the same taxonomy.
+    EXPECT_EQ(stats.tierShed(SloTier::BestEffort), 1u);
+    EXPECT_EQ(stats.tierTimedOut(SloTier::Standard), 1u);
+    EXPECT_EQ(stats.tierTimedOut(SloTier::Latency), 0u);
+    EXPECT_EQ(stats.tierFailed(SloTier::Latency), 1u);
+    EXPECT_EQ(stats.tierFailed(SloTier::Standard), 0u);
+    EXPECT_EQ(stats.tierRetried(SloTier::Standard), 1u);
+    EXPECT_EQ(stats.tierFailedOver(SloTier::Standard), 1u);
+    EXPECT_EQ(stats.tierCompleted(SloTier::Standard), 2u);
+
+    // Neither the timed-out 9 s nor the shed request pollutes the
+    // latency distribution of executed work.
+    EXPECT_DOUBLE_EQ(stats.latencyPercentile(100.0), 0.5);
+
+    // Recovery-event recorders land in their own scalars.
+    stats.recordBackendFailure("GCoD");
+    stats.recordBackendFailure("GCoD");
+    stats.recordQuarantine();
+    stats.recordShardReexecutions(3);
+    stats.recordShardReexecutions(0); // no-op, not a sample
+    EXPECT_EQ(stats.quarantined(), 1u);
+    EXPECT_EQ(stats.shardReexecutions(), 3u);
+}
+
 // --------------------------------------------------------------- admission
 TEST(SloAdmissionTest, ShedsCheapestTierFirstAtTheDoor)
 {

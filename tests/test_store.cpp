@@ -190,6 +190,68 @@ TEST(StoreFileTest, CorruptionFailsLoudly)
     EXPECT_NO_THROW(loadArtifactBundle(path));
 }
 
+TEST(StoreFileTest, DegenerateFilesFailCleanlyNotCatastrophically)
+{
+    std::string dir = scratchDir("degenerate");
+
+    // Zero-length file: smaller than the header, clean runtime_error
+    // (not a wild read or an escaping bad_alloc).
+    std::string empty = dir + "/empty.bin";
+    writeFile(empty, {});
+    EXPECT_THROW(StoreReader r(empty), std::runtime_error);
+
+    // Header claims more sections than the file can possibly hold: the
+    // table-bounds check fires before anything reads past the end. The
+    // count stays under kMaxSections so this exercises the bounds check,
+    // not the count cap.
+    std::string inflated = dir + "/inflated.bin";
+    {
+        FileHeader h;
+        h.sectionCount = kMaxSections - 1;
+        h.fileSize = sizeof(FileHeader);
+        std::vector<uint8_t> raw(sizeof(FileHeader));
+        std::memcpy(raw.data(), &h, sizeof(h));
+        writeFile(inflated, raw);
+    }
+    EXPECT_THROW(StoreReader r(inflated), std::runtime_error);
+
+    // Truncation mid-section-table: header promises two entries but the
+    // file ends halfway through the first.
+    std::string cut = dir + "/cut_table.bin";
+    {
+        FileHeader h;
+        h.sectionCount = 2;
+        h.fileSize = sizeof(FileHeader) + sizeof(SectionEntry) / 2;
+        std::vector<uint8_t> raw(size_t(h.fileSize));
+        std::memcpy(raw.data(), &h, sizeof(h));
+        writeFile(cut, raw);
+    }
+    EXPECT_THROW(StoreReader r(cut), std::runtime_error);
+}
+
+TEST(StoreFileTest, QuarantineMovesTheFileAside)
+{
+    std::string dir = scratchDir("quarantine");
+    std::string path = dir + "/bad.bin";
+    writeFile(path, {1, 2, 3});
+
+    EXPECT_TRUE(quarantineFile(path));
+    EXPECT_FALSE(fileExists(path));
+    ASSERT_TRUE(fileExists(quarantinePath(path)));
+
+    // Repeated corruption of the same key: the newest bad bytes replace
+    // the previous quarantine file instead of erroring out.
+    writeFile(path, {4, 5, 6});
+    EXPECT_TRUE(quarantineFile(path));
+    EXPECT_FALSE(fileExists(path));
+    EXPECT_EQ(readFile(quarantinePath(path)),
+              (std::vector<uint8_t>{4, 5, 6}));
+
+    // Quarantining a missing file: the contract is "path no longer
+    // exists afterwards", which a never-existing file satisfies.
+    EXPECT_TRUE(quarantineFile(dir + "/never_existed.bin"));
+}
+
 // -------------------------------------------------------------- round trip
 TEST(StoreArtifactTest, BundleRoundTripIsEquivalentForServing)
 {
@@ -341,4 +403,53 @@ TEST(StoreEngineTest, CorruptStoreFileFallsBackToRebuild)
     EXPECT_TRUE(r.ok()) << r.error;
     // The corrupt file was rebuilt and re-saved: loadable again.
     EXPECT_NO_THROW(loadArtifactBundle(path));
+}
+
+TEST(StoreEngineTest, CorruptStoreFileIsQuarantinedAndRepublished)
+{
+    std::string dir = scratchDir("quarantine_engine");
+    serve::ServeOptions opts;
+    opts.backends = {"GCoD"};
+    opts.workers = 1;
+    opts.artifactScale = 0.25;
+    opts.batching.maxDelay = std::chrono::microseconds(200);
+    opts.storeDir = dir;
+
+    ArtifactKey key;
+    int coldPrediction = -1;
+    {
+        serve::ServingEngine engine(opts);
+        key = engine.keyFor("Cora", "GCN");
+        serve::InferenceReply r =
+            engine.submit({0, "Cora", "GCN", 3}).get();
+        ASSERT_TRUE(r.ok()) << r.error;
+        coldPrediction = r.prediction;
+    }
+    std::string path = artifactStorePath(dir, key);
+    ASSERT_TRUE(fileExists(path));
+
+    // Flip a byte that is provably covered by a section CRC (the file
+    // tail may be alignment padding, which no checksum sees).
+    std::vector<uint8_t> bytes = readFile(path);
+    size_t payloadByte = 0;
+    {
+        StoreReader r(path);
+        const Section &s = r.sections().back();
+        payloadByte = size_t(s.data - r.base()) + s.size / 2;
+    }
+    bytes[payloadByte] ^= 0x40;
+    writeFile(path, bytes);
+
+    serve::ServingEngine engine(opts);
+    serve::InferenceReply r = engine.submit({0, "Cora", "GCN", 3}).get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    // Same graph seed + deterministic pipeline: the rebuild must serve
+    // the same prediction the store-backed artifact did.
+    EXPECT_EQ(r.prediction, coldPrediction);
+    // The bad bytes sit in quarantine for forensics; the key's path got
+    // a clean re-published file; the stats counted exactly one event.
+    ASSERT_TRUE(fileExists(quarantinePath(path)));
+    EXPECT_EQ(readFile(quarantinePath(path)), bytes);
+    EXPECT_NO_THROW(loadArtifactBundle(path));
+    EXPECT_EQ(engine.stats().quarantined(), 1u);
 }
