@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Observability-overhead bench: the hard gate behind the tracing
+ * subsystem's core invariant — enabling observability changes ZERO
+ * serving bytes and costs at most 3% throughput.
+ *
+ * Two phases, both recorded in BENCH_obs.json and gated under check=1:
+ *
+ *   1. overhead: one warm engine serves the same deterministic request
+ *      script repeatedly with tracing off (level 0) and fully on
+ *      (level 2, kernel spans included). The 3% gate is composed from
+ *      two high-SNR measurements — the per-span recording cost from a
+ *      tight calibration loop, times the spans a traced round actually
+ *      records, over the round's untraced process-CPU — because the
+ *      direct A/B delta of a ~1% effect cannot be measured reliably on
+ *      a shared runner (identical work drifts ~±5% in measured CPU).
+ *      The direct A/B median (paired, order-alternating, process-CPU)
+ *      is still measured and held to a loose sanity bound so a cost
+ *      the composed gate cannot see — pool-hook drag, allocator churn,
+ *      cache pollution — still fails the bench.
+ *   2. identity: a traced and an untraced engine each build the sharded
+ *      quantized Reddit artifact and execute the int8 fleet pass; the
+ *      logits must be memcmp-identical byte for byte. The traced
+ *      engine's spans are written as a Chrome trace_event sample
+ *      (trace_out=...) that CI uploads, so every release has a loadable
+ *      end-to-end trace artifact.
+ *
+ * Config overrides (key=value):
+ *   requests=960 reps=7 inner=4 workers=2 maxbatch=16 scale=0.002
+ *   out=BENCH_obs.json trace_out=BENCH_obs_trace.json check=0
+ */
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <ctime>
+
+#include "obs/trace.hpp"
+#include "serve/engine.hpp"
+#include "sim/rng.hpp"
+
+using namespace gcod;
+using namespace gcod::bench;
+using namespace gcod::serve;
+
+namespace {
+
+const std::vector<std::string> kDatasets = {"Cora", "CiteSeer", "Pubmed"};
+
+/** Loose sanity bound on the direct traced/untraced A/B CPU ratio:
+ *  wide enough to absorb shared-runner measurement noise (~±5% on the
+ *  median even with pairing), tight enough to catch tracing growing a
+ *  cost the composed span-share gate cannot see. */
+constexpr double kDirectBound = 0.15;
+
+/** Deterministic mixed-dataset script, replayed verbatim per round. */
+std::vector<InferenceRequest>
+makeScript(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<InferenceRequest> script;
+    script.reserve(size_t(n));
+    for (int64_t i = 0; i < n; ++i) {
+        InferenceRequest req;
+        req.dataset = kDatasets[size_t(
+            rng.uniformInt(0, int64_t(kDatasets.size()) - 1))];
+        req.node = NodeId(rng.uniformInt(0, 999));
+        script.push_back(std::move(req));
+    }
+    return script;
+}
+
+/** Process CPU seconds, summed across every thread. Span recording
+ *  adds CPU work; it cannot add the scheduler gaps and CPU-steal that
+ *  dominate wall-time jitter on shared runners, so the overhead gate
+ *  compares CPU time and only reports wall throughput for context. */
+double
+processCpuSeconds()
+{
+    return double(std::clock()) / CLOCKS_PER_SEC;
+}
+
+struct RoundCost {
+    double wall = 0.0;
+    double cpu = 0.0;
+};
+
+/** CPU seconds to record one representative span (three attrs, RAII
+ *  finish), calibrated by a tight loop: ~40ms of pure CPU work per
+ *  pass, best of three, so the estimate is good to a few percent even
+ *  on a noisy shared runner. */
+double
+measureSpanCostCpu()
+{
+    obs::TraceRecorder rec(obs::kTraceKernels, 1 << 20);
+    const int kIters = 100000;
+    double best = 0.0;
+    for (int pass = 0; pass < 3; ++pass) {
+        double c0 = processCpuSeconds();
+        for (int i = 0; i < kIters; ++i) {
+            obs::ScopedSpan s(&rec, obs::kTraceKernels, "span.cost",
+                              "serve");
+            s.attr("backend", "GCoD")
+                .attr("attempt", int64_t(1))
+                .attr("outcome", "ok");
+        }
+        double c = processCpuSeconds() - c0;
+        if (best == 0.0 || c < best)
+            best = c;
+        rec.clear();
+    }
+    return best / kIters;
+}
+
+/**
+ * Serve the script once; wall + CPU seconds for the whole burst. Before
+ * submitting, every dataset's artifact is re-published at a new epoch
+ * (same bundle — a version bump, the hot-swap fast path), so each round
+ * re-runs one real host-execution pass per dataset instead of serving
+ * pure memo hits: the measured throughput includes the numeric work a
+ * production mix of warm cache + periodic epoch updates actually pays,
+ * which is the workload the 3% overhead budget is defined against.
+ */
+RoundCost
+serveRound(ServingEngine &engine, const std::vector<InferenceRequest> &script)
+{
+    auto t0 = Clock::now();
+    double c0 = processCpuSeconds();
+    for (const std::string &dataset : kDatasets) {
+        ArtifactKey key = engine.keyFor(dataset, "GCN");
+        engine.publishArtifact(key, engine.cache().get(key).bundle);
+    }
+    std::vector<std::future<InferenceReply>> futures;
+    futures.reserve(script.size());
+    for (const InferenceRequest &req : script)
+        futures.push_back(engine.submit(InferenceRequest(req)));
+    engine.drain();
+    for (auto &f : futures)
+        f.get();
+    engine.reclaimRetiredArtifacts();
+    RoundCost cost;
+    cost.wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    cost.cpu = processCpuSeconds() - c0;
+    return cost;
+}
+
+ServeOptions
+shardedQuantizedOptions(double scale)
+{
+    ServeOptions opts;
+    opts.backends = {"GCoD"};
+    opts.shards = 2;
+    opts.shardBackends = {"GCoD@bits=8", "GCoD@bits=8"};
+    opts.workers = 1;
+    opts.artifactScale = scale;
+    return opts;
+}
+
+void
+obsOverheadBench(Config &cfg)
+{
+    int64_t requests = cfg.getInt("requests", 960);
+    int reps = int(cfg.getInt("reps", 7));
+    double scale = cfg.getDouble("scale", 0.002);
+    JsonEmitter json;
+    json.meta()
+        .set("bench", "obs_overhead")
+        .set("requests", requests)
+        .set("reps", reps)
+        .set("threads", int64_t(currentThreads()));
+
+    // ------------------------------------------------- phase 1: overhead
+    // One engine, warm artifacts, runtime level toggling: both modes see
+    // identical cache/memo state, so the diff isolates the span cost.
+    ServeOptions opts;
+    opts.backends = {"GCoD", "HyGCN"};
+    opts.workers = size_t(cfg.getInt("workers", 2));
+    opts.batching.policy = BatchPolicy::FixedSize;
+    opts.batching.maxBatch = size_t(cfg.getInt("maxbatch", 16));
+    ServingEngine engine(opts);
+    std::vector<InferenceRequest> script = makeScript(requests, 42);
+    serveRound(engine, script); // warm artifacts + logit memo
+
+    // The direct A/B comparison is measured with every statistical
+    // defense available — process CPU time instead of wall (blind to
+    // CPU steal and scheduler gaps), `inner` rounds aggregated per
+    // measurement, both modes back to back per rep with the order
+    // alternating, median of the paired ratios — and is still only
+    // good to ~±5% on a shared runner: identical work drifts that much
+    // in measured CPU when neighbors churn the cache. A ~1% signal
+    // cannot carry a 3% hard gate through that, so the A/B median gets
+    // a loose sanity bound (kDirectBound) and the tight 3% gate is
+    // composed from two high-SNR measurements instead: the per-span
+    // recording cost from a tight calibration loop, times the spans a
+    // round actually records, over the round's untraced CPU.
+    int inner = int(cfg.getInt("inner", 4));
+    uint64_t tracedSpans = 0, tracedDropped = 0;
+    auto measure = [&](obs::TraceLevel level) {
+        engine.trace().setLevel(level);
+        if (level != obs::kTraceOff)
+            engine.trace().clear();
+        RoundCost sum;
+        for (int i = 0; i < inner; ++i) {
+            RoundCost c = serveRound(engine, script);
+            sum.wall += c.wall;
+            sum.cpu += c.cpu;
+        }
+        if (level != obs::kTraceOff) {
+            tracedSpans = engine.trace().size();
+            tracedDropped = engine.trace().dropped();
+            engine.trace().setLevel(obs::kTraceOff);
+        }
+        return sum;
+    };
+    std::vector<double> offWall, onWall, offCpu, cpuRatios;
+    for (int rep = 0; rep < reps; ++rep) {
+        RoundCost off, on;
+        if (rep % 2 == 0) {
+            off = measure(obs::kTraceOff);
+            on = measure(obs::kTraceKernels);
+        } else {
+            on = measure(obs::kTraceKernels);
+            off = measure(obs::kTraceOff);
+        }
+        offWall.push_back(off.wall);
+        onWall.push_back(on.wall);
+        offCpu.push_back(off.cpu);
+        cpuRatios.push_back(on.cpu / off.cpu);
+    }
+    std::sort(cpuRatios.begin(), cpuRatios.end());
+    double medianRatio = cpuRatios[cpuRatios.size() / 2];
+    double untracedBest = *std::min_element(offWall.begin(),
+                                            offWall.end());
+    double tracedBest = *std::min_element(onWall.begin(), onWall.end());
+    double thrOff = double(requests) * inner / untracedBest;
+    double thrOn = double(requests) * inner / tracedBest;
+    double overhead = medianRatio - 1.0;
+
+    // The tight gate: (spans a traced round records) x (CPU cost to
+    // record one span) as a share of the round's untraced CPU. Both
+    // factors are high-SNR — the calibration loop is pure CPU and the
+    // round CPU only enters as a denominator with ~20x headroom — so
+    // the gate holds through runner noise that swamps the direct A/B.
+    std::sort(offCpu.begin(), offCpu.end());
+    double roundCpu = offCpu[offCpu.size() / 2] / inner;
+    double spanCost = measureSpanCostCpu();
+    double spansPerRound = double(tracedSpans) / inner;
+    double spanShare = spansPerRound * spanCost / roundCpu;
+
+    json.add("overhead")
+        .set("untraced_best_wall_s", untracedBest)
+        .set("traced_best_wall_s", tracedBest)
+        .set("untraced_rps", thrOff)
+        .set("traced_rps", thrOn)
+        .set("span_cost_us", spanCost * 1e6)
+        .set("round_cpu_s", roundCpu)
+        .set("span_share_frac", spanShare)
+        .set("direct_ab_frac", overhead)
+        .set("paired_reps", int64_t(reps))
+        .set("rounds_per_measure", int64_t(inner))
+        .set("spans_per_round", int64_t(spansPerRound))
+        .set("spans_dropped", int64_t(tracedDropped));
+
+    Table t("Tracing overhead (" + std::to_string(reps) + " paired x" +
+            std::to_string(inner) + "-round measures, " +
+            std::to_string(requests) + " requests/round)");
+    t.header({"Mode", "Best wall (s)", "Requests/s", "Spans"});
+    t.row({"untraced", formatNumber(untracedBest), formatNumber(thrOff),
+           "0"});
+    t.row({"traced (level 2)", formatNumber(tracedBest),
+           formatNumber(thrOn), std::to_string(tracedSpans)});
+    t.print(std::cout);
+    std::cout << "span cost: " << formatNumber(spanCost * 1e6)
+              << " us x " << int64_t(spansPerRound)
+              << " spans/round = " << formatPercent(spanShare)
+              << " of round CPU (gate: <= 3%)\n"
+              << "direct traced/untraced CPU delta (median paired): "
+              << formatPercent(overhead) << " (sanity bound: <= "
+              << formatPercent(kDirectBound) << ")\n\n";
+
+    // ------------------------------------------------- phase 2: identity
+    // Separate traced/untraced engines so each computes its sharded
+    // quantized fleet pass from scratch — the memcmp compares two real
+    // executions, not a memo hit.
+    ServeOptions topts = shardedQuantizedOptions(scale);
+    topts.traceLevel = obs::kTraceKernels;
+    ServingEngine traced(topts);
+    ServingEngine untraced(shardedQuantizedOptions(scale));
+
+    auto fut = traced.submit({0, "Reddit", "GCN", 5});
+    traced.drain();
+    bool servedOk = fut.get().ok();
+
+    ArtifactKey key = traced.keyFor("Reddit", "GCN");
+    auto a = traced.peekLogits(key, 8);
+    auto b = untraced.peekLogits(key, 8);
+    size_t bytes = a == nullptr
+                       ? 0
+                       : size_t(a->rows() * a->cols()) * sizeof(float);
+    bool identical = a != nullptr && b != nullptr &&
+                     a->rows() == b->rows() && a->cols() == b->cols() &&
+                     std::memcmp(a->data().data(), b->data().data(),
+                                 bytes) == 0;
+    std::string tracePath =
+        cfg.getString("trace_out", "BENCH_obs_trace.json");
+    bool traceWritten = traced.trace().writeChromeTraceFile(tracePath);
+    json.add("identity")
+        .set("served_ok", int64_t(servedOk ? 1 : 0))
+        .set("logits_identical", int64_t(identical ? 1 : 0))
+        .set("logit_bytes", int64_t(bytes))
+        .set("sample_trace", tracePath)
+        .set("sample_trace_spans", int64_t(traced.trace().size()));
+    std::cout << "sharded int8 logits traced vs untraced: "
+              << (identical ? "byte-identical" : "DIVERGED") << " ("
+              << bytes << " bytes)\nsample trace: " << tracePath << " ("
+              << traced.trace().size() << " spans)\n";
+
+    json.writeFile(cfg.getString("out", "BENCH_obs.json"));
+
+    // --------------------------------------------------------- CI gates
+    if (cfg.getInt("check", 0) != 0) {
+        GCOD_ASSERT(spanShare <= 0.03, "span recording cost ", spanShare,
+                    " of round CPU exceeds the 3% budget");
+        GCOD_ASSERT(overhead <= kDirectBound,
+                    "direct traced/untraced CPU delta ", overhead,
+                    " exceeds the ", kDirectBound,
+                    " sanity bound — tracing is paying a cost the "
+                    "span-share gate cannot see");
+        GCOD_ASSERT(tracedSpans > 0,
+                    "traced rounds recorded no spans — the gate is "
+                    "vacuous");
+        GCOD_ASSERT(tracedDropped == 0, "traced rounds dropped ",
+                    tracedDropped, " spans");
+        GCOD_ASSERT(servedOk, "traced sharded engine failed to serve");
+        GCOD_ASSERT(identical, "logits diverged between traced and "
+                    "untraced execution");
+        GCOD_ASSERT(traceWritten, "failed to write the sample trace");
+    }
+}
+
+/** Microbenchmark: recording one span with three attributes. */
+void
+BM_RecordSpan(benchmark::State &state)
+{
+    obs::TraceRecorder rec(obs::kTraceKernels);
+    uint64_t recorded = 0;
+    for (auto _ : state) {
+        obs::ScopedSpan s(&rec, obs::kTraceKernels, "bm", "bench");
+        s.attr("a", int64_t(1)).attr("b", "x").attr("c", 0.5);
+        if (++recorded % (1u << 19) == 0)
+            rec.clear();
+    }
+}
+BENCHMARK(BM_RecordSpan);
+
+/** Microbenchmark: the disabled hot path (the cost everyone pays). */
+void
+BM_DisabledSpan(benchmark::State &state)
+{
+    obs::TraceRecorder rec(obs::kTraceOff);
+    for (auto _ : state) {
+        obs::ScopedSpan s(&rec, obs::kTraceRequests, "bm", "bench");
+        s.attr("a", int64_t(1));
+        benchmark::DoNotOptimize(s.active());
+    }
+}
+BENCHMARK(BM_DisabledSpan);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, obsOverheadBench);
+}

@@ -7,8 +7,15 @@
  * how the cache amortized it.
  *
  * Usage: example_serving_demo [requests=64] [workers=2]
+ *        [--trace out.json | trace=out.json]
+ *
+ * With a trace path, the run records request-level spans and writes a
+ * Chrome trace_event file loadable in chrome://tracing or
+ * https://ui.perfetto.dev (see docs/observability.md).
  */
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "serve/engine.hpp"
 #include "sim/config.hpp"
@@ -17,11 +24,37 @@
 using namespace gcod;
 using namespace gcod::serve;
 
+namespace {
+
+/**
+ * Pull "--trace <path>" out of argv (Config only speaks key=value);
+ * "trace=<path>" also works and wins when both are given.
+ */
+std::string
+extractTracePath(int &argc, char **argv, Config &cfg)
+{
+    std::vector<char *> rest;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--trace" && i + 1 < argc)
+            path = argv[++i];
+        else
+            rest.push_back(argv[i]);
+    }
+    for (size_t i = 0; i < rest.size(); ++i)
+        argv[int(i) + 1] = rest[i];
+    argc = int(rest.size()) + 1;
+    cfg.parseArgs(argc, argv);
+    return cfg.getString("trace", path);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     Config cfg;
-    cfg.parseArgs(argc, argv);
+    std::string tracePath = extractTracePath(argc, argv, cfg);
     int64_t requests = cfg.getInt("requests", 64);
 
     ServeOptions opts;
@@ -30,6 +63,8 @@ main(int argc, char **argv)
     opts.batching.policy = BatchPolicy::Timeout;
     opts.batching.maxBatch = 16;
     opts.batching.maxDelay = std::chrono::microseconds(1000);
+    if (!tracePath.empty())
+        opts.traceLevel = obs::kTraceKernels;
     ServingEngine engine(opts);
 
     std::cout << "Submitting " << requests
@@ -69,5 +104,11 @@ main(int argc, char **argv)
               << " requests\n\n";
 
     engine.stats().print(std::cout, engine.cache().hitRate());
+
+    if (!tracePath.empty() &&
+        engine.trace().writeChromeTraceFile(tracePath))
+        std::cout << "\nWrote " << engine.trace().size()
+                  << " trace spans to " << tracePath
+                  << " (load in chrome://tracing or ui.perfetto.dev)\n";
     return 0;
 }

@@ -14,10 +14,17 @@
  *
  * Usage: example_streaming_demo [dataset=Cora] [batches=8]
  *        [batch_edges=6] [requests=96]
+ *        [--trace out.json | trace=out.json]
+ *
+ * With a trace path, the run records request- and update-level spans
+ * and writes a Chrome trace_event file loadable in chrome://tracing or
+ * https://ui.perfetto.dev (see docs/observability.md).
  */
 #include <atomic>
 #include <iostream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "dyn/delta.hpp"
 #include "serve/engine.hpp"
@@ -50,13 +57,35 @@ toggleDelta(const Graph &g, int count, uint64_t seed)
     return d;
 }
 
+/**
+ * Pull "--trace <path>" out of argv (Config only speaks key=value);
+ * "trace=<path>" also works and wins when both are given.
+ */
+std::string
+extractTracePath(int &argc, char **argv, Config &cfg)
+{
+    std::vector<char *> rest;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--trace" && i + 1 < argc)
+            path = argv[++i];
+        else
+            rest.push_back(argv[i]);
+    }
+    for (size_t i = 0; i < rest.size(); ++i)
+        argv[int(i) + 1] = rest[i];
+    argc = int(rest.size()) + 1;
+    cfg.parseArgs(argc, argv);
+    return cfg.getString("trace", path);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Config cfg;
-    cfg.parseArgs(argc, argv);
+    std::string tracePath = extractTracePath(argc, argv, cfg);
     std::string dataset = cfg.getString("dataset", "Cora");
     int batches = int(cfg.getInt("batches", 8));
     int batchEdges = int(cfg.getInt("batch_edges", 6));
@@ -65,6 +94,8 @@ main(int argc, char **argv)
     ServeOptions opts;
     opts.backends = {"GCoD"};
     opts.workers = 2;
+    if (!tracePath.empty())
+        opts.traceLevel = obs::kTraceKernels;
     ServingEngine engine(opts);
     ArtifactKey key = engine.keyFor(dataset, "GCN");
 
@@ -120,6 +151,12 @@ main(int argc, char **argv)
               << "\nretired reclaimed:  " << reclaimed
               << "  (still retired: " << engine.cache().retiredCount()
               << ")\n";
+
+    if (!tracePath.empty() &&
+        engine.trace().writeChromeTraceFile(tracePath))
+        std::cout << "\nWrote " << engine.trace().size()
+                  << " trace spans to " << tracePath
+                  << " (load in chrome://tracing or ui.perfetto.dev)\n";
     engine.shutdown();
     return 0;
 }

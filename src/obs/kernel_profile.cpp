@@ -1,0 +1,127 @@
+#include "obs/kernel_profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <vector>
+
+namespace gcod::obs {
+
+void
+KernelProfiler::enable(TraceRecorder *rec)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        rec_ = rec;
+    }
+    // The hook runs concurrently on pool workers; consume() locks.
+    setTaskProfileHook([this](const TaskSample &s) { consume(s); });
+    enabled_ = true;
+}
+
+void
+KernelProfiler::disable()
+{
+    if (!enabled_)
+        return;
+    setTaskProfileHook(nullptr);
+    enabled_ = false;
+    std::lock_guard<std::mutex> lock(mu_);
+    rec_ = nullptr;
+}
+
+void
+KernelProfiler::consume(const TaskSample &s)
+{
+    TraceRecorder *rec = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ZoneStats &z = zones_[s.zone];
+        ++z.tasks;
+        z.items += s.items;
+        z.seconds += s.seconds;
+        z.maxTaskSeconds = std::max(z.maxTaskSeconds, s.seconds);
+        z.threadSeconds[s.thread] += s.seconds;
+        rec = rec_;
+    }
+    if (rec != nullptr && rec->enabled(kTraceKernels)) {
+        TraceSpan span;
+        span.id = rec->newId();
+        span.name = s.zone[0] != '\0' ? s.zone : "task";
+        span.cat = "kernel";
+        span.startNs = rec->toNs(s.start);
+        span.durNs = uint64_t(s.seconds * 1e9);
+        span.tid = TraceRecorder::threadId();
+        span.attrs.emplace_back("items", std::to_string(s.items));
+        span.attrs.emplace_back("range", std::to_string(s.rangeIndex));
+        span.attrs.emplace_back("pool_thread", std::to_string(s.thread));
+        rec->record(std::move(span));
+    }
+}
+
+std::map<std::string, ZoneStats>
+KernelProfiler::zones() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return zones_;
+}
+
+uint64_t
+KernelProfiler::totalTasks() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t n = 0;
+    for (const auto &[name, z] : zones_)
+        n += z.tasks;
+    return n;
+}
+
+void
+KernelProfiler::report(std::ostream &os) const
+{
+    std::map<std::string, ZoneStats> snap = zones();
+    double total = 0.0;
+    for (const auto &[name, z] : snap)
+        total += z.seconds;
+
+    std::vector<std::pair<std::string, const ZoneStats *>> order;
+    order.reserve(snap.size());
+    for (const auto &[name, z] : snap)
+        order.emplace_back(name.empty() ? "<unlabeled>" : name, &z);
+    std::sort(order.begin(), order.end(), [](const auto &a, const auto &b) {
+        if (a.second->seconds != b.second->seconds)
+            return a.second->seconds > b.second->seconds;
+        return a.first < b.first;
+    });
+
+    os << "---------- kernel profile ----------\n";
+    for (const auto &[name, z] : order) {
+        double share = total > 0.0 ? z->seconds / total : 0.0;
+        double busiest = 0.0;
+        for (const auto &[tid, sec] : z->threadSeconds)
+            busiest = std::max(busiest, sec);
+        int bar = int(share * 40.0 + 0.5);
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "%-24s %6.1f%% %8.3fms  tasks=%llu items=%lld "
+                      "mean=%.3fms max=%.3fms threads=%zu hot=%.0f%%",
+                      name.c_str(), share * 100.0, z->seconds * 1e3,
+                      (unsigned long long)z->tasks, (long long)z->items,
+                      z->tasks ? z->seconds / double(z->tasks) * 1e3 : 0.0,
+                      z->maxTaskSeconds * 1e3, z->threadSeconds.size(),
+                      z->seconds > 0.0 ? busiest / z->seconds * 100.0 : 0.0);
+        os << line << "\n  ";
+        for (int i = 0; i < bar; ++i)
+            os << '#';
+        os << "\n";
+    }
+}
+
+void
+KernelProfiler::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    zones_.clear();
+}
+
+} // namespace gcod::obs

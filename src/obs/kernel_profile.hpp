@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Flame-style per-kernel breakdown built on sim/parallel's task hook.
+ *
+ * The thread pool can time every range it executes (see TaskSample in
+ * sim/parallel.hpp); the KernelProfiler installs that hook and folds
+ * the samples into per-zone aggregates — how many tasks a kernel
+ * dispatched, how many items (rows / nnz-balanced rows) they covered,
+ * total and worst-case task duration, and how the time spread across
+ * pool threads. Kernels self-identify with ParallelZone labels placed
+ * at their dispatch sites (src/tensor/ops.cpp, qops.cpp).
+ *
+ * Optionally mirrors each task into a TraceRecorder as a "kernel"-
+ * category span at kTraceKernels, so chrome://tracing shows the
+ * per-thread kernel timeline underneath the request/stage spans.
+ *
+ * The hook is process-wide (last writer wins), so enable at most one
+ * profiler at a time; the destructor uninstalls the hook if this
+ * instance still owns it. Profiling never touches kernel math — results
+ * are bit-identical with profiling on or off.
+ */
+#ifndef GCOD_OBS_KERNEL_PROFILE_HPP
+#define GCOD_OBS_KERNEL_PROFILE_HPP
+
+#include "obs/trace.hpp"
+#include "sim/parallel.hpp"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace gcod::obs {
+
+/** Aggregated samples for one ParallelZone label. */
+struct ZoneStats
+{
+    uint64_t tasks = 0;
+    int64_t items = 0;
+    double seconds = 0.0;
+    /** Longest single task — the straggler that bounds the region. */
+    double maxTaskSeconds = 0.0;
+    /** Busy seconds per pool thread id (load-balance view). */
+    std::map<int, double> threadSeconds;
+};
+
+class KernelProfiler
+{
+  public:
+    KernelProfiler() = default;
+    ~KernelProfiler() { disable(); }
+
+    KernelProfiler(const KernelProfiler &) = delete;
+    KernelProfiler &operator=(const KernelProfiler &) = delete;
+
+    /**
+     * Install this profiler as the process-wide task hook. When @p rec
+     * is non-null, each task is additionally recorded as a "kernel"
+     * span when the recorder's level admits kTraceKernels.
+     */
+    void enable(TraceRecorder *rec = nullptr);
+
+    /** Uninstall the hook if this profiler installed it (idempotent). */
+    void disable();
+
+    bool enabled() const { return enabled_; }
+
+    /** Aggregates so far, keyed by zone label ("" = unlabeled). */
+    std::map<std::string, ZoneStats> zones() const;
+
+    /** Total profiled tasks across all zones. */
+    uint64_t totalTasks() const;
+
+    /**
+     * Flame-style breakdown: zones sorted by total seconds descending,
+     * each with a share bar, task/item counts, mean and max task
+     * duration, and the busiest-thread share (imbalance proxy).
+     */
+    void report(std::ostream &os) const;
+
+    /** Drop all aggregates (hook stays installed). */
+    void clear();
+
+  private:
+    void consume(const TaskSample &s);
+
+    mutable std::mutex mu_;
+    std::map<std::string, ZoneStats> zones_;
+    TraceRecorder *rec_ = nullptr;
+    bool enabled_ = false;
+};
+
+} // namespace gcod::obs
+
+#endif // GCOD_OBS_KERNEL_PROFILE_HPP

@@ -1,0 +1,149 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcod::obs {
+
+namespace {
+
+/** Nearest-rank percentile over a copy of @p samples; 0 when empty. */
+double
+samplePercentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    p = std::clamp(p, 0.0, 100.0);
+    size_t rank = size_t(std::ceil(p / 100.0 * double(samples.size())));
+    rank = std::clamp<size_t>(rank, 1, samples.size());
+    return samples[rank - 1];
+}
+
+} // namespace
+
+StatGroup &
+MetricRegistry::group(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = groups_.find(name);
+    if (it == groups_.end())
+        it = groups_.emplace(name, std::make_unique<StatGroup>(name)).first;
+    return *it->second;
+}
+
+StatScalar &
+MetricRegistry::counter(const std::string &group_name,
+                        const std::string &name, const std::string &desc)
+{
+    return group(group_name).scalar(name, desc);
+}
+
+StatDistribution &
+MetricRegistry::histogram(const std::string &group_name,
+                          const std::string &name, const std::string &desc,
+                          size_t bins)
+{
+    return group(group_name).distribution(name, desc, bins);
+}
+
+void
+MetricRegistry::gauge(const std::string &name, const std::string &desc,
+                      std::function<double()> fn)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[name] = Gauge{desc, std::move(fn)};
+}
+
+void
+MetricRegistry::attach(const StatGroup *external)
+{
+    if (external == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::find(attached_.begin(), attached_.end(), external) ==
+        attached_.end())
+        attached_.push_back(external);
+}
+
+void
+MetricRegistry::detach(const StatGroup *external)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    attached_.erase(
+        std::remove(attached_.begin(), attached_.end(), external),
+        attached_.end());
+}
+
+void
+MetricRegistry::flattenGroup(const StatGroup &g,
+                             std::map<std::string, double> &out) const
+{
+    for (const auto &[name, s] : g.scalars())
+        out[g.name() + "." + name] = s.value();
+    for (const auto &[name, d] : g.distributions()) {
+        std::string base = g.name() + "." + name;
+        out[base + ".count"] = double(d.count());
+        out[base + ".sum"] = d.sum();
+        out[base + ".mean"] = d.mean();
+        out[base + ".min"] = d.min();
+        out[base + ".max"] = d.max();
+        out[base + ".p50"] = samplePercentile(d.samples(), 50.0);
+        out[base + ".p99"] = samplePercentile(d.samples(), 99.0);
+    }
+}
+
+std::map<std::string, double>
+MetricRegistry::snapshot() const
+{
+    // Copy the gauge callbacks out so evaluation happens outside the
+    // registry lock: a gauge reading another component's state (cache
+    // hit rate, fault counts) must not hold mu_ while doing so.
+    std::map<std::string, double> out;
+    std::vector<std::pair<std::string, std::function<double()>>> fns;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[name, g] : groups_)
+            flattenGroup(*g, out);
+        for (const StatGroup *g : attached_)
+            flattenGroup(*g, out);
+        for (const auto &[name, gg] : gauges_)
+            fns.emplace_back(name, gg.fn);
+    }
+    for (auto &[name, fn] : fns)
+        out[name] = fn ? fn() : 0.0;
+    return out;
+}
+
+void
+MetricRegistry::print(std::ostream &os) const
+{
+    for (const auto &[name, value] : snapshot())
+        os << name << ' ' << value << '\n';
+}
+
+void
+MetricRegistry::writeJson(std::ostream &os) const
+{
+    std::map<std::string, double> snap = snapshot();
+    os << "{\n";
+    size_t i = 0;
+    for (const auto &[name, value] : snap) {
+        os << "  \"" << name << "\": " << value;
+        os << (++i < snap.size() ? ",\n" : "\n");
+    }
+    os << "}\n";
+}
+
+std::vector<std::string>
+MetricRegistry::gaugeNames() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace gcod::obs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unified metrics registry: one registration point and one snapshot
+ * format for every counter, gauge, and histogram in the process.
+ *
+ * Before this, serving counters lived in ServerStats' private StatGroup,
+ * accelerator statistics in per-simulator gem5-style groups, and derived
+ * quantities (cache hit rate, fault-injection counts) were scattered
+ * across ad-hoc accessors — benches, tests, and CI each scraped a
+ * different surface. The MetricRegistry owns named StatGroups (existing
+ * components keep their StatScalar/StatDistribution accessors as VIEWS
+ * into registry-owned groups), can attach externally-owned groups, and
+ * adds callback gauges for values computed on read (hit rates, queue
+ * depths, injected-fault counts).
+ *
+ * snapshot() flattens everything into one deterministic, name-sorted
+ * map<string, double>:
+ *
+ *   <group>.<scalar>                     counter value
+ *   <group>.<dist>.count/.sum/.mean/.min/.max/.p50/.p99
+ *   <gauge-name>                         callback result at read time
+ *
+ * so a bench JSON, a test assertion, and a CI gate all read the same
+ * names. Registration is mutex-guarded; mutation of the returned
+ * references follows the owning component's locking discipline exactly
+ * as with a privately-owned StatGroup (the registry adds no locking of
+ * its own around increments).
+ */
+#ifndef GCOD_OBS_METRICS_HPP
+#define GCOD_OBS_METRICS_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace gcod::obs {
+
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /**
+     * Create-or-fetch an owned group. References into the group stay
+     * valid for the registry's lifetime (groups are never removed).
+     */
+    StatGroup &group(const std::string &name);
+
+    /** Create-or-fetch a counter in @p group_name (registration point). */
+    StatScalar &counter(const std::string &group_name,
+                        const std::string &name,
+                        const std::string &desc = "");
+
+    /** Create-or-fetch a histogram in @p group_name. */
+    StatDistribution &histogram(const std::string &group_name,
+                                const std::string &name,
+                                const std::string &desc = "",
+                                size_t bins = 16);
+
+    /**
+     * Register a callback gauge under @p name (a full dotted name, not
+     * grouped). Evaluated at snapshot/print time; must be safe to call
+     * from any thread. Re-registration replaces the callback.
+     */
+    void gauge(const std::string &name, const std::string &desc,
+               std::function<double()> fn);
+
+    /**
+     * Attach an externally-owned group to the snapshot (not owned; the
+     * caller guarantees it outlives the registry or detaches it).
+     */
+    void attach(const StatGroup *external);
+    void detach(const StatGroup *external);
+
+    /** Flattened name-sorted view of every metric (see file comment). */
+    std::map<std::string, double> snapshot() const;
+
+    /** "name value" lines in snapshot order (deterministic, diffable). */
+    void print(std::ostream &os) const;
+
+    /** One JSON object: {"metric.name": value, ...} in sorted order. */
+    void writeJson(std::ostream &os) const;
+
+    /** Registered gauge names (tests). */
+    std::vector<std::string> gaugeNames() const;
+
+  private:
+    struct Gauge
+    {
+        std::string desc;
+        std::function<double()> fn;
+    };
+
+    void flattenGroup(const StatGroup &g,
+                      std::map<std::string, double> &out) const;
+
+    mutable std::mutex mu_;
+    /** unique_ptr so group references survive map rehash/growth. */
+    std::map<std::string, std::unique_ptr<StatGroup>> groups_;
+    std::vector<const StatGroup *> attached_;
+    std::map<std::string, Gauge> gauges_;
+};
+
+} // namespace gcod::obs
+
+#endif // GCOD_OBS_METRICS_HPP

@@ -1,0 +1,297 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "sim/logging.hpp"
+
+namespace gcod::obs {
+
+namespace {
+
+/** JSON string escaping (quotes, backslash, control characters). */
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          unsigned(static_cast<unsigned char>(c)));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+writeAttrs(std::ostream &os, const TraceSpan &s)
+{
+    os << '{';
+    for (size_t i = 0; i < s.attrs.size(); ++i) {
+        if (i)
+            os << ',';
+        os << jsonQuote(s.attrs[i].first) << ':'
+           << jsonQuote(s.attrs[i].second);
+    }
+    os << '}';
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder(int level, size_t max_spans)
+    : level_(level), maxSpans_(max_spans), epoch_(TraceClock::now())
+{}
+
+uint64_t
+TraceRecorder::toNs(TraceClock::time_point t) const
+{
+    if (t <= epoch_)
+        return 0;
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+            .count());
+}
+
+uint32_t
+TraceRecorder::threadId()
+{
+    static std::atomic<uint32_t> next{1};
+    static thread_local uint32_t tid = 0;
+    if (tid == 0)
+        tid = next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+void
+TraceRecorder::record(TraceSpan &&span)
+{
+    Shard &sh = shards_[threadId() % kShards];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    // The cap bounds total memory under unbounded serving traffic; a
+    // per-shard share keeps the check lock-local. Dropped spans are
+    // counted, never silently lost.
+    if (sh.spans.size() >= maxSpans_ / kShards) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    sh.spans.push_back(std::move(span));
+}
+
+uint64_t
+TraceRecorder::instant(const char *name, const char *cat, uint64_t parent,
+                       std::vector<std::pair<std::string, std::string>> attrs)
+{
+    if (!enabled())
+        return 0;
+    TraceSpan s;
+    s.id = newId();
+    s.parent = parent;
+    s.name = name;
+    s.cat = cat;
+    s.startNs = nowNs();
+    s.durNs = 0;
+    s.tid = threadId();
+    s.attrs = std::move(attrs);
+    uint64_t id = s.id;
+    record(std::move(s));
+    return id;
+}
+
+size_t
+TraceRecorder::size() const
+{
+    size_t n = 0;
+    for (const Shard &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        n += sh.spans.size();
+    }
+    return n;
+}
+
+void
+TraceRecorder::clear()
+{
+    for (Shard &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        sh.spans.clear();
+    }
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceSpan>
+TraceRecorder::snapshot() const
+{
+    std::vector<TraceSpan> out;
+    for (const Shard &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        out.insert(out.end(), sh.spans.begin(), sh.spans.end());
+    }
+    // Sorted by (start, id) so exports diff cleanly across runs with
+    // the same span content regardless of which shard each landed in.
+    std::sort(out.begin(), out.end(),
+              [](const TraceSpan &a, const TraceSpan &b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+void
+TraceRecorder::writeJsonl(std::ostream &os) const
+{
+    for (const TraceSpan &s : snapshot()) {
+        os << "{\"id\":" << s.id << ",\"parent\":" << s.parent
+           << ",\"name\":" << jsonQuote(s.name)
+           << ",\"cat\":" << jsonQuote(s.cat) << ",\"start_ns\":" << s.startNs
+           << ",\"dur_ns\":" << s.durNs << ",\"tid\":" << s.tid
+           << ",\"attrs\":";
+        writeAttrs(os, s);
+        os << "}\n";
+    }
+}
+
+void
+TraceRecorder::writeChromeTrace(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[\n";
+    std::vector<TraceSpan> spans = snapshot();
+    for (size_t i = 0; i < spans.size(); ++i) {
+        const TraceSpan &s = spans[i];
+        // Complete events ("ph":"X"): ts/dur are microseconds (double).
+        os << "{\"name\":" << jsonQuote(s.name)
+           << ",\"cat\":" << jsonQuote(s.cat) << ",\"ph\":\"X\",\"ts\":"
+           << double(s.startNs) / 1e3 << ",\"dur\":" << double(s.durNs) / 1e3
+           << ",\"pid\":1,\"tid\":" << s.tid << ",\"args\":{\"span_id\":\""
+           << s.id << "\",\"parent\":\"" << s.parent << "\"";
+        for (const auto &[k, v] : s.attrs)
+            os << ',' << jsonQuote(k) << ':' << jsonQuote(v);
+        os << "}}" << (i + 1 < spans.size() ? ",\n" : "\n");
+    }
+    os << "]}\n";
+}
+
+bool
+TraceRecorder::writeJsonlFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("cannot write trace JSONL to '", path, "'");
+        return false;
+    }
+    writeJsonl(f);
+    return bool(f);
+}
+
+bool
+TraceRecorder::writeChromeTraceFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("cannot write Chrome trace to '", path, "'");
+        return false;
+    }
+    writeChromeTrace(f);
+    return bool(f);
+}
+
+int
+TraceRecorder::levelFromEnv(int fallback)
+{
+    const char *env = std::getenv("GCOD_TRACE");
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    long v = std::strtol(env, nullptr, 10);
+    return int(std::clamp<long>(v, kTraceOff, kTraceKernels));
+}
+
+// -------------------------------------------------------------- ScopedSpan
+
+ScopedSpan::ScopedSpan(TraceRecorder *rec, int level, const char *name,
+                       const char *cat, uint64_t parent)
+{
+    // The level check precedes every string copy: an inactive span
+    // costs two relaxed atomic loads and allocates nothing.
+    if (rec == nullptr || !rec->enabled(level))
+        return;
+    rec_ = rec;
+    span_.id = rec->newId();
+    span_.parent = parent;
+    span_.name = name;
+    span_.cat = cat;
+    span_.startNs = rec->nowNs();
+    span_.tid = TraceRecorder::threadId();
+}
+
+ScopedSpan &
+ScopedSpan::attr(const char *key, const std::string &value)
+{
+    if (rec_ != nullptr)
+        span_.attrs.emplace_back(key, value);
+    return *this;
+}
+
+ScopedSpan &
+ScopedSpan::attr(const char *key, const char *value)
+{
+    if (rec_ != nullptr)
+        span_.attrs.emplace_back(key, value);
+    return *this;
+}
+
+ScopedSpan &
+ScopedSpan::attr(const char *key, int64_t value)
+{
+    if (rec_ != nullptr)
+        span_.attrs.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+ScopedSpan &
+ScopedSpan::attr(const char *key, uint64_t value)
+{
+    if (rec_ != nullptr)
+        span_.attrs.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+ScopedSpan &
+ScopedSpan::attr(const char *key, int value)
+{
+    return attr(key, int64_t(value));
+}
+
+ScopedSpan &
+ScopedSpan::attr(const char *key, double value)
+{
+    if (rec_ != nullptr) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        span_.attrs.emplace_back(key, buf);
+    }
+    return *this;
+}
+
+void
+ScopedSpan::finish()
+{
+    if (rec_ == nullptr)
+        return;
+    span_.durNs = rec_->nowNs() - span_.startNs;
+    rec_->record(std::move(span_));
+    rec_ = nullptr;
+}
+
+} // namespace gcod::obs

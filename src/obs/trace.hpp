@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Low-overhead end-to-end request tracing for the serving stack.
+ *
+ * The engine now spans admission -> batching -> routing -> (sharded,
+ * quantized) execution -> retry/failover -> hot-swap publish, and
+ * aggregate counters cannot say which STAGE of which REQUEST paid for a
+ * p99 regression or a breaker trip. The TraceRecorder closes that gap:
+ * every stage opens a named span carrying request id, tier, artifact
+ * key/version, bits, backend, and outcome, with parent/child links so
+ * one request's full causal tree is reconstructable after the fact.
+ *
+ * Design constraints (the observability invariant):
+ *
+ *  - Enabling tracing changes ZERO serving bytes: spans only read
+ *    timestamps and copy labels; logits are memcmp-identical with
+ *    tracing on or off (gated by bench/obs_overhead -> BENCH_obs.json,
+ *    together with a <= 3% throughput overhead bound).
+ *  - A disabled recorder adds no allocations on the hot path: span
+ *    names/categories enter as `const char *` and are only copied into
+ *    owned strings once the level check passed; an inactive ScopedSpan
+ *    holds empty (SSO) strings and an empty attribute vector.
+ *  - Recording is lock-minimal: completed spans append to one of a
+ *    fixed set of sharded buffers (shard picked by thread id), so the
+ *    only contention is between threads that hash to the same shard,
+ *    and the critical section is a single vector push.
+ *
+ * Exports: JSONL (one span object per line, for diffing and scripted
+ * analysis) and Chrome `trace_event` JSON (open chrome://tracing or
+ * https://ui.perfetto.dev and load the file). See docs/observability.md
+ * for the span taxonomy.
+ */
+#ifndef GCOD_OBS_TRACE_HPP
+#define GCOD_OBS_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gcod::obs {
+
+using TraceClock = std::chrono::steady_clock;
+
+/**
+ * Trace verbosity levels. Spans are recorded when the recorder's level
+ * is at least the span's level, so request-grained tracing stays cheap
+ * while kernel-grained tracing remains available for deep dives.
+ */
+enum TraceLevel : int {
+    kTraceOff = 0,      ///< record nothing
+    kTraceRequests = 1, ///< request/batch/route/execute stage spans
+    kTraceKernels = 2,  ///< + per-shard, halo-exchange, and kernel spans
+};
+
+/** One completed span. Immutable once recorded. */
+struct TraceSpan
+{
+    /** Unique nonzero id (process-wide monotone). */
+    uint64_t id = 0;
+    /** Parent span id; 0 = root. */
+    uint64_t parent = 0;
+    std::string name;
+    /** Coarse grouping: "serve", "store", "shard", "kernel", ... */
+    std::string cat;
+    /** Start offset, ns since the recorder's construction epoch. */
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+    /** Recorder-assigned small sequential thread id. */
+    uint32_t tid = 0;
+    /** Ordered key/value annotations (request id, tier, backend, ...). */
+    std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/**
+ * Thread-safe span sink. Construction fixes the time epoch; setLevel()
+ * toggles recording at runtime (an atomic read on the hot path). The
+ * span buffer is bounded by maxSpans: beyond it new spans are counted
+ * as dropped rather than growing without bound under serving traffic.
+ */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(int level = kTraceOff,
+                           size_t max_spans = size_t(1) << 20);
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** Runtime toggle; takes effect for spans opened afterwards. */
+    void setLevel(int level) { level_.store(level, std::memory_order_relaxed); }
+    int level() const { return level_.load(std::memory_order_relaxed); }
+
+    /** True when spans of @p level should be recorded. */
+    bool
+    enabled(int level = kTraceRequests) const
+    {
+        return level_.load(std::memory_order_relaxed) >= level;
+    }
+
+    /** Fresh span id (never 0). */
+    uint64_t newId() { return nextId_.fetch_add(1, std::memory_order_relaxed); }
+
+    /** Nanoseconds since the recorder epoch. */
+    uint64_t nowNs() const { return toNs(TraceClock::now()); }
+
+    /** Convert a steady_clock time point to epoch-relative ns (0 if earlier). */
+    uint64_t toNs(TraceClock::time_point t) const;
+
+    /** Small sequential id of the calling thread (stable per thread). */
+    static uint32_t threadId();
+
+    /** Append one completed span (thread-safe, lock per shard). */
+    void record(TraceSpan &&span);
+
+    /** Record an instantaneous (zero-duration) span; returns its id. */
+    uint64_t instant(const char *name, const char *cat, uint64_t parent,
+                     std::vector<std::pair<std::string, std::string>> attrs = {});
+
+    /** Spans recorded so far (across all shards). */
+    size_t size() const;
+    /** Spans rejected because the buffer was full. */
+    uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+    /** Drop every recorded span (level and epoch persist). */
+    void clear();
+
+    /** All spans, sorted by (startNs, id) — deterministic given content. */
+    std::vector<TraceSpan> snapshot() const;
+
+    /** One JSON object per span per line. */
+    void writeJsonl(std::ostream &os) const;
+    /** Chrome trace_event JSON ({"traceEvents": [...]}). */
+    void writeChromeTrace(std::ostream &os) const;
+    /** File variants; false (with a warning) on I/O failure. */
+    bool writeJsonlFile(const std::string &path) const;
+    bool writeChromeTraceFile(const std::string &path) const;
+
+    /**
+     * Effective trace level: the GCOD_TRACE environment variable when
+     * set (parsed as an integer, clamped to [0, 2]), else @p fallback —
+     * so a deployment can flip tracing on without recompiling.
+     */
+    static int levelFromEnv(int fallback);
+
+  private:
+    static constexpr int kShards = 16;
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::vector<TraceSpan> spans;
+    };
+
+    std::atomic<int> level_;
+    std::atomic<uint64_t> nextId_{1};
+    std::atomic<uint64_t> dropped_{0};
+    size_t maxSpans_;
+    TraceClock::time_point epoch_;
+    Shard shards_[kShards];
+};
+
+/**
+ * RAII span: opens at construction (when the recorder is non-null and
+ * the level admits it), records at destruction or finish(). Inactive
+ * instances are free: no id is drawn, no strings are built, and attr()
+ * is a no-op — call-sites guard expensive attribute formatting with
+ * active().
+ */
+class ScopedSpan
+{
+  public:
+    /** Inactive span (records nothing). */
+    ScopedSpan() = default;
+
+    ScopedSpan(TraceRecorder *rec, int level, const char *name,
+               const char *cat, uint64_t parent = 0);
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan() { finish(); }
+
+    bool active() const { return rec_ != nullptr; }
+    /** Span id; 0 when inactive. */
+    uint64_t id() const { return span_.id; }
+
+    ScopedSpan &attr(const char *key, const std::string &value);
+    ScopedSpan &attr(const char *key, const char *value);
+    ScopedSpan &attr(const char *key, int64_t value);
+    ScopedSpan &attr(const char *key, uint64_t value);
+    ScopedSpan &attr(const char *key, int value);
+    ScopedSpan &attr(const char *key, double value);
+
+    /** Record now (idempotent); further attr() calls are dropped. */
+    void finish();
+
+  private:
+    TraceRecorder *rec_ = nullptr;
+    TraceSpan span_;
+};
+
+/**
+ * Trace context handed down call chains that cross subsystem borders
+ * (engine -> shard executor): the recorder plus the parent span every
+ * callee-side span should hang under. A default context (null recorder)
+ * disables callee tracing.
+ */
+struct TraceCtx
+{
+    TraceRecorder *rec = nullptr;
+    uint64_t parent = 0;
+
+    bool
+    enabled(int level = kTraceRequests) const
+    {
+        return rec != nullptr && rec->enabled(level);
+    }
+};
+
+} // namespace gcod::obs
+
+#endif // GCOD_OBS_TRACE_HPP

@@ -224,33 +224,51 @@ BackendRouter::choose(const ArtifactBundle &bundle, SloTier tier)
 void
 BackendRouter::recordSuccess(int i)
 {
-    std::lock_guard<std::mutex> lock(healthMu_);
-    Backend &b = *backends_[i];
-    b.consecFailures = 0;
-    b.probeInFlight = false;
-    b.health = HealthState::Closed;
+    bool closed_breaker = false;
+    {
+        std::lock_guard<std::mutex> lock(healthMu_);
+        Backend &b = *backends_[i];
+        closed_breaker = b.health != HealthState::Closed;
+        b.consecFailures = 0;
+        b.probeInFlight = false;
+        b.health = HealthState::Closed;
+    }
+    if (closed_breaker && trace_ != nullptr && trace_->enabled())
+        trace_->instant("breaker.close", "serve", 0,
+                        {{"backend", backends_[i]->name}});
 }
 
 void
 BackendRouter::recordFailure(int i)
 {
-    std::lock_guard<std::mutex> lock(healthMu_);
-    Backend &b = *backends_[i];
-    ++b.failures;
-    ++b.consecFailures;
-    if (b.health == HealthState::HalfOpen) {
-        // The probe itself failed: straight back to Open for another
-        // full cooldown.
-        b.health = HealthState::Open;
-        b.probeInFlight = false;
-        b.trippedAt = Clock::now();
-        ++b.trips;
-    } else if (b.health == HealthState::Closed &&
-               b.consecFailures >= healthOpts_.tripThreshold) {
-        b.health = HealthState::Open;
-        b.trippedAt = Clock::now();
-        ++b.trips;
+    bool tripped = false;
+    uint64_t failures = 0;
+    {
+        std::lock_guard<std::mutex> lock(healthMu_);
+        Backend &b = *backends_[i];
+        ++b.failures;
+        ++b.consecFailures;
+        if (b.health == HealthState::HalfOpen) {
+            // The probe itself failed: straight back to Open for another
+            // full cooldown.
+            b.health = HealthState::Open;
+            b.probeInFlight = false;
+            b.trippedAt = Clock::now();
+            ++b.trips;
+            tripped = true;
+        } else if (b.health == HealthState::Closed &&
+                   b.consecFailures >= healthOpts_.tripThreshold) {
+            b.health = HealthState::Open;
+            b.trippedAt = Clock::now();
+            ++b.trips;
+            tripped = true;
+        }
+        failures = b.failures;
     }
+    if (tripped && trace_ != nullptr && trace_->enabled())
+        trace_->instant("breaker.trip", "serve", 0,
+                        {{"backend", backends_[i]->name},
+                         {"failures", std::to_string(failures)}});
 }
 
 HealthState

@@ -32,6 +32,7 @@
 
 #include "accel/accelerator.hpp"
 #include "accel/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/artifact.hpp"
 #include "serve/request.hpp"
 
@@ -156,6 +157,13 @@ class BackendRouter
     void recordSuccess(int i);
     void recordFailure(int i);
 
+    /**
+     * Record breaker transitions ("breaker.trip" / "breaker.close"
+     * instants) into @p rec; null disables. @p rec must outlive the
+     * router.
+     */
+    void setTrace(obs::TraceRecorder *rec) { trace_ = rec; }
+
     HealthState healthState(int i) const;
     /** Times the breaker has tripped Open. */
     uint64_t trips(int i) const;
@@ -187,6 +195,7 @@ class BackendRouter
 
     std::vector<std::unique_ptr<Backend>> backends_;
     HealthOptions healthOpts_;
+    obs::TraceRecorder *trace_ = nullptr;
     mutable std::mutex healthMu_;
 
     std::mutex memoMu_;

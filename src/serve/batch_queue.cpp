@@ -120,6 +120,25 @@ BatchQueue::pop()
             }
             // Leftovers (or other ready groups) may still be dispatchable.
             readyCv_.notify_one();
+            if (trace_ != nullptr && trace_->enabled() &&
+                !b.requests.empty()) {
+                // The formation interval of this batch: the oldest
+                // rider's enqueue to now. Parented under that rider's
+                // request span so the causal tree explains the delay.
+                obs::TraceSpan s;
+                s.id = trace_->newId();
+                s.parent = b.requests.front().traceId;
+                s.name = "batch.form";
+                s.cat = "serve";
+                s.startNs = trace_->toNs(b.requests.front().enqueued);
+                s.durNs = trace_->nowNs() - s.startNs;
+                s.tid = obs::TraceRecorder::threadId();
+                s.attrs.emplace_back("size",
+                                     std::to_string(b.requests.size()));
+                s.attrs.emplace_back("tier", sloTierName(b.tier));
+                s.attrs.emplace_back("artifact", b.key.toString());
+                trace_->record(std::move(s));
+            }
             return b;
         }
 

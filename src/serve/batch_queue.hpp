@@ -29,6 +29,7 @@
 #include <mutex>
 #include <optional>
 
+#include "obs/trace.hpp"
 #include "serve/request.hpp"
 
 namespace gcod::serve {
@@ -89,6 +90,14 @@ class BatchQueue
     /** Stop accepting requests; pop() drains leftovers then ends. */
     void close();
 
+    /**
+     * Record a "batch.form" span per popped batch into @p rec (how long
+     * the group accumulated before its policy trigger fired, and why it
+     * was sized the way it was). Null disables. @p rec must outlive the
+     * queue; the engine wires its own recorder here.
+     */
+    void setTrace(obs::TraceRecorder *rec) { trace_ = rec; }
+
     /** Queued (not yet popped) requests across all groups. */
     size_t depth() const;
     /** Queued requests of one SLO tier. */
@@ -129,6 +138,7 @@ class BatchQueue
     bool readyLocked(const Group &g, Clock::time_point now) const;
 
     BatchOptions opts_;
+    obs::TraceRecorder *trace_ = nullptr;
 
     mutable std::mutex mu_;
     std::condition_variable readyCv_;

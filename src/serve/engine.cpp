@@ -97,15 +97,31 @@ effectiveExecBits(const ArtifactBundle &b, int bits)
 ArtifactCache::Builder
 storeAwareBuilder(ArtifactCache::Builder fresh, std::string dir,
                   ReorderOptions shard_reorder, fault::FaultPlan *faults,
-                  ServerStats *stats)
+                  ServerStats *stats, obs::TraceRecorder *trace)
 {
-    if (dir.empty())
-        return fresh;
+    if (dir.empty()) {
+        if (trace == nullptr)
+            return fresh;
+        // No store: still trace the pipeline build itself.
+        return [fresh = std::move(fresh),
+                trace](const ArtifactKey &key)
+                   -> std::shared_ptr<const ArtifactBundle> {
+            obs::ScopedSpan build(trace, obs::kTraceRequests,
+                                  "artifact.build", "store");
+            if (build.active())
+                build.attr("artifact", key.toString());
+            return fresh(key);
+        };
+    }
     return [fresh = std::move(fresh), dir = std::move(dir), shard_reorder,
-            faults, stats](const ArtifactKey &key)
+            faults, stats, trace](const ArtifactKey &key)
                -> std::shared_ptr<const ArtifactBundle> {
         std::string path = store::artifactStorePath(dir, key);
         if (store::fileExists(path)) {
+            obs::ScopedSpan load(trace, obs::kTraceRequests,
+                                 "store.load", "store");
+            if (load.active())
+                load.attr("artifact", key.toString());
             std::string corrupt;
             if (faults != nullptr &&
                 faults->shouldInject(fault::FaultKind::StoreCorrupt,
@@ -115,11 +131,14 @@ storeAwareBuilder(ArtifactCache::Builder fresh, std::string dir,
                 try {
                     store::LoadedArtifact loaded =
                         store::loadArtifactBundle(path);
-                    if (loaded.bundle->key == key)
+                    if (loaded.bundle->key == key) {
+                        load.attr("outcome", "loaded");
                         return loaded.bundle;
+                    }
                     // Not corruption — a stale file for another key
                     // (hash collision in the file name); the re-save
                     // below simply overwrites it.
+                    load.attr("outcome", "stale");
                     warn("artifact store file ", path,
                          " holds a different key; rebuilding");
                 } catch (const std::runtime_error &e) {
@@ -127,6 +146,7 @@ storeAwareBuilder(ArtifactCache::Builder fresh, std::string dir,
                 }
             }
             if (!corrupt.empty()) {
+                load.attr("outcome", "quarantined");
                 if (store::quarantineFile(path))
                     warn("artifact store load of ", path, " failed (",
                          corrupt, "); quarantined to ",
@@ -140,7 +160,14 @@ storeAwareBuilder(ArtifactCache::Builder fresh, std::string dir,
                     stats->recordQuarantine();
             }
         }
-        std::shared_ptr<const ArtifactBundle> bundle = fresh(key);
+        std::shared_ptr<const ArtifactBundle> bundle;
+        {
+            obs::ScopedSpan build(trace, obs::kTraceRequests,
+                                  "artifact.build", "store");
+            if (build.active())
+                build.attr("artifact", key.toString());
+            bundle = fresh(key);
+        }
         try {
             store::saveArtifactBundle(path, *bundle, shard_reorder);
         } catch (const std::runtime_error &e) {
@@ -181,8 +208,11 @@ ServingEngine::ServingEngine(ServeOptions opts)
       fault_(std::make_shared<fault::FaultPlan>(opts_.fault)),
       cache_(opts_.cacheCapacity,
              storeAwareBuilder(freshBuilder_, opts_.storeDir,
-                               opts_.gcod.reorder, fault_.get(), &stats_)),
-      router_(opts_.backends, opts_.health), queue_(opts_.batching)
+                               opts_.gcod.reorder, fault_.get(), &stats_,
+                               &trace_)),
+      router_(opts_.backends, opts_.health),
+      trace_(obs::TraceRecorder::levelFromEnv(opts_.traceLevel)),
+      stats_(metrics_), queue_(opts_.batching)
 {
     GCOD_ASSERT(opts_.workers >= 1, "engine needs at least one worker");
     GCOD_ASSERT(opts_.retry.maxAttempts >= 1,
@@ -210,6 +240,41 @@ ServingEngine::ServingEngine(ServeOptions opts)
         // precision: an all-8-bit fleet runs the artifact's int8 pack.
         fleetExecBits_ = shardScheduler_->wireBits();
     }
+    queue_.setTrace(&trace_);
+    router_.setTrace(&trace_);
+    // Unified observability surface: everything a bench or CI check
+    // wants lands in one metrics_.snapshot() — the serve.* group
+    // (registered by stats_) plus live gauges over the cache, queue,
+    // recorder, and the fault-cause taxonomy. Gauges are evaluated at
+    // snapshot time, outside the registry lock.
+    metrics_.gauge("cache.hit_rate", "artifact cache hit rate",
+                   [this] { return cache_.hitRate(); });
+    metrics_.gauge("cache.hits", "artifact cache hits",
+                   [this] { return double(cache_.hits()); });
+    metrics_.gauge("cache.misses", "artifact cache misses (builds)",
+                   [this] { return double(cache_.misses()); });
+    metrics_.gauge("queue.depth", "requests waiting in the batch queue",
+                   [this] { return double(queue_.depth()); });
+    metrics_.gauge("engine.pending", "submitted, not yet replied",
+                   [this] { return double(pending_.load()); });
+    metrics_.gauge("trace.spans", "spans recorded so far",
+                   [this] { return double(trace_.size()); });
+    metrics_.gauge("trace.dropped_spans",
+                   "spans rejected because the buffer was full",
+                   [this] { return double(trace_.dropped()); });
+    metrics_.gauge("fault.injected.total", "faults injected (all kinds)",
+                   [plan = fault_] {
+                       return double(plan->injectedCount());
+                   });
+    for (int k = 0; k < fault::kNumFaultKinds; ++k) {
+        auto kind = fault::FaultKind(k);
+        metrics_.gauge(std::string("fault.injected.") +
+                           fault::faultKindName(kind),
+                       "injected faults of this kind",
+                       [plan = fault_, kind] {
+                           return double(plan->injectedCount(kind));
+                       });
+    }
     workers_.reserve(opts_.workers);
     for (size_t i = 0; i < opts_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -225,33 +290,71 @@ ServingEngine::submit(InferenceRequest req)
 {
     if (req.id == 0)
         req.id = nextId_.fetch_add(1);
-    if (shouldShed(opts_.admission, req.tier, queue_.depth())) {
-        // Load shed at the door: resolve immediately, count it in the
-        // shed bucket only (never completed/failed), touch no queue
-        // state. The client sees reply.shed and can back off or retry.
-        InferenceReply reply;
-        reply.id = req.id;
-        reply.tier = req.tier;
-        reply.shed = true;
-        reply.error = "shed by admission control";
-        stats_.recordReply(reply);
-        std::promise<InferenceReply> prom;
-        std::future<InferenceReply> fut = prom.get_future();
-        prom.set_value(std::move(reply));
-        return fut;
+    // Root span id of this request's causal tree: drawn here, ridden
+    // through the queue on the PendingRequest, and recorded as the
+    // "request" span when the reply resolves. 0 = tracing off (no id,
+    // no allocations).
+    uint64_t trace_id = trace_.enabled() ? trace_.newId() : 0;
+    size_t depth = queue_.depth();
+    // Records the root "request" span for requests that never reach a
+    // worker (shed / rejected) — otherwise their tree would dangle.
+    auto recordTerminalRequest = [&](const char *outcome) {
+        if (trace_id == 0 || !trace_.enabled())
+            return;
+        obs::TraceSpan s;
+        s.id = trace_id;
+        s.name = "request";
+        s.cat = "serve";
+        s.startNs = trace_.nowNs();
+        s.tid = obs::TraceRecorder::threadId();
+        s.attrs.emplace_back("request", std::to_string(req.id));
+        s.attrs.emplace_back("tier", sloTierName(req.tier));
+        s.attrs.emplace_back("outcome", outcome);
+        trace_.record(std::move(s));
+    };
+    {
+        obs::ScopedSpan admit(&trace_, obs::kTraceRequests, "admission",
+                              "serve", trace_id);
+        if (admit.active())
+            admit.attr("request", req.id)
+                .attr("tier", sloTierName(req.tier))
+                .attr("queue_depth", uint64_t(depth));
+        if (shouldShed(opts_.admission, req.tier, depth)) {
+            // Load shed at the door: resolve immediately, count it in
+            // the shed bucket only (never completed/failed), touch no
+            // queue state. The client sees reply.shed and can back off
+            // or retry.
+            admit.attr("outcome", "shed");
+            admit.finish();
+            recordTerminalRequest("shed");
+            InferenceReply reply;
+            reply.id = req.id;
+            reply.tier = req.tier;
+            reply.shed = true;
+            reply.error = "shed by admission control";
+            stats_.recordReply(reply);
+            std::promise<InferenceReply> prom;
+            std::future<InferenceReply> fut = prom.get_future();
+            prom.set_value(std::move(reply));
+            return fut;
+        }
+        admit.attr("outcome", "admitted");
     }
     PendingRequest p;
     p.key = ArtifactKey{req.dataset, req.model, optionsHash_};
     p.req = std::move(req);
     p.enqueued = Clock::now();
+    p.traceId = trace_id;
     std::future<InferenceReply> fut = p.promise.get_future();
     pending_.fetch_add(1);
     if (!queue_.push(p)) {
         // Shut down (or racing with shutdown): reject through the future
         // rather than throwing into the client thread.
         pending_.fetch_sub(1);
+        req = std::move(p.req);
+        recordTerminalRequest("rejected");
         InferenceReply reply;
-        reply.id = p.req.id;
+        reply.id = req.id;
         reply.error = "serving engine is shut down";
         p.promise.set_value(std::move(reply));
     }
@@ -275,6 +378,48 @@ ServingEngine::runBatch(Batch &&batch)
     InferenceReply base;
     base.batchSize = batchTotal;
     base.tier = batch.tier;
+
+    // The batch stage span, parented under the FIRST rider's root so a
+    // single-request trace forms one connected tree; other riders link
+    // in via the batch_span attr on their own request spans.
+    obs::ScopedSpan bspan(&trace_, obs::kTraceRequests, "batch", "serve",
+                          batch.requests.empty()
+                              ? 0
+                              : batch.requests.front().traceId);
+    if (bspan.active())
+        bspan.attr("artifact", batch.key.toString())
+            .attr("size", uint64_t(batchTotal))
+            .attr("tier", sloTierName(batch.tier));
+
+    // Record one rider's root "request" span (submit -> resolution).
+    // Must run before the promise is fulfilled, so the span exists by
+    // the time a client observes the reply.
+    auto recordRequestSpan = [&](const PendingRequest &p,
+                                 const InferenceReply &reply,
+                                 const char *outcome) {
+        if (p.traceId == 0 || !trace_.enabled())
+            return;
+        obs::TraceSpan s;
+        s.id = p.traceId;
+        s.name = "request";
+        s.cat = "serve";
+        s.startNs = trace_.toNs(p.enqueued);
+        s.durNs = trace_.nowNs() - s.startNs;
+        s.tid = obs::TraceRecorder::threadId();
+        s.attrs.emplace_back("request", std::to_string(p.req.id));
+        s.attrs.emplace_back("tier", sloTierName(p.req.tier));
+        s.attrs.emplace_back("artifact", batch.key.toString());
+        s.attrs.emplace_back("outcome", outcome);
+        if (!reply.backend.empty())
+            s.attrs.emplace_back("backend", reply.backend);
+        if (reply.executedBits != 0)
+            s.attrs.emplace_back("bits",
+                                 std::to_string(reply.executedBits));
+        if (bspan.id() != 0)
+            s.attrs.emplace_back("batch_span",
+                                 std::to_string(bspan.id()));
+        trace_.record(std::move(s));
+    };
 
     // Resolve every request whose wall-clock deadline has expired with a
     // timedOut reply, individually and immediately — an expired request
@@ -306,6 +451,7 @@ ServingEngine::runBatch(Batch &&batch)
             reply.timedOut = true;
             reply.error = "deadline exceeded";
             stats_.recordReply(reply);
+            recordRequestSpan(p, reply, "timeout");
             p.promise.set_value(std::move(reply));
         }
         batch.requests.resize(kept);
@@ -315,7 +461,13 @@ ServingEngine::runBatch(Batch &&batch)
     DetailedResult result;
     std::shared_ptr<const Matrix> logits;
     try {
+        obs::ScopedSpan aspan(&trace_, obs::kTraceRequests,
+                              "artifact.get", "serve", bspan.id());
         ArtifactCache::Lookup found = cache_.get(batch.key);
+        if (aspan.active())
+            aspan.attr("hit", found.hit ? "true" : "false")
+                .attr("version", found.version);
+        aspan.finish();
         dispatched = Clock::now();
         base.cacheHit = found.hit;
         expireRequests();
@@ -333,14 +485,19 @@ ServingEngine::runBatch(Batch &&batch)
             // the dataset's published size — so apply the same linear
             // size extrapolation here.
             double seconds = -1.0;
+            bool memoHit = false;
             std::pair<ArtifactKey, uint64_t> skey{batch.key,
                                                   found.version};
             {
                 std::lock_guard<std::mutex> lock(shardMemoMu_);
                 auto it = shardMemo_.find(skey);
-                if (it != shardMemo_.end())
+                if (it != shardMemo_.end()) {
                     seconds = it->second;
+                    memoHit = true;
+                }
             }
+            obs::ScopedSpan sspan(&trace_, obs::kTraceRequests,
+                                  "shard.schedule", "serve", bspan.id());
             if (seconds < 0.0) {
                 shard::ShardScheduleResult sched =
                     shardScheduler_->schedule(
@@ -352,12 +509,17 @@ ServingEngine::runBatch(Batch &&batch)
                 std::lock_guard<std::mutex> lock(shardMemoMu_);
                 shardMemo_.emplace(skey, seconds);
             }
+            if (sspan.active())
+                sspan.attr("memo", memoHit ? "hit" : "miss")
+                    .attr("fleet", shardScheduler_->fleetName())
+                    .attr("seconds", seconds);
+            sspan.finish();
             base.backend = shardScheduler_->fleetName();
             base.serviceSeconds = seconds;
             base.executedBits =
                 effectiveExecBits(bundle, fleetExecBits_);
             logits = logitsFor(found.bundle, found.version,
-                               base.executedBits);
+                               base.executedBits, bspan.id());
             stats_.recordBatch(base.backend, batch.size(), seconds,
                                seconds, base.executedBits);
         } else {
@@ -369,11 +531,25 @@ ServingEngine::runBatch(Batch &&batch)
             // next-cheapest healthy backend. Deadlines are re-checked
             // before every retry so expired riders resolve instead of
             // burning backoff they cannot use.
-            route = router_.choose(bundle, batch.tier);
+            {
+                obs::ScopedSpan rspan(&trace_, obs::kTraceRequests,
+                                      "route", "serve", bspan.id());
+                route = router_.choose(bundle, batch.tier);
+                if (rspan.active())
+                    rspan.attr("backend", route.name)
+                        .attr("estimate_s", route.estimatedSeconds)
+                        .attr("probe", route.probe ? "true" : "false");
+            }
             const std::string firstBackend = route.name;
             int attempts = 0;
             for (;;) {
                 ++attempts;
+                obs::ScopedSpan att(&trace_, obs::kTraceRequests,
+                                    "execute.attempt", "serve",
+                                    bspan.id());
+                if (att.active())
+                    att.attr("backend", route.name)
+                        .attr("attempt", attempts);
                 std::string failure;
                 if (fault_->enabled() &&
                     fault_->shouldInject(fault::FaultKind::BackendFailure,
@@ -398,6 +574,8 @@ ServingEngine::runBatch(Batch &&batch)
                     }
                     router_.endDispatch(route.backend);
                 }
+                att.attr("outcome", failure.empty() ? "ok" : "failed");
+                att.finish();
                 if (failure.empty()) {
                     router_.recordSuccess(route.backend);
                     break;
@@ -415,9 +593,14 @@ ServingEngine::runBatch(Batch &&batch)
                     opts_.retry.backoffBaseSeconds *
                         double(uint64_t(1)
                                << std::min(attempts - 1, 30)));
-                if (backoff > 0.0)
+                if (backoff > 0.0) {
+                    obs::ScopedSpan bo(&trace_, obs::kTraceRequests,
+                                       "retry.backoff", "serve",
+                                       bspan.id());
+                    bo.attr("seconds", backoff);
                     std::this_thread::sleep_for(
                         std::chrono::duration<double>(backoff));
+                }
                 expireRequests();
                 if (batch.requests.empty()) {
                     // Everyone stopped waiting; retrying would serve
@@ -426,7 +609,13 @@ ServingEngine::runBatch(Batch &&batch)
                                  "during retry";
                     break;
                 }
+                obs::ScopedSpan rspan(&trace_, obs::kTraceRequests,
+                                      "route", "serve", bspan.id());
                 route = router_.choose(bundle, batch.tier);
+                if (rspan.active())
+                    rspan.attr("backend", route.name)
+                        .attr("estimate_s", route.estimatedSeconds)
+                        .attr("probe", route.probe ? "true" : "false");
             }
             if (base.error.empty() && !batch.requests.empty()) {
                 base.retries = attempts - 1;
@@ -450,7 +639,7 @@ ServingEngine::runBatch(Batch &&batch)
                     bundle,
                     router_.model(route.backend).config().dataBits);
                 logits = logitsFor(found.bundle, found.version,
-                                   base.executedBits);
+                                   base.executedBits, bspan.id());
                 stats_.recordBatch(route.name, batch.size(),
                                    route.estimatedSeconds,
                                    base.serviceSeconds,
@@ -464,6 +653,13 @@ ServingEngine::runBatch(Batch &&batch)
         base.error = e.what();
         dispatched = Clock::now();
     }
+
+    // Record the batch span BEFORE fulfilling any promise: a client that
+    // wakes on the reply (drain() included) must already see the full
+    // span tree — otherwise the batch span would race the snapshot.
+    // bspan.id() stays valid after finish() for the batch_span attrs.
+    bspan.attr("outcome", base.error.empty() ? "ok" : "failed");
+    bspan.finish();
 
     for (PendingRequest &p : batch.requests) {
         InferenceReply reply = base;
@@ -484,6 +680,12 @@ ServingEngine::runBatch(Batch &&batch)
             reply.prediction = best;
         }
         stats_.recordReply(reply);
+        recordRequestSpan(p, reply, reply.ok() ? "ok" : "failed");
+        if (p.traceId != 0 && trace_.enabled())
+            trace_.instant("reply", "serve", p.traceId,
+                           {{"prediction",
+                             std::to_string(reply.prediction)},
+                            {"outcome", reply.ok() ? "ok" : "failed"}});
         p.promise.set_value(std::move(reply));
     }
 
@@ -498,23 +700,31 @@ ServingEngine::runBatch(Batch &&batch)
 
 std::shared_ptr<const Matrix>
 ServingEngine::logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
-                         uint64_t version, int bits)
+                         uint64_t version, int bits, uint64_t trace_parent)
 {
     if (bits <= 0 || !bundle->hasHostExec())
         return nullptr;
+    obs::ScopedSpan espan(&trace_, obs::kTraceRequests, "host.exec",
+                          "serve", trace_parent);
+    espan.attr("bits", bits);
     if (auto it = bundle->storedLogits.find(bits);
-        it != bundle->storedLogits.end())
+        it != bundle->storedLogits.end()) {
         // Warm start: the store already carries this precision's logits.
         // The aliasing shared_ptr keeps the whole bundle (and the mmap
         // behind it) alive for as long as anyone holds the matrix.
+        espan.attr("source", "store");
         return std::shared_ptr<const Matrix>(bundle, &it->second);
+    }
     std::tuple<ArtifactKey, uint64_t, int> key{bundle->key, version, bits};
     {
         std::lock_guard<std::mutex> lock(execMemoMu_);
         auto it = execMemo_.find(key);
-        if (it != execMemo_.end())
+        if (it != execMemo_.end()) {
+            espan.attr("source", "memo");
             return it->second;
+        }
     }
+    espan.attr("source", "computed");
     // Compute outside the lock: racing workers produce bit-identical
     // matrices (integer kernels + deterministic fp32 path), so a
     // duplicated cold pass is harmless.
@@ -527,9 +737,11 @@ ServingEngine::logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
             // invisible in the logits (bit-identical stitch) and visible
             // in the stats.
             shard::ShardExecStats sstats;
+            obs::TraceCtx tctx{&trace_, espan.id()};
             out = shard::quantizedShardedForward(
                 bundle->sharded->plan, q, bundle->hostFeatures,
-                fault_->enabled() ? fault_.get() : nullptr, &sstats);
+                fault_->enabled() ? fault_.get() : nullptr, &sstats,
+                &tctx);
             stats_.recordShardReexecutions(sstats.reexecutions);
         } else {
             out = quantizedForwardMixed(q, bundle->hostFeatures);
@@ -597,6 +809,10 @@ ServingEngine::publishArtifact(const ArtifactKey &key,
                      ? shardMemo_.erase(it)
                      : std::next(it);
     }
+    if (trace_.enabled())
+        trace_.instant("artifact.publish", "store", 0,
+                       {{"artifact", key.toString()},
+                        {"version", std::to_string(version)}});
     return version;
 }
 
@@ -635,12 +851,25 @@ ServingEngine::applyUpdate(const ArtifactKey &key,
 {
     // Cold keys build (or store-load) first; the update then applies to
     // a real epoch instead of special-casing an absent one.
+    obs::ScopedSpan uspan(&trace_, obs::kTraceRequests, "update.apply",
+                          "serve");
+    if (uspan.active())
+        uspan.attr("artifact", key.toString());
     ArtifactCache::Lookup found = cache_.get(key);
 
     UpdateBuildStats bs;
+    obs::ScopedSpan build(&trace_, obs::kTraceRequests, "update.build",
+                          "serve", uspan.id());
     std::shared_ptr<const ArtifactBundle> next = applyDeltaToBundle(
         found.bundle, delta, opts_.artifactSeed, opts_.gcod.reorder,
         opts_.shardRebaseImbalance, &bs);
+    if (build.active())
+        build.attr("dirty_rows", uint64_t(bs.dirtyRows))
+            .attr("recomputed_rows", uint64_t(bs.recomputedRows))
+            .attr("rebased", bs.rebased ? "true" : "false");
+    build.finish();
+    if (uspan.active())
+        uspan.attr("noop", next == found.bundle ? "true" : "false");
 
     UpdateResult r;
     r.dynEpoch = bs.dynEpoch;

@@ -22,6 +22,8 @@
 #include <tuple>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/artifact_cache.hpp"
 #include "serve/backend_router.hpp"
 #include "serve/batch_queue.hpp"
@@ -158,6 +160,19 @@ struct ServeOptions
     double defaultTimeoutSeconds = 0.0;
     /** Circuit-breaker knobs of the backend router. */
     HealthOptions health;
+
+    /**
+     * Trace verbosity (obs::TraceLevel): 0 records nothing (and adds no
+     * hot-path allocations), 1 records request/batch/route/execute/
+     * store stage spans, 2 adds per-shard, halo-exchange, and kernel
+     * spans.
+     * The GCOD_TRACE environment variable (when set) overrides this, so
+     * a deployment flips tracing on without recompiling. Tracing never
+     * changes serving results: logits are byte-identical with tracing
+     * on or off (bench/obs_overhead gates this plus a <= 3% throughput
+     * overhead bound).
+     */
+    int traceLevel = 0;
 };
 
 class ServingEngine
@@ -185,6 +200,14 @@ class ServingEngine
     ArtifactCache &cache() { return cache_; }
     BackendRouter &router() { return router_; }
     ServerStats &stats() { return stats_; }
+    /**
+     * Unified metric registry: serve.* counters (the ServerStats view),
+     * plus cache/queue/trace/fault gauges — one snapshot() for benches,
+     * tests, and CI.
+     */
+    obs::MetricRegistry &metrics() { return metrics_; }
+    /** Span recorder of the serving path (exports JSONL/Chrome JSON). */
+    obs::TraceRecorder &trace() { return trace_; }
     /** The engine's fault plan (inspect the injected trace in tests). */
     fault::FaultPlan &faultPlan() { return *fault_; }
     const ServeOptions &options() const { return opts_; }
@@ -300,7 +323,7 @@ class ServingEngine
      */
     std::shared_ptr<const Matrix>
     logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
-              uint64_t version, int bits);
+              uint64_t version, int bits, uint64_t trace_parent = 0);
 
     ServeOptions opts_;
     uint64_t optionsHash_;
@@ -322,6 +345,18 @@ class ServingEngine
     std::shared_ptr<fault::FaultPlan> fault_;
     ArtifactCache cache_;
     BackendRouter router_;
+    /**
+     * Declared before stats_ and trace_-consuming members: the registry
+     * owns the "serve" StatGroup that stats_ views, and the ctor
+     * registers cache/queue/fault/trace gauges into it.
+     */
+    obs::MetricRegistry metrics_;
+    /**
+     * Span recorder; level resolves GCOD_TRACE over opts_.traceLevel.
+     * Declared before stats_/queue_ so the pointer handed to the
+     * store-aware builder and the queue is valid throughout.
+     */
+    obs::TraceRecorder trace_;
     ServerStats stats_;
     BatchQueue queue_;
     std::unique_ptr<shard::ShardScheduler> shardScheduler_;

@@ -122,6 +122,14 @@ struct PendingRequest
     ArtifactKey key;
     Clock::time_point enqueued;
     std::promise<InferenceReply> promise;
+    /**
+     * Root span id of this request's trace (0 = untraced). Drawn at
+     * submit(); every downstream span (batch, route, execute, shard
+     * compute) hangs under it, and the root "request" span itself is
+     * recorded when the reply resolves — the full causal tree of one
+     * request is reconstructable from the exported spans.
+     */
+    uint64_t traceId = 0;
 };
 
 /** A flushed group of same-artifact, same-tier requests (one pass). */

@@ -33,7 +33,21 @@ tierStat(SloTier tier, const char *suffix)
 
 } // namespace
 
-ServerStats::ServerStats() : group_("serve"), start_(Clock::now())
+ServerStats::ServerStats()
+    : owned_(std::make_unique<obs::MetricRegistry>()),
+      group_(owned_->group("serve")), start_(Clock::now())
+{
+    registerSchema();
+}
+
+ServerStats::ServerStats(obs::MetricRegistry &registry)
+    : group_(registry.group("serve")), start_(Clock::now())
+{
+    registerSchema();
+}
+
+void
+ServerStats::registerSchema()
 {
     // Pre-register so print() shows the full schema even before traffic.
     group_.scalar("requests_completed", "successfully served requests");

@@ -11,9 +11,11 @@
 #define GCOD_SERVE_SERVER_STATS_HPP
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 
+#include "obs/metrics.hpp"
 #include "serve/request.hpp"
 #include "sim/stats.hpp"
 
@@ -32,7 +34,18 @@ double sortedPercentile(const std::vector<double> &sorted, double p);
 class ServerStats
 {
   public:
+    /** Standalone stats: owns a private MetricRegistry. */
     ServerStats();
+
+    /**
+     * Register the "serve" group into @p registry (the engine's unified
+     * registry) instead of a private one: every counter and distribution
+     * recorded here then shows up in registry.snapshot() next to trace,
+     * cache, and fault metrics — one snapshot format for benches, tests,
+     * and CI. All existing accessors keep working as views. @p registry
+     * must outlive this object.
+     */
+    explicit ServerStats(obs::MetricRegistry &registry);
 
     /**
      * Record one completed, timed-out, failed, or shed request. The
@@ -114,8 +127,14 @@ class ServerStats
     const StatGroup &group() const { return group_; }
 
   private:
+    /** Pre-register the full stat schema (shared by both ctors). */
+    void registerSchema();
+
     mutable std::mutex mu_;
-    StatGroup group_;
+    /** Backing registry of the default ctor; null when external. */
+    std::unique_ptr<obs::MetricRegistry> owned_;
+    /** The "serve" group, living in owned_ or the caller's registry. */
+    StatGroup &group_;
     Clock::time_point start_;
     std::map<std::string, uint64_t> perBackend_;
 };

@@ -41,13 +41,19 @@ gatherRows(const Matrix &src, const std::vector<NodeId> &ids)
 Matrix
 shardedForward(const ShardPlan &plan, const ShardedModel &m,
                const std::vector<CsrMatrix> &local_ops, const Matrix &x,
-               fault::FaultPlan *faults, ShardExecStats *fault_stats)
+               fault::FaultPlan *faults, ShardExecStats *fault_stats,
+               const obs::TraceCtx *trace)
 {
     GCOD_ASSERT(local_ops.size() == size_t(plan.numShards),
                 "one operator slice per shard expected");
     GCOD_ASSERT(x.rows() == int64_t(plan.numNodes),
                 "activation rows must match the plan graph");
 
+    obs::TraceRecorder *rec =
+        trace != nullptr && trace->enabled(obs::kTraceKernels)
+            ? trace->rec
+            : nullptr;
+    uint64_t trace_parent = trace != nullptr ? trace->parent : 0;
     std::atomic<uint64_t> drops{0};
     const std::vector<LayerSpec> &layers = m.spec->layers;
     Matrix current = x;
@@ -65,7 +71,21 @@ shardedForward(const ShardPlan &plan, const ShardedModel &m,
                     const Shard &sh = plan.shards[size_t(s)];
                     if (sh.owned.empty())
                         continue;
+                    obs::ScopedSpan cspan(rec, obs::kTraceKernels,
+                                          "shard.compute", "shard",
+                                          trace_parent);
+                    if (cspan.active())
+                        cspan.attr("layer", int64_t(l))
+                            .attr("shard", s)
+                            .attr("owned", int64_t(sh.owned.size()))
+                            .attr("halo",
+                                  int64_t(sh.localToGlobal.size() -
+                                          sh.owned.size()));
+                    obs::ScopedSpan hspan(rec, obs::kTraceKernels,
+                                          "halo.gather", "shard",
+                                          cspan.id());
                     Matrix xloc = gatherRows(current, sh.localToGlobal);
+                    hspan.finish();
                     // Injected halo drop: the exchange delivered this
                     // shard's halo rows corrupted. The attempt keyed by
                     // (layer, shard) — thread-schedule independent — is
@@ -119,22 +139,28 @@ shardedForward(const ShardPlan &plan, const ShardedModel &m,
 Matrix
 shardedForward(const ShardPlan &plan, const ShardedModel &m,
                const Matrix &x, fault::FaultPlan *faults,
-               ShardExecStats *fault_stats)
+               ShardExecStats *fault_stats, const obs::TraceCtx *trace)
 {
     return shardedForward(plan, m, extractShardOperators(plan, *m.op), x,
-                          faults, fault_stats);
+                          faults, fault_stats, trace);
 }
 
 Matrix
 quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
                         const Matrix &x, fault::FaultPlan *faults,
-                        ShardExecStats *fault_stats)
+                        ShardExecStats *fault_stats,
+                        const obs::TraceCtx *trace)
 {
     GCOD_ASSERT(x.rows() == int64_t(plan.numNodes),
                 "activation rows must match the plan graph");
     GCOD_ASSERT(int64_t(q.qop.pattern->rows()) == x.rows(),
                 "quantization pack must cover the plan graph");
 
+    obs::TraceRecorder *rec =
+        trace != nullptr && trace->enabled(obs::kTraceKernels)
+            ? trace->rec
+            : nullptr;
+    uint64_t trace_parent = trace != nullptr ? trace->parent : 0;
     std::atomic<uint64_t> drops{0};
     const std::vector<LayerSpec> &layers = q.spec.layers;
     Matrix cur = x;
@@ -142,15 +168,35 @@ quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
         bool last = l + 1 == layers.size();
         // Global packing first: branch scales come from the whole
         // activation matrix, so every shard codes its halo inputs
-        // exactly as the monolithic pass would.
+        // exactly as the monolithic pass would. The packed branch codes
+        // are exactly what crosses chips, so the packing span IS the
+        // halo-exchange payload preparation.
+        obs::ScopedSpan xspan(rec, obs::kTraceKernels, "halo.exchange",
+                              "shard", trace_parent);
+        if (xspan.active())
+            xspan.attr("layer", int64_t(l))
+                .attr("nodes", cur.rows())
+                .attr("dense_bits", q.policy.denseBits)
+                .attr("sparse_bits", q.policy.sparseBits);
         MixedQuantizedMatrix mq =
             mixedQuantize(cur, q.branchOf, q.localIndex,
                           q.policy.denseBits, q.policy.sparseBits);
+        xspan.finish();
         Matrix s(cur.rows(), int64_t(cur.cols()), 0.0f);
         parallelFor(
             0, plan.numShards,
             [&](const Range &r, size_t) {
                 for (int64_t sh = r.begin; sh < r.end; ++sh) {
+                    obs::ScopedSpan cspan(rec, obs::kTraceKernels,
+                                          "shard.compute", "shard",
+                                          trace_parent);
+                    if (cspan.active())
+                        cspan
+                            .attr("layer", int64_t(l))
+                            .attr("shard", sh)
+                            .attr("owned",
+                                  int64_t(plan.shards[size_t(sh)]
+                                              .owned.size()));
                     // Injected halo drop: the exchange CRC rejected the
                     // packed halo codes, so the aggregation re-executes
                     // against re-fetched codes. qspmmMixedRows zeroes
@@ -180,9 +226,16 @@ quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
         parallelFor(
             0, plan.numShards,
             [&](const Range &r, size_t) {
-                for (int64_t sh = r.begin; sh < r.end; ++sh)
+                for (int64_t sh = r.begin; sh < r.end; ++sh) {
+                    obs::ScopedSpan tspan(rec, obs::kTraceKernels,
+                                          "shard.transform", "shard",
+                                          trace_parent);
+                    if (tspan.active())
+                        tspan.attr("layer", int64_t(l))
+                            .attr("shard", sh);
                     qmatmulMixedRows(mz, q.wLo[l], q.wHi[l],
                                      plan.shards[size_t(sh)].owned, z);
+                }
             },
             1);
         if (!last)

@@ -31,6 +31,7 @@
 #include "nn/graph_context.hpp"
 #include "nn/models.hpp"
 #include "nn/quant_exec.hpp"
+#include "obs/trace.hpp"
 #include "shard/plan.hpp"
 
 namespace gcod::shard {
@@ -85,14 +86,22 @@ ShardedModel shardedModelFor(GnnModel &model, const GraphContext &ctx);
  * injected set is identical at any thread count. Dropped shards
  * re-execute (see ShardExecStats); @p fault_stats, when non-null,
  * reports the recovery counts.
+ *
+ * @p trace (optional) records per-shard "shard.compute" and halo
+ * ("halo.gather" fp32 / "halo.exchange" quantized) spans at
+ * obs::kTraceKernels, parented under trace->parent. Tracing reads
+ * timestamps and copies labels only — the stitched logits stay
+ * byte-identical with tracing on or off.
  */
 Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
                       const std::vector<CsrMatrix> &local_ops,
                       const Matrix &x, fault::FaultPlan *faults = nullptr,
-                      ShardExecStats *fault_stats = nullptr);
+                      ShardExecStats *fault_stats = nullptr,
+                      const obs::TraceCtx *trace = nullptr);
 Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
                       const Matrix &x, fault::FaultPlan *faults = nullptr,
-                      ShardExecStats *fault_stats = nullptr);
+                      ShardExecStats *fault_stats = nullptr,
+                      const obs::TraceCtx *trace = nullptr);
 
 /**
  * Sharded mixed-precision integer forward (nn/quant_exec numerics): each
@@ -108,7 +117,8 @@ Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
 Matrix quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
                                const Matrix &x,
                                fault::FaultPlan *faults = nullptr,
-                               ShardExecStats *fault_stats = nullptr);
+                               ShardExecStats *fault_stats = nullptr,
+                               const obs::TraceCtx *trace = nullptr);
 
 } // namespace gcod::shard
 

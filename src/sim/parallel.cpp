@@ -39,7 +39,102 @@ envThreads()
     return int(std::min<long>(v, kMaxThreads));
 }
 
+// -------------------------------------------------------- task profiling
+
+/** Fast-path flag mirroring whether g_task_hook holds a callable. */
+std::atomic<bool> g_profiling{false};
+std::mutex g_task_hook_mu;
+/** shared_ptr so in-flight wrapped tasks outlive a concurrent reset. */
+std::shared_ptr<const TaskProfileHook> g_task_hook;
+
+/** Innermost ParallelZone label of this thread. */
+thread_local const char *t_zone = "";
+
+int
+profileThreadId()
+{
+    static std::atomic<int> next{1};
+    static thread_local int id = 0;
+    if (id == 0)
+        id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::shared_ptr<const TaskProfileHook>
+currentTaskHook()
+{
+    std::lock_guard<std::mutex> lock(g_task_hook_mu);
+    return g_task_hook;
+}
+
+/**
+ * Wrap @p fn with per-task timing. The zone label is captured on the
+ * CALLING thread (the kernel entry point that named it); pool workers
+ * executing the returned body report under that label. @p fn is
+ * captured by pointer: the wrapper never outlives the synchronous
+ * parallel region that owns the original.
+ */
+RangeFn
+profiledWrapper(const RangeFn &fn)
+{
+    std::shared_ptr<const TaskProfileHook> hook = currentTaskHook();
+    if (hook == nullptr || !*hook)
+        return fn;
+    const RangeFn *inner = &fn;
+    const char *zone = t_zone;
+    return [inner, hook, zone](const Range &r, size_t idx) {
+        auto t0 = std::chrono::steady_clock::now();
+        (*inner)(r, idx);
+        TaskSample s;
+        s.zone = zone;
+        s.items = r.size();
+        s.rangeIndex = idx;
+        s.start = t0;
+        s.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        s.thread = profileThreadId();
+        (*hook)(s);
+    };
+}
+
 } // namespace
+
+void
+setTaskProfileHook(TaskProfileHook hook)
+{
+    std::lock_guard<std::mutex> lock(g_task_hook_mu);
+    if (hook) {
+        g_task_hook =
+            std::make_shared<const TaskProfileHook>(std::move(hook));
+        g_profiling.store(true, std::memory_order_relaxed);
+    } else {
+        g_task_hook.reset();
+        g_profiling.store(false, std::memory_order_relaxed);
+    }
+}
+
+bool
+taskProfilingEnabled()
+{
+    return g_profiling.load(std::memory_order_relaxed);
+}
+
+ParallelZone::ParallelZone(const char *label) : prev_(t_zone)
+{
+    t_zone = label != nullptr ? label : "";
+}
+
+ParallelZone::~ParallelZone()
+{
+    t_zone = prev_;
+}
+
+const char *
+ParallelZone::current()
+{
+    return t_zone;
+}
 
 int
 hardwareThreads()
@@ -290,11 +385,12 @@ ThreadPool::global()
 
 // ------------------------------------------------------------ entry points
 
+namespace {
+
+/** parallelForRanges body, after any profiling wrap was applied. */
 void
-parallelForRanges(const std::vector<Range> &ranges, const RangeFn &fn)
+dispatchRanges(const std::vector<Range> &ranges, const RangeFn &fn)
 {
-    if (ranges.empty())
-        return;
     int threads = currentThreads();
     if (threads <= 1 || ranges.size() <= 1 || t_inside_job) {
         for (size_t i = 0; i < ranges.size(); ++i)
@@ -304,6 +400,23 @@ parallelForRanges(const std::vector<Range> &ranges, const RangeFn &fn)
     ThreadPool &pool = ThreadPool::global();
     pool.ensureWorkers(threads - 1);
     pool.run(ranges, fn);
+}
+
+} // namespace
+
+void
+parallelForRanges(const std::vector<Range> &ranges, const RangeFn &fn)
+{
+    if (ranges.empty())
+        return;
+    // Profiling wraps once per region (not per task) and only when a
+    // hook is installed: the disabled path costs one relaxed load.
+    if (g_profiling.load(std::memory_order_relaxed)) {
+        RangeFn wrapped = profiledWrapper(fn);
+        dispatchRanges(ranges, wrapped);
+        return;
+    }
+    dispatchRanges(ranges, fn);
 }
 
 void
@@ -318,6 +431,11 @@ parallelFor(int64_t begin, int64_t end, const RangeFn &fn, int64_t minGrain)
                                       std::max<int64_t>(1, span / minGrain)));
     if (parts <= 1) {
         Range all{begin, end};
+        if (g_profiling.load(std::memory_order_relaxed)) {
+            RangeFn wrapped = profiledWrapper(fn);
+            wrapped(all, 0);
+            return;
+        }
         fn(all, 0);
         return;
     }
@@ -335,6 +453,11 @@ parallelForWeighted(const std::vector<int64_t> &cumulative, const RangeFn &fn,
     int parts = currentThreads();
     if (parts <= 1 || total < minCost) {
         Range all{0, n};
+        if (g_profiling.load(std::memory_order_relaxed)) {
+            RangeFn wrapped = profiledWrapper(fn);
+            wrapped(all, 0);
+            return;
+        }
         fn(all, 0);
         return;
     }

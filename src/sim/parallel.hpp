@@ -29,6 +29,7 @@
 #ifndef GCOD_SIM_PARALLEL_HPP
 #define GCOD_SIM_PARALLEL_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -119,6 +120,68 @@ class ThreadPool
   private:
     struct Impl;
     Impl *impl_;
+};
+
+// ------------------------------------------------- kernel profiling hooks
+//
+// Optional per-task observability: when a hook is installed, every range
+// executed through parallelFor/parallelForWeighted/parallelForRanges is
+// timed and reported — which kernel (the innermost ParallelZone label on
+// the CALLING thread), how many items the range covered (rows for dense
+// kernels, rows ~ nnz/parts for weighted ones), how long it ran, and on
+// which pool thread. obs::KernelProfiler aggregates these samples into a
+// flame-style per-kernel breakdown and can mirror them into a
+// TraceRecorder. With no hook installed the cost is one relaxed atomic
+// load per parallel region — the kernels' hot loops are untouched, and
+// results are bit-identical with profiling on or off.
+
+/** One profiled task (range) execution. */
+struct TaskSample
+{
+    /** Innermost ParallelZone label at the call site; "" = unlabeled. */
+    const char *zone = "";
+    /** Items in the range (rows; ranges are nnz-balanced when weighted). */
+    int64_t items = 0;
+    /** Index of the range within its parallel region. */
+    size_t rangeIndex = 0;
+    std::chrono::steady_clock::time_point start;
+    double seconds = 0.0;
+    /** Small sequential id of the executing thread. */
+    int thread = 0;
+};
+
+using TaskProfileHook = std::function<void(const TaskSample &)>;
+
+/**
+ * Install (or, with an empty hook, remove) the process-wide task
+ * profiling hook. The hook is invoked concurrently from pool workers
+ * and must be thread-safe. Last writer wins.
+ */
+void setTaskProfileHook(TaskProfileHook hook);
+
+/** True when a task profiling hook is installed. */
+bool taskProfilingEnabled();
+
+/**
+ * RAII kernel label: tags every task dispatched while in scope (on this
+ * thread) with @p label. Labels must be string literals (or otherwise
+ * outlive the parallel region) — the hook receives the pointer, not a
+ * copy. Nests; the innermost label wins.
+ */
+class ParallelZone
+{
+  public:
+    explicit ParallelZone(const char *label);
+    ~ParallelZone();
+
+    ParallelZone(const ParallelZone &) = delete;
+    ParallelZone &operator=(const ParallelZone &) = delete;
+
+    /** The calling thread's innermost active label ("" when none). */
+    static const char *current();
+
+  private:
+    const char *prev_;
 };
 
 /**

@@ -143,21 +143,36 @@ void
 StatGroup::print(std::ostream &os) const
 {
     os << "---------- " << name_ << " ----------\n";
-    for (const auto &[key, s] : scalars_) {
-        os << std::left << std::setw(40) << (name_ + "." + key)
-           << std::setw(18) << s.value();
-        if (!s.desc().empty())
-            os << " # " << s.desc();
-        os << "\n";
-    }
-    for (const auto &[key, d] : dists_) {
-        os << std::left << std::setw(40) << (name_ + "." + key)
-           << "n=" << d.count() << " mean=" << d.mean()
-           << " min=" << d.min() << " max=" << d.max()
-           << " cv=" << d.cv();
-        if (!d.desc().empty())
-            os << " # " << d.desc();
-        os << "\n";
+    // Merge the two (already name-sorted) maps into one stream ordered
+    // strictly by name: with scalars and distributions interleaved
+    // deterministically, two runs that registered the same stats in a
+    // different order (or as different kinds) still dump byte-identical
+    // line order — snapshots diff cleanly in CI logs.
+    auto sit = scalars_.begin();
+    auto dit = dists_.begin();
+    while (sit != scalars_.end() || dit != dists_.end()) {
+        bool scalar_next =
+            dit == dists_.end() ||
+            (sit != scalars_.end() && sit->first <= dit->first);
+        if (scalar_next) {
+            const StatScalar &s = sit->second;
+            os << std::left << std::setw(40) << (name_ + "." + sit->first)
+               << std::setw(18) << s.value();
+            if (!s.desc().empty())
+                os << " # " << s.desc();
+            os << "\n";
+            ++sit;
+        } else {
+            const StatDistribution &d = dit->second;
+            os << std::left << std::setw(40) << (name_ + "." + dit->first)
+               << "n=" << d.count() << " mean=" << d.mean()
+               << " min=" << d.min() << " max=" << d.max()
+               << " cv=" << d.cv();
+            if (!d.desc().empty())
+                os << " # " << d.desc();
+            os << "\n";
+            ++dit;
+        }
     }
 }
 

@@ -153,7 +153,22 @@ class StatGroup
     const StatScalar *findScalar(const std::string &name) const;
     const StatDistribution *findDistribution(const std::string &name) const;
 
-    /** Dump "name value # desc" lines, gem5 stats.txt style. */
+    /** Name-sorted views over the contained statistics (snapshots). */
+    const std::map<std::string, StatScalar> &scalars() const
+    {
+        return scalars_;
+    }
+    const std::map<std::string, StatDistribution> &distributions() const
+    {
+        return dists_;
+    }
+
+    /**
+     * Dump "name value # desc" lines, gem5 stats.txt style. Scalars and
+     * distributions are MERGED into one stream sorted by name, so dumps
+     * diff cleanly across runs and CI logs regardless of the order (or
+     * kind) in which statistics were registered.
+     */
     void print(std::ostream &os) const;
 
     /** Reset every contained statistic to zero samples. */

@@ -33,6 +33,7 @@ Matrix
 matmul(const Matrix &a, const Matrix &b)
 {
     GCOD_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
+    ParallelZone zone("matmul");
     Matrix c(a.rows(), b.cols(), 0.0f);
     // Parallel over disjoint row blocks of C; within a block, i-k-j order
     // tiled over j so one K x kColTile stripe of B is reused across the
@@ -65,6 +66,7 @@ Matrix
 matmulTransposedA(const Matrix &a, const Matrix &b)
 {
     GCOD_ASSERT(a.rows() == b.rows(), "matmulTransposedA shape mismatch");
+    ParallelZone zone("matmulTransposedA");
     Matrix c(a.cols(), b.cols(), 0.0f);
     // Parallel over disjoint row blocks of C (= column blocks of A); the
     // k sweep is innermost-outer exactly as in the scalar kernel, so each
@@ -94,6 +96,7 @@ Matrix
 matmulTransposedB(const Matrix &a, const Matrix &b)
 {
     GCOD_ASSERT(a.cols() == b.cols(), "matmulTransposedB shape mismatch");
+    ParallelZone zone("matmulTransposedB");
     Matrix c(a.rows(), b.rows(), 0.0f);
     // Parallel over row blocks of C; j tiled so a block of B rows is
     // reused across every row of the local range. Each c(i, j) is one
@@ -124,6 +127,7 @@ Matrix
 spmmRowWise(const CsrMatrix &a, const Matrix &x)
 {
     GCOD_ASSERT(int64_t(a.cols()) == x.rows(), "spmm shape mismatch");
+    ParallelZone zone("spmmRowWise");
     Matrix y(a.rows(), x.cols(), 0.0f);
     // Row ranges are cut by cumulative nnz (the indptr array), not row
     // count: on power-law graphs equal row counts give wildly unequal

@@ -100,6 +100,7 @@ Matrix
 qmatmul(const QuantizedMatrix &a, const QuantizedMatrix &b)
 {
     GCOD_ASSERT(a.cols() == b.rows(), "qmatmul shape mismatch");
+    ParallelZone zone("qmatmul");
     Matrix c(a.rows(), b.cols(), 0.0f);
     parallelFor(
         0, a.rows(),
@@ -129,6 +130,7 @@ qspmm(const QuantizedCsr &a, const QuantizedMatrix &x)
 {
     const CsrMatrix &p = *a.pattern;
     GCOD_ASSERT(int64_t(p.cols()) == x.rows(), "qspmm shape mismatch");
+    ParallelZone zone("qspmm");
     Matrix y(p.rows(), x.cols(), 0.0f);
     parallelForWeighted(
         p.indptr(),
@@ -196,6 +198,7 @@ qspmmMixed(const QuantizedCsr &a, const MixedQuantizedMatrix &x)
 {
     const CsrMatrix &p = *a.pattern;
     GCOD_ASSERT(int64_t(p.cols()) == x.rows(), "qspmmMixed shape mismatch");
+    ParallelZone zone("qspmmMixed");
     Matrix y(p.rows(), x.cols(), 0.0f);
     parallelForWeighted(
         p.indptr(),
@@ -230,6 +233,7 @@ qmatmulMixed(const MixedQuantizedMatrix &x, const QuantizedMatrix &w_lo,
     GCOD_ASSERT(x.cols() == w_lo.rows() && x.cols() == w_hi.rows() &&
                     w_lo.cols() == w_hi.cols(),
                 "qmatmulMixed shape mismatch");
+    ParallelZone zone("qmatmulMixed");
     Matrix z(x.rows(), w_lo.cols(), 0.0f);
     parallelFor(
         0, x.rows(),
