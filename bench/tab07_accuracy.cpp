@@ -29,7 +29,7 @@ printTable7(Config &cfg)
     std::vector<std::string> models = {"GCN", "GIN"};
     std::vector<std::string> datasets = {"Cora", "CiteSeer", "Pubmed"};
     if (cfg.getBool("full")) {
-        models = {"GCN", "GAT", "GIN", "GraphSAGE"};
+        models = {"GCN", "GAT", "GIN", "GraphSAGE", "ResGCN"};
         datasets = {"Cora", "CiteSeer", "Pubmed", "NELL", "Reddit"};
     }
     if (cfg.has("model"))

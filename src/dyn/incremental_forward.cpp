@@ -10,47 +10,123 @@ namespace gcod::dyn {
 namespace {
 
 /**
- * Recompute one output row of layer @p l into @p out, mirroring the
- * batch kernels' per-element accumulation order (see file header).
+ * Run ops [begin, end) of layer @p g as scalar row workers for global
+ * row @p r, chaining through per-slot buffers. Slot 0 resolves to
+ * input.row(r); every other slot must have been filled by an earlier op
+ * or by the caller (the aggregation output). Each worker mirrors the
+ * batch kernel's per-element accumulation order (see file header).
  */
 void
-recomputeRow(const ForwardRecipe &m, size_t l, const Matrix &input,
-             Matrix &out, NodeId r)
+runRowOps(const ForwardRecipe &m, const LayerGraph &g, size_t begin,
+          size_t end, const Matrix &input, NodeId r,
+          std::vector<std::vector<float>> &buf,
+          const std::vector<int64_t> &widths)
 {
-    const Matrix &w = *m.weights[l];
-    const int64_t in_cols = input.cols();
-
-    // Aggregated row s = (op · input)[r], in operator-row entry order.
-    std::vector<float> s(size_t(in_cols), 0.0f);
-    m.op->forEachInRow(r, [&](NodeId c, float v) {
-        const float *xrow = input.row(c);
-        for (int64_t j = 0; j < in_cols; ++j)
-            s[size_t(j)] += v * xrow[j];
-    });
-
-    // Dense row z = a · W with a = concat ? [input_r | s] : s; ascending
-    // k with matmul's zero-activation skip keeps the bit pattern.
-    float *zrow = out.row(r);
-    const int64_t out_cols = w.cols();
-    std::fill(zrow, zrow + out_cols, 0.0f);
-    const float *self = input.row(r);
-    const int64_t kdim = w.rows();
-    for (int64_t k = 0; k < kdim; ++k) {
-        float av;
-        if (m.concatSelf)
-            av = k < in_cols ? self[k] : s[size_t(k - in_cols)];
-        else
-            av = s[size_t(k)];
-        if (av == 0.0f)
-            continue;
-        const float *wrow = w.row(k);
-        for (int64_t j = 0; j < out_cols; ++j)
-            zrow[j] += av * wrow[j];
+    auto rowOf = [&](int sl) -> const float * {
+        if (sl == 0)
+            return input.row(r);
+        GCOD_ASSERT(!buf[size_t(sl)].empty(),
+                    "row-local chain reads an unfilled slot");
+        return buf[size_t(sl)].data();
+    };
+    for (size_t oi = begin; oi < end; ++oi) {
+        const OpStep &op = g.ops[oi];
+        std::vector<float> &out = buf[size_t(op.out)];
+        out.assign(size_t(widths[size_t(op.out)]), 0.0f);
+        switch (op.kind) {
+        case OpKind::GEMM: {
+            // Ascending-k dot products with matmul's zero-activation
+            // skip keep the bit pattern of the batch kernel.
+            const Matrix &w = *m.weights[size_t(op.weight)];
+            const float *a = rowOf(op.in);
+            const int64_t kdim = w.rows();
+            const int64_t out_cols = w.cols();
+            for (int64_t k = 0; k < kdim; ++k) {
+                float av = a[k];
+                if (av == 0.0f)
+                    continue;
+                const float *wrow = w.row(k);
+                for (int64_t j = 0; j < out_cols; ++j)
+                    out[size_t(j)] += av * wrow[j];
+            }
+            break;
+        }
+        case OpKind::Residual: {
+            GCOD_ASSERT(op.aux == 0, "row recompute expects the residual "
+                                     "stream to be the layer input");
+            const float *in = rowOf(op.in);
+            const float *aux = rowOf(op.aux);
+            const int64_t nvals = widths[size_t(op.in)];
+            // Two passes, matching evalRowLocalOp's `t *= scale; o += t`.
+            for (int64_t j = 0; j < nvals; ++j)
+                out[size_t(j)] = aux[j] * op.scale;
+            for (int64_t j = 0; j < nvals; ++j)
+                out[size_t(j)] = in[j] + out[size_t(j)];
+            break;
+        }
+        case OpKind::ConcatSelf: {
+            const float *aux = rowOf(op.aux);
+            const float *in = rowOf(op.in);
+            const int64_t ac = widths[size_t(op.aux)];
+            const int64_t ic = widths[size_t(op.in)];
+            std::memcpy(out.data(), aux, size_t(ac) * sizeof(float));
+            std::memcpy(out.data() + ac, in, size_t(ic) * sizeof(float));
+            break;
+        }
+        case OpKind::Activation: {
+            const float *in = rowOf(op.in);
+            const int64_t nvals = widths[size_t(op.in)];
+            if (op.act == ActKind::Relu) {
+                for (int64_t j = 0; j < nvals; ++j)
+                    out[size_t(j)] = std::max(in[j], 0.0f);
+            } else {
+                for (int64_t j = 0; j < nvals; ++j) {
+                    float v = in[j];
+                    out[size_t(j)] = v < 0.0f ? std::exp(v) - 1.0f : v;
+                }
+            }
+            break;
+        }
+        case OpKind::Readout:
+            std::memcpy(out.data(), rowOf(op.in),
+                        size_t(widths[size_t(op.in)]) * sizeof(float));
+            break;
+        default:
+            GCOD_FATAL("op ", opKindName(op.kind),
+                       " cannot run in the row-local chain");
+        }
     }
+}
 
-    if (l + 1 < m.spec->layers.size())
-        for (int64_t j = 0; j < out_cols; ++j)
-            zrow[j] = std::max(zrow[j], 0.0f);
+/** One aggregation-op row: @p src is the aggregation's input matrix. */
+void
+aggregateRowInto(const ForwardRecipe &m, const OpStep &op, const Matrix &src,
+                 NodeId r, float *out)
+{
+    const CsrMatrix &adj = *m.operators[size_t(op.opIndex)];
+    switch (op.kind) {
+    case OpKind::SpMM: {
+        // Operator-row entry order, += v * x[c][j] (spmmRowWise).
+        const int64_t cols = src.cols();
+        std::fill(out, out + cols, 0.0f);
+        adj.forEachInRow(r, [&](NodeId c, float v) {
+            const float *xrow = src.row(c);
+            for (int64_t j = 0; j < cols; ++j)
+                out[j] += v * xrow[j];
+        });
+        break;
+    }
+    case OpKind::AttentionScore:
+        attentionRowInto(adj, src, *m.weights[size_t(op.aSrc)],
+                         *m.weights[size_t(op.aDst)], op.heads, op.headDim,
+                         op.concatHeads, r, out);
+        break;
+    case OpKind::MaxAgg:
+        maxAggRowInto(adj, src, r, out);
+        break;
+    default:
+        GCOD_FATAL("op ", opKindName(op.kind), " is not an aggregation");
+    }
 }
 
 } // namespace
@@ -59,18 +135,17 @@ IncrementalForward
 IncrementalForward::fromScratch(const ForwardRecipe &m, const Matrix &x)
 {
     IncrementalForward st;
-    st.acts_.reserve(m.spec->layers.size());
+    st.acts_.reserve(m.layers.size());
+    st.aggIn_.reserve(m.layers.size());
     Matrix cur = x;
-    for (size_t l = 0; l < m.spec->layers.size(); ++l) {
-        Matrix s = spmm(*m.op, cur);
-        Matrix z = m.concatSelf ? matmul(hconcat(cur, s), *m.weights[l])
-                                : matmul(s, *m.weights[l]);
-        if (l + 1 < m.spec->layers.size())
-            z = relu(z);
+    for (size_t l = 0; l < m.layers.size(); ++l) {
+        Matrix aggIn;
+        Matrix z = referenceForwardLayer(m, l, cur, &aggIn);
+        st.aggIn_.push_back(std::move(aggIn));
         st.acts_.push_back(z);
         cur = std::move(z);
     }
-    st.lastDirtyRows_ = size_t(x.rows()) * m.spec->layers.size();
+    st.lastDirtyRows_ = size_t(x.rows()) * m.layers.size();
     return st;
 }
 
@@ -78,7 +153,7 @@ IncrementalForward
 IncrementalForward::applied(const ForwardRecipe &m, const Matrix &x,
                             const std::vector<DirtyRegion> &levels) const
 {
-    const size_t num_layers = m.spec->layers.size();
+    const size_t num_layers = m.layers.size();
     GCOD_ASSERT(!acts_.empty(), "applied() needs a fromScratch state");
     GCOD_ASSERT(levels.size() == num_layers,
                 "need one dirty level per layer");
@@ -88,17 +163,62 @@ IncrementalForward::applied(const ForwardRecipe &m, const Matrix &x,
 
     IncrementalForward next;
     next.acts_.reserve(num_layers);
+    next.aggIn_.reserve(num_layers);
     const Matrix *input = &x;
     for (size_t l = 0; l < num_layers; ++l) {
+        const LayerGraph &g = m.layers[l];
+        std::vector<int64_t> widths = layerSlotWidths(m, l, input->cols());
+        const int aggIdx = g.aggOp();
+        GCOD_ASSERT(aggIdx >= 0,
+                    "incremental recompute needs one aggregation per layer");
+        const OpStep &agg = g.ops[size_t(aggIdx)];
+        std::vector<std::vector<float>> buf(size_t(g.numSlots));
+
+        // Refresh the aggregation-input cache first: its row j is a
+        // row-local function of input row j, and every changed input row
+        // is inside this layer's dirty level, so recomputing exactly the
+        // level's rows (clean recomputes are pure no-ops) leaves every
+        // neighbor row the aggregation below will read up to date.
+        Matrix aggMat;
+        if (agg.in != 0) {
+            const Matrix &prevAgg = aggIn_[l];
+            GCOD_ASSERT(prevAgg.rows() == old_n &&
+                            prevAgg.cols() == widths[size_t(agg.in)],
+                        "aggregation-input cache shape drifted");
+            aggMat = Matrix(n, widths[size_t(agg.in)], 0.0f);
+            std::memcpy(aggMat.row(0), prevAgg.row(0),
+                        size_t(old_n * prevAgg.cols()) * sizeof(float));
+            for (NodeId r : levels[l].nodes) {
+                runRowOps(m, g, 0, size_t(aggIdx), *input, r, buf, widths);
+                std::memcpy(aggMat.row(r),
+                            buf[size_t(agg.in)].data(),
+                            size_t(widths[size_t(agg.in)]) *
+                                sizeof(float));
+            }
+        }
+        const Matrix &aggSrc = agg.in != 0 ? aggMat : *input;
+
         const Matrix &prev = acts_[l];
+        const int fin = g.ops.back().out;
+        GCOD_ASSERT(prev.cols() == widths[size_t(fin)],
+                    "activation cache shape drifted");
         Matrix cur(n, prev.cols(), 0.0f);
         // Clean rows travel verbatim; new rows (>= old_n) are always in
         // the dirty level, so zero-init is never observed.
         std::memcpy(cur.row(0), prev.row(0),
                     size_t(old_n * prev.cols()) * sizeof(float));
-        for (NodeId r : levels[l].nodes)
-            recomputeRow(m, l, *input, cur, r);
+        for (NodeId r : levels[l].nodes) {
+            buf[size_t(agg.out)].assign(
+                size_t(widths[size_t(agg.out)]), 0.0f);
+            aggregateRowInto(m, agg, aggSrc, r,
+                             buf[size_t(agg.out)].data());
+            runRowOps(m, g, size_t(aggIdx) + 1, g.ops.size(), *input, r,
+                      buf, widths);
+            std::memcpy(cur.row(r), buf[size_t(fin)].data(),
+                        size_t(widths[size_t(fin)]) * sizeof(float));
+        }
         next.lastDirtyRows_ += levels[l].count();
+        next.aggIn_.push_back(std::move(aggMat));
         next.acts_.push_back(std::move(cur));
         input = &next.acts_.back();
     }

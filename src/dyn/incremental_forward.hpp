@@ -1,21 +1,30 @@
 /**
  * @file
- * Dirty-row incremental fp32 forward pass.
+ * Dirty-row incremental fp32 forward pass over op-graph recipes.
  *
- * Holds every layer's activation matrix for one epoch. On update, clean
- * rows are copied forward verbatim and only the dirty rows of each layer
- * (dirty.hpp level sets) are recomputed — with scalar loops that mirror
- * the batch kernels' per-element accumulation order exactly:
+ * Holds every layer's activation matrix — plus, for layers whose
+ * aggregation input is produced inside the layer (GAT's h = X W), that
+ * aggregation-input matrix — for one epoch. On update, clean rows are
+ * copied forward verbatim and only the dirty rows of each layer
+ * (dirty.hpp level sets) are recomputed, op by op, with scalar row
+ * workers that mirror the batch kernels' per-element accumulation order
+ * exactly:
  *
- *  - aggregation: operator-row entry order, += v * x[c][j]  (spmmRowWise)
- *  - dense:       ascending-k dot products skipping zero activations
- *                 (matmul's `if (av == 0) continue`)
- *  - relu:        max(z, 0)
+ *  - SpMM:      operator-row entry order, += v * x[c][j]  (spmmRowWise)
+ *  - GEMM:      ascending-k dot products skipping zero activations
+ *               (matmul's `if (av == 0) continue`)
+ *  - attention: the shared attentionRowInto worker (nn/quant_exec)
+ *  - Max:       the shared maxAggRowInto worker
+ *  - Residual / ConcatSelf / Activation: two-pass / per-element loops
+ *               matching evalRowLocalOp
  *
  * Since the batch kernels guarantee thread-count-invariant per-element
  * accumulation (see tensor/ops.cpp), a per-row recompute in the same
  * order is bit-identical to a full referenceForward over the final
- * graph — the invariant the dyn test suite memcmp-checks.
+ * graph — the invariant the dyn test suite memcmp-checks. Soundness of
+ * the aggregation-input cache: its row j changes only when input row j
+ * changes, and every such j is inside the layer's dirty level, whose
+ * closed-hop expansion also dirties every output row that reads row j.
  */
 #ifndef GCOD_DYN_INCREMENTAL_FORWARD_HPP
 #define GCOD_DYN_INCREMENTAL_FORWARD_HPP
@@ -44,7 +53,7 @@ class IncrementalForward
     size_t lastDirtyRows() const { return lastDirtyRows_; }
 
     /**
-     * Next epoch's state: @p m and @p x are the *new* recipe (operator
+     * Next epoch's state: @p m and @p x are the *new* recipe (operators
      * over the new graph) and feature matrix; @p levels are the
      * per-layer dirty sets (dirtyLevels, sized to the model depth).
      * Rows outside levels[l] are copied from this state unchanged.
@@ -54,6 +63,13 @@ class IncrementalForward
 
   private:
     std::vector<Matrix> acts_;
+    /**
+     * Per layer, the aggregation op's input matrix when it is produced
+     * inside the layer (empty when the aggregation reads the layer
+     * input directly) — the incremental pass needs clean rows of it for
+     * neighbors of dirty nodes.
+     */
+    std::vector<Matrix> aggIn_;
     size_t lastDirtyRows_ = 0;
 };
 

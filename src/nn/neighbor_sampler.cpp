@@ -1,0 +1,106 @@
+#include "nn/neighbor_sampler.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+#include "sim/rng.hpp"
+
+namespace gcod {
+
+bool
+supportsSampledExecution(const ModelSpec &spec)
+{
+    return supportsPlainMeanForward(spec);
+}
+
+namespace {
+
+/** Per-(seed, fanout, layer, node) stream seed; order-independent. */
+uint64_t
+rowSeed(uint64_t seed, int fanout, int layer, NodeId i)
+{
+    uint64_t mix = seed;
+    mix ^= 0x9e3779b97f4a7c15ull * (uint64_t(layer) + 1);
+    mix ^= 0xc2b2ae3d27d4eb4full * (uint64_t(uint32_t(i)) + 1);
+    mix ^= 0x165667b19e3779f9ull * (uint64_t(fanout) + 1);
+    return mix;
+}
+
+} // namespace
+
+CsrMatrix
+sampledMeanOperator(const Graph &g, int fanout, uint64_t seed, int layer)
+{
+    GCOD_ASSERT(fanout > 0, "sample fanout must be positive");
+    const NodeId n = g.numNodes();
+    const CsrMatrix &adj = g.adjacency();
+    CooMatrix coo(n, n);
+    std::vector<NodeId> nb;
+    for (NodeId i = 0; i < n; ++i) {
+        nb.clear();
+        adj.forEachInRow(i, [&](NodeId j, float) { nb.push_back(j); });
+        if (nb.empty())
+            continue; // all-zero row, like rowMean for isolates
+        if (int64_t(nb.size()) > int64_t(fanout)) {
+            // Partial Fisher-Yates: the first `fanout` positions are a
+            // uniform sample without replacement, from a per-row stream.
+            Rng rng(rowSeed(seed, fanout, layer, i));
+            for (int t = 0; t < fanout; ++t) {
+                int64_t j = rng.uniformInt(t, int64_t(nb.size()) - 1);
+                std::swap(nb[size_t(t)], nb[size_t(j)]);
+            }
+            nb.resize(size_t(fanout));
+            std::sort(nb.begin(), nb.end());
+        }
+        float w = 1.0f / float(nb.size());
+        for (NodeId j : nb)
+            coo.add(i, j, w);
+    }
+    return std::move(coo).toCsr();
+}
+
+SampledExecution
+buildSampledExecution(const ForwardRecipe &base, const Graph &g, int fanout,
+                      uint64_t seed)
+{
+    GCOD_ASSERT(base.spec != nullptr, "sampled execution needs a recipe");
+    if (!supportsSampledExecution(*base.spec))
+        GCOD_FATAL("model '", base.spec->name,
+                   "' cannot serve sampled neighborhoods: only Mean-"
+                   "aggregation stacks (GraphSAGE, GCN) support fanout "
+                   "sampling");
+    GCOD_ASSERT(g.numNodes() == (base.operators.empty()
+                                     ? NodeId(0)
+                                     : base.operators[0]->rows()),
+                "sample graph must match the recipe's node space");
+    SampledExecution se;
+    const size_t L = base.layers.size();
+    se.ops.reserve(L);
+    for (size_t l = 0; l < L; ++l)
+        se.ops.push_back(sampledMeanOperator(g, fanout, seed, int(l)));
+    se.recipe = base;
+    se.recipe.operators.clear();
+    se.recipe.operators.reserve(L);
+    for (size_t l = 0; l < L; ++l)
+        se.recipe.operators.push_back(&se.ops[l]);
+    for (size_t l = 0; l < L; ++l)
+        for (OpStep &op : se.recipe.layers[l].ops)
+            if (op.kind == OpKind::SpMM)
+                op.opIndex = int(l);
+    return se;
+}
+
+QuantizedGnn
+quantizeSampled(const SampledExecution &se, const QuantizedGnn &base)
+{
+    QuantizedGnn q = base;
+    q.recipe = se.recipe;
+    q.qops.assign(q.recipe.operators.size(), QuantizedCsr{});
+    for (size_t l = 0; l < q.recipe.operators.size(); ++l)
+        q.qops[l] =
+            quantizeCsr(*q.recipe.operators[l], q.policy.operatorBits);
+    q.rebuildDequantized();
+    return q;
+}
+
+} // namespace gcod

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Seeded neighbor sampling for latency-friendly GraphSAGE serving.
+ *
+ * Production GNN serving rarely aggregates full neighborhoods: it
+ * samples a bounded fanout per node and layer, which caps per-request
+ * work on power-law graphs. This module builds *deterministic* sampled
+ * mean operators — per (seed, fanout, layer, node), independent of
+ * iteration order or thread schedule — so the same request with the
+ * same sample seed yields byte-identical logits. The sampled operators
+ * are dropped into a clone of the model's op-graph ForwardRecipe (one
+ * operator per layer replacing the shared full row-mean), which every
+ * interpreter (reference, quantized, sharded) then executes unchanged.
+ */
+#ifndef GCOD_NN_NEIGHBOR_SAMPLER_HPP
+#define GCOD_NN_NEIGHBOR_SAMPLER_HPP
+
+#include "graph/graph.hpp"
+#include "nn/quant_exec.hpp"
+
+namespace gcod {
+
+/**
+ * True when @p spec can serve with sampled neighborhoods: every layer
+ * aggregates with a Mean operator (GraphSAGE with or without self
+ * concat, plain GCN stacks). Attention/Max/Add families aggregate over
+ * the exact neighborhood structure and are not sampled.
+ */
+bool supportsSampledExecution(const ModelSpec &spec);
+
+/**
+ * Mean aggregation operator over a sampled neighborhood: row i averages
+ * at most @p fanout neighbors of i, chosen by a partial Fisher-Yates
+ * draw from an Rng seeded purely by (seed, fanout, layer, i). Nodes with
+ * <= fanout neighbors keep their full neighborhood (weight 1/deg);
+ * isolated nodes get an all-zero row, matching GraphContext::rowMean.
+ */
+CsrMatrix sampledMeanOperator(const Graph &g, int fanout, uint64_t seed,
+                              int layer);
+
+/**
+ * A recipe clone wired onto per-layer sampled operators. The operators
+ * are owned here and the recipe points into them, so the struct must
+ * outlive any forward pass over it; moves are safe (vector storage is
+ * stable), copies are not.
+ */
+struct SampledExecution
+{
+    /** One sampled mean operator per layer (layer l uses ops[l]). */
+    std::vector<CsrMatrix> ops;
+    /** The base recipe with every SpMM rewired onto ops[layer]. */
+    ForwardRecipe recipe;
+
+    SampledExecution() = default;
+    SampledExecution(SampledExecution &&) = default;
+    SampledExecution &operator=(SampledExecution &&) = default;
+    SampledExecution(const SampledExecution &) = delete;
+    SampledExecution &operator=(const SampledExecution &) = delete;
+};
+
+/**
+ * Clone @p base onto sampled operators for @p g. Fatal when the spec
+ * does not support sampled execution (see supportsSampledExecution).
+ */
+SampledExecution buildSampledExecution(const ForwardRecipe &base,
+                                       const Graph &g, int fanout,
+                                       uint64_t seed);
+
+/**
+ * Requantize @p base's pack for a sampled execution: weight packs and
+ * the branch split are reused as-is (global degree statistics do not
+ * change per request), only the operator values are re-packed for the
+ * sampled CSRs. The returned pack's recipe points into @p se.
+ */
+QuantizedGnn quantizeSampled(const SampledExecution &se,
+                             const QuantizedGnn &base);
+
+} // namespace gcod
+
+#endif // GCOD_NN_NEIGHBOR_SAMPLER_HPP

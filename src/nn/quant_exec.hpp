@@ -1,24 +1,41 @@
 /**
  * @file
- * Mixed-precision integer GNN execution (the "true" GCoD low-bit path).
+ * Op-graph GNN execution: one typed per-layer op graph, many interpreters.
  *
- * Where quantizedForward (models.hpp) only fake-quantizes — float math
- * over rounded values — this module actually executes integer host
- * kernels (tensor/qops) over packed operands. Precision placement
- * follows GCoD's polarized split, using exactly the degree rule of
- * degreeAwareFakeQuantize: the low-degree community nodes of the dense
- * branch run at low bits, while the protected high-degree tail (the
- * nodes quantization hurts most) runs at higher bits. The aggregation
- * operator itself is quantized once at the higher width.
+ * forwardRecipeFor() lowers each model family into a ForwardRecipe — per
+ * layer, a short sequence of typed ops (SpMM, GEMM, AttentionScore,
+ * Residual, ConcatSelf, MaxAgg, Activation, Readout) over explicit
+ * tensor slots. Every fast path is then an *interpreter* of that graph
+ * instead of a bespoke plain-Mean loop:
  *
- * Supported families are the plain-Mean models a stateless recipe can
- * express: GCN (renormalized operator) and unsampled GraphSAGE (row-mean
- * operator + self concat) — the same set the sharded executor handles.
+ *  - referenceForward(): stateless fp32 pass, memcmp-identical to the
+ *    family's GnnModel::forward;
+ *  - quantizeGnn() / quantizedForwardMixed(): the GCoD mixed-precision
+ *    integer path (low-bit dense branch, degree-protected tail);
+ *  - shard/executor.hpp: per-shard slices of every op, stitched
+ *    bit-identically at any shard count;
+ *  - dyn/incremental_forward.hpp: per-op dirty-row recompute.
  *
- * Determinism: every kernel partitions output rows and accumulates in
- * exact integer arithmetic, so logits are bit-identical for any thread
- * count; shard/executor.hpp reuses the same per-row math (and global
- * quantization scales) to make sharded execution bit-identical too.
+ * Supported families: GCN (plain Mean), GraphSAGE (Mean + self concat,
+ * full or neighbor-sampled operators), GIN (Add + eps-residual + 2-layer
+ * MLP), GAT (multi-head additive attention), ResGCN (Max aggregation +
+ * residual blocks).
+ *
+ * Precision placement in the quantized interpreter follows GCoD's
+ * polarized split: SpMM and GEMM ops run on packed integer operands
+ * (dense low-bit branch, protected high-degree tail at higher bits);
+ * attention scoring, Max aggregation, residual adds and activations run
+ * in fp32 over the (already quantization-rounded) intermediate slots,
+ * with attention vectors dequantized from their higher-width pack — the
+ * attention accuracy cliff at low bits comes from the quantized
+ * projection h = X W and the quantized attention vectors.
+ *
+ * Determinism: every interpreter computes each output row as a pure
+ * function of its input rows, with a fixed per-element accumulation
+ * order, so logits are bit-identical for any thread count; the sharded
+ * and incremental interpreters reuse the same per-row math (and global
+ * quantization scales) to extend that to any shard count and any delta
+ * batching.
  */
 #ifndef GCOD_NN_QUANT_EXEC_HPP
 #define GCOD_NN_QUANT_EXEC_HPP
@@ -42,32 +59,181 @@ struct MixedPrecisionPolicy
     double protectRatio = 0.1;
 };
 
+/** Typed ops of the per-layer execution graph. */
+enum class OpKind : uint8_t {
+    /** out = operators[opIndex] · in (sparse aggregation). */
+    SpMM,
+    /** out = in · weights[weight] (dense combination). */
+    GEMM,
+    /**
+     * GAT attention aggregation over per-head projections @p in
+     * (N x heads*headDim): additive scores from weights[aSrc]/[aDst],
+     * LeakyReLU(0.2) + per-row softmax over operators[opIndex]'s entries
+     * plus a trailing self loop, heads concatenated (concatHeads) or
+     * averaged.
+     */
+    AttentionScore,
+    /** out = in + scale * slot[aux] (residual stream). */
+    Residual,
+    /** out = [slot[aux] | in] (GraphSAGE self concat). */
+    ConcatSelf,
+    /** out[i] = elementwise max over {i} ∪ N(i) rows of in (ResGCN). */
+    MaxAgg,
+    /** out = act(in). */
+    Activation,
+    /** Identity marker: the final logits of the model. */
+    Readout,
+};
+
+/** Activation functions an Activation op can apply. */
+enum class ActKind : uint8_t { Relu, Elu };
+
+const char *opKindName(OpKind k);
+
+/** True for ops that read neighbor rows (SpMM/AttentionScore/MaxAgg). */
+bool isAggregation(OpKind k);
+
 /**
- * Stateless plain-Mean execution recipe: everything one forward pass
- * needs, with no mutable caches — safe to run concurrently, unlike
- * GnnModel::forward. Pointees (spec, operator, weights) must outlive the
- * recipe; they normally belong to a GnnModel + GraphContext pair.
+ * One op of a layer graph. Slot 0 is the layer input; each op writes a
+ * fresh slot, and the last op's output slot is the layer output (which
+ * becomes slot 0 of the next layer).
+ */
+struct OpStep
+{
+    OpKind kind = OpKind::Readout;
+    /** Input slot. */
+    int in = 0;
+    /** Second input slot (Residual addend / ConcatSelf self); -1 unused. */
+    int aux = -1;
+    /** Output slot. */
+    int out = 0;
+    /** Index into ForwardRecipe::operators (SpMM/MaxAgg/AttentionScore). */
+    int opIndex = -1;
+    /** Index into ForwardRecipe::weights (GEMM). */
+    int weight = -1;
+    /** Attention vector weight indices (AttentionScore). */
+    int aSrc = -1;
+    int aDst = -1;
+    /** Attention heads and per-head output width (AttentionScore). */
+    int heads = 1;
+    int headDim = 0;
+    /** True: concatenate heads; false: average them (AttentionScore). */
+    bool concatHeads = false;
+    /** Activation function (Activation). */
+    ActKind act = ActKind::Relu;
+    /** Residual scale: out = in + scale * aux (GIN's 1+eps). */
+    float scale = 1.0f;
+};
+
+/** The op graph of one layer. */
+struct LayerGraph
+{
+    std::vector<OpStep> ops;
+    /** Slot count including slot 0 (the layer input). */
+    int numSlots = 1;
+
+    /** Index into ops of the single aggregation op; -1 when none. */
+    int aggOp() const;
+};
+
+/**
+ * Stateless execution recipe: the per-layer op graphs plus every tensor
+ * they reference, with no mutable caches — safe to run concurrently,
+ * unlike GnnModel::forward. Pointees (spec, operators, weights) must
+ * outlive the recipe; they normally belong to a GnnModel + GraphContext
+ * pair. `weights` is exactly model.parameters() order (the store's
+ * Weights section depends on that).
  */
 struct ForwardRecipe
 {
     const ModelSpec *spec = nullptr;
-    const CsrMatrix *op = nullptr;
+    /** Sparse aggregation operators the graphs index (opIndex). */
+    std::vector<const CsrMatrix *> operators;
+    /** Weight tensors the graphs index (weight/aSrc/aDst). */
     std::vector<const Matrix *> weights;
-    bool concatSelf = false;
+    /** One op graph per spec layer. */
+    std::vector<LayerGraph> layers;
 };
 
-/** True when @p spec is a plain-Mean stack a recipe can express. */
+/** True when @p spec is a plain-Mean stack (GCN / unsampled GraphSAGE). */
 bool supportsPlainMeanForward(const ModelSpec &spec);
 
+/** True when @p spec lowers to an op-graph recipe (the whole zoo). */
+bool supportsRecipeForward(const ModelSpec &spec);
+
+/** Human-readable list of the families forwardRecipeFor accepts. */
+const char *supportedRecipeFamilies();
+
 /**
- * Resolve a trainable model into its stateless recipe, driven by the
- * ModelSpec (aggregation kind + concatSelf), not name matching. Fatal
- * for unsupported families.
+ * Lower a trainable model into its op-graph recipe, driven by the
+ * ModelSpec (aggregation kinds, heads, concatSelf), not name matching.
+ * Fatal for unsupported families, naming the family and listing the
+ * supported ones.
  */
 ForwardRecipe forwardRecipeFor(GnnModel &model, const GraphContext &ctx);
 
 /** One stateless fp32 forward pass of @p m (the quantization baseline). */
 Matrix referenceForward(const ForwardRecipe &m, const Matrix &x);
+
+/**
+ * Interpret one layer of @p m in fp32 over the full node set.
+ * @p agg_input, when non-null, receives the aggregation op's input slot
+ * if that slot is produced inside the layer (GAT's h = X W); it is left
+ * empty when the aggregation reads the layer input directly. Used by the
+ * incremental path to cache per-layer aggregation inputs.
+ */
+Matrix referenceForwardLayer(const ForwardRecipe &m, size_t layer,
+                             const Matrix &input,
+                             Matrix *agg_input = nullptr);
+
+/**
+ * Column width of every slot of @p layer, given the layer input width
+ * (slot 0). Interpreters allocate staging matrices from this — LayerSpec
+ * outDim is the per-head width for multi-head GAT layers, so it must not
+ * be used for allocation.
+ */
+std::vector<int64_t> layerSlotWidths(const ForwardRecipe &m, size_t layer,
+                                     int64_t input_cols);
+
+/**
+ * fp32 evaluation of one row-local op (Residual / ConcatSelf /
+ * Activation / Readout) over whole matrices. Shared by every interpreter
+ * so their float sequences match; row-pure, so it may be applied to any
+ * row subset (e.g. a shard's owned rows) with identical bits.
+ */
+Matrix evalRowLocalOp(const OpStep &op, const Matrix &in, const Matrix *aux);
+
+// ---------------------------------------------------------------------
+// Shared per-row op workers. Every interpreter (reference, sharded,
+// incremental) funnels through these, which replicate the exact
+// per-element order of the corresponding GnnModel kernels — the basis of
+// the memcmp parity and bit-identical-stitch invariants.
+// ---------------------------------------------------------------------
+
+/**
+ * Row @p r of the GAT attention aggregation: additive scores over
+ * @p adj's row entries plus a trailing self loop, LeakyReLU(0.2),
+ * numerically-stable softmax, then per-edge aggregation of @p h.
+ * Row/column indices of @p adj index rows of @p h; @p out_row must hold
+ * concat ? heads*head_dim : head_dim floats.
+ */
+void attentionRowInto(const CsrMatrix &adj, const Matrix &h,
+                      const Matrix &a_src, const Matrix &a_dst, int heads,
+                      int head_dim, bool concat_heads, NodeId r,
+                      float *out_row);
+
+/** Row @p r of the Max aggregation: elementwise max over {r} ∪ N(r). */
+void maxAggRowInto(const CsrMatrix &adj, const Matrix &x, NodeId r,
+                   float *out_row);
+
+/**
+ * Whole-matrix wrappers over the per-row workers (row-parallel; each
+ * output row is pure, so results are thread-count invariant).
+ */
+Matrix attentionForward(const CsrMatrix &adj, const Matrix &h,
+                        const Matrix &a_src, const Matrix &a_dst, int heads,
+                        int head_dim, bool concat_heads);
+Matrix maxAggregate(const CsrMatrix &adj, const Matrix &x);
 
 /**
  * Branch assignment per node under @p protect_ratio: 1 for the protected
@@ -78,28 +244,44 @@ std::vector<uint8_t> protectedBranchOf(const std::vector<int32_t> &degrees,
                                        double protect_ratio);
 
 /**
- * A model pre-quantized for integer execution: per-layer weight packs at
- * both branch widths, the quantized aggregation operator, and the node
- * branch split. The source recipe's operator must outlive this pack
- * (qop.pattern points at it).
+ * A model pre-quantized for integer execution: weight packs at both
+ * branch widths for every recipe weight, quantized operator values for
+ * every SpMM-consumed operator, and the node branch split. The recipe's
+ * pointees (operators, weights, spec) must outlive this pack.
  */
 struct QuantizedGnn
 {
-    ModelSpec spec;
-    bool concatSelf = false;
+    /** The op graphs this pack executes (a value copy of the source). */
+    ForwardRecipe recipe;
     MixedPrecisionPolicy policy;
     /** 1 = protected high-degree node (sparse branch, higher bits). */
     std::vector<uint8_t> branchOf;
     /** Node -> row within its branch's packed activation matrix. */
     std::vector<int32_t> localIndex;
-    QuantizedCsr qop;
-    /** Per-layer weights packed at denseBits / sparseBits. */
+    /**
+     * Parallel to recipe.operators; only SpMM-consumed entries carry
+     * quantized values (pattern == nullptr otherwise: that operator is
+     * interpreted in fp32, e.g. attention / Max aggregation).
+     */
+    std::vector<QuantizedCsr> qops;
+    /** Per recipe weight, packed at denseBits / sparseBits. */
     std::vector<QuantizedMatrix> wLo;
     std::vector<QuantizedMatrix> wHi;
+    /**
+     * Dequantized (sparseBits) copies of the weights fp32-interpreted
+     * ops read — attention vectors; empty matrices elsewhere. Derived
+     * state: rebuildDequantized() recomputes it from wHi.
+     */
+    std::vector<Matrix> wDeq;
     /** Protected node count (observability / tests). */
     int64_t protectedCount = 0;
 
-    /** Packed bytes of both weight packs plus operator values. */
+    const ModelSpec &spec() const { return *recipe.spec; }
+
+    /** Recompute wDeq from wHi for the recipe's fp32-interpreted ops. */
+    void rebuildDequantized();
+
+    /** Packed bytes of both weight packs plus quantized operator values. */
     double packedBytes() const;
 };
 
@@ -109,10 +291,9 @@ QuantizedGnn quantizeGnn(const ForwardRecipe &m,
                          const MixedPrecisionPolicy &policy = {});
 
 /**
- * One mixed-precision integer forward pass: per layer, activations are
- * branch-packed, aggregated with the quantized operator, (optionally
- * self-concatenated,) re-packed, and combined with the branch-matching
- * weight pack. Returns fp32 logits for every node.
+ * One mixed-precision integer forward pass: SpMM/GEMM ops run on
+ * branch-packed integer operands, the remaining ops in fp32 over the
+ * intermediate slots. Returns fp32 logits for every node.
  */
 Matrix quantizedForwardMixed(const QuantizedGnn &q, const Matrix &x);
 

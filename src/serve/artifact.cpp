@@ -124,11 +124,17 @@ buildArtifact(const ArtifactKey &key, const GcodOptions &opts, double scale,
         bundle->sharded = shard::buildShardedArtifact(
             bundle->synth.graph, shards, opts.reorder, seed);
 
-    // Host execution state for plain-Mean families: seeded weights and
+    // Host execution state for every op-graph family: seeded weights and
     // materialized features, plus one pre-quantized pack per requested
     // backend precision. All derived from the fixed artifact seed, so
     // serving results are deterministic per bundle.
-    if (supportsPlainMeanForward(bundle->spec)) {
+    if (!supportsRecipeForward(bundle->spec))
+        warn("artifact ", key.toString(), ": model family '",
+             bundle->spec.name,
+             "' has no op-graph recipe (supported: ",
+             supportedRecipeFamilies(),
+             "); serving without host execution state");
+    if (supportsRecipeForward(bundle->spec)) {
         Rng frng(seed ^ 0x51ed270bull);
         Dataset ds = materialize(bundle->synth, frng);
         bundle->hostFeatures = std::move(ds.features);

@@ -109,8 +109,9 @@ struct ArtifactBundle
 
     /**
      * Host execution state: a deterministically seeded model over the
-     * stand-in graph plus materialized features, present for plain-Mean
-     * models (GCN, unsampled GraphSAGE). The engine runs REAL host
+     * stand-in graph plus materialized features, present for every
+     * family forwardRecipeFor lowers (GCN, GraphSAGE, GIN, GAT,
+     * ResGCN). The engine runs REAL host
      * forwards against this — fp32 for full-precision backends,
      * integer kernels for quantized ones — while cost simulation stays
      * separate. `hostRecipe` points into hostModel/hostCtx; the

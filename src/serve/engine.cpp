@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/neighbor_sampler.hpp"
 #include "serve/incremental.hpp"
 #include "sim/logging.hpp"
 #include "sim/parallel.hpp"
@@ -460,6 +461,9 @@ ServingEngine::runBatch(Batch &&batch)
     RouteDecision route;
     DetailedResult result;
     std::shared_ptr<const Matrix> logits;
+    // Kept past the try so sampled riders (sampleFanout > 0) can run
+    // their own per-request pass in the reply loop below.
+    std::shared_ptr<const ArtifactBundle> servedBundle;
     try {
         obs::ScopedSpan aspan(&trace_, obs::kTraceRequests,
                               "artifact.get", "serve", bspan.id());
@@ -470,6 +474,7 @@ ServingEngine::runBatch(Batch &&batch)
         aspan.finish();
         dispatched = Clock::now();
         base.cacheHit = found.hit;
+        servedBundle = found.bundle;
         expireRequests();
         const ArtifactBundle &bundle = *found.bundle;
         if (batch.requests.empty()) {
@@ -661,23 +666,52 @@ ServingEngine::runBatch(Batch &&batch)
     bspan.attr("outcome", base.error.empty() ? "ok" : "failed");
     bspan.finish();
 
+    // Requests address the published node space; the stand-in folds
+    // them onto its own rows.
+    auto predictFrom = [](const Matrix &m, NodeId node) {
+        int64_t rows = m.rows();
+        int64_t row = ((int64_t(node) % rows) + rows) % rows;
+        const float *lrow = m.row(row);
+        int best = 0;
+        for (int64_t c = 1; c < m.cols(); ++c)
+            if (lrow[c] > lrow[best])
+                best = int(c);
+        return best;
+    };
+
     for (PendingRequest &p : batch.requests) {
         InferenceReply reply = base;
         reply.id = p.req.id;
         reply.queueSeconds =
             std::chrono::duration<double>(dispatched - p.enqueued).count();
         reply.latencySeconds = reply.queueSeconds + reply.serviceSeconds;
-        if (logits) {
-            // Requests address the published node space; the stand-in
-            // folds them onto its own rows.
-            int64_t rows = logits->rows();
-            int64_t row = ((int64_t(p.req.node) % rows) + rows) % rows;
-            const float *lrow = logits->row(row);
-            int best = 0;
-            for (int64_t c = 1; c < logits->cols(); ++c)
-                if (lrow[c] > lrow[best])
-                    best = int(c);
-            reply.prediction = best;
+        if (p.req.sampleFanout > 0 && reply.ok()) {
+            // Sampled rider: its (seed, fanout) pair names a distinct
+            // operator set, so the batch's shared full-pass logits (and
+            // the memo behind them) do not apply — run a per-request
+            // pass at the same precision the batch executed at.
+            if (!servedBundle || base.executedBits <= 0 ||
+                !servedBundle->hasHostExec()) {
+                reply.error = "sampled serving needs host execution "
+                              "state, which this artifact lacks";
+            } else if (!supportsSampledExecution(servedBundle->spec)) {
+                reply.error =
+                    "model family '" + servedBundle->spec.name +
+                    "' cannot serve sampled neighborhoods: only Mean-"
+                    "aggregation stacks (GraphSAGE, GCN) support "
+                    "fanout sampling";
+            } else {
+                try {
+                    Matrix slog = sampledLogits(
+                        *servedBundle, base.executedBits,
+                        p.req.sampleFanout, p.req.sampleSeed, p.traceId);
+                    reply.prediction = predictFrom(slog, p.req.node);
+                } catch (const std::runtime_error &e) {
+                    reply.error = e.what();
+                }
+            }
+        } else if (logits) {
+            reply.prediction = predictFrom(*logits, p.req.node);
         }
         stats_.recordReply(reply);
         recordRequestSpan(p, reply, reply.ok() ? "ok" : "failed");
@@ -769,6 +803,29 @@ ServingEngine::logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
                      ? std::next(it)
                      : execMemo_.erase(it);
     return execMemo_.emplace(key, std::move(computed)).first->second;
+}
+
+Matrix
+ServingEngine::sampledLogits(const ArtifactBundle &bundle, int bits,
+                             int fanout, uint64_t seed,
+                             uint64_t trace_parent)
+{
+    obs::ScopedSpan span(&trace_, obs::kTraceRequests,
+                         "host.exec.sampled", "serve", trace_parent);
+    if (span.active())
+        span.attr("bits", bits)
+            .attr("fanout", uint64_t(fanout))
+            .attr("seed", seed);
+    SampledExecution se = buildSampledExecution(
+        bundle.hostRecipe, bundle.synth.graph, fanout, seed);
+    if (bits < 32) {
+        // Weight packs and the degree-driven branch split are reused
+        // from the bundle's pre-quantized pack; only the operator
+        // values are re-packed for this rider's sampled CSRs.
+        QuantizedGnn q = quantizeSampled(se, bundle.quantized.at(bits));
+        return quantizedForwardMixed(q, bundle.hostFeatures);
+    }
+    return referenceForward(se.recipe, bundle.hostFeatures);
 }
 
 std::shared_ptr<const Matrix>

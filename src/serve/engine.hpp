@@ -325,6 +325,19 @@ class ServingEngine
     logitsFor(const std::shared_ptr<const ArtifactBundle> &bundle,
               uint64_t version, int bits, uint64_t trace_parent = 0);
 
+    /**
+     * Logits of one sampled-neighborhood pass (InferenceRequest with
+     * sampleFanout > 0): per-layer sampled mean operators built from
+     * (seed, fanout) are dropped into a clone of the bundle's recipe and
+     * executed at @p bits. Each (seed, fanout) pair is its own operator
+     * set, so the result is computed per rider and never memoized; it is
+     * still fully deterministic — same request + seed, byte-identical
+     * logits. Throws (runtime_error) for non-Mean model families.
+     */
+    Matrix sampledLogits(const ArtifactBundle &bundle, int bits,
+                         int fanout, uint64_t seed,
+                         uint64_t trace_parent = 0);
+
     ServeOptions opts_;
     uint64_t optionsHash_;
     /** Distinct sub-32-bit precisions across backends + shard fleet. */

@@ -59,8 +59,9 @@ applyDeltaToBundle(const std::shared_ptr<const ArtifactBundle> &prev,
     };
     GCOD_ASSERT(prev != nullptr, "no bundle to update");
     GCOD_ASSERT(prev->hasHostExec(),
-                "incremental updates need host execution state (plain-Mean "
-                "model families)");
+                "incremental updates need host execution state, present "
+                "for every op-graph family (supported: ",
+                supportedRecipeFamilies(), ")");
 
     // Continue the bundle's dyn state, or bootstrap it on the first
     // streamed delta. The aliasing shared_ptr keeps `prev` alive while

@@ -67,6 +67,21 @@ struct InferenceRequest
      * instead of retrying further — it is never silently dropped.
      */
     double timeoutSeconds = 0.0;
+    /**
+     * Neighbor-sampling fanout for Mean-aggregation models (GraphSAGE,
+     * GCN): > 0 serves this request over per-layer sampled operators of
+     * at most `sampleFanout` neighbors per node instead of the full
+     * neighborhood — the latency-friendly mode production GNN serving
+     * uses. 0 (default) serves the full precomputed pass. Requests with
+     * fanout > 0 bypass the logits memo (each sample is its own
+     * operator set) but remain fully deterministic: the sampler is
+     * seeded purely by (sampleSeed, fanout, layer, node), so the same
+     * request with the same seed returns a byte-identical reply.
+     * Unsupported families (GAT/GIN/ResGCN) resolve with an error.
+     */
+    int sampleFanout = 0;
+    /** Sample stream seed; only read when sampleFanout > 0. */
+    uint64_t sampleSeed = 0;
 };
 
 /** Completion record handed back through the submit() future. */

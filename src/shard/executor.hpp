@@ -3,26 +3,32 @@
  * Sharded forward execution: the host-side numerics of the multi-chip
  * runtime, bit-identical to single-chip execution.
  *
- * A layer runs as K independent shard computations. Shard s gathers the
- * activations of its local node space (owned + halo rows of the global
- * activation matrix — the halo rows are exactly what the exchange
- * modeled in halo.hpp delivers), aggregates with its local operator
- * slice, applies the layer weights, and scatters its owned output rows
- * back into the global matrix. Because
+ * The executor interprets the model's op-graph ForwardRecipe
+ * (nn/quant_exec.hpp) one layer at a time, as a sequence of *passes*.
+ * A pass opens at each aggregation op (SpMM / AttentionScore / MaxAgg —
+ * the ops that read neighbor rows and therefore need the halo exchange)
+ * and carries the row-local ops that follow it (GEMM, Residual,
+ * ConcatSelf, Activation). Shard s runs a pass by gathering its local
+ * node space (owned + halo rows of the global staging matrix — exactly
+ * what the exchange modeled in halo.hpp delivers), aggregating with its
+ * local operator slice, chaining the row-local tail over its owned rows,
+ * and scattering every produced slot back into the global staging.
+ * Because
  *
  *  - the local operator slice preserves per-row entry order and values
- *    (plan.hpp), and
- *  - every kernel partitions its output space and keeps per-element
- *    accumulation order (sim/parallel determinism contract),
+ *    (plan.hpp) — for the renormalized/row-mean/binary CSR alike, which
+ *    covers attention edge lists and Max neighborhoods too, and
+ *  - every per-row worker keeps per-element accumulation order
+ *    (sim/parallel determinism contract; nn/quant_exec row workers),
  *
  * each owned output row accumulates in exactly the order the monolithic
  * forward would use, so the stitched result is bit-identical for any
  * shard count, any chip mix, and any thread count.
  *
- * Supported families: models whose layers are plain Mean aggregations —
- * GCN (renormalized operator) and GraphSAGE without neighbor sampling
- * (row-mean operator + self concat). GIN/GAT/ResGCN need per-layer
- * structure the executor does not yet replicate and are rejected.
+ * Supported families: everything forwardRecipeFor lowers — GCN,
+ * GraphSAGE (full-mean or sampled operators), GIN (residual streams are
+ * sliced per shard), GAT (attention scores computed per shard over the
+ * sharded projection), ResGCN.
  */
 #ifndef GCOD_SHARD_EXECUTOR_HPP
 #define GCOD_SHARD_EXECUTOR_HPP
@@ -57,29 +63,24 @@ struct ShardExecStats
 /** Execution recipe for one supported model over one graph. */
 struct ShardedModel
 {
-    const ModelSpec *spec = nullptr;
-    /** Global aggregation operator (normalized or row-mean). */
-    const CsrMatrix *op = nullptr;
-    /** Layer weight matrices, in layer order. */
-    std::vector<const Matrix *> weights;
-    /** True when layers concatenate self features (GraphSAGE). */
-    bool concatSelf = false;
+    /** The op graphs the executor interprets. Pointees must outlive. */
+    ForwardRecipe recipe;
 };
 
 /**
  * Resolve a trainable model into its sharded execution recipe, driven by
- * the model's ModelSpec (aggregation kind + concatSelf per layer), not
- * by name matching. Fatal for unsupported families.
+ * the model's ModelSpec (aggregation kind, heads, concatSelf per layer),
+ * not by name matching. Fatal for unsupported families, naming the
+ * family and the supported set.
  */
 ShardedModel shardedModelFor(GnnModel &model, const GraphContext &ctx);
 
 /**
- * Run one sharded forward pass; returns logits for every global node.
- * @p local_ops are the per-shard operator slices
- * (extractShardOperators(plan, *m.op)); the overload without them builds
- * the slices on the fly. Shards execute concurrently on the shared
- * kernel pool (each shard's kernels then run inline on that worker,
- * mirroring one chip per shard).
+ * Run one sharded fp32 forward pass; returns logits for every global
+ * node. Per-shard slices of every recipe operator are extracted up
+ * front (extractShardOperators per operator). Shards execute
+ * concurrently on the shared kernel pool (each shard's kernels then run
+ * inline on that worker, mirroring one chip per shard).
  *
  * @p faults (optional) injects halo-exchange drops: shard s at layer l
  * consults the plan at deterministic index l * numShards + s, so the
@@ -94,25 +95,23 @@ ShardedModel shardedModelFor(GnnModel &model, const GraphContext &ctx);
  * byte-identical with tracing on or off.
  */
 Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
-                      const std::vector<CsrMatrix> &local_ops,
-                      const Matrix &x, fault::FaultPlan *faults = nullptr,
-                      ShardExecStats *fault_stats = nullptr,
-                      const obs::TraceCtx *trace = nullptr);
-Matrix shardedForward(const ShardPlan &plan, const ShardedModel &m,
                       const Matrix &x, fault::FaultPlan *faults = nullptr,
                       ShardExecStats *fault_stats = nullptr,
                       const obs::TraceCtx *trace = nullptr);
 
 /**
  * Sharded mixed-precision integer forward (nn/quant_exec numerics): each
- * shard computes its owned output rows with the per-row integer kernels,
- * while every quantization scale is derived from the GLOBAL activation
- * matrix — exactly what the monolithic quantizedForwardMixed uses. With
- * integer accumulation exact per row, the stitched logits are therefore
- * bit-identical to the monolithic pass for any shard count, chip mix,
- * and thread count. Halo activations cross shards at the pack's wire
- * precision (the packed branch codes), which is what the exchange cost
- * model prices via HaloExchangeOptions::bytesPerScalar.
+ * shard computes its owned output rows of every SpMM/GEMM op with the
+ * per-row integer kernels, while every quantization scale is derived
+ * from the GLOBAL activation matrix — exactly what the monolithic
+ * quantizedForwardMixed uses. Attention scoring and Max aggregation run
+ * per shard in fp32 over the staged global slots (the same precision
+ * placement as the monolithic pass); the remaining row-local ops are
+ * row-pure fp32. With integer accumulation exact per row, the stitched
+ * logits are bit-identical to the monolithic pass for any shard count,
+ * chip mix, and thread count. Halo activations cross shards at the
+ * pack's wire precision (the packed branch codes), which is what the
+ * exchange cost model prices via HaloExchangeOptions::bytesPerScalar.
  */
 Matrix quantizedShardedForward(const ShardPlan &plan, const QuantizedGnn &q,
                                const Matrix &x,

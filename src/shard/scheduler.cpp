@@ -176,7 +176,7 @@ ShardScheduler::run(const ShardPlan &plan,
 {
     RunOutcome out;
     out.output = shardedForward(plan, model, x);
-    out.cost = schedule(plan, units, *model.spec, feature_density);
+    out.cost = schedule(plan, units, *model.recipe.spec, feature_density);
     return out;
 }
 

@@ -205,21 +205,47 @@ getQuantizedMatrix(ByteCursor &c)
                                       std::move(q16));
 }
 
+/**
+ * QuantPack payload. v2 writes one optional quantized CSR per recipe
+ * operator (op-graph families interpret attention/Max operators in fp32,
+ * so those slots are absent); v1 wrote exactly one quantized CSR, the
+ * single shared operator of plain-Mean stacks.
+ */
 std::vector<uint8_t>
-encodeQuantPack(const QuantizedGnn &q)
+encodeQuantPack(const QuantizedGnn &q, uint32_t version)
 {
     ByteWriter w;
-    putSpec(w, q.spec);
-    w.put(uint8_t(q.concatSelf));
+    putSpec(w, q.spec());
+    if (version < 2) {
+        GCOD_ASSERT(q.qops.size() == 1 && q.qops[0].pattern != nullptr,
+                    "format v1 stores exactly one quantized operator; "
+                    "pack for model '", q.spec().name, "' carries ",
+                    q.qops.size());
+        bool concat_self = !q.spec().layers.empty() &&
+                           q.spec().layers.front().concatSelf;
+        w.put(uint8_t(concat_self));
+    }
     w.put(int32_t(q.policy.denseBits));
     w.put(int32_t(q.policy.sparseBits));
     w.put(int32_t(q.policy.operatorBits));
     w.put(q.policy.protectRatio);
     w.putVector(q.branchOf);
     w.putVector(q.localIndex);
-    w.put(q.qop.qp.scale);
-    w.put(int32_t(q.qop.qp.bits));
-    w.putVector(q.qop.values);
+    if (version < 2) {
+        w.put(q.qops[0].qp.scale);
+        w.put(int32_t(q.qops[0].qp.bits));
+        w.putVector(q.qops[0].values);
+    } else {
+        w.put(uint32_t(q.qops.size()));
+        for (const QuantizedCsr &op : q.qops) {
+            w.put(uint8_t(op.pattern != nullptr));
+            if (op.pattern == nullptr)
+                continue;
+            w.put(op.qp.scale);
+            w.put(int32_t(op.qp.bits));
+            w.putVector(op.values);
+        }
+    }
     w.put(uint32_t(q.wLo.size()));
     for (const QuantizedMatrix &m : q.wLo)
         putQuantizedMatrix(w, m);
@@ -231,25 +257,60 @@ encodeQuantPack(const QuantizedGnn &q)
 }
 
 QuantizedGnn
-decodeQuantPack(ByteCursor &c, const CsrMatrix *pattern)
+decodeQuantPack(ByteCursor &c, const ForwardRecipe &recipe,
+                uint32_t version)
 {
     QuantizedGnn q;
-    q.spec = getSpec(c);
-    q.concatSelf = c.get<uint8_t>() != 0;
+    q.recipe = recipe;
+    // The stored spec is redundant with the bundle's (kept for
+    // self-description); cross-check the identity and drop it.
+    ModelSpec stored = getSpec(c);
+    if (recipe.spec == nullptr ||
+        stored.layers.size() != recipe.spec->layers.size())
+        GCOD_FATAL("artifact store: quantized pack was built for a ",
+                   stored.layers.size(), "-layer '", stored.name,
+                   "' but the bundle's recipe expects ",
+                   recipe.spec ? recipe.spec->layers.size() : 0,
+                   " layers");
+    if (version < 2)
+        c.get<uint8_t>(); // v1 concatSelf flag, derivable from the spec
     q.policy.denseBits = c.get<int32_t>();
     q.policy.sparseBits = c.get<int32_t>();
     q.policy.operatorBits = c.get<int32_t>();
     q.policy.protectRatio = c.get<double>();
     q.branchOf = c.getVector<uint8_t>();
     q.localIndex = c.getVector<int32_t>();
-    q.qop.pattern = pattern;
-    q.qop.qp.scale = c.get<float>();
-    q.qop.qp.bits = c.get<int32_t>();
-    q.qop.values = c.getVector<int16_t>();
-    if (q.qop.values.size() != size_t(pattern->nnz()))
-        GCOD_FATAL("artifact store: quantized operator carries ",
-                   q.qop.values.size(), " values for a pattern of ",
-                   pattern->nnz(), " nonzeros");
+    q.qops.assign(recipe.operators.size(), QuantizedCsr{});
+    auto readOp = [&](size_t i) {
+        QuantizedCsr &op = q.qops[i];
+        op.pattern = recipe.operators[i];
+        op.qp.scale = c.get<float>();
+        op.qp.bits = c.get<int32_t>();
+        op.values = c.getVector<int16_t>();
+        if (op.values.size() != size_t(op.pattern->nnz()))
+            GCOD_FATAL("artifact store: quantized operator ", i,
+                       " carries ", op.values.size(),
+                       " values for a pattern of ", op.pattern->nnz(),
+                       " nonzeros");
+    };
+    if (version < 2) {
+        // v1 files predate op-graph recipes: one quantized CSR, the
+        // plain-Mean family's single shared operator.
+        if (q.qops.size() != 1)
+            GCOD_FATAL("artifact store: format v1 quantized pack for "
+                       "model '", stored.name, "' but the recipe has ",
+                       q.qops.size(), " operators");
+        readOp(0);
+    } else {
+        uint32_t ops = c.get<uint32_t>();
+        if (ops != q.qops.size())
+            GCOD_FATAL("artifact store: quantized pack carries ", ops,
+                       " operators but the bundle's recipe has ",
+                       q.qops.size());
+        for (uint32_t i = 0; i < ops; ++i)
+            if (c.get<uint8_t>() != 0)
+                readOp(i);
+    }
     uint32_t lo = c.get<uint32_t>();
     q.wLo.reserve(lo);
     for (uint32_t i = 0; i < lo; ++i)
@@ -259,6 +320,12 @@ decodeQuantPack(ByteCursor &c, const CsrMatrix *pattern)
     for (uint32_t i = 0; i < hi; ++i)
         q.wHi.push_back(getQuantizedMatrix(c));
     q.protectedCount = c.get<int64_t>();
+    if (q.wLo.size() != recipe.weights.size() ||
+        q.wHi.size() != recipe.weights.size())
+        GCOD_FATAL("artifact store: quantized pack carries ", q.wLo.size(),
+                   "/", q.wHi.size(), " weight matrices but model '",
+                   stored.name, "' has ", recipe.weights.size());
+    q.rebuildDequantized();
     return q;
 }
 
@@ -351,9 +418,11 @@ artifactStorePath(const std::string &dir, const ArtifactKey &key)
 void
 saveArtifactBundle(const std::string &path, const ArtifactBundle &bundle,
                    const ReorderOptions &shard_reorder,
-                   const std::map<int, Matrix> &logits)
+                   const std::map<int, Matrix> &logits,
+                   uint32_t format_version)
 {
     StoreWriter store;
+    store.setVersion(format_version);
 
     {
         ByteWriter w;
@@ -427,7 +496,7 @@ saveArtifactBundle(const std::string &path, const ArtifactBundle &bundle,
         }
         for (const auto &[bits, pack] : bundle.quantized)
             store.addSection(SectionType::QuantPack, uint32_t(bits),
-                             encodeQuantPack(pack));
+                             encodeQuantPack(pack, format_version));
     }
 
     if (bundle.sharded)
@@ -591,7 +660,8 @@ loadArtifactBundle(const std::string &path)
 
         for (const Section *qs : reader.all(SectionType::QuantPack)) {
             ByteCursor qc(qs->data, qs->size, "quant pack section");
-            QuantizedGnn pack = decodeQuantPack(qc, bundle->hostRecipe.op);
+            QuantizedGnn pack = decodeQuantPack(qc, bundle->hostRecipe,
+                                                reader.version());
             qc.expectEnd();
             bundle->quantized.emplace(int(qs->tag), std::move(pack));
         }

@@ -24,6 +24,7 @@
 
 #include "gcod/reorder.hpp"
 #include "serve/artifact.hpp"
+#include "store/format.hpp"
 
 namespace gcod::store {
 
@@ -41,11 +42,14 @@ std::string artifactStorePath(const std::string &dir,
  * @param logits memoized host-execution logits to persist alongside the
  *        bundle, keyed by execution bits (32 = fp32); merged with any
  *        bundle.storedLogits already present.
+ * @param format_version on-disk format to emit (compat tests); v1 can
+ *        only carry single-operator quantized packs (plain-Mean models).
  */
 void saveArtifactBundle(const std::string &path,
                         const serve::ArtifactBundle &bundle,
                         const ReorderOptions &shard_reorder = {},
-                        const std::map<int, Matrix> &logits = {});
+                        const std::map<int, Matrix> &logits = {},
+                        uint32_t format_version = kFormatVersion);
 
 /** Result of loading a bundle from the store. */
 struct LoadedArtifact

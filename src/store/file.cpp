@@ -45,10 +45,21 @@ StoreWriter::addSection(SectionType type, uint32_t tag,
 }
 
 void
+StoreWriter::setVersion(uint32_t version)
+{
+    if (version < kMinFormatVersion || version > kFormatVersion)
+        GCOD_FATAL("artifact store: cannot write format version ", version,
+                   " (this build writes ", kMinFormatVersion, "..",
+                   kFormatVersion, ")");
+    version_ = version;
+}
+
+void
 StoreWriter::write(const std::string &path) const
 {
     // Lay out the file: header, table, then aligned payloads.
     FileHeader header;
+    header.version = version_;
     header.sectionCount = uint32_t(sections_.size());
 
     std::vector<SectionEntry> table(sections_.size());
@@ -178,10 +189,12 @@ StoreReader::validate(const std::string &path)
     if (header.magic != kMagic)
         GCOD_FATAL("artifact store: '", path,
                    "' is not an artifact store (bad magic)");
-    if (header.version != kFormatVersion)
+    if (header.version < kMinFormatVersion ||
+        header.version > kFormatVersion)
         GCOD_FATAL("artifact store: '", path, "' has format version ",
-                   header.version, " but this build reads version ",
-                   kFormatVersion);
+                   header.version, " but this build reads versions ",
+                   kMinFormatVersion, "..", kFormatVersion);
+    version_ = header.version;
     if (header.sectionCount > kMaxSections)
         GCOD_FATAL("artifact store: '", path, "' declares ",
                    header.sectionCount, " sections (limit ",

@@ -34,6 +34,14 @@ class StoreWriter
                     std::vector<uint8_t> payload);
 
     /**
+     * Stamp the file with an older format version (compat tests, tools
+     * emitting files for old readers). The caller must encode every
+     * section in that version's layout; fatal outside the readable
+     * range.
+     */
+    void setVersion(uint32_t version);
+
+    /**
      * Serialize header + table + aligned payloads to @p path. Writes a
      * temporary sibling first and renames over the target, so a crashed
      * writer never leaves a half-written store behind; a concurrent
@@ -50,6 +58,7 @@ class StoreWriter
         uint32_t tag;
         std::vector<uint8_t> payload;
     };
+    uint32_t version_ = kFormatVersion;
     std::vector<Pending> sections_;
 };
 
@@ -70,6 +79,9 @@ class StoreReader
 
     const std::vector<Section> &sections() const { return sections_; }
 
+    /** Format version the file was written at (within the read range). */
+    uint32_t version() const { return version_; }
+
     /** First section of @p type (+tag); fatal when absent. */
     const Section &require(SectionType type, uint32_t tag = 0) const;
 
@@ -89,6 +101,7 @@ class StoreReader
   private:
     void validate(const std::string &path);
 
+    uint32_t version_ = kFormatVersion;
     /** Backing memory: either the mapping or the fallback buffer. */
     const uint8_t *data_ = nullptr;
     size_t size_ = 0;

@@ -31,8 +31,20 @@ namespace gcod::store {
 /** "GCODARTS" read as a little-endian u64. */
 constexpr uint64_t kMagic = 0x53545241444F4347ULL;
 
-/** Bumped on any incompatible layout change; readers reject mismatches. */
-constexpr uint32_t kFormatVersion = 1;
+/**
+ * Current write version. Bumped on any layout change; readers accept
+ * [kMinFormatVersion, kFormatVersion] and decode per-version, so old
+ * store files keep loading after an upgrade while future (or corrupt)
+ * versions fail loudly.
+ *
+ * v1: single-operator QuantPack (one quantized CSR per pack).
+ * v2: op-graph QuantPack — one optional quantized CSR per recipe
+ *     operator (GAT/GIN/ResGCN packs carry fp32-interpreted operators).
+ */
+constexpr uint32_t kFormatVersion = 2;
+
+/** Oldest version this build still reads. */
+constexpr uint32_t kMinFormatVersion = 1;
 
 /** Alignment of every section payload (cache line; covers SIMD loads). */
 constexpr size_t kSectionAlign = 64;

@@ -94,6 +94,29 @@ qmatmulMixedRow(const MixedQuantizedMatrix &x, const QuantizedMatrix &w_lo,
         zrow[j] = float(s * double(acc[size_t(j)]));
 }
 
+/** One row-scaled GEMM output row into z.row(r). */
+inline void
+qmatmulRowScaledRow(const RowQuantizedMatrix &x, const QuantizedMatrix &w_lo,
+                    const QuantizedMatrix &w_hi, NodeId r,
+                    std::vector<int64_t> &acc, Matrix &z)
+{
+    bool prot = (*x.branchOf)[size_t(r)] != 0;
+    const QuantizedMatrix &w = prot ? w_hi : w_lo;
+    const int16_t *xrow = x.row(r);
+    int64_t kdim = x.cols, n = w.cols();
+    std::fill(acc.begin(), acc.end(), 0);
+    for (int64_t k = 0; k < kdim; ++k) {
+        int32_t xv = xrow[k];
+        if (xv == 0)
+            continue;
+        axpyRow(acc.data(), xv, w, k);
+    }
+    double s = double(x.rowScale[size_t(r)]) * double(w.params().scale);
+    float *zrow = z.row(r);
+    for (int64_t j = 0; j < n; ++j)
+        zrow[j] = float(s * double(acc[size_t(j)]));
+}
+
 } // namespace
 
 Matrix
@@ -256,6 +279,77 @@ qmatmulMixedRows(const MixedQuantizedMatrix &x, const QuantizedMatrix &w_lo,
     std::vector<int64_t> acc(size_t(w_lo.cols()));
     for (NodeId r : rows)
         qmatmulMixedRow(x, w_lo, w_hi, r, acc, z);
+}
+
+RowQuantizedMatrix
+rowQuantize(const Matrix &x, const std::vector<uint8_t> &branch_of,
+            int lo_bits, int hi_bits)
+{
+    GCOD_ASSERT(branch_of.size() == size_t(x.rows()),
+                "branch assignment must match rows");
+    GCOD_ASSERT(lo_bits >= 2 && lo_bits <= 16 && hi_bits >= 2 &&
+                    hi_bits <= 16,
+                "per-row quantization supports 2..16 bits");
+    ParallelZone zone("rowQuantize");
+    RowQuantizedMatrix m;
+    m.branchOf = &branch_of;
+    m.rows = x.rows();
+    m.cols = x.cols();
+    m.codes.resize(size_t(m.rows * m.cols));
+    m.rowScale.resize(size_t(m.rows));
+    parallelFor(
+        0, m.rows,
+        [&](const Range &range, size_t) {
+            for (int64_t r = range.begin; r < range.end; ++r) {
+                int bits = branch_of[size_t(r)] == 0 ? lo_bits : hi_bits;
+                int32_t qmax = (1 << (bits - 1)) - 1;
+                const float *src = x.row(r);
+                float peak = 0.0f;
+                for (int64_t j = 0; j < m.cols; ++j)
+                    peak = std::max(peak, std::fabs(src[j]));
+                float scale = peak > 0.0f ? peak / float(qmax) : 1.0f;
+                m.rowScale[size_t(r)] = scale;
+                float inv = 1.0f / scale;
+                int16_t *dst = m.codes.data() + r * m.cols;
+                for (int64_t j = 0; j < m.cols; ++j)
+                    dst[j] = int16_t(std::clamp(
+                        int32_t(std::lround(src[j] * inv)), -qmax, qmax));
+            }
+        },
+        rowGrain(m.cols));
+    return m;
+}
+
+Matrix
+qmatmulRowScaled(const RowQuantizedMatrix &x, const QuantizedMatrix &w_lo,
+                 const QuantizedMatrix &w_hi)
+{
+    GCOD_ASSERT(x.cols == w_lo.rows() && x.cols == w_hi.rows() &&
+                    w_lo.cols() == w_hi.cols(),
+                "qmatmulRowScaled shape mismatch");
+    ParallelZone zone("qmatmulRowScaled");
+    Matrix z(x.rows, w_lo.cols(), 0.0f);
+    parallelFor(
+        0, x.rows,
+        [&](const Range &range, size_t) {
+            std::vector<int64_t> acc(size_t(w_lo.cols()));
+            for (int64_t r = range.begin; r < range.end; ++r)
+                qmatmulRowScaledRow(x, w_lo, w_hi, NodeId(r), acc, z);
+        },
+        rowGrain(x.cols * w_lo.cols()));
+    return z;
+}
+
+void
+qmatmulRowScaledRows(const RowQuantizedMatrix &x, const QuantizedMatrix &w_lo,
+                     const QuantizedMatrix &w_hi,
+                     const std::vector<NodeId> &rows, Matrix &z)
+{
+    GCOD_ASSERT(z.rows() == x.rows && z.cols() == w_lo.cols(),
+                "qmatmulRowScaledRows output shape mismatch");
+    std::vector<int64_t> acc(size_t(w_lo.cols()));
+    for (NodeId r : rows)
+        qmatmulRowScaledRow(x, w_lo, w_hi, r, acc, z);
 }
 
 } // namespace gcod

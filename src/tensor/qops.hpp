@@ -88,6 +88,55 @@ void qmatmulMixedRows(const MixedQuantizedMatrix &x,
                       const QuantizedMatrix &w_lo, const QuantizedMatrix &w_hi,
                       const std::vector<NodeId> &rows, Matrix &z);
 
+/**
+ * Per-row quantized GEMM input: row r is coded at the branch-matching
+ * bit width with its OWN symmetric scale. A row's scale multiplies
+ * every term of that row's dot products, so it factors out of the
+ * int64 accumulation exactly — per-row scales keep the determinism
+ * contract while covering activations whose per-row dynamic range one
+ * per-branch scale cannot (Add-aggregation sums make hub rows dwarf
+ * leaf rows, starving the leaves of codes). Codes are stored widened
+ * to int16: this is a transient runtime operand, never a wire or store
+ * format. SpMM inputs CANNOT use per-row scales — aggregation mixes
+ * rows inside one integer accumulator — and keep mixedQuantize's
+ * per-branch packing.
+ */
+struct RowQuantizedMatrix
+{
+    const std::vector<uint8_t> *branchOf = nullptr;
+    std::vector<int16_t> codes;  ///< rows x cols, row-major
+    std::vector<float> rowScale; ///< one symmetric scale per row
+
+    int64_t rows = 0;
+    int64_t cols = 0;
+
+    const int16_t *row(int64_t r) const { return codes.data() + r * cols; }
+};
+
+/**
+ * Pack @p x with one fresh symmetric scale per row at the
+ * branch-matching width. Codes and scales are pure functions of the
+ * row's own bytes, so monolithic, sharded, and incremental executions
+ * over the same global activations always agree.
+ */
+RowQuantizedMatrix rowQuantize(const Matrix &x,
+                               const std::vector<uint8_t> &branch_of,
+                               int lo_bits, int hi_bits);
+
+/**
+ * Z = deq(X) * deq(W) with per-row X scales; row r uses the
+ * branch-matching weight pack (W_lo dense, W_hi protected).
+ */
+Matrix qmatmulRowScaled(const RowQuantizedMatrix &x,
+                        const QuantizedMatrix &w_lo,
+                        const QuantizedMatrix &w_hi);
+
+/** qmatmulRowScaled restricted to @p rows, written into @p z (serial). */
+void qmatmulRowScaledRows(const RowQuantizedMatrix &x,
+                          const QuantizedMatrix &w_lo,
+                          const QuantizedMatrix &w_hi,
+                          const std::vector<NodeId> &rows, Matrix &z);
+
 } // namespace gcod
 
 #endif // GCOD_TENSOR_QOPS_HPP

@@ -361,7 +361,7 @@ TEST(ShardFaultTest, HaloDropsRecoverBitIdenticallyFp32)
 
     EXPECT_TRUE(bitIdentical(clean, drilled))
         << "maxAbsDiff=" << Matrix::maxAbsDiff(clean, drilled);
-    uint64_t cells = m.weights.size() * uint64_t(plan.numShards);
+    uint64_t cells = m.recipe.layers.size() * uint64_t(plan.numShards);
     EXPECT_EQ(stats.haloDrops, cells);
     EXPECT_EQ(stats.reexecutions, cells);
     EXPECT_EQ(faults.injectedCount(FaultKind::HaloDrop), cells);

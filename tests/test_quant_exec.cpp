@@ -146,6 +146,49 @@ TEST(QuantKernelsTest, QspmmMatchesDequantizedFloatProduct)
     EXPECT_LE(Matrix::maxAbsDiff(ref, got), 1e-3);
 }
 
+TEST(QuantKernelsTest, RowScaledGemmIsExactPerRowAndStitchesBitIdentically)
+{
+    Rng rng(7);
+    Matrix x = randomDense(50, 30, rng);
+    Matrix w = randomDense(30, 20, rng);
+    // Blow up a few rows so one shared scale would starve the rest —
+    // the per-row pack must stay accurate anyway.
+    for (int64_t j = 0; j < x.cols(); ++j)
+        x(3, j) *= 1000.0f;
+    std::vector<uint8_t> branch(size_t(x.rows()), 0);
+    branch[3] = 1;
+    branch[17] = 1;
+    QuantizedMatrix wLo(w, 8), wHi(w, 16);
+    RowQuantizedMatrix rx = rowQuantize(x, branch, 8, 16);
+    Matrix full = qmatmulRowScaled(rx, wLo, wHi);
+
+    // Accuracy: each row against its own dequantized product.
+    Matrix deq(x.rows(), x.cols());
+    for (int64_t r = 0; r < x.rows(); ++r)
+        for (int64_t j = 0; j < x.cols(); ++j)
+            deq(r, j) = float(rx.row(r)[j]) * rx.rowScale[size_t(r)];
+    Matrix refLo = matmul(deq, wLo.toMatrix());
+    Matrix refHi = matmul(deq, wHi.toMatrix());
+    for (int64_t r = 0; r < x.rows(); ++r) {
+        const Matrix &ref = branch[size_t(r)] ? refHi : refLo;
+        for (int64_t j = 0; j < full.cols(); ++j)
+            EXPECT_NEAR(full(r, j), ref(r, j),
+                        2e-2f * std::fabs(ref(r, j)) + 1e-3f);
+    }
+
+    // Determinism: arbitrary row subsets stitched serially reproduce
+    // the parallel kernel bit for bit (the shard executor's contract).
+    Matrix stitched(x.rows(), w.cols(), 0.0f);
+    std::vector<NodeId> evens, odds;
+    for (NodeId r = 0; r < NodeId(x.rows()); ++r)
+        (r % 2 == 0 ? evens : odds).push_back(r);
+    qmatmulRowScaledRows(rx, wLo, wHi, odds, stitched);
+    qmatmulRowScaledRows(rx, wLo, wHi, evens, stitched);
+    EXPECT_EQ(std::memcmp(full.data().data(), stitched.data().data(),
+                          full.data().size() * sizeof(float)),
+              0);
+}
+
 // --------------------------------------------------- mixed-precision GNN
 TEST(QuantExecTest, BranchSplitFollowsDegreeProtectionRule)
 {
@@ -219,6 +262,51 @@ TEST(QuantExecTest, BitIdenticalAcrossShardCounts)
         EXPECT_TRUE(bitIdentical(mono, sharded)) << "K=" << k;
     }
 }
+
+// -------------------------------------------------------------- model zoo
+// The op-graph interpreter is the execution contract for every family:
+// referenceForward must reproduce GnnModel::forward bit for bit (memcmp)
+// at every thread count 1..8, and the quantized interpreter must be
+// thread-stable over the same recipes.
+class ZooParity : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ZooParity, RecipeMatchesModelForwardAtThreads1To8)
+{
+    const std::string family = GetParam();
+    Rng grng(29);
+    Graph g = barabasiAlbert(300, 4, grng);
+    GraphContext ctx(g);
+    Rng rng(31);
+    auto model = makeModel(family, 16, 6, false, rng);
+    Matrix x = randomDense(g.numNodes(), 16, rng);
+    ForwardRecipe recipe = forwardRecipeFor(*model, ctx);
+    EXPECT_TRUE(supportsRecipeForward(model->spec()));
+
+    int before = currentThreads();
+    setThreads(1);
+    Matrix mono = model->forward(ctx, x);
+    Matrix serial = referenceForward(recipe, x);
+    EXPECT_TRUE(bitIdentical(mono, serial))
+        << family << " recipe diverged from model forward, maxAbsDiff="
+        << Matrix::maxAbsDiff(mono, serial);
+    QuantizedGnn q = quantizeGnn(recipe, g.degrees());
+    Matrix qserial = quantizedForwardMixed(q, x);
+    for (int t = 2; t <= 8; ++t) {
+        setThreads(t);
+        EXPECT_TRUE(bitIdentical(mono, model->forward(ctx, x)))
+            << family << " model forward at threads " << t;
+        EXPECT_TRUE(bitIdentical(serial, referenceForward(recipe, x)))
+            << family << " recipe forward at threads " << t;
+        EXPECT_TRUE(bitIdentical(qserial, quantizedForwardMixed(q, x)))
+            << family << " quantized forward at threads " << t;
+    }
+    setThreads(before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooParity,
+                         ::testing::Values("GCN", "GraphSAGE", "GAT",
+                                           "GIN", "ResGCN"));
 
 // ----------------------------------------------------------------- serve
 TEST(QuantServeTest, GcodBits8RouteExecutesInt8ArtifactPack)

@@ -438,6 +438,50 @@ TEST(ServingEngineTest, UnknownDatasetFailsTheRequestNotTheEngine)
     EXPECT_EQ(engine.stats().failed(), 1u);
 }
 
+TEST(ServingEngineTest, SampledServingIsDeterministicPerSeed)
+{
+    ServeOptions opts;
+    opts.backends = {"GCoD"};
+    opts.workers = 1;
+    opts.artifactScale = 0.25;
+    opts.batching.maxDelay = std::chrono::microseconds(200);
+    ServingEngine engine(opts);
+
+    auto sampled = [&](const char *model, int fanout, uint64_t seed) {
+        InferenceRequest req;
+        req.dataset = "Cora";
+        req.model = model;
+        req.node = 5;
+        req.sampleFanout = fanout;
+        req.sampleSeed = seed;
+        auto fut = engine.submit(std::move(req));
+        engine.drain();
+        return fut.get();
+    };
+
+    // Same request + same seed: byte-identical reply, across repeats and
+    // for both Mean-aggregation families.
+    for (const char *model : {"GraphSAGE", "GCN"}) {
+        InferenceReply a = sampled(model, 3, 17);
+        InferenceReply b = sampled(model, 3, 17);
+        ASSERT_TRUE(a.ok()) << model << ": " << a.error;
+        ASSERT_TRUE(b.ok()) << model << ": " << b.error;
+        EXPECT_EQ(a.prediction, b.prediction) << model;
+        EXPECT_EQ(a.backend, b.backend) << model;
+    }
+
+    // A different seed is a different (still valid) sample.
+    InferenceReply other = sampled("GraphSAGE", 3, 99);
+    EXPECT_TRUE(other.ok()) << other.error;
+
+    // Non-Mean families cannot serve sampled neighborhoods; the request
+    // fails with an error naming the family, the engine stays up.
+    InferenceReply gat = sampled("GAT", 3, 17);
+    EXPECT_FALSE(gat.ok());
+    EXPECT_NE(gat.error.find("GAT"), std::string::npos) << gat.error;
+    EXPECT_TRUE(sampled("GraphSAGE", 3, 17).ok());
+}
+
 TEST(ServingEngineTest, SubmitAfterShutdownResolvesWithError)
 {
     ServeOptions opts;

@@ -9,10 +9,12 @@
 
 #include <cstring>
 #include <set>
+#include <tuple>
 
 #include "graph/generate.hpp"
 #include "nn/graph_context.hpp"
 #include "nn/models.hpp"
+#include "nn/quant_exec.hpp"
 #include "serve/engine.hpp"
 #include "shard/executor.hpp"
 #include "shard/halo.hpp"
@@ -221,14 +223,54 @@ TEST_P(ShardedForwardK, SageMatchesMonolithicBitForBit)
 INSTANTIATE_TEST_SUITE_P(KSweep, ShardedForwardK,
                          ::testing::Values(1, 2, 3, 5, 8));
 
-TEST(ShardedForward, UnsupportedFamilyIsRejected)
+// Every op-graph family stitches bit-identically at K ∈ {1,2,4}, both
+// the fp32 interpreter and the quantized one (vs its monolithic pass).
+class ShardedZoo
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{};
+
+TEST_P(ShardedZoo, FamilyMatchesMonolithicBitForBit)
 {
-    Graph g = testGraph(100);
+    const std::string family = std::get<0>(GetParam());
+    const int k = std::get<1>(GetParam());
+    Graph g = testGraph(400, 19);
     GraphContext ctx(g);
-    Rng rng(5);
-    auto gin = makeModel("GIN", 8, 3, false, rng);
-    EXPECT_THROW(shardedModelFor(*gin, ctx), std::runtime_error);
+    Rng rng(37);
+    auto model = makeModel(family, 12, 5, false, rng);
+    Matrix x(g.numNodes(), 12);
+    x.glorotInit(rng);
+    Matrix mono = model->forward(ctx, x);
+
+    ShardPlanOptions opts;
+    opts.shards = k;
+    ShardPlan plan = buildShardPlan(g, opts);
+    ShardedModel sm = shardedModelFor(*model, ctx);
+    Matrix sharded = shardedForward(plan, sm, x);
+    EXPECT_TRUE(bitIdentical(mono, sharded))
+        << family << " fp32 diverged at K=" << k
+        << " maxAbsDiff=" << Matrix::maxAbsDiff(mono, sharded);
+
+    MixedPrecisionPolicy pol;
+    pol.denseBits = 8;
+    pol.sparseBits = 16;
+    pol.operatorBits = 16;
+    QuantizedGnn q = quantizeGnn(sm.recipe, g.degrees(), pol);
+    Matrix qmono = quantizedForwardMixed(q, x);
+    Matrix qsharded = quantizedShardedForward(plan, q, x);
+    EXPECT_TRUE(bitIdentical(qmono, qsharded))
+        << family << " int8 diverged at K=" << k
+        << " maxAbsDiff=" << Matrix::maxAbsDiff(qmono, qsharded);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ShardedZoo,
+    ::testing::Combine(::testing::Values("GCN", "GraphSAGE", "GAT", "GIN",
+                                         "ResGCN"),
+                       ::testing::Values(1, 2, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>> &info) {
+        return std::get<0>(info.param) + "_K" +
+               std::to_string(std::get<1>(info.param));
+    });
 
 TEST(ShardedForward, ManyShardsOnTinyGraphStillExact)
 {

@@ -55,11 +55,12 @@ writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
 
 /** A small real bundle with host execution, int8 pack, and shards. */
 std::shared_ptr<const ArtifactBundle>
-smallBundle()
+smallBundle(const std::string &model = "GCN")
 {
     GcodOptions opts;
+    opts.model = model;
     return serve::buildArtifact(
-        ArtifactKey{"Cora", "GCN", serve::hashGcodOptions(opts)}, opts,
+        ArtifactKey{"Cora", model, serve::hashGcodOptions(opts)}, opts,
         /*scale=*/0.25, /*seed=*/7, /*shards=*/2, /*shard_min_nodes=*/1,
         /*quant_bits=*/{8});
 }
@@ -326,6 +327,88 @@ TEST(StoreArtifactTest, BundleRoundTripIsEquivalentForServing)
     // Memoized logits handed to save come back as storedLogits.
     ASSERT_EQ(b.storedLogits.count(32), 1u);
     expectMatrixEq(b.storedLogits.at(32), memo.at(32), "stored logits");
+}
+
+// --------------------------------------------------------- format versions
+TEST(StoreArtifactTest, OpGraphPackRoundTripsInFormatV2)
+{
+    std::string dir = scratchDir("v2_opgraph");
+    std::shared_ptr<const ArtifactBundle> built = smallBundle("GAT");
+    std::string path = artifactStorePath(dir, built->key);
+
+    saveArtifactBundle(path, *built);
+    {
+        StoreReader r(path);
+        EXPECT_EQ(r.version(), kFormatVersion);
+    }
+    LoadedArtifact loaded = loadArtifactBundle(path);
+    const ArtifactBundle &b = *loaded.bundle;
+
+    // The attention operator runs interpreted in fp32, so its slot in
+    // the pack carries no quantized CSR; v2 must preserve exactly which
+    // operators are packed and which are absent.
+    ASSERT_EQ(b.quantized.count(8), 1u);
+    const QuantizedGnn &q = b.quantized.at(8);
+    const QuantizedGnn &q0 = built->quantized.at(8);
+    ASSERT_EQ(q.qops.size(), q0.qops.size());
+    for (size_t i = 0; i < q.qops.size(); ++i)
+        EXPECT_EQ(q.qops[i].pattern != nullptr,
+                  q0.qops[i].pattern != nullptr)
+            << "operator " << i << " presence";
+    expectMatrixEq(quantizedForwardMixed(q, b.hostFeatures),
+                   quantizedForwardMixed(q0, built->hostFeatures),
+                   "GAT int8 logits");
+    expectMatrixEq(referenceForward(b.hostRecipe, b.hostFeatures),
+                   referenceForward(built->hostRecipe,
+                                    built->hostFeatures),
+                   "GAT fp32 logits");
+}
+
+TEST(StoreArtifactTest, FormatV1FilesStillLoadAndServeIdentically)
+{
+    std::string dir = scratchDir("v1_compat");
+    std::shared_ptr<const ArtifactBundle> built = smallBundle();
+    std::string path = artifactStorePath(dir, built->key);
+
+    // Emit a genuine v1 file: plain-Mean GCN packs are exactly the
+    // single-operator shape the old format could carry.
+    saveArtifactBundle(path, *built, ReorderOptions{}, {},
+                       /*format_version=*/1);
+    {
+        StoreReader r(path);
+        EXPECT_EQ(r.version(), 1u);
+    }
+    LoadedArtifact loaded = loadArtifactBundle(path);
+    const ArtifactBundle &b = *loaded.bundle;
+    ASSERT_TRUE(b.hasHostExec());
+    ASSERT_EQ(b.quantized.count(8), 1u);
+    expectMatrixEq(quantizedForwardMixed(b.quantized.at(8),
+                                         b.hostFeatures),
+                   quantizedForwardMixed(built->quantized.at(8),
+                                         built->hostFeatures),
+                   "v1 int8 logits");
+    expectMatrixEq(referenceForward(b.hostRecipe, b.hostFeatures),
+                   referenceForward(built->hostRecipe,
+                                    built->hostFeatures),
+                   "v1 fp32 logits");
+}
+
+TEST(StoreArtifactTest, FormatV1RefusesOpGraphPacksItCannotRepresent)
+{
+    std::string dir = scratchDir("v1_reject");
+    std::shared_ptr<const ArtifactBundle> built = smallBundle("GAT");
+    std::string path = artifactStorePath(dir, built->key);
+
+    // A GAT pack keeps its operator in fp32 (no quantized CSR), which v1
+    // cannot encode; the writer must refuse loudly, never misencode.
+    EXPECT_THROW(saveArtifactBundle(path, *built, ReorderOptions{}, {},
+                                    /*format_version=*/1),
+                 std::logic_error);
+
+    // Versions this build does not write are rejected up front.
+    EXPECT_THROW(saveArtifactBundle(path, *built, ReorderOptions{}, {},
+                                    kFormatVersion + 1),
+                 std::runtime_error);
 }
 
 // ------------------------------------------------------------- engine warm
